@@ -1,0 +1,52 @@
+"""Figure 2: effect of graph size on query execution time.
+
+The paper runs every query over graphs G1–G10 and plots execution time
+against the number of Person nodes, observing linear growth for most
+queries and roughly quadratic growth for Q5, Q9 and Q10–Q12 (driven by
+output size).  This harness sweeps the configured scale factors and
+prints one series per query.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import graph_for, print_table
+from repro.dataflow import DataflowEngine, PAPER_QUERIES
+
+_SERIES: dict[str, list[tuple[str, int, float, int]]] = {}
+_EXPECTED_CELLS = {"count": 0}
+
+
+@pytest.mark.parametrize("name", list(PAPER_QUERIES))
+def bench_fig2_query_across_scales(benchmark, scale_sweep, name):
+    """Run one query on every scale factor (the timed body is the full sweep)."""
+    engines = {sf.name: DataflowEngine(graph_for(sf.name)) for sf in scale_sweep}
+    query = PAPER_QUERIES[name]
+
+    def sweep():
+        measurements = []
+        for sf in scale_sweep:
+            result = engines[sf.name].match_with_stats(query.text)
+            measurements.append(
+                (sf.name, sf.num_persons, result.total_seconds, result.output_size)
+            )
+        return measurements
+
+    measurements = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    _SERIES[name] = measurements
+    benchmark.extra_info["series"] = [
+        {"scale": s, "persons": p, "seconds": round(t, 6), "output": o}
+        for s, p, t, o in measurements
+    ]
+
+    if len(_SERIES) == len(PAPER_QUERIES):
+        rows = []
+        for query_name, series in _SERIES.items():
+            for scale, persons, seconds, output in series:
+                rows.append([query_name, scale, persons, f"{seconds:.3f}", output])
+        print_table(
+            "Figure 2 — effect of graph size on query execution time",
+            ["query", "scale", "# persons", "time (s)", "output size"],
+            rows,
+        )

@@ -1,0 +1,50 @@
+"""Figure 4: effect of the number of temporal-navigation steps.
+
+Q10, Q11 and Q12 contain a temporal-navigation operator with a numerical
+occurrence indicator (``PREV[0,m]`` / ``NEXT[0,m]``).  The paper fixes
+``n = 0`` and sweeps ``m`` from 4 to 48, observing an initially linear
+increase that plateaus around ``m = 16`` (the reachable window saturates
+at the objects' lifespans).  This harness sweeps the same bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.dataflow import DataflowEngine, get_query
+
+_BOUNDS = (4, 12, 24, 36, 48)
+_QUERIES = ("Q10", "Q11", "Q12")
+_RESULTS: dict[str, list[tuple[int, float, int]]] = {}
+
+
+@pytest.mark.parametrize("name", _QUERIES)
+def bench_fig4_temporal_navigation_steps(benchmark, largest_graph, largest_scale_name, name):
+    """Sweep the temporal-navigation upper bound m for one query."""
+    engine = DataflowEngine(largest_graph)
+
+    def sweep():
+        measurements = []
+        for bound in _BOUNDS:
+            query = get_query(name, temporal_bound=bound)
+            result = engine.match_with_stats(query.text)
+            measurements.append((bound, result.total_seconds, result.output_size))
+        return measurements
+
+    measurements = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    _RESULTS[name] = measurements
+    benchmark.extra_info["series"] = [
+        {"m": m, "seconds": round(t, 6), "output": o} for m, t, o in measurements
+    ]
+
+    if len(_RESULTS) == len(_QUERIES):
+        rows = []
+        for query_name, series in _RESULTS.items():
+            for bound, seconds, output in series:
+                rows.append([query_name, bound, f"{seconds:.3f}", output])
+        print_table(
+            f"Figure 4 — effect of temporal navigation steps on {largest_scale_name}",
+            ["query", "m (max temporal steps)", "time (s)", "output size"],
+            rows,
+        )

@@ -1,0 +1,53 @@
+"""Figure 5: effect of the positivity rate on query execution time.
+
+Queries Q6–Q12 select Person nodes that tested positive at some point;
+the paper varies the share of positive persons from 2% to 10% and
+observes a linear relationship between positivity rate and execution
+time.  This harness regenerates the largest graph at each rate and runs
+the affected queries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import graph_for, print_table
+from repro.dataflow import DataflowEngine, PAPER_QUERIES
+
+_RATES = (0.02, 0.04, 0.06, 0.08, 0.10)
+_QUERIES = tuple(name for name, q in PAPER_QUERIES.items() if q.uses_positivity)
+_RESULTS: dict[str, list[tuple[float, float, int]]] = {}
+
+
+@pytest.mark.parametrize("name", _QUERIES)
+def bench_fig5_positivity_rate(benchmark, largest_scale_name, name):
+    """Sweep the positivity rate for one positivity-sensitive query."""
+    engines = {
+        rate: DataflowEngine(graph_for(largest_scale_name, positivity=rate))
+        for rate in _RATES
+    }
+    query = PAPER_QUERIES[name]
+
+    def sweep():
+        measurements = []
+        for rate in _RATES:
+            result = engines[rate].match_with_stats(query.text)
+            measurements.append((rate, result.total_seconds, result.output_size))
+        return measurements
+
+    measurements = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    _RESULTS[name] = measurements
+    benchmark.extra_info["series"] = [
+        {"rate": r, "seconds": round(t, 6), "output": o} for r, t, o in measurements
+    ]
+
+    if len(_RESULTS) == len(_QUERIES):
+        rows = []
+        for query_name, series in _RESULTS.items():
+            for rate, seconds, output in series:
+                rows.append([query_name, f"{rate:.0%}", f"{seconds:.3f}", output])
+        print_table(
+            f"Figure 5 — effect of positivity rate on {largest_scale_name}",
+            ["query", "positivity", "time (s)", "output size"],
+            rows,
+        )

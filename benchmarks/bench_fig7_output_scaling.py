@@ -1,0 +1,73 @@
+"""Figure 7 (Appendix E): output size vs. execution time across graph sizes.
+
+The appendix explains the Figure-2 trends by showing that the increase
+in execution time relative to the smallest graph is almost perfectly
+correlated with the increase in output size.  This harness reproduces
+that analysis: for every query it reports output size and execution time
+on each scale factor *relative to S1*, plus the Pearson correlation
+between the two relative series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import graph_for, print_table
+from repro.dataflow import DataflowEngine, PAPER_QUERIES
+
+_SERIES: dict[str, list[tuple[str, float, float]]] = {}
+_CORRELATIONS: dict[str, float] = {}
+
+
+def _pearson(xs: list[float], ys: list[float]) -> float:
+    n = len(xs)
+    if n < 2:
+        return 1.0
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs) ** 0.5
+    var_y = sum((y - mean_y) ** 2 for y in ys) ** 0.5
+    if var_x == 0 or var_y == 0:
+        return 1.0
+    return cov / (var_x * var_y)
+
+
+@pytest.mark.parametrize("name", list(PAPER_QUERIES))
+def bench_fig7_relative_output_and_time(benchmark, scale_sweep, name):
+    """Measure one query across scales and report values relative to S1."""
+    engines = {sf.name: DataflowEngine(graph_for(sf.name)) for sf in scale_sweep}
+    query = PAPER_QUERIES[name]
+
+    def sweep():
+        return [
+            (sf.name, engines[sf.name].match_with_stats(query.text))
+            for sf in scale_sweep
+        ]
+
+    raw = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    base_time = max(raw[0][1].total_seconds, 1e-9)
+    base_output = max(raw[0][1].output_size, 1)
+    series = [
+        (scale, result.total_seconds / base_time, result.output_size / base_output)
+        for scale, result in raw
+    ]
+    _SERIES[name] = series
+    _CORRELATIONS[name] = _pearson([t for _s, t, _o in series], [o for _s, _t, o in series])
+    benchmark.extra_info["correlation"] = round(_CORRELATIONS[name], 4)
+
+    if len(_SERIES) == len(PAPER_QUERIES):
+        rows = []
+        for query_name, entries in _SERIES.items():
+            for scale, rel_time, rel_output in entries:
+                rows.append([query_name, scale, f"{rel_time:.2f}", f"{rel_output:.2f}"])
+        print_table(
+            "Figure 7 — execution time and output size relative to S1",
+            ["query", "scale", "time x S1", "output-size x S1"],
+            rows,
+        )
+        print_table(
+            "Figure 7 (c) — correlation between relative time and relative output size",
+            ["query", "pearson r"],
+            [[q, f"{r:.3f}"] for q, r in _CORRELATIONS.items()],
+        )

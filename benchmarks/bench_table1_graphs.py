@@ -1,0 +1,57 @@
+"""Table I: statistics of the experimental temporal property graphs.
+
+The paper reports, for each graph G1–G10, the number of nodes, edges,
+temporal nodes and temporal edges.  This harness generates the scaled
+graphs S1…S(REPRO_SCALE) and prints the same columns; the timed portion
+is graph generation itself (construction cost is not reported in the
+paper but is useful context for the other harnesses).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import default_positivity, graph_for, print_table
+from repro.datagen import generate_contact_tracing_graph
+from repro.datagen.scale import SCALE_FACTORS
+from repro.model import graph_statistics
+
+
+def bench_table1_graph_statistics(benchmark, scale_sweep):
+    """Generate every scale factor once and print the Table-I statistics."""
+
+    def build_all():
+        return {sf.name: graph_for(sf.name) for sf in scale_sweep}
+
+    graphs = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    rows = []
+    for name, graph in graphs.items():
+        stats = graph_statistics(graph)
+        rows.append(
+            [
+                name,
+                stats.num_nodes,
+                stats.num_edges,
+                stats.num_temporal_nodes,
+                stats.num_temporal_edges,
+            ]
+        )
+    print_table(
+        "Table I — temporal property graphs used in experiments "
+        f"(positivity {default_positivity():.0%})",
+        ["graph", "# nodes", "# edges", "# temp. nodes", "# temp. edges"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("scale", list(SCALE_FACTORS)[:2])
+def bench_table1_generation_cost(benchmark, scale):
+    """Time the trajectory simulation + graph construction for the small scales."""
+    config = SCALE_FACTORS[scale].config(positivity_rate=default_positivity())
+    graph = benchmark(generate_contact_tracing_graph, config)
+    stats = graph_statistics(graph)
+    print_table(
+        f"Graph generation cost — {scale}",
+        ["graph", "# nodes", "# temp. edges"],
+        [[scale, stats.num_nodes, stats.num_temporal_edges]],
+    )

@@ -1,0 +1,53 @@
+"""Table II: execution time and output size of Q1–Q12 on the largest graph.
+
+The paper reports, per query: the interval-based time (Steps 1–2 of the
+evaluation), the total time (including the point-wise expansion of
+Step 3) and the output size in binding tuples.  This harness runs every
+query of Section IV on the largest configured scale factor and prints
+the same three columns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.dataflow import DataflowEngine, PAPER_QUERIES
+
+_RESULTS: dict[str, dict] = {}
+
+
+@pytest.mark.parametrize("name", list(PAPER_QUERIES))
+def bench_table2_query(benchmark, largest_graph, largest_scale_name, name):
+    """One Table-II row: run a paper query on the largest graph."""
+    engine = DataflowEngine(largest_graph)
+    query = PAPER_QUERIES[name]
+
+    result = benchmark.pedantic(
+        engine.match_with_stats, args=(query.text,), rounds=1, iterations=1
+    )
+    _RESULTS[name] = {
+        "interval": result.interval_seconds,
+        "total": result.total_seconds,
+        "output": result.output_size,
+    }
+    benchmark.extra_info["output_size"] = result.output_size
+    benchmark.extra_info["interval_seconds"] = round(result.interval_seconds, 6)
+    benchmark.extra_info["scale"] = largest_scale_name
+
+    if len(_RESULTS) == len(PAPER_QUERIES):
+        rows = [
+            [
+                q,
+                f"{_RESULTS[q]['interval']:.3f}",
+                f"{_RESULTS[q]['total']:.3f}",
+                _RESULTS[q]["output"],
+            ]
+            for q in PAPER_QUERIES
+            if q in _RESULTS
+        ]
+        print_table(
+            f"Table II — execution time of Q1–Q12 on {largest_scale_name}",
+            ["query", "interval-based time (s)", "total time (s)", "output size"],
+            rows,
+        )

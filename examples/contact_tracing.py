@@ -1,0 +1,87 @@
+"""Contact tracing at scale: exposure analysis over a synthetic campus.
+
+This example mirrors the paper's motivating scenario (Section I): given a
+temporal property graph of people visiting rooms and meeting each other,
+find high-risk individuals who may have been exposed to an infectious
+disease, either by meeting an infected person or by sharing a room with
+one shortly before that person tested positive.
+
+Run it with::
+
+    python examples/contact_tracing.py [num_persons]
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import Counter
+
+from repro import DataflowEngine
+from repro.datagen import ContactTracingConfig, TrajectoryConfig, generate_contact_tracing_graph
+from repro.model import graph_statistics
+
+
+def build_graph(num_persons: int):
+    config = ContactTracingConfig(
+        trajectory=TrajectoryConfig(
+            num_persons=num_persons,
+            num_locations=max(20, num_persons // 3),
+            num_rooms=max(5, num_persons // 12),
+            num_windows=48,
+            seed=42,
+        ),
+        positivity_rate=0.06,
+        seed=42,
+    )
+    return generate_contact_tracing_graph(config)
+
+
+def main() -> None:
+    num_persons = int(sys.argv[1]) if len(sys.argv) > 1 else 200
+    graph = build_graph(num_persons)
+    stats = graph_statistics(graph)
+    print(
+        f"Synthetic campus day: {stats.num_nodes} nodes, {stats.num_temporal_edges} "
+        f"temporal edges over {stats.num_time_points} five-minute windows\n"
+    )
+
+    engine = DataflowEngine(graph)
+
+    # Direct exposure: met someone who subsequently tested positive (Q9).
+    met_infected = engine.match_with_stats(
+        "MATCH (x:Person {risk = 'high'})-/FWD/:meets/FWD/NEXT*/-({test = 'pos'}) "
+        "ON campus"
+    )
+    # Indirect exposure: shared a room with someone who tested positive within
+    # an hour (Q11 with a 12-window bound).
+    shared_room = engine.match_with_stats(
+        "MATCH (x:Person {risk = 'high'})-"
+        "/FWD/:visits/FWD/:Room/BWD/:visits/BWD/NEXT[0,12]/-({test = 'pos'}) "
+        "ON campus"
+    )
+
+    print("Exposure analysis for high-risk individuals")
+    print("-------------------------------------------")
+    print(f"direct contacts (met an infected person):   {met_infected.output_size:6d} "
+          f"temporal bindings in {met_infected.total_seconds:.3f}s")
+    print(f"indirect contacts (shared a room):          {shared_room.output_size:6d} "
+          f"temporal bindings in {shared_room.total_seconds:.3f}s\n")
+
+    exposures = Counter()
+    for ((person, _time),) in met_infected.table.rows:
+        exposures[person] += 1
+    for ((person, _time),) in shared_room.table.rows:
+        exposures[person] += 1
+
+    print("Most exposed high-risk individuals (by number of exposure windows):")
+    for person, count in exposures.most_common(10):
+        risk_windows = graph.property_family(person, "risk").when_equals("high")
+        print(f"  {person:>6}  exposure windows: {count:4d}   "
+              f"high-risk during {risk_windows}")
+
+    if not exposures:
+        print("  (no exposures found — try a larger population or positivity rate)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Room availability: navigating through non-existing temporal objects.
+
+Section V-A of the paper motivates the default semantics in which
+navigation does not require objects to exist: the expression
+
+    (Room ∧ ¬∃) / (N / ¬∃)[0,_] / (Room ∧ ∃)
+
+starts at a time when a room is unavailable and walks forward through the
+unavailable stretch until the room becomes available again.  The
+practical MATCH syntax always enforces existence, so this example uses
+the formal AST directly together with the reference engine, and prints a
+small availability report for the rooms of a seminar building.
+
+Run it with::
+
+    python examples/room_availability.py
+"""
+
+from __future__ import annotations
+
+from repro import GraphBuilder, ReferenceEngine
+from repro.lang import ast
+
+
+def build_building():
+    """Three seminar rooms with maintenance windows during a 24-hour day."""
+    builder = GraphBuilder(domain=(0, 23))
+    (
+        builder.node("room_a", "Room")
+        .version(0, 8, capacity=40)
+        .version(12, 23, capacity=40)  # closed 9-11 for maintenance
+    )
+    (
+        builder.node("room_b", "Room")
+        .version(0, 5, capacity=15)
+        .version(7, 15, capacity=15)
+        .version(20, 23, capacity=15)  # closed 6-6 and 16-19
+    )
+    builder.node("room_c", "Room").version(0, 23, capacity=120)  # always open
+    return builder.build()
+
+
+def main() -> None:
+    graph = build_building()
+    engine = ReferenceEngine(graph)
+
+    # (Room ∧ ¬∃) / (N/¬∃)[0,_] / N / (Room ∧ ∃):
+    # from an unavailable time point to the first time the room reopens.
+    reopening = ast.concat(
+        ast.test(ast.and_(ast.label("Room"), ast.not_(ast.exists()))),
+        ast.star(ast.concat(ast.N, ast.test(ast.not_(ast.exists())))),
+        ast.N,
+        ast.test(ast.and_(ast.label("Room"), ast.exists())),
+    )
+    relation = engine.evaluate_path(reopening)
+
+    print("Next reopening time for every (room, closed-hour) pair")
+    print("-------------------------------------------------------")
+    next_open: dict[tuple[str, int], int] = {}
+    for room, closed_at, _room2, reopens_at in sorted(relation, key=lambda x: (str(x[0]), x[1])):
+        key = (room, closed_at)
+        if key not in next_open or reopens_at < next_open[key]:
+            next_open[key] = reopens_at
+    for (room, closed_at), reopens_at in sorted(next_open.items()):
+        print(f"  {room}: closed at hour {closed_at:2d} -> next available at hour {reopens_at:2d}")
+    if not next_open:
+        print("  every room is always available")
+
+    # How long is each room unavailable in total?  Derived from the same
+    # formal machinery: count time points where (Room ∧ ¬∃) holds.
+    closed = engine.evaluate_path(ast.test(ast.and_(ast.label("Room"), ast.not_(ast.exists()))))
+    print("\nTotal closed hours per room")
+    print("---------------------------")
+    totals: dict[str, int] = {}
+    for room, _t, _r, _t2 in closed:
+        totals[room] = totals.get(room, 0) + 1
+    for room in sorted(totals):
+        print(f"  {room}: {totals[room]} hours closed")
+    always_open = [r for r in ("room_a", "room_b", "room_c") if r not in totals]
+    for room in always_open:
+        print(f"  {room}: never closed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Travel planning over a temporal transport network.
+
+Section V-C of the paper argues that TRPQs can express itineraries that
+T-GQL's "consecutive paths" cannot: journeys that combine different
+transportation services, and journeys that mix movements forward and
+backward in time.  This example builds a small temporal graph of
+flights, trains and buses between cities and demonstrates:
+
+* the minimum temporal path queries of prior work (earliest arrival,
+  latest departure, fastest, fewest hops) via the baseline substrate;
+* a TRPQ that finds multi-modal connections (flight + train + bus),
+  which a single-service consecutive path cannot express;
+* a TRPQ mixing future and past navigation: cities reachable tomorrow
+  from somewhere we could have been yesterday.
+
+Run it with::
+
+    python examples/travel_planning.py
+"""
+
+from __future__ import annotations
+
+from repro import DataflowEngine, GraphBuilder
+from repro.baselines import TemporalPathFinder
+
+
+def build_network():
+    """One day of service between five cities, one time unit = one hour."""
+    builder = GraphBuilder(domain=(0, 23))
+    for city in ("tokyo", "seoul", "dubai", "paris", "buenos_aires"):
+        builder.node(city, "City").version(0, 23, name=city)
+
+    # Edge validity = the span during which the service can be boarded.
+    builder.edge("fl_ts", "flight", "tokyo", "seoul").version(2, 5, carrier="NH")
+    builder.edge("fl_sd", "flight", "seoul", "dubai").version(7, 10, carrier="KE")
+    builder.edge("tr_dp", "train", "dubai", "paris").version(11, 15, carrier="rail")
+    builder.edge("bu_pb", "bus", "paris", "buenos_aires").version(16, 20, carrier="bus")
+    builder.edge("fl_tp", "flight", "tokyo", "paris").version(9, 11, carrier="AF")
+    builder.edge("fl_pb", "flight", "paris", "buenos_aires").version(13, 17, carrier="AF")
+    return builder.build()
+
+
+def main() -> None:
+    graph = build_network()
+    engine = DataflowEngine(graph)
+    finder = TemporalPathFinder(graph)
+
+    print("Minimum temporal path queries (prior-work substrate, Wu et al.)")
+    print("----------------------------------------------------------------")
+    journey = finder.earliest_arrival("tokyo", "buenos_aires")
+    print("earliest arrival tokyo -> buenos_aires:",
+          [e.edge_id for e in journey.edges], f"arrives at hour {journey.arrival}")
+    journey = finder.fastest("tokyo", "buenos_aires")
+    print("fastest tokyo -> buenos_aires:         ",
+          [e.edge_id for e in journey.edges], f"duration {journey.duration}h")
+    journey = finder.latest_departure("tokyo", "paris")
+    print("latest departure tokyo -> paris:       ",
+          [e.edge_id for e in journey.edges], f"departs at hour {journey.departure}")
+    journey = finder.shortest("tokyo", "buenos_aires")
+    print("fewest hops tokyo -> buenos_aires:     ",
+          [e.edge_id for e in journey.edges], f"{journey.hops} hops\n")
+
+    print("TRPQ: multi-modal journeys (flight, then any service, arbitrary waits)")
+    print("----------------------------------------------------------------------")
+    # From Tokyo: take a flight, wait any number of hours, take any service,
+    # wait again, take any service — the kind of mixed-service itinerary
+    # Section V-C uses to separate TRPQs from T-GQL consecutive paths.
+    query = (
+        "MATCH (x:City {name = 'tokyo'})-"
+        "/FWD/:flight/FWD/NEXT*/FWD/NEXT*/FWD/NEXT*/-(y:City) ON transport"
+    )
+    table = engine.match(query)
+    destinations = sorted({obj for _x, (obj, _t) in table.rows})
+    print("cities reachable from tokyo with a flight followed by one more leg:")
+    print(" ", destinations, "\n")
+
+    print("TRPQ: mixing future and past temporal navigation")
+    print("------------------------------------------------")
+    # Where could a traveller seen in Paris at hour 12 have come from (past
+    # navigation), and where could they still go afterwards (future navigation)?
+    query = (
+        "MATCH (x:City {name = 'paris' AND time = '12'})-"
+        "/PREV*/BWD/:flight/BWD/-(origin:City) ON transport"
+    )
+    origins = engine.match(query)
+    query = (
+        "MATCH (x:City {name = 'paris' AND time = '12'})-"
+        "/NEXT*/FWD/:flight/FWD/-(destination:City) ON transport"
+    )
+    onward = engine.match(query)
+    print("possible origins of a traveller in Paris at hour 12: ",
+          sorted({obj for _x, (obj, _t) in origins.rows}))
+    print("possible onward flights after hour 12:               ",
+          sorted({obj for _x, (obj, _t) in onward.rows}))
+
+
+if __name__ == "__main__":
+    main()

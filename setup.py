@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so
+that legacy editable installs (``pip install -e . --no-use-pep517`` /
+``python setup.py develop``) work on environments whose setuptools
+predates PEP 660 editable-wheel support.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,90 @@
+"""repro — Temporal Regular Path Queries over Temporal Property Graphs.
+
+A reproduction of *"Temporal Regular Path Queries"* (Arenas, Bahamondes,
+Aghasadeghi, Stoyanovich — ICDE 2022).  The package provides:
+
+* temporal property graph models (point-based and interval-timestamped),
+* the query language NavL[PC,NOI] with the practical MATCH surface syntax,
+* reference evaluation engines (polynomial bottom-up over TPGs, the
+  appendix tuple-membership checkers over ITPGs),
+* a dataflow engine over interval-timestamped relations (the paper's
+  Section VI implementation),
+* a synthetic contact-tracing workload generator and the benchmark
+  harnesses that regenerate the paper's tables and figures.
+
+Quick start::
+
+    from repro import contact_tracing_example, DataflowEngine
+
+    graph = contact_tracing_example()
+    engine = DataflowEngine(graph)
+    table = engine.match(
+        "MATCH (x:Person {risk = 'high'})-"
+        "/FWD/:meets/FWD/NEXT*/-({test = 'pos'}) ON contact_tracing"
+    )
+    print(table.pretty())
+"""
+
+from repro.errors import (
+    ReproError,
+    InvalidIntervalError,
+    GraphIntegrityError,
+    UnknownObjectError,
+    QuerySyntaxError,
+    QueryTranslationError,
+    UnsupportedFragmentError,
+    EvaluationError,
+)
+from repro.temporal import Interval, IntervalSet, ValuedInterval, ValuedIntervalSet
+from repro.model import (
+    TemporalPropertyGraph,
+    IntervalTPG,
+    GraphBuilder,
+    Snapshot,
+    snapshot_at,
+    snapshot_sequence,
+    tpg_to_itpg,
+    itpg_to_tpg,
+    contact_tracing_example,
+    graph_statistics,
+)
+from repro.lang import parse_path, parse_match, compile_match, classify, Fragment
+from repro.eval import ReferenceEngine, BindingTable, evaluate_path
+from repro.dataflow import DataflowEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "InvalidIntervalError",
+    "GraphIntegrityError",
+    "UnknownObjectError",
+    "QuerySyntaxError",
+    "QueryTranslationError",
+    "UnsupportedFragmentError",
+    "EvaluationError",
+    "Interval",
+    "IntervalSet",
+    "ValuedInterval",
+    "ValuedIntervalSet",
+    "TemporalPropertyGraph",
+    "IntervalTPG",
+    "GraphBuilder",
+    "Snapshot",
+    "snapshot_at",
+    "snapshot_sequence",
+    "tpg_to_itpg",
+    "itpg_to_tpg",
+    "contact_tracing_example",
+    "graph_statistics",
+    "parse_path",
+    "parse_match",
+    "compile_match",
+    "classify",
+    "Fragment",
+    "ReferenceEngine",
+    "BindingTable",
+    "evaluate_path",
+    "DataflowEngine",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Baseline algorithms used for comparison and cross-checking.
+
+* :mod:`repro.baselines.snapshot_eval` — non-temporal RPQ evaluation on
+  each snapshot of a temporal graph.  Used to verify snapshot
+  reducibility: structural-only TRPQs must coincide with the union of the
+  per-snapshot evaluations.
+* :mod:`repro.baselines.naive_point` — evaluation by expanding the ITPG
+  to its point-based TPG and running the reference bottom-up algorithm.
+  This is the "no interval reasoning" ablation baseline.
+* :mod:`repro.baselines.temporal_paths` — the minimum temporal path
+  queries of Wu et al. (earliest-arrival, latest-departure, fastest,
+  shortest), the prior-work substrate the paper compares against
+  conceptually in Section II.
+"""
+
+from repro.baselines.snapshot_eval import snapshot_rpq, snapshot_reducible_evaluation
+from repro.baselines.naive_point import NaivePointEngine
+from repro.baselines.temporal_paths import (
+    TemporalPathFinder,
+    earliest_arrival_path,
+    latest_departure_path,
+    fastest_path,
+    shortest_temporal_path,
+)
+
+__all__ = [
+    "snapshot_rpq",
+    "snapshot_reducible_evaluation",
+    "NaivePointEngine",
+    "TemporalPathFinder",
+    "earliest_arrival_path",
+    "latest_departure_path",
+    "fastest_path",
+    "shortest_temporal_path",
+]

@@ -1,0 +1,169 @@
+"""Per-snapshot evaluation of structural path expressions.
+
+Snapshot reducibility (Section I-B / II) states that a temporal query
+without explicit references to time must agree with evaluating its
+non-temporal counterpart on every snapshot of the graph.  This module
+provides exactly that baseline: a tiny conventional RPQ evaluator over a
+single :class:`~repro.model.snapshot.Snapshot`, plus the union over all
+snapshots.  The test suite uses it to validate the temporal engines on
+structural-only queries; the benchmark suite uses it as the snapshot-
+sequence baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.errors import UnsupportedFragmentError
+from repro.lang.ast import (
+    AndTest,
+    Axis,
+    Concat,
+    EdgeTest,
+    ExistsTest,
+    LabelTest,
+    NodeTest,
+    NotTest,
+    OrTest,
+    PathExpr,
+    PathTest,
+    PropEq,
+    Repeat,
+    Test,
+    TestPath,
+    TimeLt,
+    TrueTest,
+    Union,
+)
+from repro.model.snapshot import Snapshot, snapshot_sequence
+from repro.model.itpg import IntervalTPG
+from repro.model.tpg import TemporalPropertyGraph
+
+ObjectId = Hashable
+Pair = tuple[ObjectId, ObjectId]
+
+
+def contains_temporal_operator(path: PathExpr) -> bool:
+    """True if the expression navigates through time or mentions time explicitly."""
+    if isinstance(path, Axis):
+        return path.is_temporal
+    if isinstance(path, TestPath):
+        return _test_mentions_time(path.condition)
+    if isinstance(path, (Concat, Union)):
+        return any(contains_temporal_operator(part) for part in path.parts)
+    if isinstance(path, Repeat):
+        return contains_temporal_operator(path.body)
+    raise TypeError(f"unknown path expression {path!r}")
+
+
+def _test_mentions_time(condition: Test) -> bool:
+    if isinstance(condition, TimeLt):
+        return True
+    if isinstance(condition, (AndTest, OrTest)):
+        return any(_test_mentions_time(part) for part in condition.parts)
+    if isinstance(condition, NotTest):
+        return _test_mentions_time(condition.inner)
+    if isinstance(condition, PathTest):
+        return contains_temporal_operator(condition.path)
+    return False
+
+
+def snapshot_rpq(snapshot: Snapshot, path: PathExpr) -> frozenset[Pair]:
+    """Evaluate a structural path expression over a single snapshot.
+
+    The semantics is the non-temporal restriction of the paper's
+    semantics: ``F``/``B`` move along edges present in the snapshot,
+    tests check labels and the snapshot's property values, and ``∃``
+    means membership in the snapshot.
+    """
+    if contains_temporal_operator(path):
+        raise UnsupportedFragmentError(
+            "snapshot evaluation is only defined for structural (time-free) expressions"
+        )
+    objects = list(snapshot.nodes()) + list(snapshot.edges())
+    return frozenset(_evaluate(snapshot, path, objects))
+
+
+def _evaluate(snapshot: Snapshot, path: PathExpr, objects: list[ObjectId]) -> set[Pair]:
+    if isinstance(path, Axis):
+        pairs: set[Pair] = set()
+        for edge, (src, tgt) in snapshot.edge_endpoints.items():
+            if path.kind == "F":
+                pairs.add((src, edge))
+                pairs.add((edge, tgt))
+            else:
+                pairs.add((tgt, edge))
+                pairs.add((edge, src))
+        return pairs
+    if isinstance(path, TestPath):
+        return {(o, o) for o in objects if _satisfies(snapshot, o, path.condition)}
+    if isinstance(path, Concat):
+        result = _evaluate(snapshot, path.parts[0], objects)
+        for part in path.parts[1:]:
+            right = _evaluate(snapshot, part, objects)
+            index: dict[ObjectId, list[ObjectId]] = {}
+            for a, b in right:
+                index.setdefault(a, []).append(b)
+            result = {(a, c) for a, b in result for c in index.get(b, ())}
+        return result
+    if isinstance(path, Union):
+        out: set[Pair] = set()
+        for part in path.parts:
+            out |= _evaluate(snapshot, part, objects)
+        return out
+    if isinstance(path, Repeat):
+        base = _evaluate(snapshot, path.body, objects)
+        identity = {(o, o) for o in objects}
+        powers = identity
+        result: set[Pair] = set()
+        upper = path.upper if path.upper is not None else len(objects) ** 2
+        for step in range(0, upper + 1):
+            if step >= path.lower:
+                result |= powers
+            index: dict[ObjectId, list[ObjectId]] = {}
+            for a, b in base:
+                index.setdefault(a, []).append(b)
+            new_powers = {(a, c) for a, b in powers for c in index.get(b, ())}
+            if new_powers <= powers and step >= path.lower:
+                break
+            powers = new_powers
+        return result
+    raise TypeError(f"unknown path expression {path!r}")
+
+
+def _satisfies(snapshot: Snapshot, obj: ObjectId, condition: Test) -> bool:
+    if isinstance(condition, NodeTest):
+        return snapshot.has_node(obj)
+    if isinstance(condition, EdgeTest):
+        return snapshot.has_edge(obj)
+    if isinstance(condition, LabelTest):
+        return snapshot.label(obj) == condition.label
+    if isinstance(condition, PropEq):
+        return snapshot.property_value(obj, condition.prop) == condition.value
+    if isinstance(condition, ExistsTest):
+        return snapshot.has_node(obj) or snapshot.has_edge(obj)
+    if isinstance(condition, TrueTest):
+        return True
+    if isinstance(condition, AndTest):
+        return all(_satisfies(snapshot, obj, part) for part in condition.parts)
+    if isinstance(condition, OrTest):
+        return any(_satisfies(snapshot, obj, part) for part in condition.parts)
+    if isinstance(condition, NotTest):
+        return not _satisfies(snapshot, obj, condition.inner)
+    raise UnsupportedFragmentError(f"test {condition!r} is not snapshot-evaluable")
+
+
+def snapshot_reducible_evaluation(
+    graph: TemporalPropertyGraph | IntervalTPG, path: PathExpr
+) -> frozenset[tuple[ObjectId, int, ObjectId, int]]:
+    """Union over snapshots of the non-temporal evaluation, lifted to temporal objects.
+
+    For a structural-only expression this must equal the temporal
+    semantics ``JpathK_G`` restricted to existing objects — the snapshot
+    reducibility property tested in ``tests/test_snapshot_reducibility.py``.
+    """
+    result: set[tuple[ObjectId, int, ObjectId, int]] = set()
+    for snapshot in snapshot_sequence(graph):
+        for a, b in snapshot_rpq(snapshot, path):
+            result.add((a, snapshot.time, b, snapshot.time))
+    return frozenset(result)

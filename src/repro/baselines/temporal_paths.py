@@ -1,0 +1,233 @@
+"""Minimum temporal path queries (Wu et al.), as a prior-work substrate.
+
+Section II of the paper situates TRPQs against "minimum temporal path"
+queries over temporal graphs in which edges carry a starting and an
+ending time: earliest-arrival, latest-departure, fastest and shortest
+paths.  These algorithms operate on *temporal journeys*: sequences of
+edge traversals whose times never move backwards.  This module implements
+the four variants by one-pass scans over the time-ordered edge stream
+(the algorithmic idea of Wu et al.), operating on an ITPG by interpreting
+each edge version as an edge available from the start to the end of its
+validity interval, with a traversal duration of one time unit.
+
+They are used by the travel-planning example (the scenario the paper
+uses to argue that T-GQL's "consecutive paths" are less expressive than
+TRPQs) and by the baseline benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Optional
+
+from repro.model.itpg import IntervalTPG
+
+ObjectId = Hashable
+
+
+@dataclass(frozen=True)
+class TemporalEdge:
+    """One traversable edge occurrence: available during [start, end], duration 1."""
+
+    edge_id: ObjectId
+    source: ObjectId
+    target: ObjectId
+    start: int
+    end: int
+
+    @property
+    def earliest_arrival(self) -> int:
+        """Arrival time when the edge is taken as early as possible."""
+        return self.start + 1
+
+    @property
+    def latest_departure(self) -> int:
+        return self.end
+
+
+@dataclass(frozen=True)
+class Journey:
+    """A temporal journey: edges taken at non-decreasing times."""
+
+    edges: tuple[TemporalEdge, ...]
+    departure: int
+    arrival: int
+
+    @property
+    def duration(self) -> int:
+        return self.arrival - self.departure
+
+    @property
+    def hops(self) -> int:
+        return len(self.edges)
+
+
+class TemporalPathFinder:
+    """Minimum temporal path queries over an ITPG."""
+
+    def __init__(self, graph: IntervalTPG, labels: Optional[Iterable[str]] = None) -> None:
+        self._graph = graph
+        wanted = set(labels) if labels is not None else None
+        self._edges: list[TemporalEdge] = []
+        for edge_id in graph.edges():
+            if wanted is not None and graph.label(edge_id) not in wanted:
+                continue
+            src, tgt = graph.endpoints(edge_id)
+            for interval in graph.existence(edge_id):
+                self._edges.append(
+                    TemporalEdge(edge_id, src, tgt, interval.start, interval.end)
+                )
+        self._edges.sort(key=lambda e: (e.start, e.end))
+
+    # ------------------------------------------------------------------ #
+    # The four minimum temporal path variants
+    # ------------------------------------------------------------------ #
+    def earliest_arrival(
+        self, source: ObjectId, target: ObjectId, depart_after: Optional[int] = None
+    ) -> Optional[Journey]:
+        """The journey reaching ``target`` as early as possible."""
+        depart_after = self._graph.domain.start if depart_after is None else depart_after
+        best_arrival: dict[ObjectId, int] = {source: depart_after}
+        parent: dict[ObjectId, TemporalEdge] = {}
+        for edge in self._edges:
+            ready = best_arrival.get(edge.source)
+            if ready is None:
+                continue
+            depart = max(ready, edge.start)
+            if depart > edge.end:
+                continue
+            arrival = depart + 1
+            if arrival < best_arrival.get(edge.target, math.inf):
+                best_arrival[edge.target] = arrival
+                parent[edge.target] = edge
+        if target not in best_arrival or target == source:
+            if target == source:
+                return Journey((), depart_after, depart_after)
+            return None
+        return self._reconstruct(source, target, parent, depart_after, best_arrival[target])
+
+    def latest_departure(
+        self, source: ObjectId, target: ObjectId, arrive_by: Optional[int] = None
+    ) -> Optional[Journey]:
+        """The journey leaving ``source`` as late as possible while arriving by ``arrive_by``."""
+        arrive_by = self._graph.domain.end if arrive_by is None else arrive_by
+        best_departure: dict[ObjectId, int] = {target: arrive_by}
+        parent: dict[ObjectId, TemporalEdge] = {}
+        for edge in sorted(self._edges, key=lambda e: (e.end, e.start), reverse=True):
+            needed = best_departure.get(edge.target)
+            if needed is None:
+                continue
+            depart = min(needed - 1, edge.end)
+            if depart < edge.start:
+                continue
+            if depart > best_departure.get(edge.source, -math.inf):
+                best_departure[edge.source] = depart
+                parent[edge.source] = edge
+        if source not in best_departure:
+            return None
+        departure = best_departure[source]
+        edges: list[TemporalEdge] = []
+        node = source
+        while node != target:
+            edge = parent[node]
+            edges.append(edge)
+            node = edge.target
+        arrival = edges[-1].end + 1 if edges else departure
+        return Journey(tuple(edges), departure, min(arrival, arrive_by))
+
+    def fastest(self, source: ObjectId, target: ObjectId) -> Optional[Journey]:
+        """The journey minimizing (arrival − departure)."""
+        best: Optional[Journey] = None
+        departures = sorted({edge.start for edge in self._edges if edge.source == source})
+        for depart in departures:
+            journey = self.earliest_arrival(source, target, depart_after=depart)
+            if journey is None or journey.hops == 0:
+                continue
+            anchored = Journey(journey.edges, max(depart, journey.edges[0].start), journey.arrival)
+            if best is None or anchored.duration < best.duration:
+                best = anchored
+        if best is None and source == target:
+            return Journey((), self._graph.domain.start, self._graph.domain.start)
+        return best
+
+    def shortest(self, source: ObjectId, target: ObjectId) -> Optional[Journey]:
+        """The journey minimizing the number of hops (breaking ties by arrival)."""
+        frontier: dict[ObjectId, tuple[int, int, tuple[TemporalEdge, ...]]] = {
+            source: (0, self._graph.domain.start, ())
+        }
+        best: Optional[Journey] = None
+        if source == target:
+            return Journey((), self._graph.domain.start, self._graph.domain.start)
+        changed = True
+        while changed:
+            changed = False
+            for edge in self._edges:
+                state = frontier.get(edge.source)
+                if state is None:
+                    continue
+                hops, ready, edges = state
+                depart = max(ready, edge.start)
+                if depart > edge.end:
+                    continue
+                arrival = depart + 1
+                candidate = (hops + 1, arrival, edges + (edge,))
+                current = frontier.get(edge.target)
+                if current is None or candidate[:2] < current[:2]:
+                    frontier[edge.target] = candidate
+                    changed = True
+        state = frontier.get(target)
+        if state is None:
+            return best
+        hops, arrival, edges = state
+        departure = edges[0].start if edges else arrival
+        return Journey(tuple(edges), departure, arrival)
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _reconstruct(
+        self,
+        source: ObjectId,
+        target: ObjectId,
+        parent: dict[ObjectId, TemporalEdge],
+        departure_hint: int,
+        arrival: int,
+    ) -> Journey:
+        edges: list[TemporalEdge] = []
+        node = target
+        while node != source:
+            edge = parent[node]
+            edges.append(edge)
+            node = edge.source
+        edges.reverse()
+        departure = max(departure_hint, edges[0].start) if edges else departure_hint
+        return Journey(tuple(edges), departure, arrival)
+
+
+def earliest_arrival_path(
+    graph: IntervalTPG, source: ObjectId, target: ObjectId, labels: Optional[Iterable[str]] = None
+) -> Optional[Journey]:
+    """Convenience wrapper: earliest-arrival journey between two nodes."""
+    return TemporalPathFinder(graph, labels).earliest_arrival(source, target)
+
+
+def latest_departure_path(
+    graph: IntervalTPG, source: ObjectId, target: ObjectId, labels: Optional[Iterable[str]] = None
+) -> Optional[Journey]:
+    """Convenience wrapper: latest-departure journey between two nodes."""
+    return TemporalPathFinder(graph, labels).latest_departure(source, target)
+
+
+def fastest_path(
+    graph: IntervalTPG, source: ObjectId, target: ObjectId, labels: Optional[Iterable[str]] = None
+) -> Optional[Journey]:
+    """Convenience wrapper: fastest journey between two nodes."""
+    return TemporalPathFinder(graph, labels).fastest(source, target)
+
+
+def shortest_temporal_path(
+    graph: IntervalTPG, source: ObjectId, target: ObjectId, labels: Optional[Iterable[str]] = None
+) -> Optional[Journey]:
+    """Convenience wrapper: fewest-hop journey between two nodes."""
+    return TemporalPathFinder(graph, labels).shortest(source, target)

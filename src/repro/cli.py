@@ -1,0 +1,164 @@
+"""Command-line interface for the TRPQ library.
+
+The CLI exposes the most common workflows without writing Python:
+
+* ``python -m repro generate`` — generate a synthetic contact-tracing
+  ITPG and save it as JSON;
+* ``python -m repro stats`` — print Table-I statistics of a saved graph;
+* ``python -m repro query`` — evaluate a MATCH clause over a saved graph
+  (or over the built-in Figure-1 running example) and print the binding
+  table;
+* ``python -m repro example`` — dump the Figure-1 running example as
+  JSON, as a starting point for experimentation.
+
+Every command reads/writes the JSON format of :mod:`repro.model.io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.datagen import ContactTracingConfig, TrajectoryConfig, generate_contact_tracing_graph
+from repro.dataflow import DataflowEngine, PAPER_QUERIES
+from repro.errors import ReproError
+from repro.eval import ReferenceEngine
+from repro.model import contact_tracing_example, graph_statistics
+from repro.model.io import load_json, save_json
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Temporal regular path queries over temporal property graphs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a synthetic contact-tracing graph")
+    generate.add_argument("--persons", type=int, default=200, help="number of Person nodes")
+    generate.add_argument("--locations", type=int, default=80, help="number of campus locations")
+    generate.add_argument("--rooms", type=int, default=20, help="number of Room nodes")
+    generate.add_argument("--windows", type=int, default=48, help="number of time windows")
+    generate.add_argument("--positivity", type=float, default=0.05, help="positivity rate (0..1)")
+    generate.add_argument("--seed", type=int, default=11, help="random seed")
+    generate.add_argument("--output", "-o", required=True, help="output JSON path")
+
+    stats = sub.add_parser("stats", help="print Table-I statistics of a graph")
+    stats.add_argument("graph", help="path to a graph JSON file")
+
+    query = sub.add_parser("query", help="evaluate a MATCH clause over a graph")
+    query.add_argument("match", help="a MATCH clause, or the name of a paper query (Q1..Q12)")
+    query.add_argument("--graph", help="path to a graph JSON file (default: Figure-1 example)")
+    query.add_argument(
+        "--engine",
+        choices=("dataflow", "reference"),
+        default="dataflow",
+        help="evaluation engine to use",
+    )
+    query.add_argument("--workers", type=int, default=1, help="dataflow worker threads")
+    query.add_argument("--limit", type=int, default=25, help="rows to print (0 = all)")
+    query.add_argument("--stats", action="store_true", help="print timing and output size")
+
+    example = sub.add_parser("example", help="write the Figure-1 running example as JSON")
+    example.add_argument("--output", "-o", required=True, help="output JSON path")
+
+    return parser
+
+
+def _load_graph(path: Optional[str]):
+    if path is None:
+        return contact_tracing_example()
+    return load_json(path)
+
+
+def _resolve_query(text: str) -> str:
+    if text in PAPER_QUERIES:
+        return PAPER_QUERIES[text].text
+    return text
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = ContactTracingConfig(
+        trajectory=TrajectoryConfig(
+            num_persons=args.persons,
+            num_locations=args.locations,
+            num_rooms=args.rooms,
+            num_windows=args.windows,
+            seed=args.seed,
+        ),
+        positivity_rate=args.positivity,
+        seed=args.seed,
+    )
+    graph = generate_contact_tracing_graph(config)
+    save_json(graph, args.output)
+    stats = graph_statistics(graph)
+    print(
+        f"wrote {args.output}: {stats.num_nodes} nodes, {stats.num_edges} edges, "
+        f"{stats.num_temporal_nodes} temporal nodes, {stats.num_temporal_edges} temporal edges"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = load_json(args.graph)
+    stats = graph_statistics(graph).as_row()
+    width = max(len(key) for key in stats)
+    for key, value in stats.items():
+        print(f"{key.ljust(width)}  {value}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    text = _resolve_query(args.match)
+    if args.engine == "dataflow":
+        engine = DataflowEngine(graph, workers=args.workers)
+        result = engine.match_with_stats(text)
+        table = result.table
+        if args.stats:
+            print(
+                f"# interval time {result.interval_seconds:.4f}s, "
+                f"total time {result.total_seconds:.4f}s, "
+                f"output size {result.output_size}"
+            )
+    else:
+        table = ReferenceEngine(graph).match(text)
+        if args.stats:
+            print(f"# output size {len(table)}")
+    limit = None if args.limit == 0 else args.limit
+    print(table.pretty(limit=limit))
+    return 0
+
+
+def _cmd_example(args: argparse.Namespace) -> int:
+    save_json(contact_tracing_example(), args.output)
+    print(f"wrote the Figure-1 running example to {args.output}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "stats": _cmd_stats,
+    "query": _cmd_query,
+    "example": _cmd_example,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``python -m repro`` (returns the process exit code)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,320 @@
+"""The dataflow engine: chain execution over interval-timestamped TPGs.
+
+:class:`DataflowEngine` compiles a MATCH clause into a chain of dataflow
+steps (:mod:`repro.dataflow.steps`) and pushes a frontier of partial
+matches through it:
+
+* **Step 1 / Step 2** (interval-based): structural moves, static tests
+  and temporal moves are all processed on the interval representation;
+  this phase is timed separately and reported as ``interval_seconds``
+  (the "interval-based time" column of Table II).
+* **Step 3** (point-based): the surviving frontier rows are expanded into
+  point-wise temporal bindings, enforcing the recorded temporal links;
+  the combined time is ``total_seconds`` ("total time" in Table II).
+
+The engine can partition the initial frontier across a thread pool
+(``workers > 1``), mirroring the paper's Rayon-based parallelism sweep.
+CPython's GIL prevents real speedups for this CPU-bound workload; the
+knob exists so the Figure-3 harness can measure and report the curve
+honestly.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence, Union as TypingUnion
+
+from repro.dataflow.frontier import Group, Row, TemporalLink, initial_row
+from repro.dataflow.steps import (
+    AltStep,
+    BindStep,
+    ChainStep,
+    StructStep,
+    TemporalStep,
+    TestStep,
+    chain_has_temporal_step,
+    compile_chain,
+    condition_times,
+)
+from repro.errors import EvaluationError
+from repro.eval.bindings import BindingTable
+from repro.lang.ast import AndTest, NodeTest, Test
+from repro.lang.parser import MatchQuery
+from repro.lang.translate import CompiledMatch, compile_match
+from repro.model.convert import tpg_to_itpg
+from repro.model.itpg import IntervalTPG
+from repro.model.tpg import TemporalPropertyGraph
+from repro.temporal.alignment import reachable_window
+from repro.temporal.intervalset import IntervalSet
+
+ObjectId = Hashable
+TemporalGraph = TypingUnion[TemporalPropertyGraph, IntervalTPG]
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Outcome of a dataflow evaluation, including the Table-II measurements."""
+
+    table: BindingTable
+    interval_seconds: float
+    total_seconds: float
+    output_size: int
+    frontier_rows: int
+
+    def as_table_row(self) -> dict[str, float | int]:
+        """The three columns the paper reports per query in Table II."""
+        return {
+            "interval-based time (s)": round(self.interval_seconds, 6),
+            "total time (s)": round(self.total_seconds, 6),
+            "output size": self.output_size,
+        }
+
+
+class DataflowEngine:
+    """Interval-based dataflow evaluation of MATCH queries (Section VI)."""
+
+    def __init__(self, graph: TemporalGraph, workers: int = 1) -> None:
+        if isinstance(graph, TemporalPropertyGraph):
+            graph = tpg_to_itpg(graph)
+        self._graph = graph
+        self._workers = max(1, int(workers))
+        self._domain_times = IntervalSet((graph.domain,))
+
+    @property
+    def graph(self) -> IntervalTPG:
+        return self._graph
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def match(self, query: TypingUnion[str, MatchQuery, CompiledMatch]) -> BindingTable:
+        """Evaluate a MATCH clause and return its point-based binding table."""
+        return self.match_with_stats(query).table
+
+    def match_with_stats(
+        self, query: TypingUnion[str, MatchQuery, CompiledMatch]
+    ) -> MatchResult:
+        """Evaluate a MATCH clause and return the table plus timing breakdown."""
+        compiled = query if isinstance(query, CompiledMatch) else compile_match(query)
+        chain = self._compile(compiled)
+
+        start = time.perf_counter()
+        frontier = self._run_chain(chain)
+        interval_seconds = time.perf_counter() - start
+
+        rows = self._materialize(frontier, compiled.variables)
+        table = BindingTable.build(compiled.variables, rows)
+        total_seconds = time.perf_counter() - start
+        return MatchResult(
+            table=table,
+            interval_seconds=interval_seconds,
+            total_seconds=total_seconds,
+            output_size=len(table),
+            frontier_rows=len(frontier),
+        )
+
+    def match_intervals(
+        self, query: TypingUnion[str, MatchQuery, CompiledMatch]
+    ) -> list[tuple[tuple[tuple[str, ObjectId], ...], IntervalSet]]:
+        """Coalesced (interval) output for queries without temporal navigation.
+
+        Returns one entry per frontier row: the variable bindings and the
+        shared validity interval set.  Raises :class:`EvaluationError` if
+        the query navigates through time (its output cannot be coalesced,
+        as discussed in Section VI).
+        """
+        compiled = query if isinstance(query, CompiledMatch) else compile_match(query)
+        chain = self._compile(compiled)
+        if chain_has_temporal_step(chain):
+            raise EvaluationError(
+                "interval (coalesced) output is only defined for queries without "
+                "temporal navigation"
+            )
+        frontier = self._run_chain(chain)
+        out = []
+        for row in frontier:
+            positions = row.variable_positions()
+            bindings = tuple(
+                (variable, positions[variable][1]) for variable in compiled.variables
+            )
+            out.append((bindings, row.last.times))
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Chain compilation
+    # ------------------------------------------------------------------ #
+    def _compile(self, compiled: CompiledMatch) -> tuple[ChainStep, ...]:
+        steps: list[ChainStep] = []
+        for segment in compiled.segments:
+            steps.extend(compile_chain(segment.path))
+            if segment.variable:
+                steps.append(BindStep(segment.variable))
+        return tuple(steps)
+
+    # ------------------------------------------------------------------ #
+    # Steps 1 & 2: interval-based frontier processing
+    # ------------------------------------------------------------------ #
+    def _run_chain(self, chain: tuple[ChainStep, ...]) -> list[Row]:
+        seeds = self._initial_frontier(chain)
+        if self._workers == 1 or len(seeds) < 2 * self._workers:
+            return self._run_chain_on(seeds, chain)
+        chunks = _split(seeds, self._workers)
+        results: list[Row] = []
+        with ThreadPoolExecutor(max_workers=self._workers) as pool:
+            futures = [pool.submit(self._run_chain_on, chunk, chain) for chunk in chunks]
+            for future in futures:
+                results.extend(future.result())
+        return results
+
+    def _initial_frontier(self, chain: tuple[ChainStep, ...]) -> list[Row]:
+        objects: Iterable[ObjectId]
+        if chain and isinstance(chain[0], TestStep) and _requires_node(chain[0].condition):
+            objects = self._graph.nodes()
+        else:
+            objects = self._graph.objects()
+        return [initial_row(obj, self._domain_times) for obj in objects]
+
+    def _run_chain_on(self, frontier: list[Row], chain: Sequence[ChainStep]) -> list[Row]:
+        current = frontier
+        for step in chain:
+            if not current:
+                break
+            current = self._apply_step(current, step)
+        return current
+
+    def _apply_step(self, frontier: list[Row], step: ChainStep) -> list[Row]:
+        if isinstance(step, TestStep):
+            return self._apply_test(frontier, step.condition)
+        if isinstance(step, StructStep):
+            return self._apply_struct(frontier, step.forward)
+        if isinstance(step, TemporalStep):
+            return self._apply_temporal(frontier, step)
+        if isinstance(step, BindStep):
+            return [row.replace_last(row.last.bind(step.variable)) for row in frontier]
+        if isinstance(step, AltStep):
+            out: list[Row] = []
+            for alternative in step.alternatives:
+                out.extend(self._run_chain_on(list(frontier), alternative))
+            return out
+        raise TypeError(f"unknown chain step {step!r}")
+
+    def _apply_test(self, frontier: list[Row], condition: Test) -> list[Row]:
+        graph = self._graph
+        out: list[Row] = []
+        for row in frontier:
+            group = row.last
+            times = group.times.intersect(condition_times(graph, group.current, condition))
+            if times.is_empty():
+                continue
+            out.append(row.replace_last(group.with_times(times)))
+        return out
+
+    def _apply_struct(self, frontier: list[Row], forward: bool) -> list[Row]:
+        graph = self._graph
+        out: list[Row] = []
+        for row in frontier:
+            group = row.last
+            current = group.current
+            if graph.is_node(current):
+                edges = graph.out_edges(current) if forward else graph.in_edges(current)
+                for edge in edges:
+                    out.append(row.replace_last(group.with_current(edge, group.times)))
+            else:
+                successor = graph.target(current) if forward else graph.source(current)
+                out.append(row.replace_last(group.with_current(successor, group.times)))
+        return out
+
+    def _apply_temporal(self, frontier: list[Row], step: TemporalStep) -> list[Row]:
+        graph = self._graph
+        domain = graph.domain
+        out: list[Row] = []
+        for row in frontier:
+            group = row.last
+            existence = graph.existence(group.current)
+            targets: list[IntervalSet] = []
+            for anchor in group.times:
+                for _anchor_piece, window in reachable_window(
+                    anchor,
+                    existence,
+                    step.lower,
+                    step.upper,
+                    step.forward,
+                    step.require_existence,
+                    domain,
+                ):
+                    targets.append(IntervalSet((window,)))
+            if not targets:
+                continue
+            reachable = IntervalSet.empty()
+            for family in targets:
+                reachable = reachable.union(family)
+            link = TemporalLink(
+                obj=group.current,
+                forward=step.forward,
+                lower=step.lower,
+                upper=step.upper,
+                contiguous=step.require_existence,
+            )
+            new_group = Group((), group.current, reachable)
+            out.append(row.append_group(new_group, link))
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Step 3: point-wise materialization
+    # ------------------------------------------------------------------ #
+    def _materialize(self, frontier: list[Row], variables: tuple[str, ...]) -> list[tuple]:
+        if self._workers == 1 or len(frontier) < 2 * self._workers:
+            return self._materialize_rows(frontier, variables)
+        chunks = _split(frontier, self._workers)
+        out: list[tuple] = []
+        with ThreadPoolExecutor(max_workers=self._workers) as pool:
+            futures = [
+                pool.submit(self._materialize_rows, chunk, variables) for chunk in chunks
+            ]
+            for future in futures:
+                out.extend(future.result())
+        return out
+
+    def _materialize_rows(
+        self, frontier: list[Row], variables: tuple[str, ...]
+    ) -> list[tuple]:
+        graph = self._graph
+        out: list[tuple] = []
+        for row in frontier:
+            positions = row.variable_positions()
+            missing = [v for v in variables if v not in positions]
+            if missing:
+                raise EvaluationError(f"variables {missing} were never bound")
+            for times in row.enumerate_times(graph):
+                out.append(
+                    tuple(
+                        (positions[v][1], times[positions[v][0]]) for v in variables
+                    )
+                )
+        return out
+
+
+# ------------------------------------------------------------------ #
+# Helpers
+# ------------------------------------------------------------------ #
+def _requires_node(condition: Test) -> bool:
+    """True if the condition conjunctively requires the object to be a node."""
+    if isinstance(condition, NodeTest):
+        return True
+    if isinstance(condition, AndTest):
+        return any(_requires_node(part) for part in condition.parts)
+    return False
+
+
+def _split(items: list, parts: int) -> list[list]:
+    """Split a list into at most ``parts`` contiguous chunks of similar size."""
+    if parts <= 1 or len(items) <= 1:
+        return [items]
+    size = (len(items) + parts - 1) // parts
+    return [items[i : i + size] for i in range(0, len(items), size)]

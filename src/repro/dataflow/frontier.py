@@ -1,0 +1,128 @@
+"""Frontier rows for the dataflow chain evaluator.
+
+A frontier row tracks one partial match while a chain is processed left
+to right.  It consists of *groups*: maximal stretches of the match during
+which no temporal navigation occurred.  All variables bound within a
+group are valid simultaneously, so a single set of candidate time
+intervals per group suffices (Step 1/2 of the paper's evaluation).  Each
+temporal-navigation step closes the current group and opens a new one on
+the same object; the relationship between the two groups' time points is
+recorded as a :class:`TemporalLink` and enforced when the row is
+materialized into point-based bindings (Step 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterator, Optional
+
+from repro.model.itpg import IntervalTPG
+from repro.temporal.intervalset import IntervalSet
+
+ObjectId = Hashable
+
+
+@dataclass(frozen=True)
+class Group:
+    """Bindings sharing a single (still interval-valued) matching time."""
+
+    bindings: tuple[tuple[str, ObjectId], ...]
+    current: ObjectId
+    times: IntervalSet
+
+    def bind(self, variable: str) -> "Group":
+        return Group(self.bindings + ((variable, self.current),), self.current, self.times)
+
+    def with_current(self, obj: ObjectId, times: IntervalSet) -> "Group":
+        return Group(self.bindings, obj, times)
+
+    def with_times(self, times: IntervalSet) -> "Group":
+        return Group(self.bindings, self.current, times)
+
+
+@dataclass(frozen=True)
+class TemporalLink:
+    """Constraint between the times of two adjacent groups.
+
+    The link is carried by the object ``obj`` (temporal navigation never
+    changes the object).  If ``t`` is the time of the earlier group and
+    ``t'`` the time of the later group then the constraint is
+    ``lower <= delta <= upper`` with ``delta = t' - t`` when ``forward``
+    and ``delta = t - t'`` otherwise; ``upper`` ``None`` means unbounded.
+    When ``contiguous`` is set, every time point between ``t`` and ``t'``
+    must belong to the existence of ``obj``.
+    """
+
+    obj: ObjectId
+    forward: bool
+    lower: int
+    upper: Optional[int]
+    contiguous: bool
+
+    def admits(self, graph: IntervalTPG, t_from: int, t_to: int) -> bool:
+        """Point-level check used during materialization."""
+        delta = (t_to - t_from) if self.forward else (t_from - t_to)
+        if delta < self.lower:
+            return False
+        if self.upper is not None and delta > self.upper:
+            return False
+        if self.contiguous and delta > 0:
+            run = graph.existence(self.obj).interval_containing(t_from)
+            if run is None or t_to not in run:
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class Row:
+    """One partial match: a sequence of groups joined by temporal links."""
+
+    groups: tuple[Group, ...]
+    links: tuple[TemporalLink, ...]
+
+    @property
+    def last(self) -> Group:
+        return self.groups[-1]
+
+    def replace_last(self, group: Group) -> "Row":
+        return Row(self.groups[:-1] + (group,), self.links)
+
+    def append_group(self, group: Group, link: TemporalLink) -> "Row":
+        return Row(self.groups + (group,), self.links + (link,))
+
+    def is_alive(self) -> bool:
+        """A row stays in the frontier only while its last group has candidate times."""
+        return not self.last.times.is_empty()
+
+    def variable_positions(self) -> dict[str, tuple[int, ObjectId]]:
+        """Map each bound variable to its group index and bound object."""
+        positions: dict[str, tuple[int, ObjectId]] = {}
+        for index, group in enumerate(self.groups):
+            for variable, obj in group.bindings:
+                positions[variable] = (index, obj)
+        return positions
+
+    def enumerate_times(self, graph: IntervalTPG) -> Iterator[tuple[int, ...]]:
+        """Enumerate the group-time assignments consistent with every link.
+
+        This is the point-wise expansion of Step 3: each yielded tuple
+        assigns one time point per group.
+        """
+        yield from self._enumerate(graph, 0, ())
+
+    def _enumerate(
+        self, graph: IntervalTPG, index: int, prefix: tuple[int, ...]
+    ) -> Iterator[tuple[int, ...]]:
+        if index == len(self.groups):
+            yield prefix
+            return
+        group = self.groups[index]
+        for t in group.times.points():
+            if index > 0 and not self.links[index - 1].admits(graph, prefix[-1], t):
+                continue
+            yield from self._enumerate(graph, index + 1, prefix + (t,))
+
+
+def initial_row(obj: ObjectId, domain_times: IntervalSet) -> Row:
+    """A fresh frontier row anchored at ``obj`` with the full temporal domain."""
+    return Row((Group((), obj, domain_times),), ())

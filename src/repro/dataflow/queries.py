@@ -1,0 +1,155 @@
+"""The canonical queries Q1–Q12 of Section IV.
+
+Each entry records the MATCH text exactly as the paper presents it (up to
+whitespace), a short description, and metadata used by the benchmark
+harnesses: whether the query uses temporal navigation (Table II separates
+interval-only queries Q1–Q5 from Q6–Q12) and whether it selects on the
+``test = 'pos'`` property (those are the queries swept in the
+positivity-rate experiment, Figure 5).
+
+Q10–Q12 contain a bounded temporal-navigation operator; the Figure-4
+experiment varies its upper bound ``m``, so those entries are exposed as
+templates parameterized by ``m`` via :func:`get_query`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperQuery:
+    """One of the paper's numbered queries."""
+
+    name: str
+    text: str
+    description: str
+    uses_temporal_navigation: bool
+    uses_positivity: bool
+    temporal_bound: int | None = None
+
+    def with_bound(self, bound: int) -> "PaperQuery":
+        """Instantiate the temporal-navigation bound (Figure 4 sweep)."""
+        if self.temporal_bound is None:
+            raise ValueError(f"{self.name} has no temporal-navigation bound to vary")
+        return PaperQuery(
+            name=self.name,
+            text=self.text.replace(f"[0,{self.temporal_bound}]", f"[0,{bound}]"),
+            description=self.description,
+            uses_temporal_navigation=self.uses_temporal_navigation,
+            uses_positivity=self.uses_positivity,
+            temporal_bound=bound,
+        )
+
+
+PAPER_QUERIES: dict[str, PaperQuery] = {
+    "Q1": PaperQuery(
+        "Q1",
+        "MATCH (x:Person) ON contact_tracing",
+        "all people, at every time point they exist",
+        uses_temporal_navigation=False,
+        uses_positivity=False,
+    ),
+    "Q2": PaperQuery(
+        "Q2",
+        "MATCH (x:Person {risk = 'low'}) ON contact_tracing",
+        "low-risk people",
+        uses_temporal_navigation=False,
+        uses_positivity=False,
+    ),
+    "Q3": PaperQuery(
+        "Q3",
+        "MATCH (x:Person {risk = 'low' AND time = '1'}) ON contact_tracing",
+        "low-risk people at time point 1",
+        uses_temporal_navigation=False,
+        uses_positivity=False,
+    ),
+    "Q4": PaperQuery(
+        "Q4",
+        "MATCH (x:Person {risk = 'low' AND time < '10'}) ON contact_tracing",
+        "low-risk people before time 10",
+        uses_temporal_navigation=False,
+        uses_positivity=False,
+    ),
+    "Q5": PaperQuery(
+        "Q5",
+        "MATCH (x:Person {risk = 'low'})-[z:meets]->(y:Person {risk = 'high'}) "
+        "ON contact_tracing",
+        "low-risk people meeting high-risk people, with the meeting edge",
+        uses_temporal_navigation=False,
+        uses_positivity=False,
+    ),
+    "Q6": PaperQuery(
+        "Q6",
+        "MATCH (x:Person {test = 'pos'})-/PREV/-(y:Person) ON contact_tracing",
+        "people who tested positive, one time point before the test",
+        uses_temporal_navigation=True,
+        uses_positivity=True,
+    ),
+    "Q7": PaperQuery(
+        "Q7",
+        "MATCH (x:Person {test = 'pos'})-/PREV/FWD/:visits/FWD/-(z:Room) "
+        "ON contact_tracing",
+        "room visited immediately before a positive test",
+        uses_temporal_navigation=True,
+        uses_positivity=True,
+    ),
+    "Q8": PaperQuery(
+        "Q8",
+        "MATCH (x:Person {test = 'pos'})-/PREV*/FWD/:visits/FWD/-(z:Room) "
+        "ON contact_tracing",
+        "rooms visited at or before the time of a positive test",
+        uses_temporal_navigation=True,
+        uses_positivity=True,
+    ),
+    "Q9": PaperQuery(
+        "Q9",
+        "MATCH (x:Person {risk = 'high'})-/FWD/:meets/FWD/NEXT*/-({test = 'pos'}) "
+        "ON contact_tracing",
+        "high-risk people who met someone who subsequently tested positive",
+        uses_temporal_navigation=True,
+        uses_positivity=True,
+    ),
+    "Q10": PaperQuery(
+        "Q10",
+        "MATCH (x:Person {risk = 'high'})-/FWD/:meets/FWD/PREV[0,12]/-({test = 'pos'}) "
+        "ON contact_tracing",
+        "high-risk people who met someone who tested positive up to an hour before",
+        uses_temporal_navigation=True,
+        uses_positivity=True,
+        temporal_bound=12,
+    ),
+    "Q11": PaperQuery(
+        "Q11",
+        "MATCH (x:Person {risk = 'high'})-"
+        "/FWD/:visits/FWD/:Room/BWD/:visits/BWD/NEXT[0,12]/-({test = 'pos'}) "
+        "ON contact_tracing",
+        "high-risk people sharing a room with someone who tested positive soon after",
+        uses_temporal_navigation=True,
+        uses_positivity=True,
+        temporal_bound=12,
+    ),
+    "Q12": PaperQuery(
+        "Q12",
+        "MATCH (x:Person {risk = 'high'})-"
+        "/(FWD/:meets/FWD + FWD/:visits/FWD/:Room/BWD/:visits/BWD)/NEXT[0,12]/-"
+        "({test = 'pos'}) ON contact_tracing",
+        "close contact via a meeting or a shared room, followed by a positive test",
+        uses_temporal_navigation=True,
+        uses_positivity=True,
+        temporal_bound=12,
+    ),
+}
+
+
+def get_query(name: str, temporal_bound: int | None = None) -> PaperQuery:
+    """Look up a paper query by name, optionally overriding its temporal bound."""
+    query = PAPER_QUERIES[name]
+    if temporal_bound is not None:
+        query = query.with_bound(temporal_bound)
+    return query
+
+
+def query_names() -> list[str]:
+    """The query names in the paper's order."""
+    return list(PAPER_QUERIES)

@@ -1,0 +1,183 @@
+"""Contact-tracing graph construction from synthetic trajectories.
+
+This mirrors Section VII-A of the paper:
+
+* every tracked individual becomes a ``Person`` node whose periods of
+  validity are the union of their room visits (plus their co-location
+  contacts);
+* the most frequently visited locations become ``Room`` nodes whose
+  validity spans first entrance to last exit;
+* every stay in a room adds a ``visits`` edge person → room;
+* co-location at a non-room location adds a bi-directional ``meets``
+  relationship (stored as two directed edges, one per direction);
+* 18% of the persons are marked high-risk for their whole lifespan
+  (the share of the population aged 65+);
+* a configurable share of persons receives a positive test at a time
+  drawn uniformly from the temporal domain and stays positive for the
+  rest of their lifespan (the positivity-rate knob of Figure 5).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.datagen.trajectory import TrajectoryConfig, TrajectorySimulator, VisitRecord, co_location_contacts
+from repro.model.itpg import IntervalTPG
+from repro.temporal.interval import Interval
+from repro.temporal.intervalset import IntervalSet
+
+
+@dataclass
+class ContactTracingConfig:
+    """Configuration of the contact-tracing graph generator."""
+
+    trajectory: TrajectoryConfig = field(default_factory=TrajectoryConfig)
+    high_risk_share: float = 0.18
+    positivity_rate: float = 0.05
+    seed: int = 11
+
+    def with_positivity(self, rate: float) -> "ContactTracingConfig":
+        """Copy of the configuration with a different positivity rate."""
+        return ContactTracingConfig(
+            trajectory=self.trajectory,
+            high_risk_share=self.high_risk_share,
+            positivity_rate=rate,
+            seed=self.seed,
+        )
+
+
+def generate_contact_tracing_graph(config: ContactTracingConfig | None = None) -> IntervalTPG:
+    """Generate a contact-tracing ITPG according to ``config``."""
+    config = config or ContactTracingConfig()
+    trajectory_cfg = config.trajectory
+    rng = random.Random(config.seed)
+
+    simulator = TrajectorySimulator(trajectory_cfg)
+    visits = simulator.generate()
+    domain = Interval(0, trajectory_cfg.num_windows - 1)
+    graph = IntervalTPG(domain)
+
+    room_ids = _select_rooms(visits, trajectory_cfg.num_rooms)
+    room_visits = [v for v in visits if v.location in room_ids]
+    other_visits = [v for v in visits if v.location not in room_ids]
+
+    person_presence = _presence_by_person(visits)
+    risk = _assign_risk(sorted(person_presence), config.high_risk_share, rng)
+    positives = _assign_positivity(person_presence, config.positivity_rate, rng)
+
+    # ----------------------------- Person nodes ----------------------------- #
+    for person, presence in sorted(person_presence.items()):
+        node_id = f"p{person}"
+        graph.add_node(node_id, "Person", presence)
+        for interval in presence:
+            graph.set_property(node_id, "name", f"person_{person}", interval.start, interval.end)
+            graph.set_property(node_id, "risk", risk[person], interval.start, interval.end)
+        positive_from = positives.get(person)
+        if positive_from is not None:
+            for interval in presence.intersect_interval(Interval(positive_from, domain.end)):
+                graph.set_property(node_id, "test", "pos", interval.start, interval.end)
+
+    # ----------------------------- Room nodes ----------------------------- #
+    room_spans = _room_spans(room_visits)
+    for room, span in sorted(room_spans.items()):
+        node_id = f"r{room}"
+        graph.add_node(node_id, "Room", IntervalSet((span,)))
+        graph.set_property(node_id, "num", room, span.start, span.end)
+        graph.set_property(node_id, "bldg", f"B{room % 7}", span.start, span.end)
+
+    # ----------------------------- visits edges ----------------------------- #
+    for index, visit in enumerate(room_visits):
+        edge_id = f"v{index}"
+        person_id = f"p{visit.person}"
+        room_id = f"r{visit.location}"
+        interval = Interval(visit.start, visit.end)
+        graph.add_edge(edge_id, "visits", person_id, room_id, IntervalSet((interval,)))
+
+    # ----------------------------- meets edges ----------------------------- #
+    meet_index = 0
+    for a, b, location, start, end in co_location_contacts(other_visits):
+        interval = IntervalSet(((start, end),))
+        loc_name = f"loc_{location}"
+        forward_id = f"m{meet_index}"
+        backward_id = f"m{meet_index}_rev"
+        meet_index += 1
+        graph.add_edge(forward_id, "meets", f"p{a}", f"p{b}", interval)
+        graph.set_property(forward_id, "loc", loc_name, start, end)
+        graph.add_edge(backward_id, "meets", f"p{b}", f"p{a}", interval)
+        graph.set_property(backward_id, "loc", loc_name, start, end)
+
+    graph.validate()
+    return graph
+
+
+# --------------------------------------------------------------------- #
+# Helpers
+# --------------------------------------------------------------------- #
+def _select_rooms(visits: list[VisitRecord], num_rooms: int) -> set[int]:
+    """The ``num_rooms`` most frequently visited locations become Room nodes."""
+    counts: dict[int, int] = defaultdict(int)
+    for visit in visits:
+        counts[visit.location] += 1
+    ranked = sorted(counts, key=lambda loc: (-counts[loc], loc))
+    return set(ranked[:num_rooms])
+
+
+def _presence_by_person(visits: list[VisitRecord]) -> dict[int, IntervalSet]:
+    """Each person exists during the coalesced union of their stays.
+
+    This mirrors the paper's construction, where a Person node's periods
+    of validity correspond to their location visits: a person with
+    several separated stays becomes several temporal node versions, which
+    is what drives the "# temp. nodes" column of Table I above the
+    "# nodes" column.  Every ``visits``/``meets`` edge is derived from a
+    stay, so edge validity is always contained in both endpoints'
+    presence (the ITPG integrity condition).
+    """
+    spans: dict[int, list[VisitRecord]] = defaultdict(list)
+    for visit in visits:
+        spans[visit.person].append(visit)
+    presence: dict[int, IntervalSet] = {}
+    for person, stays in spans.items():
+        presence[person] = IntervalSet(
+            Interval(v.start, v.end) for v in stays
+        )
+    return presence
+
+
+def _assign_risk(persons: list[int], share: float, rng: random.Random) -> dict[int, str]:
+    num_high = int(round(len(persons) * share))
+    high = set(rng.sample(persons, num_high)) if num_high else set()
+    return {p: ("high" if p in high else "low") for p in persons}
+
+
+def _assign_positivity(
+    presence: dict[int, IntervalSet], rate: float, rng: random.Random
+) -> dict[int, int]:
+    """Persons testing positive, mapped to the window of their positive test.
+
+    The test time is drawn uniformly from the person's own periods of
+    validity, so that every selected person actually carries the
+    ``test = 'pos'`` property in the graph (the paper keeps selected
+    nodes positive for the remainder of their lifespan).
+    """
+    persons = sorted(presence)
+    num_positive = int(round(len(persons) * rate))
+    chosen = rng.sample(persons, num_positive) if num_positive else []
+    times: dict[int, int] = {}
+    for person in chosen:
+        points = list(presence[person].points())
+        times[person] = rng.choice(points)
+    return times
+
+
+def _room_spans(room_visits: list[VisitRecord]) -> dict[int, Interval]:
+    spans: dict[int, Interval] = {}
+    for visit in room_visits:
+        current = spans.get(visit.location)
+        if current is None:
+            spans[visit.location] = Interval(visit.start, visit.end)
+        else:
+            spans[visit.location] = current.hull(Interval(visit.start, visit.end))
+    return spans

@@ -1,0 +1,139 @@
+"""Random temporal graphs and random expressions for property-based tests.
+
+These generators produce *small* instances (a handful of nodes, a short
+temporal domain) on which the reference bottom-up engine is fast, so the
+test suite can cross-check every engine against it on many random cases.
+They are deterministic given a seed, which keeps hypothesis shrinking and
+failure reproduction stable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.lang import ast
+from repro.lang.ast import PathExpr
+from repro.model.itpg import IntervalTPG
+from repro.temporal.interval import Interval
+from repro.temporal.intervalset import IntervalSet
+
+_LABELS = ("Person", "Room", "Device")
+_EDGE_LABELS = ("knows", "visits", "meets")
+_PROPS = ("risk", "color")
+_VALUES = ("low", "high", "red", "blue")
+
+
+def random_itpg(
+    seed: int,
+    num_nodes: int = 5,
+    num_edges: int = 7,
+    num_windows: int = 8,
+) -> IntervalTPG:
+    """A small random ITPG with random existence intervals and properties."""
+    rng = random.Random(seed)
+    domain = Interval(0, num_windows - 1)
+    graph = IntervalTPG(domain)
+    node_ids = [f"n{i}" for i in range(num_nodes)]
+    for node_id in node_ids:
+        existence = _random_intervalset(rng, domain)
+        graph.add_node(node_id, rng.choice(_LABELS), existence)
+        for interval in existence:
+            if rng.random() < 0.7:
+                graph.set_property(
+                    node_id, rng.choice(_PROPS), rng.choice(_VALUES), interval.start, interval.end
+                )
+    edge_count = 0
+    attempts = 0
+    while edge_count < num_edges and attempts < num_edges * 10:
+        attempts += 1
+        src = rng.choice(node_ids)
+        tgt = rng.choice(node_ids)
+        shared = graph.existence(src).intersect(graph.existence(tgt))
+        if shared.is_empty():
+            continue
+        pieces = [iv for iv in shared]
+        interval = rng.choice(pieces)
+        if len(interval) > 1 and rng.random() < 0.5:
+            start = rng.randint(interval.start, interval.end)
+            end = rng.randint(start, interval.end)
+            interval = Interval(start, end)
+        edge_id = f"e{edge_count}"
+        graph.add_edge(edge_id, rng.choice(_EDGE_LABELS), src, tgt, IntervalSet((interval,)))
+        if rng.random() < 0.5:
+            graph.set_property(
+                edge_id, "loc", rng.choice(("cafe", "park")), interval.start, interval.end
+            )
+        edge_count += 1
+    graph.validate()
+    return graph
+
+
+def _random_intervalset(rng: random.Random, domain: Interval) -> IntervalSet:
+    pieces = []
+    for _ in range(rng.randint(1, 2)):
+        start = rng.randint(domain.start, domain.end)
+        end = min(domain.end, start + rng.randint(0, len(domain) // 2))
+        pieces.append(Interval(start, end))
+    return IntervalSet(pieces)
+
+
+def random_path_expression(
+    seed: int,
+    max_depth: int = 3,
+    allow_occurrence_indicators: bool = True,
+    allow_path_conditions: bool = False,
+) -> PathExpr:
+    """A random NavL expression of bounded depth.
+
+    The distribution favours expressions that actually traverse the graph
+    (axes and concatenations) so that random cross-checks exercise more
+    than empty relations.
+    """
+    rng = random.Random(seed)
+    return _random_path(rng, max_depth, allow_occurrence_indicators, allow_path_conditions)
+
+
+def _random_path(
+    rng: random.Random,
+    depth: int,
+    allow_noi: bool,
+    allow_pc: bool,
+) -> PathExpr:
+    if depth <= 0:
+        return _random_leaf(rng, allow_pc)
+    choice = rng.random()
+    if choice < 0.35:
+        return ast.concat(
+            _random_path(rng, depth - 1, allow_noi, allow_pc),
+            _random_path(rng, depth - 1, allow_noi, allow_pc),
+        )
+    if choice < 0.5:
+        return ast.union(
+            _random_path(rng, depth - 1, allow_noi, allow_pc),
+            _random_path(rng, depth - 1, allow_noi, allow_pc),
+        )
+    if choice < 0.65 and allow_noi:
+        lower = rng.randint(0, 2)
+        upper: Optional[int] = lower + rng.randint(0, 3)
+        if rng.random() < 0.25:
+            upper = None
+        return ast.repeat(_random_path(rng, depth - 1, allow_noi, allow_pc), lower, upper)
+    return _random_leaf(rng, allow_pc)
+
+
+def _random_leaf(rng: random.Random, allow_pc: bool) -> PathExpr:
+    choice = rng.random()
+    if choice < 0.4:
+        return rng.choice((ast.F, ast.B, ast.N, ast.P))
+    if choice < 0.55:
+        return ast.test(ast.exists())
+    if choice < 0.65:
+        return ast.test(ast.label(rng.choice(_LABELS + _EDGE_LABELS)))
+    if choice < 0.75:
+        return ast.test(ast.prop_eq(rng.choice(_PROPS), rng.choice(_VALUES)))
+    if choice < 0.85:
+        return ast.test(rng.choice((ast.is_node(), ast.is_edge())))
+    if choice < 0.95 or not allow_pc:
+        return ast.test(ast.time_lt(rng.randint(1, 8)))
+    return ast.test(ast.path_test(ast.concat(ast.F, ast.test(ast.exists()))))

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the TRPQ reproduction library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch library failures with a single ``except`` clause
+while still distinguishing the specific failure modes below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class InvalidIntervalError(ReproError, ValueError):
+    """An interval or interval family violates its invariants."""
+
+
+class GraphIntegrityError(ReproError, ValueError):
+    """A temporal property graph violates the conditions of Definition III.1 / A.1."""
+
+
+class UnknownObjectError(ReproError, KeyError):
+    """A node or edge identifier is not present in the graph."""
+
+
+class QuerySyntaxError(ReproError, ValueError):
+    """A practical-syntax path expression or MATCH clause could not be parsed."""
+
+
+class QueryTranslationError(ReproError, ValueError):
+    """A practical-syntax construct could not be translated to NavL[PC,NOI]."""
+
+
+class UnsupportedFragmentError(ReproError, ValueError):
+    """A query uses operators outside the fragment supported by an engine."""
+
+
+class EvaluationError(ReproError, RuntimeError):
+    """An evaluation engine failed while processing a well-formed query."""

@@ -1,0 +1,33 @@
+"""Reference evaluation engines for NavL[PC,NOI].
+
+* :mod:`repro.eval.relation` — temporal relations (sets of
+  ``(o, t, o', t')`` tuples) with composition, union and bounded/unbounded
+  repetition by squaring (Algorithms 1–2 of the paper).
+* :mod:`repro.eval.bottom_up` — the polynomial-time bottom-up evaluation
+  over point-based TPGs (Theorem C.1).
+* :mod:`repro.eval.bindings` — temporal binding tables, the result format
+  of MATCH evaluation (Section IV).
+* :mod:`repro.eval.engine` — the :class:`ReferenceEngine` facade:
+  ``evaluate_path`` and ``match`` over TPGs or ITPGs.
+* :mod:`repro.eval.tuple_pc` / :mod:`repro.eval.tuple_pspace` /
+  :mod:`repro.eval.tuple_anoi` — the tuple-membership checkers of
+  Appendix C/D (Algorithms 3–7) operating directly on ITPGs.
+"""
+
+from repro.eval.bindings import BindingTable
+from repro.eval.relation import TemporalRelation
+from repro.eval.bottom_up import evaluate_path
+from repro.eval.engine import ReferenceEngine
+from repro.eval.tuple_pc import check_pc
+from repro.eval.tuple_pspace import check_full
+from repro.eval.tuple_anoi import check_anoi
+
+__all__ = [
+    "BindingTable",
+    "TemporalRelation",
+    "evaluate_path",
+    "ReferenceEngine",
+    "check_pc",
+    "check_full",
+    "check_anoi",
+]

@@ -1,0 +1,166 @@
+"""Temporal binding tables: the result format of MATCH evaluation.
+
+A binding table has one column pair per variable: the object bound to
+the variable and the time point at which it is bound (the ``x`` /
+``x_time`` columns of Section IV).  Rows are deduplicated and kept in a
+canonical sorted order so tables can be compared directly in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+
+from repro.temporal.coalesce import coalesce_point_rows
+from repro.temporal.interval import Interval
+
+ObjectId = Hashable
+Binding = tuple[ObjectId, int]
+Row = tuple[Binding, ...]
+
+
+@dataclass(frozen=True)
+class BindingTable:
+    """An immutable table of temporal bindings.
+
+    Attributes
+    ----------
+    variables:
+        Column (variable) names in binding order.
+    rows:
+        Sorted, deduplicated rows; each row has one ``(object, time)``
+        pair per variable.
+    """
+
+    variables: tuple[str, ...]
+    rows: tuple[Row, ...]
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def build(variables: Sequence[str], rows: Iterable[Row]) -> "BindingTable":
+        """Normalize (dedupe + sort) and wrap a set of rows."""
+        unique = {tuple(row) for row in rows}
+        ordered = tuple(sorted(unique, key=_row_sort_key))
+        return BindingTable(tuple(variables), ordered)
+
+    @staticmethod
+    def empty(variables: Sequence[str]) -> "BindingTable":
+        return BindingTable(tuple(variables), ())
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def is_empty(self) -> bool:
+        return not self.rows
+
+    def to_records(self) -> list[dict[str, ObjectId | int]]:
+        """Rows as dictionaries with ``var`` and ``var_time`` keys (Section IV format)."""
+        records: list[dict[str, ObjectId | int]] = []
+        for row in self.rows:
+            record: dict[str, ObjectId | int] = {}
+            for variable, (obj, t) in zip(self.variables, row):
+                record[variable] = obj
+                record[f"{variable}_time"] = t
+            records.append(record)
+        return records
+
+    def as_set(self) -> frozenset[Row]:
+        """Rows as a frozenset, convenient for order-insensitive comparisons."""
+        return frozenset(self.rows)
+
+    def column(self, variable: str) -> list[Binding]:
+        """All bindings of one variable (with duplicates, in row order)."""
+        index = self._column_index(variable)
+        return [row[index] for row in self.rows]
+
+    def _column_index(self, variable: str) -> int:
+        try:
+            return self.variables.index(variable)
+        except ValueError as exc:
+            raise KeyError(f"unknown variable {variable!r}") from exc
+
+    # ------------------------------------------------------------------ #
+    # Relational operations
+    # ------------------------------------------------------------------ #
+    def project(self, variables: Sequence[str]) -> "BindingTable":
+        """Keep only the given variables (duplicates introduced by projection are removed)."""
+        indexes = [self._column_index(v) for v in variables]
+        rows = (tuple(row[i] for i in indexes) for row in self.rows)
+        return BindingTable.build(variables, rows)
+
+    def select(self, predicate) -> "BindingTable":
+        """Keep only the rows for which ``predicate(record)`` is true."""
+        keep: list[Row] = []
+        for row, record in zip(self.rows, self.to_records()):
+            if predicate(record):
+                keep.append(row)
+        return BindingTable.build(self.variables, keep)
+
+    def rename(self, mapping: Mapping[str, str]) -> "BindingTable":
+        """Rename variables according to ``mapping`` (missing names are kept)."""
+        renamed = tuple(mapping.get(v, v) for v in self.variables)
+        return BindingTable(renamed, self.rows)
+
+    def coalesced(self, variable: str) -> list[tuple[tuple[Binding, ...], ObjectId, Interval]]:
+        """Coalesce rows over the time of ``variable``.
+
+        Returns triples ``(other bindings, object bound to variable,
+        maximal interval of consecutive binding times)`` — the compact
+        output representation the paper uses for single-variable results
+        (Section VI, Step 3 discussion).
+        """
+        index = self._column_index(variable)
+        keyed: list[tuple[tuple, int]] = []
+        for row in self.rows:
+            others = tuple(b for i, b in enumerate(row) if i != index)
+            obj, t = row[index]
+            keyed.append(((others, obj), t))
+        coalesced_rows = coalesce_point_rows(keyed)
+        return [(others, obj, interval) for (others, obj), interval in coalesced_rows]
+
+    # ------------------------------------------------------------------ #
+    # Presentation
+    # ------------------------------------------------------------------ #
+    def pretty(self, limit: int | None = 20) -> str:
+        """A fixed-width text rendering of the table (``limit`` rows)."""
+        headers: list[str] = []
+        for variable in self.variables:
+            headers.extend([variable, f"{variable}_time"])
+        shown = self.rows if limit is None else self.rows[:limit]
+        body: list[list[str]] = []
+        for row in shown:
+            cells: list[str] = []
+            for obj, t in row:
+                cells.extend([str(obj), str(t)])
+            body.append(cells)
+        widths = [len(h) for h in headers]
+        for cells in body:
+            for i, cell in enumerate(cells):
+                widths[i] = max(widths[i], len(cell))
+        lines = [
+            "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for cells in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+        if limit is not None and len(self.rows) > limit:
+            lines.append(f"... ({len(self.rows) - limit} more rows)")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.pretty()
+
+
+def _row_sort_key(row: Row) -> tuple:
+    return tuple((repr(obj), t) for obj, t in row)

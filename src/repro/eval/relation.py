@@ -1,0 +1,152 @@
+"""Temporal relations: sets of ``(o, t, o', t')`` tuples.
+
+The bottom-up algorithm of Theorem C.1 manipulates, for every node of
+the parse tree, a table of pairs of temporal objects.  This module wraps
+such tables in a small value class with the operations the algorithm
+needs: union, intersection, complement (relative to the identity),
+composition (the sort-merge join of the paper, implemented as a hash
+join), and bounded / unbounded repetition computed by exponentiation by
+squaring (Algorithms 1 and 2).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Hashable, Iterable, Iterator
+
+ObjectId = Hashable
+Tuple4 = tuple[ObjectId, int, ObjectId, int]
+
+
+class TemporalRelation:
+    """An immutable set of ``(o, t, o', t')`` tuples over a TPG's temporal objects."""
+
+    __slots__ = ("_tuples",)
+
+    def __init__(self, tuples: Iterable[Tuple4] = ()) -> None:
+        self._tuples: frozenset[Tuple4] = frozenset(tuples)
+
+    # ------------------------------------------------------------------ #
+    # Basic protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def tuples(self) -> frozenset[Tuple4]:
+        return self._tuples
+
+    def __iter__(self) -> Iterator[Tuple4]:
+        return iter(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __contains__(self, item: Tuple4) -> bool:
+        return item in self._tuples
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TemporalRelation):
+            return NotImplemented
+        return self._tuples == other._tuples
+
+    def __hash__(self) -> int:
+        return hash(self._tuples)
+
+    def __repr__(self) -> str:
+        return f"TemporalRelation({len(self._tuples)} tuples)"
+
+    def is_empty(self) -> bool:
+        return not self._tuples
+
+    # ------------------------------------------------------------------ #
+    # Set algebra
+    # ------------------------------------------------------------------ #
+    def union(self, other: "TemporalRelation") -> "TemporalRelation":
+        return TemporalRelation(self._tuples | other._tuples)
+
+    def intersect(self, other: "TemporalRelation") -> "TemporalRelation":
+        return TemporalRelation(self._tuples & other._tuples)
+
+    def difference(self, other: "TemporalRelation") -> "TemporalRelation":
+        return TemporalRelation(self._tuples - other._tuples)
+
+    # ------------------------------------------------------------------ #
+    # Composition and repetition
+    # ------------------------------------------------------------------ #
+    def compose(self, other: "TemporalRelation") -> "TemporalRelation":
+        """Relational composition: pairs connected through a shared temporal object.
+
+        The paper uses a sort-merge join over tables of at most ``M²``
+        tuples; a hash join on the shared ``(o, t)`` attribute has the
+        same output and better constants in Python.
+        """
+        index: dict[tuple[ObjectId, int], list[tuple[ObjectId, int]]] = defaultdict(list)
+        for o, t, o2, t2 in other._tuples:
+            index[(o, t)].append((o2, t2))
+        out: set[Tuple4] = set()
+        for o, t, o2, t2 in self._tuples:
+            for o3, t3 in index.get((o2, t2), ()):
+                out.add((o, t, o3, t3))
+        return TemporalRelation(out)
+
+    def source_project(self) -> set[tuple[ObjectId, int]]:
+        """The set of starting temporal objects (used for path conditions)."""
+        return {(o, t) for o, t, _o2, _t2 in self._tuples}
+
+    def power(self, exponent: int, identity: "TemporalRelation") -> "TemporalRelation":
+        """``self`` composed with itself ``exponent`` times (Algorithm 1).
+
+        ``exponent = 0`` returns ``identity`` (the diagonal over all
+        temporal objects), matching ``path⁰`` in the paper's semantics.
+        """
+        if exponent == 0:
+            return identity
+        if exponent == 1:
+            return self
+        half = self.power(exponent // 2, identity)
+        squared = half.compose(half)
+        if exponent % 2 == 0:
+            return squared
+        return squared.compose(self)
+
+    def bounded_repetition(
+        self, lower: int, upper: int, identity: "TemporalRelation"
+    ) -> "TemporalRelation":
+        """``⋃_{k=lower}^{upper} self^k`` via Algorithms 1 and 2."""
+        if upper < lower:
+            raise ValueError(f"upper bound {upper} below lower bound {lower}")
+        prefix = self.power(lower, identity)
+        if upper == lower:
+            return prefix
+        return prefix.compose(self._repetition_up_to(upper - lower, identity))
+
+    def _repetition_up_to(self, bound: int, identity: "TemporalRelation") -> "TemporalRelation":
+        """``⋃_{k=0}^{bound} self^k`` (Algorithm 2, COMPUTE-INTERVAL-REPETITION)."""
+        if bound <= 0:
+            return identity
+        # (identity ∪ self)^bound computed by squaring covers all powers 0..bound.
+        base = identity.union(self)
+        result = identity
+        power = base
+        remaining = bound
+        while remaining > 0:
+            if remaining & 1:
+                result = result.compose(power)
+            power = power.compose(power)
+            remaining >>= 1
+        return result
+
+    def unbounded_repetition(
+        self, lower: int, identity: "TemporalRelation"
+    ) -> "TemporalRelation":
+        """``⋃_{k>=lower} self^k`` via a reflexive-transitive-closure fixpoint.
+
+        The paper bounds the unbounded form by ``M²`` repetitions; the
+        fixpoint below converges at least as fast (doubling the covered
+        path length each iteration) and produces the same relation.
+        """
+        closure = identity.union(self)
+        while True:
+            nxt = closure.compose(closure).union(closure)
+            if nxt == closure:
+                break
+            closure = nxt
+        return self.power(lower, identity).compose(closure)

@@ -1,0 +1,205 @@
+"""Tuple-membership checking for NavL[ANOI] over ITPGs (Algorithms 6–7).
+
+NavL[ANOI] forbids path conditions and only allows numerical occurrence
+indicators directly on axes.  For this fragment, Appendix D gives an
+NP procedure whose key observations are:
+
+* ``N[n, m]`` / ``P[n, m]`` reduce to integer arithmetic on the time
+  difference (the object never changes);
+* ``F[n, m]`` / ``B[n, m]`` reduce to reachability within a bounded
+  number of steps in the node–edge incidence graph, at a fixed time;
+* unbounded axis indicators ``F[n, _]`` / ``B[n, _]`` are equivalent to
+  ``F[n, n + |N| + |E|]`` / ``B[...]`` since the incidence graph has
+  ``|N| + |E|`` vertices, and ``N[n, _]`` / ``P[n, _]`` simply drop the
+  upper bound of the arithmetic check;
+* the nondeterministic guess at a concatenation becomes a search over
+  all temporal objects (memoized here to keep small instances fast).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable
+
+from repro.errors import UnsupportedFragmentError
+from repro.lang.ast import (
+    AndTest,
+    Axis,
+    Concat,
+    EdgeTest,
+    ExistsTest,
+    LabelTest,
+    NodeTest,
+    NotTest,
+    OrTest,
+    PathExpr,
+    PathTest,
+    PropEq,
+    Repeat,
+    Test,
+    TestPath,
+    TimeLt,
+    TrueTest,
+    Union,
+)
+from repro.lang.fragments import has_path_conditions, occurrence_indicators_only_on_axes
+from repro.model.itpg import IntervalTPG
+
+ObjectId = Hashable
+TemporalObject = tuple[ObjectId, int]
+Tuple4 = tuple[ObjectId, int, ObjectId, int]
+
+
+class ANOIChecker:
+    """Membership checker for NavL[ANOI] over one ITPG."""
+
+    def __init__(self, graph: IntervalTPG) -> None:
+        self._graph = graph
+        self._memo: dict[tuple[Tuple4, PathExpr], bool] = {}
+        self._objects = list(graph.objects())
+        self._times = list(graph.time_points())
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def check(self, path: PathExpr, source: TemporalObject, target: TemporalObject) -> bool:
+        if has_path_conditions(path):
+            raise UnsupportedFragmentError(
+                "check_anoi only supports NavL[ANOI]; the expression uses path conditions"
+            )
+        if not occurrence_indicators_only_on_axes(path):
+            raise UnsupportedFragmentError(
+                "check_anoi only supports NavL[ANOI]; occurrence indicators must be on axes"
+            )
+        o1, t1 = source
+        o2, t2 = target
+        domain = self._graph.domain
+        if t1 not in domain or t2 not in domain:
+            return False
+        if not (self._graph.has_object(o1) and self._graph.has_object(o2)):
+            return False
+        return self._check((o1, t1, o2, t2), path)
+
+    # ------------------------------------------------------------------ #
+    # Recursion
+    # ------------------------------------------------------------------ #
+    def _check(self, key: Tuple4, path: PathExpr) -> bool:
+        memo_key = (key, path)
+        cached = self._memo.get(memo_key)
+        if cached is not None:
+            return cached
+        result = self._compute(key, path)
+        self._memo[memo_key] = result
+        return result
+
+    def _compute(self, key: Tuple4, path: PathExpr) -> bool:
+        o1, t1, o2, t2 = key
+        graph = self._graph
+        if isinstance(path, TestPath):
+            return (o1, t1) == (o2, t2) and self.satisfies(o1, t1, path.condition)
+        if isinstance(path, Axis):
+            return self._check_axis_steps(key, path, 1, 1)
+        if isinstance(path, Repeat) and isinstance(path.body, Axis):
+            upper = path.upper
+            if upper is None and path.body.is_structural:
+                upper = path.lower + len(self._objects)
+            return self._check_axis_steps(key, path.body, path.lower, upper)
+        if isinstance(path, Union):
+            return any(self._check(key, part) for part in path.parts)
+        if isinstance(path, Concat):
+            head = path.parts[0]
+            rest = path.parts[1:]
+            tail: PathExpr = rest[0] if len(rest) == 1 else Concat(tuple(rest))
+            for obj in self._objects:
+                for t in self._times:
+                    if self._check((o1, t1, obj, t), head) and self._check(
+                        (obj, t, o2, t2), tail
+                    ):
+                        return True
+            return False
+        raise TypeError(f"unexpected NavL[ANOI] expression {path!r}")
+
+    def _check_axis_steps(
+        self, key: Tuple4, axis: Axis, lower: int, upper: int | None
+    ) -> bool:
+        o1, t1, o2, t2 = key
+        if axis.kind == "N":
+            delta = t2 - t1
+            return o1 == o2 and delta >= lower and (upper is None or delta <= upper)
+        if axis.kind == "P":
+            delta = t1 - t2
+            return o1 == o2 and delta >= lower and (upper is None or delta <= upper)
+        # Structural axes: reachability at a fixed time point.
+        if t1 != t2:
+            return False
+        assert upper is not None  # unbounded structural forms were bounded above
+        return self._structural_reachable(o1, o2, axis.kind == "F", lower, upper)
+
+    def _structural_reachable(
+        self, start: ObjectId, goal: ObjectId, forward: bool, lower: int, upper: int
+    ) -> bool:
+        """BFS over the node–edge incidence graph, tracking reachable step counts."""
+        graph = self._graph
+        reached: dict[ObjectId, set[int]] = {start: {0}}
+        queue: deque[tuple[ObjectId, int]] = deque([(start, 0)])
+        while queue:
+            obj, steps = queue.popleft()
+            if steps >= upper:
+                continue
+            for successor in self._successors(obj, forward):
+                seen = reached.setdefault(successor, set())
+                if steps + 1 in seen:
+                    continue
+                seen.add(steps + 1)
+                queue.append((successor, steps + 1))
+        counts = reached.get(goal, set())
+        del graph
+        return any(lower <= k <= upper for k in counts)
+
+    def _successors(self, obj: ObjectId, forward: bool) -> list[ObjectId]:
+        graph = self._graph
+        if graph.is_node(obj):
+            edges = graph.out_edges(obj) if forward else graph.in_edges(obj)
+            return list(edges)
+        src, tgt = graph.endpoints(obj)
+        return [tgt if forward else src]
+
+    # ------------------------------------------------------------------ #
+    # Tests (no path conditions in this fragment)
+    # ------------------------------------------------------------------ #
+    def satisfies(self, obj: ObjectId, t: int, condition: Test) -> bool:
+        graph = self._graph
+        if isinstance(condition, NodeTest):
+            return graph.is_node(obj)
+        if isinstance(condition, EdgeTest):
+            return graph.is_edge(obj)
+        if isinstance(condition, LabelTest):
+            return graph.label(obj) == condition.label
+        if isinstance(condition, PropEq):
+            value = graph.property_value(obj, condition.prop, t)
+            return value is not None and value == condition.value
+        if isinstance(condition, TimeLt):
+            return t < condition.bound
+        if isinstance(condition, ExistsTest):
+            return graph.exists(obj, t)
+        if isinstance(condition, TrueTest):
+            return True
+        if isinstance(condition, AndTest):
+            return all(self.satisfies(obj, t, part) for part in condition.parts)
+        if isinstance(condition, OrTest):
+            return any(self.satisfies(obj, t, part) for part in condition.parts)
+        if isinstance(condition, NotTest):
+            return not self.satisfies(obj, t, condition.inner)
+        if isinstance(condition, PathTest):  # pragma: no cover - rejected in check()
+            raise UnsupportedFragmentError("path conditions are not part of NavL[ANOI]")
+        raise TypeError(f"unknown test {condition!r}")
+
+
+def check_anoi(
+    graph: IntervalTPG,
+    path: PathExpr,
+    source: TemporalObject,
+    target: TemporalObject,
+) -> bool:
+    """One-shot wrapper around :class:`ANOIChecker`."""
+    return ANOIChecker(graph).check(path, source, target)

@@ -1,0 +1,206 @@
+"""Tuple-membership checking for NavL[PC] over ITPGs (Algorithm 3).
+
+``check_pc(C, path, (o1, t1, o2, t2))`` decides whether
+``(o1, t1, o2, t2) ∈ JpathK_C`` for an expression *without numerical
+occurrence indicators*.  The algorithm follows Appendix C.B:
+
+* results are memoized in a hash table keyed by
+  ``(o1, t1, o2, t2, sub-expression)``, which bounds the number of
+  distinct recursive computations polynomially;
+* in the absence of occurrence indicators a path can move at most
+  ``||r||`` time points away from its origin (one ``N``/``P`` per step),
+  so the intermediate temporal object of a concatenation is drawn from a
+  polynomial-size candidate set.
+
+The checker operates directly on the interval representation: existence
+and property lookups use the coalesced interval families, never the
+expanded point-based graph.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.errors import UnsupportedFragmentError
+from repro.lang.ast import (
+    AndTest,
+    Axis,
+    Concat,
+    EdgeTest,
+    ExistsTest,
+    LabelTest,
+    NodeTest,
+    NotTest,
+    OrTest,
+    PathExpr,
+    PathTest,
+    PropEq,
+    Repeat,
+    Test,
+    TestPath,
+    TimeLt,
+    TrueTest,
+    Union,
+)
+from repro.lang.fragments import has_occurrence_indicators
+from repro.model.itpg import IntervalTPG
+
+ObjectId = Hashable
+TemporalObject = tuple[ObjectId, int]
+Tuple4 = tuple[ObjectId, int, ObjectId, int]
+
+
+def temporal_radius(path: PathExpr) -> int:
+    """An upper bound on ``|t' - t|`` for any ``(o, t, o', t')`` satisfying ``path``.
+
+    Each temporal axis moves one time point, so the radius is the maximal
+    number of ``N``/``P`` axes along any concatenation branch.  Path
+    conditions do not move the main position and contribute nothing.
+    """
+    if isinstance(path, Axis):
+        return 1 if path.is_temporal else 0
+    if isinstance(path, TestPath):
+        return 0
+    if isinstance(path, Concat):
+        return sum(temporal_radius(part) for part in path.parts)
+    if isinstance(path, Union):
+        return max(temporal_radius(part) for part in path.parts)
+    if isinstance(path, Repeat):  # pragma: no cover - rejected earlier for NavL[PC]
+        raise UnsupportedFragmentError("NavL[PC] does not allow occurrence indicators")
+    raise TypeError(f"unknown path expression {path!r}")
+
+
+class PCChecker:
+    """Memoized tuple-membership checker for NavL[PC] over one ITPG."""
+
+    def __init__(self, graph: IntervalTPG) -> None:
+        self._graph = graph
+        self._memo: dict[tuple[Tuple4, PathExpr], bool] = {}
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def check(self, path: PathExpr, source: TemporalObject, target: TemporalObject) -> bool:
+        """Decide ``(source, target) ∈ JpathK_C``."""
+        if has_occurrence_indicators(path):
+            raise UnsupportedFragmentError(
+                "check_pc only supports NavL[PC]; the expression uses occurrence indicators"
+            )
+        o1, t1 = source
+        o2, t2 = target
+        domain = self._graph.domain
+        if t1 not in domain or t2 not in domain:
+            return False
+        if not (self._graph.has_object(o1) and self._graph.has_object(o2)):
+            return False
+        return self._check((o1, t1, o2, t2), path)
+
+    # ------------------------------------------------------------------ #
+    # Recursion
+    # ------------------------------------------------------------------ #
+    def _check(self, key: Tuple4, path: PathExpr) -> bool:
+        memo_key = (key, path)
+        cached = self._memo.get(memo_key)
+        if cached is not None:
+            return cached
+        result = self._compute(key, path)
+        self._memo[memo_key] = result
+        return result
+
+    def _compute(self, key: Tuple4, path: PathExpr) -> bool:
+        o1, t1, o2, t2 = key
+        graph = self._graph
+        if isinstance(path, Axis):
+            if path.kind == "N":
+                return o1 == o2 and t2 == t1 + 1
+            if path.kind == "P":
+                return o1 == o2 and t2 == t1 - 1
+            if path.kind == "F":
+                return t1 == t2 and (
+                    (graph.is_edge(o1) and graph.target(o1) == o2)
+                    or (graph.is_edge(o2) and graph.source(o2) == o1)
+                )
+            if path.kind == "B":
+                return t1 == t2 and (
+                    (graph.is_edge(o1) and graph.source(o1) == o2)
+                    or (graph.is_edge(o2) and graph.target(o2) == o1)
+                )
+        if isinstance(path, TestPath):
+            return (o1, t1) == (o2, t2) and self.satisfies(o1, t1, path.condition)
+        if isinstance(path, Union):
+            return any(self._check(key, part) for part in path.parts)
+        if isinstance(path, Concat):
+            head, rest = path.parts[0], path.parts[1:]
+            tail: PathExpr
+            if len(rest) == 1:
+                tail = rest[0]
+            else:
+                tail = Concat(tuple(rest))
+            return self._check_concat(key, head, tail)
+        raise TypeError(f"unknown NavL[PC] path expression {path!r}")
+
+    def _check_concat(self, key: Tuple4, head: PathExpr, tail: PathExpr) -> bool:
+        o1, t1, o2, t2 = key
+        head_radius = temporal_radius(head)
+        tail_radius = temporal_radius(tail)
+        domain = self._graph.domain
+        lo = max(domain.start, min(t1 - head_radius, t2 - tail_radius))
+        hi = min(domain.end, max(t1 + head_radius, t2 + tail_radius))
+        for obj in self._graph.objects():
+            for t in range(lo, hi + 1):
+                if abs(t - t1) > head_radius or abs(t - t2) > tail_radius:
+                    continue
+                if self._check((o1, t1, obj, t), head) and self._check((obj, t, o2, t2), tail):
+                    return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Tests
+    # ------------------------------------------------------------------ #
+    def satisfies(self, obj: ObjectId, t: int, condition: Test) -> bool:
+        graph = self._graph
+        if isinstance(condition, NodeTest):
+            return graph.is_node(obj)
+        if isinstance(condition, EdgeTest):
+            return graph.is_edge(obj)
+        if isinstance(condition, LabelTest):
+            return graph.label(obj) == condition.label
+        if isinstance(condition, PropEq):
+            value = graph.property_value(obj, condition.prop, t)
+            return value is not None and value == condition.value
+        if isinstance(condition, TimeLt):
+            return t < condition.bound
+        if isinstance(condition, ExistsTest):
+            return graph.exists(obj, t)
+        if isinstance(condition, TrueTest):
+            return True
+        if isinstance(condition, AndTest):
+            return all(self.satisfies(obj, t, part) for part in condition.parts)
+        if isinstance(condition, OrTest):
+            return any(self.satisfies(obj, t, part) for part in condition.parts)
+        if isinstance(condition, NotTest):
+            return not self.satisfies(obj, t, condition.inner)
+        if isinstance(condition, PathTest):
+            return self._satisfies_path_condition(obj, t, condition.path)
+        raise TypeError(f"unknown test {condition!r}")
+
+    def _satisfies_path_condition(self, obj: ObjectId, t: int, path: PathExpr) -> bool:
+        radius = temporal_radius(path)
+        domain = self._graph.domain
+        lo = max(domain.start, t - radius)
+        hi = min(domain.end, t + radius)
+        for other in self._graph.objects():
+            for t2 in range(lo, hi + 1):
+                if self._check((obj, t, other, t2), path):
+                    return True
+        return False
+
+
+def check_pc(
+    graph: IntervalTPG,
+    path: PathExpr,
+    source: TemporalObject,
+    target: TemporalObject,
+) -> bool:
+    """One-shot wrapper around :class:`PCChecker`."""
+    return PCChecker(graph).check(path, source, target)

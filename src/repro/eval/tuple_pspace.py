@@ -1,0 +1,218 @@
+"""Tuple-membership checking for full NavL[PC,NOI] over ITPGs (Algorithms 4–5).
+
+``check_full`` decides ``(o1, t1, o2, t2) ∈ JrK_C`` for an arbitrary
+expression of the full language, working directly on the interval
+representation.  It follows the polynomial-space procedure
+``TUPLE_EVALSOLVE`` of Appendix C.D:
+
+* occurrence indicators ``r[n, m]`` are decomposed by halving
+  (exponentiation-by-squaring style), so the recursion depth stays
+  polynomial in the *representation* of the bounds;
+* the unbounded form ``r[n, _]`` is replaced by ``r[n, n + (|Ω|·|N∪E|)²]``;
+* concatenations and splits existentially quantify over all temporal
+  objects ``(o', t')`` of the graph.
+
+The paper's algorithm trades time for space (it is exponential-time in
+the worst case); this implementation adds a memoization table, which does
+not change the answer but makes the checker usable on the small graphs
+and hardness gadgets exercised by the tests.  Pass ``memoize=False`` to
+run the literal polynomial-space procedure.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional
+
+from repro.lang.ast import (
+    AndTest,
+    Axis,
+    Concat,
+    EdgeTest,
+    ExistsTest,
+    LabelTest,
+    NodeTest,
+    NotTest,
+    OrTest,
+    PathExpr,
+    PathTest,
+    PropEq,
+    Repeat,
+    Test,
+    TestPath,
+    TimeLt,
+    TrueTest,
+    Union,
+)
+from repro.model.itpg import IntervalTPG
+
+ObjectId = Hashable
+TemporalObject = tuple[ObjectId, int]
+Tuple4 = tuple[ObjectId, int, ObjectId, int]
+
+
+class FullChecker:
+    """Membership checker for the full language NavL[PC,NOI] over one ITPG."""
+
+    def __init__(self, graph: IntervalTPG, memoize: bool = True) -> None:
+        self._graph = graph
+        self._memoize = memoize
+        self._memo: dict[tuple[Tuple4, PathExpr], bool] = {}
+        self._objects = list(graph.objects())
+        self._times = list(graph.time_points())
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def check(self, path: PathExpr, source: TemporalObject, target: TemporalObject) -> bool:
+        o1, t1 = source
+        o2, t2 = target
+        domain = self._graph.domain
+        if t1 not in domain or t2 not in domain:
+            return False
+        if not (self._graph.has_object(o1) and self._graph.has_object(o2)):
+            return False
+        return self._check((o1, t1, o2, t2), path)
+
+    # ------------------------------------------------------------------ #
+    # Recursion
+    # ------------------------------------------------------------------ #
+    def _check(self, key: Tuple4, path: PathExpr) -> bool:
+        if not self._memoize:
+            return self._compute(key, path)
+        memo_key = (key, path)
+        cached = self._memo.get(memo_key)
+        if cached is not None:
+            return cached
+        result = self._compute(key, path)
+        self._memo[memo_key] = result
+        return result
+
+    def _compute(self, key: Tuple4, path: PathExpr) -> bool:
+        o1, t1, o2, t2 = key
+        graph = self._graph
+        if isinstance(path, TestPath):
+            return (o1, t1) == (o2, t2) and self.satisfies(o1, t1, path.condition)
+        if isinstance(path, Axis):
+            if path.kind == "N":
+                return o1 == o2 and t2 == t1 + 1
+            if path.kind == "P":
+                return o1 == o2 and t2 == t1 - 1
+            if path.kind == "F":
+                return t1 == t2 and (
+                    (graph.is_edge(o1) and graph.target(o1) == o2)
+                    or (graph.is_edge(o2) and graph.source(o2) == o1)
+                )
+            if path.kind == "B":
+                return t1 == t2 and (
+                    (graph.is_edge(o1) and graph.source(o1) == o2)
+                    or (graph.is_edge(o2) and graph.target(o2) == o1)
+                )
+        if isinstance(path, Union):
+            return any(self._check(key, part) for part in path.parts)
+        if isinstance(path, Concat):
+            head = path.parts[0]
+            tail: PathExpr
+            rest = path.parts[1:]
+            tail = rest[0] if len(rest) == 1 else Concat(tuple(rest))
+            return self._exists_split(key, head, tail)
+        if isinstance(path, Repeat):
+            return self._check_repeat(key, path)
+        raise TypeError(f"unknown path expression {path!r}")
+
+    def _exists_split(self, key: Tuple4, left: PathExpr, right: PathExpr) -> bool:
+        o1, t1, o2, t2 = key
+        for obj in self._objects:
+            for t in self._times:
+                if self._check((o1, t1, obj, t), left) and self._check((obj, t, o2, t2), right):
+                    return True
+        return False
+
+    def _exists_double_split(
+        self, key: Tuple4, left: PathExpr, middle: PathExpr, right: PathExpr
+    ) -> bool:
+        o1, t1, o2, t2 = key
+        for obj in self._objects:
+            for t in self._times:
+                if not self._check((o1, t1, obj, t), left):
+                    continue
+                for obj2 in self._objects:
+                    for t3 in self._times:
+                        if self._check((obj, t, obj2, t3), middle) and self._check(
+                            (obj2, t3, o2, t2), right
+                        ):
+                            return True
+        return False
+
+    def _check_repeat(self, key: Tuple4, path: Repeat) -> bool:
+        o1, t1, o2, t2 = key
+        body, n, m = path.body, path.lower, path.upper
+        if m is None:
+            bound = n + (len(self._times) * len(self._objects)) ** 2
+            return self._check(key, Repeat(body, n, bound))
+        if n == m:
+            if n == 0:
+                return (o1, t1) == (o2, t2)
+            if n == 1:
+                return self._check(key, body)
+            half = n // 2
+            exact_half = Repeat(body, half, half)
+            if n % 2 == 0:
+                return self._exists_split(key, exact_half, exact_half)
+            return self._exists_double_split(key, exact_half, body, exact_half)
+        if n == 0:
+            if m == 1:
+                return (o1, t1) == (o2, t2) or self._check(key, body)
+            half = m // 2
+            up_to_half = Repeat(body, 0, half)
+            if m % 2 == 0:
+                return self._exists_split(key, up_to_half, up_to_half)
+            return self._exists_double_split(key, up_to_half, Repeat(body, 0, 1), up_to_half)
+        return self._exists_split(key, Repeat(body, n, n), Repeat(body, 0, m - n))
+
+    # ------------------------------------------------------------------ #
+    # Tests
+    # ------------------------------------------------------------------ #
+    def satisfies(self, obj: ObjectId, t: int, condition: Test) -> bool:
+        graph = self._graph
+        if isinstance(condition, NodeTest):
+            return graph.is_node(obj)
+        if isinstance(condition, EdgeTest):
+            return graph.is_edge(obj)
+        if isinstance(condition, LabelTest):
+            return graph.label(obj) == condition.label
+        if isinstance(condition, PropEq):
+            value = graph.property_value(obj, condition.prop, t)
+            return value is not None and value == condition.value
+        if isinstance(condition, TimeLt):
+            return t < condition.bound
+        if isinstance(condition, ExistsTest):
+            return graph.exists(obj, t)
+        if isinstance(condition, TrueTest):
+            return True
+        if isinstance(condition, AndTest):
+            return all(self.satisfies(obj, t, part) for part in condition.parts)
+        if isinstance(condition, OrTest):
+            return any(self.satisfies(obj, t, part) for part in condition.parts)
+        if isinstance(condition, NotTest):
+            return not self.satisfies(obj, t, condition.inner)
+        if isinstance(condition, PathTest):
+            for other in self._objects:
+                for t2 in self._times:
+                    if self._check((obj, t, other, t2), condition.path):
+                        return True
+            return False
+        raise TypeError(f"unknown test {condition!r}")
+
+
+def check_full(
+    graph: IntervalTPG,
+    path: PathExpr,
+    source: TemporalObject,
+    target: TemporalObject,
+    memoize: bool = True,
+    checker: Optional[FullChecker] = None,
+) -> bool:
+    """One-shot wrapper around :class:`FullChecker`."""
+    if checker is None:
+        checker = FullChecker(graph, memoize=memoize)
+    return checker.check(path, source, target)

@@ -1,0 +1,132 @@
+"""The TRPQ query language NavL[PC,NOI] and its practical surface syntax.
+
+* :mod:`repro.lang.ast` — the abstract syntax of NavL[PC,NOI]
+  (grammars (2), (3) and (4) of Section V-A) plus convenience
+  constructors.
+* :mod:`repro.lang.fragments` — classification of expressions into the
+  fragments studied by the paper: NavL[PC], NavL[NOI], NavL[ANOI] and
+  the full language.
+* :mod:`repro.lang.parser` — parser for the practical path syntax
+  (``FWD``, ``BWD``, ``NEXT``, ``PREV``, labels, property restrictions,
+  ``*``, ``[n,m]``) and for full ``MATCH`` clauses (Section IV).
+* :mod:`repro.lang.translate` — translation from the practical syntax
+  into NavL[PC,NOI] (Section V-A) and compilation of MATCH clauses into
+  anchored segment lists used by the evaluation engines.
+"""
+
+from repro.lang.ast import (
+    PathExpr,
+    Test,
+    Axis,
+    TestPath,
+    Concat,
+    Union,
+    Repeat,
+    NodeTest,
+    EdgeTest,
+    LabelTest,
+    PropEq,
+    TimeLt,
+    ExistsTest,
+    PathTest,
+    AndTest,
+    OrTest,
+    NotTest,
+    TrueTest,
+    F,
+    B,
+    N,
+    P,
+    concat,
+    union,
+    repeat,
+    star,
+    plus,
+    optional,
+    test,
+    label,
+    prop_eq,
+    time_lt,
+    time_eq,
+    exists,
+    is_node,
+    is_edge,
+    and_,
+    or_,
+    not_,
+)
+from repro.lang.fragments import (
+    Fragment,
+    has_path_conditions,
+    has_occurrence_indicators,
+    occurrence_indicators_only_on_axes,
+    classify,
+)
+from repro.lang.parser import parse_path, parse_match, MatchQuery, NodePattern, EdgePattern, PathPattern
+from repro.lang.translate import (
+    translate_path,
+    node_pattern_test,
+    compile_match,
+    CompiledMatch,
+    Segment,
+)
+from repro.lang.pretty import to_text
+
+__all__ = [
+    "PathExpr",
+    "Test",
+    "Axis",
+    "TestPath",
+    "Concat",
+    "Union",
+    "Repeat",
+    "NodeTest",
+    "EdgeTest",
+    "LabelTest",
+    "PropEq",
+    "TimeLt",
+    "ExistsTest",
+    "PathTest",
+    "AndTest",
+    "OrTest",
+    "NotTest",
+    "TrueTest",
+    "F",
+    "B",
+    "N",
+    "P",
+    "concat",
+    "union",
+    "repeat",
+    "star",
+    "plus",
+    "optional",
+    "test",
+    "label",
+    "prop_eq",
+    "time_lt",
+    "time_eq",
+    "exists",
+    "is_node",
+    "is_edge",
+    "and_",
+    "or_",
+    "not_",
+    "Fragment",
+    "has_path_conditions",
+    "has_occurrence_indicators",
+    "occurrence_indicators_only_on_axes",
+    "classify",
+    "parse_path",
+    "parse_match",
+    "MatchQuery",
+    "NodePattern",
+    "EdgePattern",
+    "PathPattern",
+    "translate_path",
+    "node_pattern_test",
+    "compile_match",
+    "CompiledMatch",
+    "Segment",
+    "to_text",
+]

@@ -1,0 +1,409 @@
+"""Abstract syntax of NavL[PC,NOI] (Section V-A of the paper).
+
+Path expressions follow grammar (2)::
+
+    path ::= test | axis | (path/path) | (path + path) | path[n, m] | path[n, _]
+
+conditions follow grammar (3)::
+
+    test ::= Node | Edge | l | p -> v | < k | EXISTS |
+             (?path) | (test OR test) | (test AND test) | (NOT test)
+
+and axes follow grammar (4)::
+
+    axis ::= F | B | N | P
+
+Every AST node is an immutable, hashable dataclass, so expressions can be
+used as dictionary keys (the memoized checkers rely on this).  The module
+also provides small constructor helpers (``concat``, ``union``, ``star``,
+``label`` …) that flatten nested operators and keep expressions readable
+in tests and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+
+# --------------------------------------------------------------------- #
+# Base classes
+# --------------------------------------------------------------------- #
+class PathExpr:
+    """Base class of every path expression (grammar (2))."""
+
+    __slots__ = ()
+
+    def __truediv__(self, other: "PathExpr") -> "PathExpr":
+        """``p / q`` builds the concatenation of two path expressions."""
+        return concat(self, _as_path(other))
+
+    def __add__(self, other: "PathExpr") -> "PathExpr":
+        """``p + q`` builds the union of two path expressions."""
+        return union(self, _as_path(other))
+
+
+class Test:
+    """Base class of every condition (grammar (3))."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "Test") -> "Test":
+        return and_(self, other)
+
+    def __or__(self, other: "Test") -> "Test":
+        return or_(self, other)
+
+    def __invert__(self) -> "Test":
+        return not_(self)
+
+    def as_path(self) -> "TestPath":
+        """Lift the condition into a path expression (a self-loop filter)."""
+        return TestPath(self)
+
+
+# --------------------------------------------------------------------- #
+# Axes (grammar (4))
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Axis(PathExpr):
+    """A single navigation step.
+
+    ``kind`` is one of ``"F"`` (structural forward), ``"B"`` (structural
+    backward), ``"N"`` (one time point into the future) or ``"P"`` (one
+    time point into the past).
+    """
+
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in {"F", "B", "N", "P"}:
+            raise ValueError(f"unknown axis {self.kind!r}")
+
+    @property
+    def is_structural(self) -> bool:
+        return self.kind in {"F", "B"}
+
+    @property
+    def is_temporal(self) -> bool:
+        return self.kind in {"N", "P"}
+
+    def __repr__(self) -> str:
+        return self.kind
+
+
+#: The four axis singletons; use these rather than constructing :class:`Axis`.
+F = Axis("F")
+B = Axis("B")
+N = Axis("N")
+P = Axis("P")
+
+
+# --------------------------------------------------------------------- #
+# Path combinators
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TestPath(PathExpr):
+    """A condition used as a path expression: stays put if the test holds."""
+
+    condition: "Test"
+
+    def __repr__(self) -> str:
+        return repr(self.condition)
+
+
+@dataclass(frozen=True)
+class Concat(PathExpr):
+    """Concatenation ``(path1 / path2 / ...)``; at least two parts."""
+
+    parts: tuple[PathExpr, ...]
+
+    def __repr__(self) -> str:
+        return "(" + "/".join(repr(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Union(PathExpr):
+    """Disjunction ``(path1 + path2 + ...)``; at least two parts."""
+
+    parts: tuple[PathExpr, ...]
+
+    def __repr__(self) -> str:
+        return "(" + " + ".join(repr(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Repeat(PathExpr):
+    """Numerical occurrence indicator ``path[lower, upper]``.
+
+    ``upper is None`` encodes the unbounded form ``path[lower, _]``; the
+    Kleene star is ``Repeat(path, 0, None)``.
+    """
+
+    body: PathExpr
+    lower: int
+    upper: Optional[int]
+
+    def __post_init__(self) -> None:
+        if self.lower < 0:
+            raise ValueError("repetition lower bound must be non-negative")
+        if self.upper is not None and self.upper < self.lower:
+            raise ValueError(
+                f"repetition upper bound {self.upper} below lower bound {self.lower}"
+            )
+
+    def __repr__(self) -> str:
+        upper = "_" if self.upper is None else str(self.upper)
+        return f"{self.body!r}[{self.lower},{upper}]"
+
+
+# --------------------------------------------------------------------- #
+# Tests (grammar (3))
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class NodeTest(Test):
+    """``Node`` — the temporal object is a node."""
+
+    def __repr__(self) -> str:
+        return "Node"
+
+
+@dataclass(frozen=True)
+class EdgeTest(Test):
+    """``Edge`` — the temporal object is an edge."""
+
+    def __repr__(self) -> str:
+        return "Edge"
+
+
+@dataclass(frozen=True)
+class LabelTest(Test):
+    """``ℓ`` — the object's label is ``label``."""
+
+    label: str
+
+    def __repr__(self) -> str:
+        return f":{self.label}"
+
+
+@dataclass(frozen=True)
+class PropEq(Test):
+    """``p ↦ v`` — property ``prop`` holds value ``value`` at the current time."""
+
+    prop: str
+    value: Hashable
+
+    def __repr__(self) -> str:
+        return f"{self.prop}->{self.value!r}"
+
+
+@dataclass(frozen=True)
+class TimeLt(Test):
+    """``< k`` — the current time point is strictly less than ``bound``."""
+
+    bound: int
+
+    def __repr__(self) -> str:
+        return f"<{self.bound}"
+
+
+@dataclass(frozen=True)
+class ExistsTest(Test):
+    """``∃`` — the object exists at the current time point."""
+
+    def __repr__(self) -> str:
+        return "EXISTS"
+
+
+@dataclass(frozen=True)
+class TrueTest(Test):
+    """The always-true condition (``∃ ∨ ¬∃`` in the paper's minimal syntax)."""
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+@dataclass(frozen=True)
+class PathTest(Test):
+    """``(?path)`` — some path conforming to ``path`` starts at the current object."""
+
+    path: PathExpr
+
+    def __repr__(self) -> str:
+        return f"?({self.path!r})"
+
+
+@dataclass(frozen=True)
+class AndTest(Test):
+    """Conjunction of conditions."""
+
+    parts: tuple[Test, ...]
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(repr(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class OrTest(Test):
+    """Disjunction of conditions."""
+
+    parts: tuple[Test, ...]
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(repr(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class NotTest(Test):
+    """Negation of a condition."""
+
+    inner: Test
+
+    def __repr__(self) -> str:
+        return f"NOT {self.inner!r}"
+
+
+# --------------------------------------------------------------------- #
+# Constructor helpers
+# --------------------------------------------------------------------- #
+def _as_path(value: PathExpr | Test) -> PathExpr:
+    """Accept a bare test where a path expression is expected."""
+    if isinstance(value, Test):
+        return TestPath(value)
+    if isinstance(value, PathExpr):
+        return value
+    raise TypeError(f"expected a path expression or test, got {value!r}")
+
+
+def test(condition: Test) -> TestPath:
+    """Lift a condition into a path expression."""
+    return TestPath(condition)
+
+
+def concat(*parts: PathExpr | Test) -> PathExpr:
+    """Concatenation of any number of parts; nested concatenations are flattened."""
+    flat: list[PathExpr] = []
+    for part in parts:
+        path = _as_path(part)
+        if isinstance(path, Concat):
+            flat.extend(path.parts)
+        else:
+            flat.append(path)
+    if not flat:
+        return TestPath(TrueTest())
+    if len(flat) == 1:
+        return flat[0]
+    return Concat(tuple(flat))
+
+
+def union(*parts: PathExpr | Test) -> PathExpr:
+    """Union of any number of parts; nested unions are flattened."""
+    flat: list[PathExpr] = []
+    for part in parts:
+        path = _as_path(part)
+        if isinstance(path, Union):
+            flat.extend(path.parts)
+        else:
+            flat.append(path)
+    if not flat:
+        raise ValueError("union of zero parts is undefined")
+    if len(flat) == 1:
+        return flat[0]
+    return Union(tuple(flat))
+
+
+def repeat(body: PathExpr | Test, lower: int, upper: Optional[int]) -> Repeat:
+    """``body[lower, upper]``; pass ``upper=None`` for the unbounded form."""
+    return Repeat(_as_path(body), lower, upper)
+
+
+def star(body: PathExpr | Test) -> Repeat:
+    """Kleene star ``body[0, _]``."""
+    return Repeat(_as_path(body), 0, None)
+
+
+def plus(body: PathExpr | Test) -> Repeat:
+    """One-or-more repetitions ``body[1, _]``."""
+    return Repeat(_as_path(body), 1, None)
+
+
+def optional(body: PathExpr | Test) -> Repeat:
+    """Zero-or-one repetitions ``body[0, 1]``."""
+    return Repeat(_as_path(body), 0, 1)
+
+
+def label(name: str) -> LabelTest:
+    """Label test ``ℓ``."""
+    return LabelTest(name)
+
+
+def prop_eq(prop: str, value: Hashable) -> PropEq:
+    """Property test ``p ↦ v``."""
+    return PropEq(prop, value)
+
+
+def time_lt(bound: int) -> TimeLt:
+    """Time test ``< k``."""
+    return TimeLt(bound)
+
+
+def time_eq(k: int) -> Test:
+    """Time test ``= k``, expressed as ``(< k+1 ∧ ¬(< k))`` per the paper."""
+    return AndTest((TimeLt(k + 1), NotTest(TimeLt(k))))
+
+
+def exists() -> ExistsTest:
+    """Existence test ``∃``."""
+    return ExistsTest()
+
+
+def is_node() -> NodeTest:
+    """``Node`` test."""
+    return NodeTest()
+
+
+def is_edge() -> EdgeTest:
+    """``Edge`` test."""
+    return EdgeTest()
+
+
+def and_(*parts: Test) -> Test:
+    """Conjunction; nested conjunctions are flattened; a single part passes through."""
+    flat: list[Test] = []
+    for part in parts:
+        if isinstance(part, AndTest):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return TrueTest()
+    if len(flat) == 1:
+        return flat[0]
+    return AndTest(tuple(flat))
+
+
+def or_(*parts: Test) -> Test:
+    """Disjunction; nested disjunctions are flattened; a single part passes through."""
+    flat: list[Test] = []
+    for part in parts:
+        if isinstance(part, OrTest):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        raise ValueError("disjunction of zero tests is undefined")
+    if len(flat) == 1:
+        return flat[0]
+    return OrTest(tuple(flat))
+
+
+def not_(inner: Test) -> Test:
+    """Negation; a double negation is simplified away."""
+    if isinstance(inner, NotTest):
+        return inner.inner
+    return NotTest(inner)
+
+
+def path_test(path: PathExpr | Test) -> PathTest:
+    """Path condition ``(?path)``."""
+    return PathTest(_as_path(path))

@@ -1,0 +1,136 @@
+"""Fragment classification of NavL[PC,NOI] expressions.
+
+The paper studies four languages (Section V-B and Appendix B/D):
+
+* ``NavL[PC,NOI]`` — the full language;
+* ``NavL[PC]``      — no numerical occurrence indicators;
+* ``NavL[NOI]``     — no path conditions ``(?path)``;
+* ``NavL[ANOI]``    — no path conditions, and occurrence indicators only
+  directly on axes (``N[n,m]``, ``F[n,_]``, …).
+
+Classification matters because the complexity of evaluation over ITPGs
+differs per fragment (Theorem V.1, Theorems D.1/D.2); the evaluation
+engines use it to pick an algorithm or to reject unsupported input.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator
+
+from repro.lang.ast import (
+    Axis,
+    AndTest,
+    Concat,
+    NotTest,
+    OrTest,
+    PathExpr,
+    PathTest,
+    Repeat,
+    Test,
+    TestPath,
+    Union,
+)
+
+
+class Fragment(enum.Enum):
+    """The fragments of the query language studied in the paper."""
+
+    PC = "NavL[PC]"
+    NOI = "NavL[NOI]"
+    ANOI = "NavL[ANOI]"
+    PC_ANOI = "NavL[PC,ANOI]"
+    FULL = "NavL[PC,NOI]"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def iter_subpaths(path: PathExpr) -> Iterator[PathExpr]:
+    """Depth-first iteration over every path sub-expression (including tests' paths)."""
+    yield path
+    if isinstance(path, Concat) or isinstance(path, Union):
+        for part in path.parts:
+            yield from iter_subpaths(part)
+    elif isinstance(path, Repeat):
+        yield from iter_subpaths(path.body)
+    elif isinstance(path, TestPath):
+        yield from _iter_paths_in_test(path.condition)
+
+
+def _iter_paths_in_test(condition: Test) -> Iterator[PathExpr]:
+    if isinstance(condition, PathTest):
+        yield from iter_subpaths(condition.path)
+    elif isinstance(condition, (AndTest, OrTest)):
+        for part in condition.parts:
+            yield from _iter_paths_in_test(part)
+    elif isinstance(condition, NotTest):
+        yield from _iter_paths_in_test(condition.inner)
+
+
+def has_path_conditions(path: PathExpr) -> bool:
+    """True if the expression uses a path condition ``(?path)`` anywhere."""
+    for sub in iter_subpaths(path):
+        if isinstance(sub, TestPath) and _test_has_path_condition(sub.condition):
+            return True
+    return False
+
+
+def _test_has_path_condition(condition: Test) -> bool:
+    if isinstance(condition, PathTest):
+        return True
+    if isinstance(condition, (AndTest, OrTest)):
+        return any(_test_has_path_condition(part) for part in condition.parts)
+    if isinstance(condition, NotTest):
+        return _test_has_path_condition(condition.inner)
+    return False
+
+
+def has_occurrence_indicators(path: PathExpr) -> bool:
+    """True if the expression uses a numerical occurrence indicator anywhere."""
+    return any(isinstance(sub, Repeat) for sub in iter_subpaths(path))
+
+
+def occurrence_indicators_only_on_axes(path: PathExpr) -> bool:
+    """True if every occurrence indicator is applied directly to an axis.
+
+    This is the syntactic restriction defining NavL[ANOI] /
+    NavL[PC,ANOI] (Appendix B): ``axis[n,m]`` and ``axis[n,_]`` are
+    allowed, arbitrary ``path[n,m]`` is not.
+    """
+    for sub in iter_subpaths(path):
+        if isinstance(sub, Repeat) and not isinstance(sub.body, Axis):
+            return False
+    return True
+
+
+def classify(path: PathExpr) -> Fragment:
+    """Smallest fragment of the paper's hierarchy containing the expression."""
+    pc = has_path_conditions(path)
+    noi = has_occurrence_indicators(path)
+    if not noi:
+        # Without occurrence indicators the expression lies in NavL[PC]
+        # (which contains NavL[ANOI]-without-indicators as well).
+        return Fragment.PC
+    axis_only = occurrence_indicators_only_on_axes(path)
+    if pc:
+        return Fragment.PC_ANOI if axis_only else Fragment.FULL
+    return Fragment.ANOI if axis_only else Fragment.NOI
+
+
+def in_fragment(path: PathExpr, fragment: Fragment) -> bool:
+    """True if the expression belongs to ``fragment``."""
+    pc = has_path_conditions(path)
+    noi = has_occurrence_indicators(path)
+    axis_only = occurrence_indicators_only_on_axes(path)
+    if fragment is Fragment.FULL:
+        return True
+    if fragment is Fragment.PC:
+        return not noi
+    if fragment is Fragment.NOI:
+        return not pc
+    if fragment is Fragment.ANOI:
+        return not pc and axis_only
+    if fragment is Fragment.PC_ANOI:
+        return axis_only
+    raise ValueError(f"unknown fragment {fragment!r}")

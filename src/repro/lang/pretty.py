@@ -1,0 +1,79 @@
+"""Pretty-printing of NavL[PC,NOI] expressions.
+
+:func:`to_text` renders an expression in a notation close to the paper's
+formal syntax (``/`` for concatenation, ``+`` for union, ``[n,m]`` and
+``[n,_]`` for occurrence indicators, ``?()`` for path conditions).  The
+output is deterministic, which makes it usable in golden tests and error
+messages.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    AndTest,
+    Axis,
+    Concat,
+    EdgeTest,
+    ExistsTest,
+    LabelTest,
+    NodeTest,
+    NotTest,
+    OrTest,
+    PathExpr,
+    PathTest,
+    PropEq,
+    Repeat,
+    Test,
+    TestPath,
+    TimeLt,
+    TrueTest,
+    Union,
+)
+
+
+def to_text(expr: PathExpr | Test) -> str:
+    """Render a path expression or test as formal-notation text."""
+    if isinstance(expr, Test):
+        return _test_text(expr)
+    return _path_text(expr)
+
+
+def _path_text(path: PathExpr) -> str:
+    if isinstance(path, Axis):
+        return path.kind
+    if isinstance(path, TestPath):
+        return _test_text(path.condition)
+    if isinstance(path, Concat):
+        return "(" + " / ".join(_path_text(p) for p in path.parts) + ")"
+    if isinstance(path, Union):
+        return "(" + " + ".join(_path_text(p) for p in path.parts) + ")"
+    if isinstance(path, Repeat):
+        upper = "_" if path.upper is None else str(path.upper)
+        return f"{_path_text(path.body)}[{path.lower},{upper}]"
+    raise TypeError(f"not a path expression: {path!r}")
+
+
+def _test_text(condition: Test) -> str:
+    if isinstance(condition, NodeTest):
+        return "Node"
+    if isinstance(condition, EdgeTest):
+        return "Edge"
+    if isinstance(condition, LabelTest):
+        return condition.label
+    if isinstance(condition, PropEq):
+        return f"{condition.prop} -> {condition.value!r}"
+    if isinstance(condition, TimeLt):
+        return f"< {condition.bound}"
+    if isinstance(condition, ExistsTest):
+        return "EXISTS"
+    if isinstance(condition, TrueTest):
+        return "TRUE"
+    if isinstance(condition, PathTest):
+        return f"?({_path_text(condition.path)})"
+    if isinstance(condition, AndTest):
+        return "(" + " AND ".join(_test_text(p) for p in condition.parts) + ")"
+    if isinstance(condition, OrTest):
+        return "(" + " OR ".join(_test_text(p) for p in condition.parts) + ")"
+    if isinstance(condition, NotTest):
+        return f"NOT {_test_text(condition.inner)}"
+    raise TypeError(f"not a test: {condition!r}")

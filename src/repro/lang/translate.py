@@ -1,0 +1,175 @@
+"""Translation of the practical MATCH syntax into NavL[PC,NOI].
+
+Section V-A of the paper shows how each practical construct corresponds
+to a formal expression; this module implements that translation and, on
+top of it, compiles a parsed :class:`~repro.lang.parser.MatchQuery` into
+a :class:`CompiledMatch`: a sequence of *segments*, each a NavL path
+expression optionally followed by a variable binding.  Evaluation engines
+process the segments left to right, binding each variable to the temporal
+object reached at the end of its segment — this is what turns the binary
+endpoint semantics of path expressions into the multi-column temporal
+binding tables shown in Section IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import QueryTranslationError
+from repro.lang import ast
+from repro.lang.ast import PathExpr, Test, TestPath
+from repro.lang.parser import (
+    EdgePattern,
+    MatchQuery,
+    NodePattern,
+    PathPattern,
+    parse_match,
+    parse_path,
+)
+
+
+def translate_path(text: str, implicit_existence: bool = True) -> PathExpr:
+    """Translate a practical path expression into NavL[PC,NOI].
+
+    This is :func:`repro.lang.parser.parse_path` under a name that makes
+    the Section V-A correspondence explicit.
+    """
+    return parse_path(text, implicit_existence=implicit_existence)
+
+
+def node_pattern_test(pattern: NodePattern) -> Test:
+    """The condition a temporal object must satisfy to match a node element.
+
+    ``(x:Person {risk = 'high'})`` becomes
+    ``Node ∧ Person ∧ risk ↦ high ∧ ∃`` — node elements always require
+    existence (Section IV: variables are assigned nodes *that exist* at
+    the bound time point).
+    """
+    parts: list[Test] = [ast.is_node()]
+    if pattern.label is not None:
+        parts.append(ast.label(pattern.label))
+    if pattern.condition is not None:
+        parts.append(pattern.condition)
+    parts.append(ast.exists())
+    return ast.and_(*parts)
+
+
+def edge_pattern_test(pattern: EdgePattern) -> Test:
+    """The condition an edge object must satisfy to match an edge connector."""
+    parts: list[Test] = [ast.is_edge()]
+    if pattern.label is not None:
+        parts.append(ast.label(pattern.label))
+    if pattern.condition is not None:
+        parts.append(pattern.condition)
+    parts.append(ast.exists())
+    return ast.and_(*parts)
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One step of a compiled MATCH: traverse ``path``, optionally bind ``variable``."""
+
+    path: PathExpr
+    variable: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class CompiledMatch:
+    """A MATCH clause compiled into anchored segments.
+
+    Attributes
+    ----------
+    segments:
+        Traversed left to right starting from every temporal object of
+        the graph; the first segment is always a test selecting the
+        first node element.
+    variables:
+        Variable names in binding order (a subset of the segment
+        variables, without ``None`` entries).
+    graph_name:
+        The name following ``ON``, if any.
+    """
+
+    segments: tuple[Segment, ...]
+    variables: tuple[str, ...]
+    graph_name: Optional[str] = None
+
+    def full_path(self) -> PathExpr:
+        """The single NavL expression equivalent to the whole MATCH pattern.
+
+        Evaluating it yields only the endpoints (first and last temporal
+        objects); engines use the segment list when intermediate
+        variables must be materialized.
+        """
+        return ast.concat(*(segment.path for segment in self.segments))
+
+
+def compile_match(query: MatchQuery | str) -> CompiledMatch:
+    """Compile a MATCH clause (text or parsed) into a :class:`CompiledMatch`."""
+    if isinstance(query, str):
+        query = parse_match(query)
+    segments: list[Segment] = []
+    variables: list[str] = []
+
+    first = query.elements[0]
+    segments.append(Segment(TestPath(node_pattern_test(first)), first.variable))
+    if first.variable:
+        variables.append(first.variable)
+
+    for connector, element in zip(query.connectors, query.elements[1:]):
+        if isinstance(connector, EdgePattern):
+            segments.extend(_edge_segments(connector))
+            if connector.variable:
+                variables.append(connector.variable)
+        elif isinstance(connector, PathPattern):
+            segments.append(Segment(connector.path, None))
+        else:  # pragma: no cover - parser only produces the two kinds above
+            raise QueryTranslationError(f"unknown connector {connector!r}")
+        segments.append(Segment(TestPath(node_pattern_test(element)), element.variable))
+        if element.variable:
+            variables.append(element.variable)
+
+    duplicates = {name for name in variables if variables.count(name) > 1}
+    if duplicates:
+        raise QueryTranslationError(
+            f"variable(s) {sorted(duplicates)} bound more than once; "
+            "repeated variables are not supported"
+        )
+    return CompiledMatch(tuple(segments), tuple(variables), query.graph_name)
+
+
+def _edge_segments(pattern: EdgePattern) -> list[Segment]:
+    """Segments for an edge connector, binding the edge variable if present."""
+    step_exists = TestPath(ast.exists())
+    condition = TestPath(edge_pattern_test(pattern))
+    forward_in = ast.concat(ast.F, step_exists)
+    forward_out = ast.concat(ast.F, step_exists)
+    backward_in = ast.concat(ast.B, step_exists)
+    backward_out = ast.concat(ast.B, step_exists)
+
+    if pattern.direction == "out":
+        pre, post = forward_in, forward_out
+    elif pattern.direction == "in":
+        pre, post = backward_in, backward_out
+    elif pattern.direction == "both":
+        if pattern.variable:
+            raise QueryTranslationError(
+                "binding a variable on an undirected edge pattern -[x]- is not "
+                "supported; use a directed pattern or two MATCH clauses"
+            )
+        both = ast.union(
+            ast.concat(forward_in, condition, forward_out),
+            ast.concat(backward_in, condition, backward_out),
+        )
+        return [Segment(both, None)]
+    else:  # pragma: no cover - the parser only emits the three directions
+        raise QueryTranslationError(f"unknown edge direction {pattern.direction!r}")
+
+    if pattern.variable:
+        return [
+            Segment(pre, None),
+            Segment(condition, pattern.variable),
+            Segment(post, None),
+        ]
+    return [Segment(ast.concat(pre, condition, post), None)]

@@ -1,0 +1,40 @@
+"""Temporal property graph models.
+
+Two logical representations of the same conceptual model (Section III):
+
+* :class:`~repro.model.tpg.TemporalPropertyGraph` — the point-based model
+  of Definition III.1, where existence and property values are recorded
+  per time point.
+* :class:`~repro.model.itpg.IntervalTPG` — the succinct interval-
+  timestamped representation of Definition A.1, where existence is a
+  coalesced family of intervals and property values are coalesced
+  families of valued intervals.
+
+The two representations are interconvertible (:mod:`repro.model.convert`)
+and share the same node/edge identifier space.  Snapshots
+(:mod:`repro.model.snapshot`) project a temporal graph onto a
+conventional property graph at a single time point, which is the basis
+of the snapshot-reducibility tests.
+"""
+
+from repro.model.tpg import TemporalPropertyGraph
+from repro.model.itpg import IntervalTPG
+from repro.model.convert import tpg_to_itpg, itpg_to_tpg
+from repro.model.snapshot import Snapshot, snapshot_at, snapshot_sequence
+from repro.model.builder import GraphBuilder
+from repro.model.examples import contact_tracing_example
+from repro.model.stats import GraphStatistics, graph_statistics
+
+__all__ = [
+    "TemporalPropertyGraph",
+    "IntervalTPG",
+    "tpg_to_itpg",
+    "itpg_to_tpg",
+    "Snapshot",
+    "snapshot_at",
+    "snapshot_sequence",
+    "GraphBuilder",
+    "contact_tracing_example",
+    "GraphStatistics",
+    "graph_statistics",
+]

@@ -1,0 +1,73 @@
+"""Conversion between the point-based and interval-based representations.
+
+The paper observes (Appendix A) a one-to-one correspondence between TPGs
+and ITPGs: a TPG is converted to an ITPG in polynomial time by putting
+consecutive time points with the same values into maximal intervals; an
+ITPG is converted back by expanding every interval to the set of time
+points it represents (this direction is exponential in the interval
+representation size, but linear in the number of time points).
+"""
+
+from __future__ import annotations
+
+from repro.model.itpg import IntervalTPG
+from repro.model.tpg import TemporalPropertyGraph
+from repro.temporal.intervalset import IntervalSet
+from repro.temporal.valued import ValuedIntervalSet
+
+
+def tpg_to_itpg(graph: TemporalPropertyGraph) -> IntervalTPG:
+    """Encode a point-based TPG as an interval-timestamped TPG.
+
+    Existence points are coalesced into maximal intervals and property
+    assignments are coalesced into valued-interval families, exactly as
+    described in Section III-B.
+    """
+    itpg = IntervalTPG(graph.domain)
+    for node_id in graph.nodes():
+        itpg.add_node(
+            node_id,
+            graph.label(node_id),
+            IntervalSet.from_points(graph.existence_points(node_id)),
+        )
+    for edge_id in graph.edges():
+        src, tgt = graph.endpoints(edge_id)
+        itpg.add_edge(
+            edge_id,
+            graph.label(edge_id),
+            src,
+            tgt,
+            IntervalSet.from_points(graph.existence_points(edge_id)),
+        )
+    for object_id in graph.objects():
+        for name in graph.property_names(object_id):
+            assignments = graph.property_assignments(object_id, name)
+            family = ValuedIntervalSet.from_points(assignments.items())
+            for entry in family:
+                itpg.set_property(
+                    object_id, name, entry.value, entry.start, entry.end
+                )
+    return itpg
+
+
+def itpg_to_tpg(graph: IntervalTPG) -> TemporalPropertyGraph:
+    """Expand an ITPG into the equivalent point-based TPG (``can(·)`` of Section V-B)."""
+    tpg = TemporalPropertyGraph(graph.domain)
+    for node_id in graph.nodes():
+        tpg.add_node(node_id, graph.label(node_id))
+        tpg.set_existence(node_id, _points(graph.existence(node_id)))
+    for edge_id in graph.edges():
+        src, tgt = graph.endpoints(edge_id)
+        tpg.add_edge(edge_id, graph.label(edge_id), src, tgt)
+        tpg.set_existence(edge_id, _points(graph.existence(edge_id)))
+    for object_id in graph.objects():
+        for name in graph.property_names(object_id):
+            for entry in graph.property_family(object_id, name):
+                tpg.set_property(
+                    object_id, name, entry.value, entry.interval.points()
+                )
+    return tpg
+
+
+def _points(family: IntervalSet) -> list[int]:
+    return list(family.points())

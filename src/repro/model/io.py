@@ -1,0 +1,252 @@
+"""Serialization of interval-timestamped temporal property graphs.
+
+Two formats are supported:
+
+* a JSON document mirroring the relational representation of Section VI
+  (``Nodes(id, label, properties, time)`` / ``Edges(id, src, tgt, label,
+  properties, time)``), one entry per object *version*;
+* a pair of CSV files with the same schema, convenient for loading into
+  external tools.
+
+Only JSON-representable property values survive a round trip; this is
+the same restriction the paper's implementation has (property values are
+strings / numbers in the experimental graphs).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Hashable, Iterator, TextIO, Union
+
+from repro.errors import GraphIntegrityError
+from repro.model.itpg import IntervalTPG
+from repro.temporal.interval import Interval
+
+PathLike = Union[str, Path]
+
+
+# --------------------------------------------------------------------- #
+# Version extraction (shared by JSON and CSV writers)
+# --------------------------------------------------------------------- #
+def object_versions(graph: IntervalTPG, object_id: Hashable) -> Iterator[dict[str, Any]]:
+    """Yield the versions of an object as ``{"start", "end", "properties"}`` rows.
+
+    A version boundary occurs whenever the existence status or any
+    property value changes; within a version nothing changes, so it can
+    be stored as a single interval-timestamped row.
+    """
+    existence = graph.existence(object_id)
+    if existence.is_empty():
+        return
+    boundaries: set[int] = set()
+    for iv in existence:
+        boundaries.add(iv.start)
+        boundaries.add(iv.end + 1)
+    families = graph.properties(object_id)
+    for family in families.values():
+        for entry in family:
+            boundaries.add(entry.start)
+            boundaries.add(entry.end + 1)
+    ordered = sorted(boundaries)
+    for start, nxt in zip(ordered, ordered[1:]):
+        end = nxt - 1
+        if not existence.contains_point(start):
+            continue
+        properties = {
+            name: family.value_at(start)
+            for name, family in families.items()
+            if family.value_at(start) is not None
+        }
+        yield {"start": start, "end": end, "properties": properties}
+
+
+# --------------------------------------------------------------------- #
+# JSON
+# --------------------------------------------------------------------- #
+def to_json_dict(graph: IntervalTPG) -> dict[str, Any]:
+    """Serialize an ITPG into a plain JSON-compatible dictionary."""
+    nodes = []
+    for node_id in graph.nodes():
+        for version in object_versions(graph, node_id):
+            nodes.append(
+                {
+                    "id": node_id,
+                    "label": graph.label(node_id),
+                    "properties": version["properties"],
+                    "time": [version["start"], version["end"]],
+                }
+            )
+    edges = []
+    for edge_id in graph.edges():
+        src, tgt = graph.endpoints(edge_id)
+        for version in object_versions(graph, edge_id):
+            edges.append(
+                {
+                    "id": edge_id,
+                    "src": src,
+                    "tgt": tgt,
+                    "label": graph.label(edge_id),
+                    "properties": version["properties"],
+                    "time": [version["start"], version["end"]],
+                }
+            )
+    return {
+        "domain": [graph.domain.start, graph.domain.end],
+        "nodes": nodes,
+        "edges": edges,
+    }
+
+
+def from_json_dict(payload: dict[str, Any]) -> IntervalTPG:
+    """Deserialize an ITPG from the dictionary produced by :func:`to_json_dict`."""
+    try:
+        domain = Interval(int(payload["domain"][0]), int(payload["domain"][1]))
+    except (KeyError, IndexError, TypeError) as exc:
+        raise GraphIntegrityError("missing or malformed 'domain' entry") from exc
+    graph = IntervalTPG(domain)
+    for row in payload.get("nodes", []):
+        node_id = row["id"]
+        if not graph.has_object(node_id):
+            graph.add_node(node_id, row["label"])
+        _apply_version(graph, node_id, row)
+    for row in payload.get("edges", []):
+        edge_id = row["id"]
+        if not graph.has_object(edge_id):
+            graph.add_edge(edge_id, row["label"], row["src"], row["tgt"])
+        _apply_version(graph, edge_id, row)
+    graph.validate()
+    return graph
+
+
+def _apply_version(graph: IntervalTPG, object_id: Hashable, row: dict[str, Any]) -> None:
+    start, end = int(row["time"][0]), int(row["time"][1])
+    graph.add_existence(object_id, start, end)
+    for name, value in row.get("properties", {}).items():
+        graph.set_property(object_id, name, value, start, end)
+
+
+def save_json(graph: IntervalTPG, destination: Union[PathLike, TextIO]) -> None:
+    """Write an ITPG to a JSON file or file-like object."""
+    payload = to_json_dict(graph)
+    if hasattr(destination, "write"):
+        json.dump(payload, destination, indent=2, sort_keys=True)
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+
+
+def load_json(source: Union[PathLike, TextIO]) -> IntervalTPG:
+    """Read an ITPG from a JSON file or file-like object."""
+    if hasattr(source, "read"):
+        payload = json.load(source)
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    return from_json_dict(payload)
+
+
+# --------------------------------------------------------------------- #
+# CSV (Nodes / Edges relations of Section VI)
+# --------------------------------------------------------------------- #
+def save_csv(graph: IntervalTPG, nodes_path: PathLike, edges_path: PathLike) -> None:
+    """Write the interval node and edge relations as two CSV files."""
+    with open(nodes_path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id", "label", "properties", "start", "end"])
+        for node_id in graph.nodes():
+            for version in object_versions(graph, node_id):
+                writer.writerow(
+                    [
+                        node_id,
+                        graph.label(node_id),
+                        json.dumps(version["properties"], sort_keys=True),
+                        version["start"],
+                        version["end"],
+                    ]
+                )
+    with open(edges_path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id", "src", "tgt", "label", "properties", "start", "end"])
+        for edge_id in graph.edges():
+            src, tgt = graph.endpoints(edge_id)
+            for version in object_versions(graph, edge_id):
+                writer.writerow(
+                    [
+                        edge_id,
+                        src,
+                        tgt,
+                        graph.label(edge_id),
+                        json.dumps(version["properties"], sort_keys=True),
+                        version["start"],
+                        version["end"],
+                    ]
+                )
+
+
+def load_csv(
+    nodes_path: PathLike, edges_path: PathLike, domain: tuple[int, int] | None = None
+) -> IntervalTPG:
+    """Read an ITPG from the two CSV files produced by :func:`save_csv`."""
+    node_rows = _read_csv(nodes_path)
+    edge_rows = _read_csv(edges_path)
+    if domain is None:
+        starts = [int(r["start"]) for r in node_rows + edge_rows]
+        ends = [int(r["end"]) for r in node_rows + edge_rows]
+        if not starts:
+            raise GraphIntegrityError("cannot infer domain from empty CSV files")
+        domain = (min(starts), max(ends))
+    graph = IntervalTPG(Interval(domain[0], domain[1]))
+    for row in node_rows:
+        node_id = row["id"]
+        if not graph.has_object(node_id):
+            graph.add_node(node_id, row["label"])
+        _apply_csv_version(graph, node_id, row)
+    for row in edge_rows:
+        edge_id = row["id"]
+        if not graph.has_object(edge_id):
+            graph.add_edge(edge_id, row["label"], row["src"], row["tgt"])
+        _apply_csv_version(graph, edge_id, row)
+    graph.validate()
+    return graph
+
+
+def _apply_csv_version(graph: IntervalTPG, object_id: Hashable, row: dict[str, str]) -> None:
+    start, end = int(row["start"]), int(row["end"])
+    graph.add_existence(object_id, start, end)
+    for name, value in json.loads(row["properties"] or "{}").items():
+        graph.set_property(object_id, name, value, start, end)
+
+
+def _read_csv(path: PathLike) -> list[dict[str, str]]:
+    with open(path, "r", newline="", encoding="utf-8") as handle:
+        return list(csv.DictReader(handle))
+
+
+# --------------------------------------------------------------------- #
+# NetworkX export
+# --------------------------------------------------------------------- #
+def to_networkx(graph: IntervalTPG):
+    """Export an ITPG to a ``networkx.MultiDiGraph`` with interval attributes."""
+    import networkx as nx
+
+    out = nx.MultiDiGraph(domain=(graph.domain.start, graph.domain.end))
+    for node_id in graph.nodes():
+        out.add_node(
+            node_id,
+            label=graph.label(node_id),
+            existence=[(iv.start, iv.end) for iv in graph.existence(node_id)],
+            versions=list(object_versions(graph, node_id)),
+        )
+    for edge_id in graph.edges():
+        src, tgt = graph.endpoints(edge_id)
+        out.add_edge(
+            src,
+            tgt,
+            key=edge_id,
+            label=graph.label(edge_id),
+            existence=[(iv.start, iv.end) for iv in graph.existence(edge_id)],
+            versions=list(object_versions(graph, edge_id)),
+        )
+    return out

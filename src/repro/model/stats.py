@@ -1,0 +1,55 @@
+"""Graph statistics in the format of Table I of the paper.
+
+Table I reports, per experimental graph: the number of (unique) nodes,
+the number of (unique) edges, the number of temporal nodes and the
+number of temporal edges — where a *temporal object* is a row of the
+interval-timestamped relation, i.e. one version of the object per
+maximal interval during which nothing about it changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.model.convert import tpg_to_itpg
+from repro.model.itpg import IntervalTPG
+from repro.model.tpg import TemporalPropertyGraph
+
+TemporalGraph = Union[TemporalPropertyGraph, IntervalTPG]
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """The four quantities reported per graph in Table I, plus the domain size."""
+
+    num_nodes: int
+    num_edges: int
+    num_temporal_nodes: int
+    num_temporal_edges: int
+    num_time_points: int
+
+    def as_row(self) -> dict[str, int]:
+        """Dictionary form, convenient for tabular printing in benchmarks."""
+        return {
+            "# nodes": self.num_nodes,
+            "# edges": self.num_edges,
+            "# temp. nodes": self.num_temporal_nodes,
+            "# temp. edges": self.num_temporal_edges,
+            "|Omega|": self.num_time_points,
+        }
+
+
+def graph_statistics(graph: TemporalGraph) -> GraphStatistics:
+    """Compute Table-I statistics for a TPG or an ITPG."""
+    if isinstance(graph, TemporalPropertyGraph):
+        itpg = tpg_to_itpg(graph)
+    else:
+        itpg = graph
+    return GraphStatistics(
+        num_nodes=itpg.num_nodes(),
+        num_edges=itpg.num_edges(),
+        num_temporal_nodes=itpg.num_temporal_nodes(),
+        num_temporal_edges=itpg.num_temporal_edges(),
+        num_time_points=len(itpg.domain),
+    )

@@ -1,0 +1,289 @@
+"""Point-based temporal property graphs (Definition III.1).
+
+A :class:`TemporalPropertyGraph` is a tuple ``(Ω, N, E, ρ, λ, ξ, σ)``:
+
+* ``Ω`` — a finite set of consecutive natural numbers (the temporal
+  domain), represented here by an :class:`~repro.temporal.interval.Interval`;
+* ``N`` / ``E`` — disjoint finite sets of node and edge identifiers;
+* ``ρ : E → N × N`` — source and target of each edge;
+* ``λ : N ∪ E → Lab`` — the label of each object;
+* ``ξ : (N ∪ E) × Ω → {true, false}`` — existence per time point;
+* ``σ : (N ∪ E) × Prop × Ω ⇀ Val`` — property values per time point.
+
+Two integrity conditions are enforced (see :mod:`repro.model.validate`):
+an edge may only exist when both endpoints exist, and a property may only
+take a value when the object exists.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping, Optional
+
+from repro.errors import GraphIntegrityError, UnknownObjectError
+from repro.temporal.interval import Interval
+from repro.temporal.intervalset import IntervalSet
+
+ObjectId = Hashable
+Label = str
+PropertyName = str
+Value = Hashable
+
+
+class TemporalPropertyGraph:
+    """Point-based temporal property graph.
+
+    Existence and property values are stored per time point, which makes
+    this the reference model for the paper's point-based semantics.  For
+    large graphs the interval representation
+    (:class:`~repro.model.itpg.IntervalTPG`) is far more compact; this
+    class is primarily used as the semantic ground truth in tests and by
+    the reference evaluation engine.
+    """
+
+    def __init__(self, domain: Interval | tuple[int, int]) -> None:
+        if not isinstance(domain, Interval):
+            domain = Interval(int(domain[0]), int(domain[1]))
+        self._domain = domain
+        self._node_labels: dict[ObjectId, Label] = {}
+        self._edge_labels: dict[ObjectId, Label] = {}
+        self._edge_endpoints: dict[ObjectId, tuple[ObjectId, ObjectId]] = {}
+        self._existence: dict[ObjectId, set[int]] = {}
+        self._properties: dict[ObjectId, dict[PropertyName, dict[int, Value]]] = {}
+        # Adjacency indexes: node id -> edge ids.
+        self._out_edges: dict[ObjectId, set[ObjectId]] = {}
+        self._in_edges: dict[ObjectId, set[ObjectId]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Domain
+    # ------------------------------------------------------------------ #
+    @property
+    def domain(self) -> Interval:
+        """The temporal domain ``Ω`` of the graph."""
+        return self._domain
+
+    def time_points(self) -> range:
+        """All time points of the temporal domain in increasing order."""
+        return self._domain.points()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_node(self, node_id: ObjectId, label: Label) -> None:
+        """Register a node with the given label; existence is added separately."""
+        if node_id in self._node_labels or node_id in self._edge_labels:
+            raise GraphIntegrityError(f"object id {node_id!r} already in use")
+        self._node_labels[node_id] = label
+        self._existence[node_id] = set()
+        self._properties[node_id] = {}
+        self._out_edges[node_id] = set()
+        self._in_edges[node_id] = set()
+
+    def add_edge(
+        self,
+        edge_id: ObjectId,
+        label: Label,
+        source: ObjectId,
+        target: ObjectId,
+    ) -> None:
+        """Register a directed edge from ``source`` to ``target``."""
+        if edge_id in self._node_labels or edge_id in self._edge_labels:
+            raise GraphIntegrityError(f"object id {edge_id!r} already in use")
+        if source not in self._node_labels:
+            raise UnknownObjectError(f"unknown source node {source!r}")
+        if target not in self._node_labels:
+            raise UnknownObjectError(f"unknown target node {target!r}")
+        self._edge_labels[edge_id] = label
+        self._edge_endpoints[edge_id] = (source, target)
+        self._existence[edge_id] = set()
+        self._properties[edge_id] = {}
+        self._out_edges[source].add(edge_id)
+        self._in_edges[target].add(edge_id)
+
+    def set_existence(self, object_id: ObjectId, times: Iterable[int]) -> None:
+        """Mark the object as existing at every time point of ``times``."""
+        existence = self._existence_of(object_id)
+        for t in times:
+            if t not in self._domain:
+                raise GraphIntegrityError(
+                    f"time point {t} outside temporal domain {self._domain}"
+                )
+            existence.add(t)
+
+    def set_property(
+        self,
+        object_id: ObjectId,
+        name: PropertyName,
+        value: Value,
+        times: Iterable[int],
+    ) -> None:
+        """Assign ``value`` to property ``name`` at every time point of ``times``.
+
+        The object must exist at each of those time points (Definition
+        III.1 requires ``σ(o, p, t)`` defined ⇒ ``ξ(o, t) = true``).
+        """
+        existence = self._existence_of(object_id)
+        slots = self._properties[object_id].setdefault(name, {})
+        for t in times:
+            if t not in self._domain:
+                raise GraphIntegrityError(
+                    f"time point {t} outside temporal domain {self._domain}"
+                )
+            if t not in existence:
+                raise GraphIntegrityError(
+                    f"property {name!r} of {object_id!r} set at time {t} "
+                    "but the object does not exist then"
+                )
+            slots[t] = value
+
+    def _existence_of(self, object_id: ObjectId) -> set[int]:
+        try:
+            return self._existence[object_id]
+        except KeyError as exc:
+            raise UnknownObjectError(f"unknown object {object_id!r}") from exc
+
+    # ------------------------------------------------------------------ #
+    # Object accessors (the functions of Definition III.1)
+    # ------------------------------------------------------------------ #
+    def nodes(self) -> Iterator[ObjectId]:
+        """Iterate over node identifiers (the set ``N``)."""
+        return iter(self._node_labels)
+
+    def edges(self) -> Iterator[ObjectId]:
+        """Iterate over edge identifiers (the set ``E``)."""
+        return iter(self._edge_labels)
+
+    def objects(self) -> Iterator[ObjectId]:
+        """Iterate over all object identifiers (``N ∪ E``)."""
+        yield from self._node_labels
+        yield from self._edge_labels
+
+    def is_node(self, object_id: ObjectId) -> bool:
+        return object_id in self._node_labels
+
+    def is_edge(self, object_id: ObjectId) -> bool:
+        return object_id in self._edge_labels
+
+    def has_object(self, object_id: ObjectId) -> bool:
+        return object_id in self._existence
+
+    def label(self, object_id: ObjectId) -> Label:
+        """The function ``λ``: label of a node or an edge."""
+        if object_id in self._node_labels:
+            return self._node_labels[object_id]
+        if object_id in self._edge_labels:
+            return self._edge_labels[object_id]
+        raise UnknownObjectError(f"unknown object {object_id!r}")
+
+    def endpoints(self, edge_id: ObjectId) -> tuple[ObjectId, ObjectId]:
+        """The function ``ρ``: (source, target) of an edge."""
+        try:
+            return self._edge_endpoints[edge_id]
+        except KeyError as exc:
+            raise UnknownObjectError(f"unknown edge {edge_id!r}") from exc
+
+    def source(self, edge_id: ObjectId) -> ObjectId:
+        """``src(e)``."""
+        return self.endpoints(edge_id)[0]
+
+    def target(self, edge_id: ObjectId) -> ObjectId:
+        """``tgt(e)``."""
+        return self.endpoints(edge_id)[1]
+
+    def exists(self, object_id: ObjectId, t: int) -> bool:
+        """The function ``ξ``: does the object exist at time ``t``?"""
+        return t in self._existence_of(object_id)
+
+    def existence_points(self, object_id: ObjectId) -> frozenset[int]:
+        """All time points at which the object exists."""
+        return frozenset(self._existence_of(object_id))
+
+    def existence_intervals(self, object_id: ObjectId) -> IntervalSet:
+        """The coalesced family of maximal existence intervals of the object."""
+        return IntervalSet.from_points(self._existence_of(object_id))
+
+    def property_value(
+        self, object_id: ObjectId, name: PropertyName, t: int
+    ) -> Optional[Value]:
+        """The partial function ``σ``: value of ``name`` at time ``t`` or ``None``."""
+        props = self._properties.get(object_id)
+        if props is None:
+            raise UnknownObjectError(f"unknown object {object_id!r}")
+        slots = props.get(name)
+        if slots is None:
+            return None
+        return slots.get(t)
+
+    def property_names(self, object_id: ObjectId) -> frozenset[PropertyName]:
+        """Names of the properties that are defined for the object at some time."""
+        props = self._properties.get(object_id)
+        if props is None:
+            raise UnknownObjectError(f"unknown object {object_id!r}")
+        return frozenset(name for name, slots in props.items() if slots)
+
+    def property_assignments(
+        self, object_id: ObjectId, name: PropertyName
+    ) -> Mapping[int, Value]:
+        """All ``time point → value`` assignments of one property of one object."""
+        props = self._properties.get(object_id)
+        if props is None:
+            raise UnknownObjectError(f"unknown object {object_id!r}")
+        return dict(props.get(name, {}))
+
+    # ------------------------------------------------------------------ #
+    # Adjacency
+    # ------------------------------------------------------------------ #
+    def out_edges(self, node_id: ObjectId) -> frozenset[ObjectId]:
+        """Edges whose source is ``node_id``."""
+        try:
+            return frozenset(self._out_edges[node_id])
+        except KeyError as exc:
+            raise UnknownObjectError(f"unknown node {node_id!r}") from exc
+
+    def in_edges(self, node_id: ObjectId) -> frozenset[ObjectId]:
+        """Edges whose target is ``node_id``."""
+        try:
+            return frozenset(self._in_edges[node_id])
+        except KeyError as exc:
+            raise UnknownObjectError(f"unknown node {node_id!r}") from exc
+
+    # ------------------------------------------------------------------ #
+    # Counting
+    # ------------------------------------------------------------------ #
+    def num_nodes(self) -> int:
+        return len(self._node_labels)
+
+    def num_edges(self) -> int:
+        return len(self._edge_labels)
+
+    def num_temporal_objects(self) -> int:
+        """``|Ω| * (|N| + |E|)`` — the quantity ``M`` of Theorem C.1."""
+        return len(self._domain) * (self.num_nodes() + self.num_edges())
+
+    def num_existing_temporal_nodes(self) -> int:
+        """Number of pairs ``(node, t)`` with ``ξ(node, t) = true``."""
+        return sum(len(self._existence[n]) for n in self._node_labels)
+
+    def num_existing_temporal_edges(self) -> int:
+        """Number of pairs ``(edge, t)`` with ``ξ(edge, t) = true``."""
+        return sum(len(self._existence[e]) for e in self._edge_labels)
+
+    # ------------------------------------------------------------------ #
+    # Dunder plumbing
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:
+        return (
+            f"TemporalPropertyGraph(domain={self._domain}, "
+            f"nodes={self.num_nodes()}, edges={self.num_edges()})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TemporalPropertyGraph):
+            return NotImplemented
+        return (
+            self._domain == other._domain
+            and self._node_labels == other._node_labels
+            and self._edge_labels == other._edge_labels
+            and self._edge_endpoints == other._edge_endpoints
+            and self._existence == other._existence
+            and self._properties == other._properties
+        )

@@ -1,0 +1,51 @@
+"""Executable hardness reductions from the paper's appendix.
+
+Each module constructs, from an instance of a classical decision
+problem, an ITPG *gadget* and a NavL expression whose tuple-membership
+answer equals the answer of the instance:
+
+* :mod:`repro.reductions.subset_sum` — SUBSET-SUM → NavL[ANOI]
+  (NP-hardness, Theorem D.1);
+* :mod:`repro.reductions.gsubset_sum` — Generalized SUBSET-SUM →
+  NavL[NOI] (Σᵖ₂-hardness, Appendix C.C);
+* :mod:`repro.reductions.qbf` — TQBF → NavL[PC,NOI]
+  (PSPACE-hardness, Appendix C.D).
+
+The gadgets serve two purposes: they are end-to-end tests of the tuple
+checkers on adversarial expressions, and they demonstrate that the
+constructions in the proofs are effectively computable (every instance
+below also has a brute-force solver for cross-checking).
+"""
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.lang.ast import PathExpr
+from repro.model.itpg import IntervalTPG
+
+
+@dataclass(frozen=True)
+class ReductionInstance:
+    """The output of a hardness reduction: graph, expression and endpoints."""
+
+    graph: IntervalTPG
+    path: PathExpr
+    source: tuple[Hashable, int]
+    target: tuple[Hashable, int]
+    description: str = ""
+
+
+from repro.reductions.subset_sum import subset_sum_reduction, solve_subset_sum  # noqa: E402
+from repro.reductions.gsubset_sum import gsubset_sum_reduction, solve_gsubset_sum  # noqa: E402
+from repro.reductions.qbf import qbf_reduction, solve_qbf, QBFInstance  # noqa: E402
+
+__all__ = [
+    "ReductionInstance",
+    "subset_sum_reduction",
+    "solve_subset_sum",
+    "gsubset_sum_reduction",
+    "solve_gsubset_sum",
+    "qbf_reduction",
+    "solve_qbf",
+    "QBFInstance",
+]

@@ -1,0 +1,88 @@
+"""Generalized SUBSET-SUM → NavL[NOI]: the Σᵖ₂-hardness gadget (Appendix C.C).
+
+The Generalized Subset Sum problem asks, given natural-number vectors
+``u`` and ``w`` and a target ``S``, whether there is an ``x ∈ {0,1}^|u|``
+such that for **all** ``y ∈ {0,1}^|w|`` it holds that
+``x·u + y·w ≠ S``.  The reduction builds an ITPG with a single node ``v``
+over ``Ω = [0, 2M]`` with ``M = 2·(Σu + Σw)`` and an expression ``r``
+such that ``(v, M, v, 2M) ∈ JrK_C`` iff the instance is a yes-instance:
+
+* ``r_u`` existentially chooses which ``u_i`` to add (``N[u_i,u_i][0,1]``);
+* the recursively defined ``r_j`` expressions sweep every combination of
+  the ``w_j`` additions, checking at the innermost level that the
+  accumulated sum differs from ``S`` (a universal check realized by the
+  determinism of the time line);
+* the suffix ``N[0,_]/(¬ < 2M)`` finally moves to the right endpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.lang import ast
+from repro.lang.ast import PathExpr
+from repro.model.itpg import IntervalTPG
+from repro.reductions import ReductionInstance
+from repro.temporal.interval import Interval
+from repro.temporal.intervalset import IntervalSet
+
+
+def gsubset_sum_reduction(
+    u: Sequence[int], w: Sequence[int], target: int
+) -> ReductionInstance:
+    """Build the Appendix C.C gadget for the G-SUBSET-SUM instance ``(u, w, target)``."""
+    if any(value < 0 for value in list(u) + list(w)) or target < 0:
+        raise ValueError("G-SUBSET-SUM inputs must be non-negative")
+    magnitude = 2 * (sum(u) + sum(w))
+    magnitude = max(magnitude, target + 1, 1)
+    domain = Interval(0, 2 * magnitude)
+    graph = IntervalTPG(domain)
+    graph.add_node("v", "l", IntervalSet((domain,)))
+
+    # r_u: existential choice over the components of u.
+    u_factors = [ast.repeat(ast.repeat(ast.N, value, value), 0, 1) for value in u]
+    r_u: PathExpr = ast.concat(*u_factors) if u_factors else ast.test(ast.exists())
+
+    # r_0: the accumulated sum is not S (time point differs from S + M).
+    not_target = ast.test(
+        ast.or_(ast.time_lt(target + magnitude), ast.not_(ast.time_lt(target + magnitude + 1)))
+    )
+
+    # r_{j+1} from r_j: sweep both choices for w_{j+1}.
+    r_w: PathExpr = not_target
+    for value in w:
+        shifted = ast.concat(
+            ast.repeat(ast.N, value, value),
+            r_w,
+            ast.repeat(ast.P, 2 * value, 2 * value),
+        )
+        r_w = ast.concat(
+            ast.repeat(shifted, 2, 2), ast.repeat(ast.N, 2 * value, 2 * value)
+        )
+
+    path = ast.concat(
+        r_u,
+        r_w,
+        ast.repeat(ast.N, 0, None),
+        ast.test(ast.not_(ast.time_lt(2 * magnitude))),
+    )
+    return ReductionInstance(
+        graph=graph,
+        path=path,
+        source=("v", magnitude),
+        target=("v", 2 * magnitude),
+        description=f"G-SUBSET-SUM(u={list(u)}, w={list(w)}, S={target})",
+    )
+
+
+def solve_gsubset_sum(u: Sequence[int], w: Sequence[int], target: int) -> bool:
+    """Brute-force solver: ∃x ∀y  x·u + y·w ≠ S."""
+    def subset_sums(values: Sequence[int]) -> set[int]:
+        sums = {0}
+        for value in values:
+            sums |= {s + value for s in sums}
+        return sums
+
+    u_sums = subset_sums(u)
+    w_sums = subset_sums(w)
+    return any(all(su + sw != target for sw in w_sums) for su in u_sums)

@@ -1,0 +1,145 @@
+"""TQBF → NavL[PC,NOI]: the PSPACE-hardness gadget (Appendix C.D).
+
+A quantified Boolean formula ``Q₁x₁ … Qₙxₙ φ(x₁,…,xₙ)`` in prenex CNF is
+encoded over an ITPG with a single node ``v`` existing over
+``Ω = [0, 2ⁿ − 1]``: each time point ``t`` encodes the valuation that
+assigns ``x_i`` the ``i``-th bit of ``t``.  The construction has three
+layers, exactly as in the appendix:
+
+1. the *bit predicate* ``r_i`` — a path condition that holds at ``(v, t)``
+   iff the ``i``-th bit of ``t`` is 1;
+2. the CNF encoding ``r_φ`` — conjunctions/disjunctions of the ``r_i``;
+3. the quantifier prefix ``s_i`` — existential quantifiers become a
+   choice ``(N[2^{i-1}, 2^{i-1}] + N[0,0])`` inside a path condition,
+   universal quantifiers are the double negation of that.
+
+The formula is valid iff ``(v, 0, v, 0) ∈ Js₁K_C``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.lang import ast
+from repro.lang.ast import PathExpr, Test
+from repro.model.itpg import IntervalTPG
+from repro.reductions import ReductionInstance
+from repro.temporal.interval import Interval
+from repro.temporal.intervalset import IntervalSet
+
+Literal = int  # +i for x_i, -i for ¬x_i (1-based, as in DIMACS)
+Clause = tuple[Literal, ...]
+
+
+@dataclass(frozen=True)
+class QBFInstance:
+    """A prenex-CNF quantified Boolean formula.
+
+    ``quantifiers[i]`` is ``"exists"`` or ``"forall"`` for variable
+    ``x_{i+1}``; ``clauses`` use DIMACS-style literals (``+i`` / ``-i``).
+    """
+
+    quantifiers: tuple[str, ...]
+    clauses: tuple[Clause, ...]
+
+    def __post_init__(self) -> None:
+        for quantifier in self.quantifiers:
+            if quantifier not in {"exists", "forall"}:
+                raise ValueError(f"unknown quantifier {quantifier!r}")
+        n = len(self.quantifiers)
+        for clause in self.clauses:
+            for literal in clause:
+                if literal == 0 or abs(literal) > n:
+                    raise ValueError(f"literal {literal} out of range for {n} variables")
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.quantifiers)
+
+
+def bit_predicate(i: int) -> Test:
+    """The test ``r_i``: the ``i``-th bit (1-based, from the right) of the time is 1."""
+    power = 2 ** i
+    previous_power = 2 ** (i - 1)
+    return ast.path_test(
+        ast.concat(
+            ast.repeat(ast.repeat(ast.P, power, power), 0, None),
+            ast.test(ast.and_(ast.time_lt(power), ast.not_(ast.time_lt(previous_power)))),
+        )
+    )
+
+
+def cnf_test(clauses: Sequence[Clause]) -> Test:
+    """The test ``r_φ``: the valuation encoded by the current time satisfies the CNF."""
+    clause_tests: list[Test] = []
+    for clause in clauses:
+        literal_tests: list[Test] = []
+        for literal in clause:
+            predicate = bit_predicate(abs(literal))
+            literal_tests.append(predicate if literal > 0 else ast.not_(predicate))
+        clause_tests.append(ast.or_(*literal_tests))
+    if not clause_tests:
+        return ast.exists()
+    return ast.and_(*clause_tests)
+
+
+def qbf_reduction(instance: QBFInstance) -> ReductionInstance:
+    """Build the Appendix C.D gadget; the answer is membership of ``(v,0,v,0)``."""
+    n = instance.num_variables
+    domain = Interval(0, max(2 ** n - 1, 1))
+    graph = IntervalTPG(domain)
+    graph.add_node("v", "l", IntervalSet((domain,)))
+
+    # s_{n+1} is the CNF test; s_i wraps s_{i+1} with the quantifier for x_i.
+    current: Test = cnf_test(instance.clauses)
+    for i in range(n, 0, -1):
+        step = 2 ** (i - 1)
+        move = ast.union(ast.repeat(ast.N, step, step), ast.repeat(ast.N, 0, 0))
+        if instance.quantifiers[i - 1] == "exists":
+            current = ast.path_test(ast.concat(move, ast.test(current)))
+        else:
+            current = ast.not_(
+                ast.path_test(ast.concat(move, ast.test(ast.not_(current))))
+            )
+
+    path: PathExpr = ast.test(current)
+    return ReductionInstance(
+        graph=graph,
+        path=path,
+        source=("v", 0),
+        target=("v", 0),
+        description=f"TQBF({' '.join(instance.quantifiers)}, {len(instance.clauses)} clauses)",
+    )
+
+
+def solve_qbf(instance: QBFInstance) -> bool:
+    """Brute-force QBF solver used to cross-check the gadget."""
+    return _solve(instance, 0, {})
+
+
+def _solve(instance: QBFInstance, index: int, assignment: dict[int, bool]) -> bool:
+    if index == instance.num_variables:
+        return _evaluate_cnf(instance.clauses, assignment)
+    variable = index + 1
+    outcomes = []
+    for value in (False, True):
+        assignment[variable] = value
+        outcomes.append(_solve(instance, index + 1, assignment))
+    del assignment[variable]
+    if instance.quantifiers[index] == "exists":
+        return any(outcomes)
+    return all(outcomes)
+
+
+def _evaluate_cnf(clauses: Sequence[Clause], assignment: dict[int, bool]) -> bool:
+    for clause in clauses:
+        satisfied = False
+        for literal in clause:
+            value = assignment[abs(literal)]
+            if (literal > 0 and value) or (literal < 0 and not value):
+                satisfied = True
+                break
+        if not satisfied:
+            return False
+    return True

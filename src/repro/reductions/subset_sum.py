@@ -1,0 +1,53 @@
+"""SUBSET-SUM → NavL[ANOI]: the NP-hardness gadget of Theorem D.1.
+
+Given a set ``A = {a_1, …, a_n} ⊂ ℕ`` and a target ``S``, build the ITPG
+``C`` consisting of a single node ``v`` existing over ``Ω = [0, S]`` with
+no edges or properties, and the expression::
+
+    r = (N[a_1, a_1] + N[0, 0]) / … / (N[a_n, a_n] + N[0, 0])
+
+Then ``(v, 0, v, S) ∈ JrK_C`` if and only if some subset of ``A`` sums to
+``S``: each factor either advances time by ``a_i`` (the element is taken)
+or stays put (it is not).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.lang import ast
+from repro.model.itpg import IntervalTPG
+from repro.reductions import ReductionInstance
+from repro.temporal.interval import Interval
+from repro.temporal.intervalset import IntervalSet
+
+
+def subset_sum_reduction(numbers: Sequence[int], target: int) -> ReductionInstance:
+    """Build the Theorem-D.1 gadget for the SUBSET-SUM instance ``(numbers, target)``."""
+    if target < 0:
+        raise ValueError("the SUBSET-SUM target must be non-negative")
+    if any(a < 0 for a in numbers):
+        raise ValueError("SUBSET-SUM elements must be non-negative")
+    domain = Interval(0, max(target, 1))
+    graph = IntervalTPG(domain)
+    graph.add_node("v", "l", IntervalSet((domain,)))
+
+    factors = [
+        ast.union(ast.repeat(ast.N, a, a), ast.repeat(ast.N, 0, 0)) for a in numbers
+    ]
+    path = ast.concat(*factors) if factors else ast.test(ast.exists())
+    return ReductionInstance(
+        graph=graph,
+        path=path,
+        source=("v", 0),
+        target=("v", target),
+        description=f"SUBSET-SUM({list(numbers)}, S={target})",
+    )
+
+
+def solve_subset_sum(numbers: Iterable[int], target: int) -> bool:
+    """Brute-force dynamic-programming solver used to cross-check the gadget."""
+    reachable = {0}
+    for a in numbers:
+        reachable |= {r + a for r in reachable if r + a <= target}
+    return target in reachable

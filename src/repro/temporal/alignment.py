@@ -1,0 +1,148 @@
+"""Temporal-alignment primitives for interval joins.
+
+The paper's dataflow implementation (Section VI) uses "interval-based
+reasoning to identify temporally-aligned matches" — i.e. two interval-
+timestamped rows join only on the portion of time during which both are
+valid, and the joined row carries the intersection of the two validity
+intervals (Dignös et al., *Temporal Alignment*).  These helpers implement
+that primitive for pairs, for many-way alignment and as a generic
+overlap join over keyed relations.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Hashable, Iterable, Iterator, Optional, TypeVar
+
+from repro.temporal.interval import Interval
+from repro.temporal.intervalset import IntervalSet
+
+Row = TypeVar("Row")
+OtherRow = TypeVar("OtherRow")
+
+
+def align(left: Interval, right: Interval) -> Optional[Interval]:
+    """Intersection of two validity intervals, or ``None`` when disjoint."""
+    return left.intersect(right)
+
+
+def align_many(intervals: Iterable[Interval]) -> Optional[Interval]:
+    """Intersection of an arbitrary number of validity intervals."""
+    result: Optional[Interval] = None
+    for interval in intervals:
+        if result is None:
+            result = interval
+        else:
+            result = result.intersect(interval)
+        if result is None:
+            return None
+    return result
+
+
+def align_sets(left: IntervalSet, right: IntervalSet) -> IntervalSet:
+    """Intersection of two coalesced families of validity intervals."""
+    return left.intersect(right)
+
+
+def overlap_join(
+    left: Iterable[Row],
+    right: Iterable[OtherRow],
+    left_key: Callable[[Row], Hashable],
+    right_key: Callable[[OtherRow], Hashable],
+    left_interval: Callable[[Row], Interval],
+    right_interval: Callable[[OtherRow], Interval],
+) -> Iterator[tuple[Row, OtherRow, Interval]]:
+    """Hash-join two keyed interval relations on key equality + interval overlap.
+
+    Yields ``(left_row, right_row, aligned_interval)`` for every pair of
+    rows whose keys are equal and whose validity intervals intersect; the
+    yielded interval is the intersection.  The right side is materialized
+    into a hash table indexed by key (in-memory hash join, as in the
+    paper's implementation); the left side is streamed.
+    """
+    index: dict[Hashable, list[OtherRow]] = defaultdict(list)
+    for row in right:
+        index[right_key(row)].append(row)
+    for lrow in left:
+        for rrow in index.get(left_key(lrow), ()):
+            overlap = left_interval(lrow).intersect(right_interval(rrow))
+            if overlap is not None:
+                yield lrow, rrow, overlap
+
+
+def interval_product(
+    left: Iterable[tuple[Hashable, Interval]],
+    right: Iterable[tuple[Hashable, Interval]],
+) -> Iterator[tuple[Hashable, Hashable, Interval]]:
+    """Cartesian alignment of two small interval relations (used in tests)."""
+    right_rows = list(right)
+    for lkey, liv in left:
+        for rkey, riv in right_rows:
+            overlap = liv.intersect(riv)
+            if overlap is not None:
+                yield lkey, rkey, overlap
+
+
+def reachable_window(
+    start: Interval,
+    existence: IntervalSet,
+    lo: int,
+    hi: Optional[int],
+    forward: bool,
+    require_contiguous: bool,
+    domain: Interval,
+) -> list[tuple[Interval, Interval]]:
+    """Interval-level reachability for a bounded/unbounded temporal step.
+
+    Given an anchor validity interval ``start`` for some object, the
+    object's existence family and a temporal-navigation constraint
+    ("move between ``lo`` and ``hi`` steps forward/backward", with ``hi``
+    ``None`` meaning unbounded), compute the pairs of
+    ``(anchor sub-interval, reachable interval)`` such that every anchor
+    point of the sub-interval can reach every point of the associated
+    reachable interval — optionally requiring that every *intermediate*
+    time point exists for the object (``require_contiguous``), which is
+    the semantics of ``(N/∃)[n, _]`` style expressions used by the
+    practical language.
+
+    The result over-approximates nothing and under-approximates nothing
+    in aggregate: the union over returned pairs of
+    ``{(t, t') : t in anchor piece, t' in reachable piece, lo <= |t'-t| <= hi}``
+    equals the exact point-level reachability relation restricted to the
+    constraint.  Point-level filtering (Step 3 of the paper's evaluation)
+    is still applied afterwards by the executor when it materializes
+    bindings.
+    """
+    results: list[tuple[Interval, Interval]] = []
+    if require_contiguous:
+        # Every intermediate point must exist, therefore anchor and target
+        # must fall within the same maximal existence run.
+        for run in existence:
+            anchor = start.intersect(run)
+            if anchor is None:
+                continue
+            if forward:
+                target_lo = anchor.start + lo
+                target_hi = run.end if hi is None else min(run.end, anchor.end + hi)
+            else:
+                target_hi = anchor.end - lo
+                target_lo = run.start if hi is None else max(run.start, anchor.start - hi)
+            if target_lo > target_hi:
+                continue
+            target = Interval(target_lo, target_hi).clamp(domain)
+            if target is not None:
+                results.append((anchor, target))
+    else:
+        # Without the existence requirement the reachable window is a pure
+        # shift of the anchor, clamped to the temporal domain.
+        if forward:
+            target_lo = start.start + lo
+            target_hi = domain.end if hi is None else start.end + hi
+        else:
+            target_hi = start.end - lo
+            target_lo = domain.start if hi is None else start.start - hi
+        if target_lo <= target_hi:
+            window = Interval(target_lo, target_hi).clamp(domain)
+            if window is not None:
+                results.append((start, window))
+    return results

@@ -1,0 +1,98 @@
+"""Coalescing algorithms for intervals, valued intervals and tagged rows.
+
+Point-based temporal semantics requires interval representations to be
+*temporally coalesced*: value-equivalent, temporally adjacent intervals
+are stored as a single interval, and the property is maintained through
+operations (Section III of the paper, citing Böhlen et al.).  The
+functions in this module are the shared coalescing primitives used by the
+graph model, the dataflow relations and the binding tables.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Hashable, Iterable, Sequence, TypeVar
+
+from repro.temporal.interval import Interval
+from repro.temporal.intervalset import IntervalSet
+from repro.temporal.valued import ValuedInterval, ValuedIntervalSet
+
+Key = TypeVar("Key", bound=Hashable)
+
+
+def coalesce_intervals(intervals: Iterable[Interval | tuple[int, int]]) -> IntervalSet:
+    """Coalesce arbitrary intervals into a family of maximal intervals."""
+    return IntervalSet(intervals)
+
+
+def coalesce_valued_intervals(
+    entries: Iterable[ValuedInterval | tuple[Hashable, Interval]],
+) -> ValuedIntervalSet:
+    """Coalesce valued intervals; same-value adjacent entries are merged."""
+    return ValuedIntervalSet(entries)
+
+
+def coalesce_points(points: Iterable[int]) -> IntervalSet:
+    """Coalesce a bag of time points into maximal intervals."""
+    return IntervalSet.from_points(points)
+
+
+def coalesce_rows(
+    rows: Iterable[tuple[Key, Interval]],
+) -> list[tuple[Key, Interval]]:
+    """Coalesce ``(key, interval)`` rows per key.
+
+    This is the relational form of coalescing used for binding tables and
+    dataflow relations: rows that agree on every non-temporal attribute
+    (the *key*) and whose intervals overlap or are adjacent are merged
+    into a single row with the hull interval.  The output is sorted by
+    key and interval start, which makes it a canonical form suitable for
+    equality comparison in tests.
+    """
+    by_key: dict[Key, list[Interval]] = defaultdict(list)
+    for key, interval in rows:
+        by_key[key].append(interval)
+    result: list[tuple[Key, Interval]] = []
+    for key in sorted(by_key, key=repr):
+        for iv in IntervalSet(by_key[key]):
+            result.append((key, iv))
+    return result
+
+
+def coalesce_point_rows(rows: Iterable[tuple[Key, int]]) -> list[tuple[Key, Interval]]:
+    """Coalesce ``(key, time point)`` rows into ``(key, interval)`` rows."""
+    by_key: dict[Key, list[int]] = defaultdict(list)
+    for key, t in rows:
+        by_key[key].append(t)
+    result: list[tuple[Key, Interval]] = []
+    for key in sorted(by_key, key=repr):
+        for iv in IntervalSet.from_points(by_key[key]):
+            result.append((key, iv))
+    return result
+
+
+def expand_rows(rows: Iterable[tuple[Key, Interval]]) -> list[tuple[Key, int]]:
+    """Inverse of :func:`coalesce_point_rows`: expand intervals to time points."""
+    out: list[tuple[Key, int]] = []
+    for key, interval in rows:
+        out.extend((key, t) for t in interval.points())
+    return out
+
+
+def is_coalesced(intervals: Sequence[Interval]) -> bool:
+    """Check the ``FC`` invariant on an already-sorted sequence of intervals."""
+    for left, right in zip(intervals, intervals[1:]):
+        if not left.before(right):
+            return False
+    return True
+
+
+def is_coalesced_valued(entries: Sequence[ValuedInterval]) -> bool:
+    """Check the ``vFC`` invariant on an already-sorted sequence of valued intervals."""
+    for left, right in zip(entries, entries[1:]):
+        if left.interval.before(right.interval):
+            continue
+        if left.interval.meets(right.interval) and left.value != right.value:
+            continue
+        return False
+    return True

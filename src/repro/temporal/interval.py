@@ -1,0 +1,159 @@
+"""Closed integer intervals and Allen's interval relations.
+
+An interval ``[a, b]`` with ``a <= b`` is a concise representation of the
+set of time points ``{i : a <= i <= b}`` (Section III-B of the paper).
+Both endpoints are inclusive.  The Allen relations implemented here follow
+the definitions used in Appendix A: *during*, *meets* and *before*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import InvalidIntervalError
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A closed interval of natural numbers ``[start, end]``.
+
+    Parameters
+    ----------
+    start:
+        First time point contained in the interval.
+    end:
+        Last time point contained in the interval (inclusive).
+
+    Raises
+    ------
+    InvalidIntervalError
+        If ``end < start``.
+    """
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.start, int) or not isinstance(self.end, int):
+            raise InvalidIntervalError(
+                f"interval bounds must be integers, got [{self.start!r}, {self.end!r}]"
+            )
+        if self.end < self.start:
+            raise InvalidIntervalError(
+                f"invalid interval [{self.start}, {self.end}]: end < start"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Basic geometry
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        """Number of time points contained in the interval."""
+        return self.end - self.start + 1
+
+    def __contains__(self, t: int) -> bool:
+        return self.start <= t <= self.end
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.start, self.end + 1))
+
+    def points(self) -> range:
+        """All time points of the interval as a ``range``."""
+        return range(self.start, self.end + 1)
+
+    # ------------------------------------------------------------------ #
+    # Allen's interval relations (the subset used by the paper)
+    # ------------------------------------------------------------------ #
+    def during(self, other: "Interval") -> bool:
+        """``self`` occurs during ``other``: other.start <= start and end <= other.end."""
+        return other.start <= self.start and self.end <= other.end
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """``other`` occurs during ``self``."""
+        return other.during(self)
+
+    def meets(self, other: "Interval") -> bool:
+        """``self`` meets ``other``: self ends exactly one time point before other starts."""
+        return self.end + 1 == other.start
+
+    def before(self, other: "Interval") -> bool:
+        """``self`` is strictly before ``other`` with a gap of at least one point."""
+        return self.end + 1 < other.start
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True if the two intervals share at least one time point."""
+        return self.start <= other.end and other.start <= self.end
+
+    def adjacent_or_overlapping(self, other: "Interval") -> bool:
+        """True if the union of the two intervals is itself an interval."""
+        return self.start <= other.end + 1 and other.start <= self.end + 1
+
+    # ------------------------------------------------------------------ #
+    # Set-like operations
+    # ------------------------------------------------------------------ #
+    def intersect(self, other: "Interval") -> Optional["Interval"]:
+        """Intersection with ``other``, or ``None`` if the intervals are disjoint."""
+        lo = max(self.start, other.start)
+        hi = min(self.end, other.end)
+        if lo > hi:
+            return None
+        return Interval(lo, hi)
+
+    def union(self, other: "Interval") -> "Interval":
+        """Union with ``other``; the two intervals must overlap or be adjacent."""
+        if not self.adjacent_or_overlapping(other):
+            raise InvalidIntervalError(
+                f"cannot union disjoint non-adjacent intervals {self} and {other}"
+            )
+        return Interval(min(self.start, other.start), max(self.end, other.end))
+
+    def hull(self, other: "Interval") -> "Interval":
+        """Smallest interval containing both operands (may cover a gap)."""
+        return Interval(min(self.start, other.start), max(self.end, other.end))
+
+    def difference(self, other: "Interval") -> list["Interval"]:
+        """Time points of ``self`` not in ``other``, as at most two intervals."""
+        if not self.overlaps(other):
+            return [self]
+        pieces: list[Interval] = []
+        if self.start < other.start:
+            pieces.append(Interval(self.start, other.start - 1))
+        if other.end < self.end:
+            pieces.append(Interval(other.end + 1, self.end))
+        return pieces
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic
+    # ------------------------------------------------------------------ #
+    def shift(self, delta: int) -> "Interval":
+        """Interval translated by ``delta`` time points."""
+        return Interval(self.start + delta, self.end + delta)
+
+    def expand(self, before: int, after: int) -> "Interval":
+        """Interval grown by ``before`` points on the left and ``after`` on the right."""
+        if before < 0 or after < 0:
+            raise InvalidIntervalError("expand amounts must be non-negative")
+        return Interval(self.start - before, self.end + after)
+
+    def clamp(self, domain: "Interval") -> Optional["Interval"]:
+        """Intersection with the temporal domain ``domain``."""
+        return self.intersect(domain)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def point(t: int) -> "Interval":
+        """The singleton interval ``[t, t]``."""
+        return Interval(t, t)
+
+    @staticmethod
+    def from_points(points: Iterable[int]) -> "Interval":
+        """Smallest interval containing every point of ``points`` (non-empty)."""
+        pts = list(points)
+        if not pts:
+            raise InvalidIntervalError("cannot build an interval from no points")
+        return Interval(min(pts), max(pts))
+
+    def __str__(self) -> str:
+        return f"[{self.start}, {self.end}]"

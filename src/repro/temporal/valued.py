@@ -1,0 +1,202 @@
+"""Valued intervals and coalesced families of valued intervals (``vFC``).
+
+A valued interval ``(v, [a, b])`` states that a property holds the value
+``v`` during every time point of ``[a, b]``.  A family of valued intervals
+is *coalesced* (Appendix A) when, ordered by time, consecutive entries are
+either separated by a gap or carry different values — i.e. a value change
+is the only reason two adjacent intervals may touch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Optional
+
+from repro.errors import InvalidIntervalError
+from repro.temporal.interval import Interval
+from repro.temporal.intervalset import IntervalSet
+
+Value = Hashable
+
+
+@dataclass(frozen=True)
+class ValuedInterval:
+    """A pair ``(value, interval)``: the value held during the interval."""
+
+    value: Value
+    interval: Interval
+
+    @property
+    def start(self) -> int:
+        return self.interval.start
+
+    @property
+    def end(self) -> int:
+        return self.interval.end
+
+    def __str__(self) -> str:
+        return f"({self.value!r}, {self.interval})"
+
+
+class ValuedIntervalSet:
+    """An immutable coalesced family of valued intervals.
+
+    The stored entries are sorted by starting point, pairwise disjoint,
+    and adjacent entries always carry different values (the ``vFC``
+    invariant).  Overlapping input entries with *conflicting* values raise
+    :class:`~repro.errors.InvalidIntervalError`; overlapping entries with
+    the same value are merged.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Iterable[ValuedInterval | tuple[Value, Interval]] = ()) -> None:
+        normalized = [
+            e if isinstance(e, ValuedInterval) else ValuedInterval(e[0], e[1])
+            for e in entries
+        ]
+        self._entries: tuple[ValuedInterval, ...] = tuple(_coalesce_valued(normalized))
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def empty() -> "ValuedIntervalSet":
+        return ValuedIntervalSet(())
+
+    @staticmethod
+    def constant(value: Value, start: int, end: int) -> "ValuedIntervalSet":
+        """A single value held over ``[start, end]``."""
+        return ValuedIntervalSet((ValuedInterval(value, Interval(start, end)),))
+
+    @staticmethod
+    def from_points(assignments: Iterable[tuple[int, Value]]) -> "ValuedIntervalSet":
+        """Build a coalesced family from ``(time point, value)`` assignments.
+
+        Assigning two different values to the same time point raises
+        :class:`InvalidIntervalError`.
+        """
+        by_time: dict[int, Value] = {}
+        for t, v in assignments:
+            if t in by_time and by_time[t] != v:
+                raise InvalidIntervalError(
+                    f"conflicting values {by_time[t]!r} and {v!r} at time {t}"
+                )
+            by_time[t] = v
+        entries: list[ValuedInterval] = []
+        run_start: Optional[int] = None
+        run_value: Optional[Value] = None
+        prev: Optional[int] = None
+        for t in sorted(by_time):
+            v = by_time[t]
+            if run_start is None:
+                run_start, run_value, prev = t, v, t
+                continue
+            if t == prev + 1 and v == run_value:
+                prev = t
+                continue
+            entries.append(ValuedInterval(run_value, Interval(run_start, prev)))
+            run_start, run_value, prev = t, v, t
+        if run_start is not None:
+            entries.append(ValuedInterval(run_value, Interval(run_start, prev)))
+        return ValuedIntervalSet(entries)
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def entries(self) -> tuple[ValuedInterval, ...]:
+        return self._entries
+
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[ValuedInterval]:
+        return iter(self._entries)
+
+    def value_at(self, t: int) -> Optional[Value]:
+        """The value held at time point ``t``, or ``None`` if undefined there."""
+        lo, hi = 0, len(self._entries) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            entry = self._entries[mid]
+            if t < entry.start:
+                hi = mid - 1
+            elif t > entry.end:
+                lo = mid + 1
+            else:
+                return entry.value
+        return None
+
+    def is_defined_at(self, t: int) -> bool:
+        return self.value_at(t) is not None
+
+    def support(self) -> IntervalSet:
+        """Time points at which the property is defined, as a coalesced family."""
+        return IntervalSet(entry.interval for entry in self._entries)
+
+    def when_equals(self, value: Value) -> IntervalSet:
+        """Time points at which the property holds exactly ``value``."""
+        return IntervalSet(entry.interval for entry in self._entries if entry.value == value)
+
+    def values(self) -> set[Value]:
+        """The distinct values ever held."""
+        return {entry.value for entry in self._entries}
+
+    # ------------------------------------------------------------------ #
+    # Algebra
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "ValuedIntervalSet") -> "ValuedIntervalSet":
+        """Union of two families; conflicting overlapping values raise an error."""
+        return ValuedIntervalSet(self._entries + other._entries)
+
+    def restrict(self, allowed: IntervalSet) -> "ValuedIntervalSet":
+        """Keep only the portions of each entry that fall inside ``allowed``."""
+        pieces: list[ValuedInterval] = []
+        for entry in self._entries:
+            for iv in allowed.intersect_interval(entry.interval):
+                pieces.append(ValuedInterval(entry.value, iv))
+        return ValuedIntervalSet(pieces)
+
+    # ------------------------------------------------------------------ #
+    # Dunder plumbing
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ValuedIntervalSet):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __hash__(self) -> int:
+        return hash(self._entries)
+
+    def __repr__(self) -> str:
+        body = ", ".join(str(e) for e in self._entries)
+        return f"ValuedIntervalSet({{{body}}})"
+
+
+def _coalesce_valued(entries: list[ValuedInterval]) -> list[ValuedInterval]:
+    """Coalesce valued intervals; same-value adjacent/overlapping entries merge."""
+    if not entries:
+        return []
+    ordered = sorted(entries, key=lambda e: (e.start, e.end))
+    merged: list[ValuedInterval] = [ordered[0]]
+    for entry in ordered[1:]:
+        last = merged[-1]
+        if entry.start <= last.end:
+            if entry.value != last.value:
+                raise InvalidIntervalError(
+                    f"conflicting values {last.value!r} and {entry.value!r} "
+                    f"overlap on {last.interval} / {entry.interval}"
+                )
+            merged[-1] = ValuedInterval(last.value, last.interval.hull(entry.interval))
+        elif entry.start == last.end + 1 and entry.value == last.value:
+            merged[-1] = ValuedInterval(last.value, last.interval.hull(entry.interval))
+        else:
+            merged.append(entry)
+    return merged

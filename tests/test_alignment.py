@@ -1,0 +1,125 @@
+"""Unit tests for temporal-alignment join primitives."""
+
+from repro.temporal import Interval, IntervalSet
+from repro.temporal.alignment import (
+    align,
+    align_many,
+    align_sets,
+    interval_product,
+    overlap_join,
+    reachable_window,
+)
+
+
+class TestAlign:
+    def test_align_overlap(self):
+        assert align(Interval(1, 5), Interval(3, 9)) == Interval(3, 5)
+
+    def test_align_disjoint(self):
+        assert align(Interval(1, 2), Interval(5, 6)) is None
+
+    def test_align_many(self):
+        assert align_many([Interval(1, 9), Interval(3, 7), Interval(5, 11)]) == Interval(5, 7)
+
+    def test_align_many_empty_intersection(self):
+        assert align_many([Interval(1, 3), Interval(5, 7)]) is None
+
+    def test_align_many_no_input(self):
+        assert align_many([]) is None
+
+    def test_align_sets(self):
+        a = IntervalSet([(1, 4), (8, 10)])
+        b = IntervalSet([(3, 9)])
+        assert align_sets(a, b) == IntervalSet([(3, 4), (8, 9)])
+
+
+class TestJoins:
+    def test_overlap_join_matches_on_key_and_time(self):
+        left = [("k1", Interval(1, 5)), ("k2", Interval(1, 5))]
+        right = [("k1", Interval(4, 9)), ("k1", Interval(7, 8))]
+        out = list(
+            overlap_join(
+                left,
+                right,
+                left_key=lambda r: r[0],
+                right_key=lambda r: r[0],
+                left_interval=lambda r: r[1],
+                right_interval=lambda r: r[1],
+            )
+        )
+        assert len(out) == 1
+        lrow, rrow, overlap = out[0]
+        assert lrow[0] == "k1" and rrow[1] == Interval(4, 9)
+        assert overlap == Interval(4, 5)
+
+    def test_overlap_join_no_matches(self):
+        left = [("k", Interval(1, 2))]
+        right = [("k", Interval(5, 6)), ("other", Interval(1, 2))]
+        assert list(
+            overlap_join(
+                left,
+                right,
+                left_key=lambda r: r[0],
+                right_key=lambda r: r[0],
+                left_interval=lambda r: r[1],
+                right_interval=lambda r: r[1],
+            )
+        ) == []
+
+    def test_interval_product(self):
+        left = [("a", Interval(1, 4))]
+        right = [("b", Interval(3, 6)), ("c", Interval(9, 9))]
+        assert list(interval_product(left, right)) == [("a", "b", Interval(3, 4))]
+
+
+class TestReachableWindow:
+    """The interval form of temporal navigation used by the dataflow engine."""
+
+    DOMAIN = Interval(0, 20)
+
+    def test_forward_bounded_contiguous(self):
+        existence = IntervalSet([(0, 10)])
+        out = reachable_window(Interval(2, 3), existence, 1, 4, True, True, self.DOMAIN)
+        assert out == [(Interval(2, 3), Interval(3, 7))]
+
+    def test_forward_contiguous_respects_run_end(self):
+        existence = IntervalSet([(0, 5), (8, 12)])
+        out = reachable_window(Interval(4, 4), existence, 0, 10, True, True, self.DOMAIN)
+        # The run containing 4 ends at 5; the later run is unreachable contiguously.
+        assert out == [(Interval(4, 4), Interval(4, 5))]
+
+    def test_backward_unbounded_contiguous(self):
+        existence = IntervalSet([(2, 9)])
+        out = reachable_window(Interval(9, 9), existence, 0, None, False, True, self.DOMAIN)
+        assert out == [(Interval(9, 9), Interval(2, 9))]
+
+    def test_anchor_outside_existence_gives_nothing_when_contiguous(self):
+        existence = IntervalSet([(5, 9)])
+        assert reachable_window(Interval(1, 2), existence, 0, 3, True, True, self.DOMAIN) == []
+
+    def test_anchor_spanning_two_runs_produces_two_windows(self):
+        existence = IntervalSet([(0, 3), (6, 9)])
+        out = reachable_window(Interval(2, 7), existence, 0, None, True, True, self.DOMAIN)
+        assert out == [
+            (Interval(2, 3), Interval(2, 3)),
+            (Interval(6, 7), Interval(6, 9)),
+        ]
+
+    def test_non_contiguous_ignores_existence(self):
+        existence = IntervalSet([(0, 1)])
+        out = reachable_window(Interval(3, 4), existence, 2, 3, True, False, self.DOMAIN)
+        assert out == [(Interval(3, 4), Interval(5, 7))]
+
+    def test_non_contiguous_clamps_to_domain(self):
+        existence = IntervalSet([(0, 20)])
+        out = reachable_window(Interval(18, 19), existence, 0, 5, True, False, self.DOMAIN)
+        assert out == [(Interval(18, 19), Interval(18, 20))]
+
+    def test_backward_non_contiguous_unbounded(self):
+        existence = IntervalSet([(0, 20)])
+        out = reachable_window(Interval(5, 6), existence, 2, None, False, False, self.DOMAIN)
+        assert out == [(Interval(5, 6), Interval(0, 4))]
+
+    def test_lower_bound_exceeding_run_gives_nothing(self):
+        existence = IntervalSet([(0, 4)])
+        assert reachable_window(Interval(3, 4), existence, 5, 9, True, True, self.DOMAIN) == []

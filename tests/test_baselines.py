@@ -1,0 +1,170 @@
+"""Tests for the baselines: snapshot evaluation, naive point expansion, temporal paths."""
+
+import pytest
+
+from repro.baselines import (
+    NaivePointEngine,
+    earliest_arrival_path,
+    fastest_path,
+    latest_departure_path,
+    shortest_temporal_path,
+    snapshot_reducible_evaluation,
+    snapshot_rpq,
+    TemporalPathFinder,
+)
+from repro.baselines.snapshot_eval import contains_temporal_operator
+from repro.dataflow import PAPER_QUERIES
+from repro.errors import UnsupportedFragmentError
+from repro.eval import ReferenceEngine, evaluate_path
+from repro.lang import ast
+from repro.model import GraphBuilder, snapshot_at
+
+
+class TestSnapshotRPQ:
+    def test_contains_temporal_operator(self):
+        assert contains_temporal_operator(ast.N)
+        assert contains_temporal_operator(ast.test(ast.time_lt(3)))
+        assert not contains_temporal_operator(ast.concat(ast.F, ast.test(ast.exists())))
+
+    def test_single_snapshot_edge_hop(self, figure1):
+        snap = snapshot_at(figure1, 5)
+        hop = ast.concat(
+            ast.test(ast.is_node()), ast.F, ast.test(ast.label("meets")), ast.F
+        )
+        pairs = snapshot_rpq(snap, hop)
+        assert ("n1", "n2") in pairs
+        assert ("n7", "n6") in pairs
+        assert ("n2", "n3") not in pairs  # e2 does not exist at time 5
+
+    def test_snapshot_repeat(self, figure1):
+        snap = snapshot_at(figure1, 6)
+        two_hops = ast.repeat(ast.F, 0, 4)
+        pairs = snapshot_rpq(snap, two_hops)
+        assert ("n3", "n4") in pairs  # n3 -e3-> n4 via two F steps
+        assert ("n3", "n3") in pairs  # zero steps
+
+    def test_temporal_expression_rejected(self, figure1):
+        snap = snapshot_at(figure1, 5)
+        with pytest.raises(UnsupportedFragmentError):
+            snapshot_rpq(snap, ast.concat(ast.N, ast.F))
+
+
+class TestSnapshotReducibility:
+    """Structural-only queries agree with per-snapshot evaluation (design principle)."""
+
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            ast.concat(
+                ast.test(ast.and_(ast.is_node(), ast.exists())),
+                ast.F,
+                ast.test(ast.and_(ast.label("meets"), ast.exists())),
+                ast.F,
+                ast.test(ast.and_(ast.is_node(), ast.exists())),
+            ),
+            ast.concat(
+                ast.test(ast.and_(ast.prop_eq("risk", "high"), ast.exists())),
+                ast.F,
+                ast.test(ast.and_(ast.label("visits"), ast.exists())),
+                ast.F,
+                ast.test(ast.and_(ast.label("Room"), ast.exists())),
+            ),
+        ],
+    )
+    def test_structural_queries_are_snapshot_reducible(self, figure1, expr):
+        temporal = {
+            tup
+            for tup in evaluate_path(figure1, expr)
+        }
+        per_snapshot = snapshot_reducible_evaluation(figure1, expr)
+        assert temporal == per_snapshot
+
+    def test_snapshot_reducibility_on_tiny_graph(self, tiny):
+        expr = ast.concat(
+            ast.test(ast.and_(ast.is_node(), ast.exists())),
+            ast.F,
+            ast.test(ast.exists()),
+            ast.F,
+            ast.test(ast.and_(ast.is_node(), ast.exists())),
+        )
+        assert frozenset(evaluate_path(tiny, expr)) == snapshot_reducible_evaluation(tiny, expr)
+
+
+class TestNaivePointEngine:
+    def test_same_answers_as_reference(self, figure1):
+        naive = NaivePointEngine(figure1)
+        reference = ReferenceEngine(figure1)
+        for name in ("Q3", "Q5", "Q6", "Q9"):
+            text = PAPER_QUERIES[name].text
+            assert naive.match(text).as_set() == reference.match(text).as_set()
+
+    def test_stats_report_expansion_cost(self, figure1):
+        naive = NaivePointEngine(figure1)
+        result = naive.match_with_stats(PAPER_QUERIES["Q3"].text)
+        assert result.expansion_seconds >= 0.0
+        assert result.total_seconds >= result.evaluation_seconds
+
+
+@pytest.fixture()
+def travel_graph():
+    """A small transport network: flights/trains between four cities over a day."""
+    builder = GraphBuilder(domain=(0, 23))
+    for city in ("tokyo", "seoul", "dubai", "buenos_aires"):
+        builder.node(city, "City").version(0, 23, name=city)
+    builder.edge("f1", "flight", "tokyo", "seoul").version(2, 5)
+    builder.edge("f2", "flight", "seoul", "dubai").version(7, 10)
+    builder.edge("t1", "train", "dubai", "buenos_aires").version(12, 20)
+    builder.edge("f3", "flight", "tokyo", "dubai").version(14, 16)
+    return builder.build()
+
+
+class TestTemporalPaths:
+    def test_earliest_arrival(self, travel_graph):
+        journey = earliest_arrival_path(travel_graph, "tokyo", "buenos_aires")
+        assert journey is not None
+        assert [e.edge_id for e in journey.edges] == ["f1", "f2", "t1"]
+        assert journey.arrival == 13
+
+    def test_earliest_arrival_respects_departure(self, travel_graph):
+        finder = TemporalPathFinder(travel_graph)
+        journey = finder.earliest_arrival("tokyo", "dubai", depart_after=6)
+        assert [e.edge_id for e in journey.edges] == ["f3"]
+
+    def test_unreachable_returns_none(self, travel_graph):
+        assert earliest_arrival_path(travel_graph, "buenos_aires", "tokyo") is None
+
+    def test_source_equals_target(self, travel_graph):
+        journey = earliest_arrival_path(travel_graph, "tokyo", "tokyo")
+        assert journey is not None and journey.hops == 0
+
+    def test_latest_departure(self, travel_graph):
+        journey = latest_departure_path(travel_graph, "tokyo", "dubai")
+        assert journey is not None
+        assert [e.edge_id for e in journey.edges] == ["f3"]
+        assert journey.departure >= 14
+
+    def test_fastest(self, travel_graph):
+        journey = fastest_path(travel_graph, "tokyo", "dubai")
+        assert journey is not None
+        # The direct flight (1 hop) is faster than the two-hop route.
+        assert [e.edge_id for e in journey.edges] == ["f3"]
+
+    def test_shortest_counts_hops(self, travel_graph):
+        # The earliest-arrival route needs 3 hops (via Seoul), but taking the
+        # later direct flight to Dubai reaches Buenos Aires in only 2 hops.
+        journey = shortest_temporal_path(travel_graph, "tokyo", "buenos_aires")
+        assert journey is not None
+        assert journey.hops == 2
+        assert [e.edge_id for e in journey.edges] == ["f3", "t1"]
+
+    def test_label_filter(self, travel_graph):
+        # Using only flights, Buenos Aires is unreachable (the last leg is a train).
+        assert earliest_arrival_path(
+            travel_graph, "tokyo", "buenos_aires", labels=["flight"]
+        ) is None
+
+    def test_journeys_are_time_respecting(self, travel_graph):
+        finder = TemporalPathFinder(travel_graph)
+        journey = finder.earliest_arrival("tokyo", "buenos_aires")
+        times = [e.start for e in journey.edges]
+        assert times == sorted(times)

@@ -1,0 +1,96 @@
+"""Tests for temporal binding tables."""
+
+import pytest
+
+from repro.eval import BindingTable
+from repro.temporal import Interval
+
+
+@pytest.fixture()
+def table():
+    return BindingTable.build(
+        ["x", "y"],
+        [
+            (("n1", 5), ("n2", 5)),
+            (("n1", 6), ("n2", 6)),
+            (("n2", 1), ("n3", 1)),
+            (("n1", 5), ("n2", 5)),  # duplicate: must be removed
+        ],
+    )
+
+
+class TestConstruction:
+    def test_dedup_and_sort(self, table):
+        assert len(table) == 3
+        assert table.rows[0] == (("n1", 5), ("n2", 5))
+
+    def test_empty(self):
+        empty = BindingTable.empty(["x"])
+        assert empty.is_empty() and len(empty) == 0 and not empty
+
+    def test_bool_and_iter(self, table):
+        assert table
+        assert list(iter(table)) == list(table.rows)
+
+    def test_as_set(self, table):
+        assert (("n2", 1), ("n3", 1)) in table.as_set()
+
+
+class TestAccessors:
+    def test_to_records(self, table):
+        records = table.to_records()
+        assert records[0] == {"x": "n1", "x_time": 5, "y": "n2", "y_time": 5}
+
+    def test_column(self, table):
+        assert table.column("x") == [("n1", 5), ("n1", 6), ("n2", 1)]
+
+    def test_unknown_column(self, table):
+        with pytest.raises(KeyError):
+            table.column("zzz")
+
+
+class TestRelationalOperations:
+    def test_project(self, table):
+        projected = table.project(["y"])
+        assert projected.variables == ("y",)
+        assert projected.as_set() == {(("n2", 5),), (("n2", 6),), (("n3", 1),)}
+
+    def test_project_reorders(self, table):
+        swapped = table.project(["y", "x"])
+        assert swapped.rows[0] == (("n2", 5), ("n1", 5))
+
+    def test_select(self, table):
+        filtered = table.select(lambda record: record["x_time"] > 4)
+        assert len(filtered) == 2
+
+    def test_rename(self, table):
+        renamed = table.rename({"x": "person"})
+        assert renamed.variables == ("person", "y")
+        assert renamed.to_records()[0]["person"] == "n1"
+
+    def test_coalesced_output(self, table):
+        coalesced = table.coalesced("x")
+        # n1 is bound at 5 and 6 with the same y object but different y times,
+        # so only rows sharing the other bindings coalesce.
+        assert all(isinstance(interval, Interval) for _b, _o, interval in coalesced)
+
+    def test_coalesced_single_variable(self):
+        table = BindingTable.build(["x"], [(("a", 1),), (("a", 2),), (("a", 4),)])
+        coalesced = table.coalesced("x")
+        assert [(obj, (iv.start, iv.end)) for _b, obj, iv in coalesced] == [
+            ("a", (1, 2)),
+            ("a", (4, 4)),
+        ]
+
+
+class TestPresentation:
+    def test_pretty_contains_headers_and_rows(self, table):
+        text = table.pretty()
+        assert "x_time" in text and "n1" in text
+
+    def test_pretty_limit(self, table):
+        text = table.pretty(limit=1)
+        assert "more rows" in text
+
+    def test_str(self, table):
+        assert str(table) == table.pretty()

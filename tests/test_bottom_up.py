@@ -1,0 +1,180 @@
+"""Semantics tests for the bottom-up reference evaluator (Theorem C.1).
+
+These tests pin down the formal semantics of Section V-B on the small
+``tiny_example`` graph:
+
+* nodes: ``a`` (exists 0–9), ``b`` (exists 0–3 and 6–9), ``c`` (0–9),
+* edges: ``ab`` (a→b, exists 1–3 and 7–8), ``bc`` (b→c, exists 2–3 and 6–9).
+"""
+
+import pytest
+
+from repro.eval.bottom_up import BottomUpEvaluator, evaluate_path
+from repro.lang import ast
+
+
+@pytest.fixture(scope="module")
+def evaluator(request):
+    from repro.model.examples import tiny_example
+
+    return BottomUpEvaluator(tiny_example())
+
+
+class TestAxes:
+    def test_forward_axis_ignores_existence(self, evaluator):
+        relation = evaluator.evaluate(ast.F)
+        # F relates source to edge and edge to target at *every* time point.
+        assert ("a", 0, "ab", 0) in relation
+        assert ("ab", 5, "b", 5) in relation
+        assert ("b", 9, "bc", 9) in relation
+
+    def test_forward_axis_never_crosses_time(self, evaluator):
+        assert all(t1 == t2 for (_o1, t1, _o2, t2) in evaluator.evaluate(ast.F))
+
+    def test_backward_axis_is_reverse(self, evaluator):
+        forward = evaluator.evaluate(ast.F).tuples
+        backward = evaluator.evaluate(ast.B).tuples
+        assert {(o2, t2, o1, t1) for (o1, t1, o2, t2) in forward} == backward
+
+    def test_next_axis(self, evaluator):
+        relation = evaluator.evaluate(ast.N)
+        assert ("a", 0, "a", 1) in relation
+        assert ("ab", 3, "ab", 4) in relation  # existence is not required
+        assert ("a", 9, "a", 10) not in relation  # outside the domain
+
+    def test_prev_axis_is_inverse_of_next(self, evaluator):
+        nxt = evaluator.evaluate(ast.N).tuples
+        prv = evaluator.evaluate(ast.P).tuples
+        assert {(o2, t2, o1, t1) for (o1, t1, o2, t2) in nxt} == prv
+
+
+class TestTests:
+    def test_node_and_edge_tests(self, evaluator):
+        nodes = evaluator.evaluate(ast.test(ast.is_node()))
+        edges = evaluator.evaluate(ast.test(ast.is_edge()))
+        assert ("a", 0, "a", 0) in nodes and ("ab", 0, "ab", 0) not in nodes
+        assert ("ab", 0, "ab", 0) in edges and ("a", 0, "a", 0) not in edges
+
+    def test_label_test(self, evaluator):
+        knows = evaluator.evaluate(ast.test(ast.label("knows")))
+        assert ("ab", 5, "ab", 5) in knows  # label holds regardless of existence
+        assert ("a", 5, "a", 5) not in knows
+
+    def test_exists_test(self, evaluator):
+        exists = evaluator.evaluate(ast.test(ast.exists()))
+        assert ("b", 3, "b", 3) in exists
+        assert ("b", 4, "b", 4) not in exists
+        assert ("ab", 2, "ab", 2) in exists
+        assert ("ab", 5, "ab", 5) not in exists
+
+    def test_prop_test(self, evaluator):
+        named = evaluator.evaluate(ast.test(ast.prop_eq("name", "b")))
+        assert ("b", 0, "b", 0) in named and ("b", 9, "b", 9) in named
+        assert ("b", 4, "b", 4) not in named  # no value while it does not exist
+        assert ("a", 0, "a", 0) not in named
+
+    def test_time_lt_test(self, evaluator):
+        early = evaluator.evaluate(ast.test(ast.time_lt(2)))
+        assert ("a", 1, "a", 1) in early and ("a", 2, "a", 2) not in early
+
+    def test_time_eq_sugar(self, evaluator):
+        at3 = evaluator.evaluate(ast.test(ast.time_eq(3)))
+        assert {(t1, t2) for (_o, t1, _o2, t2) in at3} == {(3, 3)}
+
+    def test_boolean_combinations(self, evaluator):
+        both = evaluator.evaluate(ast.test(ast.and_(ast.is_node(), ast.exists())))
+        assert ("b", 5, "b", 5) not in both and ("b", 6, "b", 6) in both
+        either = evaluator.evaluate(ast.test(ast.or_(ast.label("knows"), ast.label("Person"))))
+        assert ("a", 0, "a", 0) in either and ("ab", 0, "ab", 0) in either
+        negated = evaluator.evaluate(ast.test(ast.not_(ast.exists())))
+        assert ("b", 4, "b", 4) in negated and ("b", 3, "b", 3) not in negated
+
+    def test_path_condition(self, evaluator):
+        # Objects from which an existing edge can be reached going forward.
+        condition = ast.test(ast.path_test(ast.concat(ast.F, ast.test(ast.exists()))))
+        relation = evaluator.evaluate(condition)
+        assert ("a", 1, "a", 1) in relation  # ab exists at 1
+        assert ("a", 5, "a", 5) not in relation  # no existing outgoing edge at 5
+        assert ("ab", 1, "ab", 1) in relation  # edge reaches node b which exists at 1
+
+    def test_satisfies_helper(self, evaluator):
+        assert evaluator.satisfies("a", 0, ast.is_node())
+        assert not evaluator.satisfies("a", 0, ast.is_edge())
+
+
+class TestCombinators:
+    def test_concat_edge_traversal(self, evaluator):
+        # (Node ∧ ∃) / F / (Edge ∧ knows ∧ ∃) / F / (Node ∧ ∃): classic edge hop.
+        hop = ast.concat(
+            ast.test(ast.and_(ast.is_node(), ast.exists())),
+            ast.F,
+            ast.test(ast.and_(ast.is_edge(), ast.label("knows"), ast.exists())),
+            ast.F,
+            ast.test(ast.and_(ast.is_node(), ast.exists())),
+        )
+        relation = evaluator.evaluate(hop)
+        assert ("a", 1, "b", 1) in relation
+        assert ("a", 2, "b", 2) in relation
+        assert ("b", 2, "c", 2) in relation
+        assert ("a", 5, "b", 5) not in relation  # edge does not exist at 5
+        assert ("b", 6, "c", 6) in relation
+
+    def test_union(self, evaluator):
+        expr = ast.union(ast.test(ast.label("Person")), ast.test(ast.label("knows")))
+        relation = evaluator.evaluate(expr)
+        assert ("a", 0, "a", 0) in relation and ("ab", 0, "ab", 0) in relation
+
+    def test_union_is_set_union(self, evaluator):
+        left = evaluator.evaluate(ast.N)
+        right = evaluator.evaluate(ast.P)
+        union = evaluator.evaluate(ast.union(ast.N, ast.P))
+        assert union.tuples == left.tuples | right.tuples
+
+    def test_bounded_repetition_of_next(self, evaluator):
+        expr = ast.repeat(ast.N, 2, 3)
+        relation = evaluator.evaluate(expr)
+        assert ("a", 0, "a", 2) in relation and ("a", 0, "a", 3) in relation
+        assert ("a", 0, "a", 1) not in relation and ("a", 0, "a", 4) not in relation
+
+    def test_zero_repetition_is_identity(self, evaluator):
+        expr = ast.repeat(ast.F, 0, 0)
+        relation = evaluator.evaluate(expr)
+        assert ("a", 4, "a", 4) in relation
+        assert ("b", 4, "b", 4) in relation  # identity regardless of existence
+
+    def test_kleene_star_with_existence(self, evaluator):
+        # (N/∃)[0,_] from b at time 1: can only move while b keeps existing.
+        expr = ast.star(ast.concat(ast.N, ast.test(ast.exists())))
+        relation = evaluator.evaluate(expr)
+        assert ("b", 1, "b", 3) in relation
+        assert ("b", 1, "b", 4) not in relation  # b vanishes at 4
+        assert ("b", 1, "b", 7) not in relation  # cannot jump the gap
+        assert ("b", 6, "b", 9) in relation
+
+    def test_kleene_star_without_existence_jumps_gaps(self, evaluator):
+        expr = ast.star(ast.N)
+        relation = evaluator.evaluate(expr)
+        assert ("b", 1, "b", 7) in relation
+
+    def test_room_availability_idiom(self, evaluator):
+        # (¬∃) / (N/¬∃)[0,_] / ∃ : from a non-existence point to the next existence point.
+        expr = ast.concat(
+            ast.test(ast.not_(ast.exists())),
+            ast.star(ast.concat(ast.N, ast.test(ast.not_(ast.exists())))),
+            ast.N,
+            ast.test(ast.exists()),
+        )
+        relation = evaluator.evaluate(expr)
+        assert ("b", 4, "b", 6) in relation
+        assert ("b", 5, "b", 6) in relation
+        assert ("b", 4, "b", 5) not in relation
+
+    def test_evaluate_path_wrapper(self, evaluator):
+        from repro.model.examples import tiny_example
+
+        tuples = evaluate_path(tiny_example(), ast.test(ast.label("Person")))
+        assert ("c", 0, "c", 0) in tuples
+
+    def test_memoization_returns_same_object(self, evaluator):
+        expr = ast.concat(ast.F, ast.test(ast.exists()))
+        assert evaluator.evaluate(expr) is evaluator.evaluate(expr)

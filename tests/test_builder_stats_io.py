@@ -1,0 +1,184 @@
+"""Tests for the graph builder, Table-I statistics and graph serialization."""
+
+import io
+
+import pytest
+
+from repro.errors import GraphIntegrityError
+from repro.model import GraphBuilder, graph_statistics
+from repro.model.examples import contact_tracing_example
+from repro.model.io import (
+    from_json_dict,
+    load_csv,
+    load_json,
+    object_versions,
+    save_csv,
+    save_json,
+    to_json_dict,
+    to_networkx,
+)
+from repro.temporal import Interval, IntervalSet
+
+
+class TestGraphBuilder:
+    def test_simple_build(self):
+        graph = (
+            GraphBuilder(domain=(0, 9))
+            .node("a", "Person")
+            .version(0, 4, name="ann")
+            .node("b", "Person")
+            .version(2, 6)
+            .edge("ab", "knows", "a", "b")
+            .version(2, 4)
+            .build()
+        )
+        assert graph.label("a") == "Person"
+        assert graph.existence("ab") == IntervalSet([(2, 4)])
+        assert graph.property_value("a", "name", 3) == "ann"
+
+    def test_domain_inferred_from_versions(self):
+        graph = GraphBuilder().node("a", "L").version(3, 7).build()
+        assert graph.domain == Interval(3, 7)
+
+    def test_multiple_versions_with_property_change(self):
+        graph = (
+            GraphBuilder(domain=(1, 9))
+            .node("n", "Person")
+            .version(1, 4, risk="low")
+            .version(5, 9, risk="high")
+            .build()
+        )
+        assert graph.property_value("n", "risk", 4) == "low"
+        assert graph.property_value("n", "risk", 5) == "high"
+
+    def test_symmetric_edge(self):
+        builder = GraphBuilder(domain=(0, 5))
+        builder.node("a", "Person").version(0, 5)
+        builder.node("b", "Person").version(0, 5)
+        fwd, bwd = builder.symmetric_edge("m", "meets", "a", "b")
+        fwd.version(1, 2)
+        bwd.version(1, 2)
+        graph = builder.build()
+        assert graph.endpoints("m") == ("a", "b")
+        assert graph.endpoints("m_rev") == ("b", "a")
+
+    def test_duplicate_declaration_rejected(self):
+        builder = GraphBuilder(domain=(0, 5))
+        builder.node("a", "Person").version(0, 5)
+        with pytest.raises(GraphIntegrityError):
+            builder.node("a", "Person")
+
+    def test_object_without_versions_rejected(self):
+        builder = GraphBuilder(domain=(0, 5))
+        builder.node("a", "Person")
+        with pytest.raises(GraphIntegrityError):
+            builder.build()
+
+    def test_empty_builder_rejected(self):
+        with pytest.raises(GraphIntegrityError):
+            GraphBuilder().build()
+
+    def test_invalid_edge_interval_rejected_at_build(self):
+        builder = GraphBuilder(domain=(0, 9))
+        builder.node("a", "P").version(0, 3)
+        builder.node("b", "P").version(0, 9)
+        builder.edge("ab", "knows", "a", "b").version(2, 7)
+        with pytest.raises(GraphIntegrityError):
+            builder.build()
+
+
+class TestStatistics:
+    def test_figure1_statistics(self, figure1):
+        stats = graph_statistics(figure1)
+        assert stats.num_nodes == 7
+        assert stats.num_edges == 10
+        assert stats.num_time_points == 11
+        # Node versions: n1:1, n2:2, n3:1, n4:1, n5:1, n6:3, n7:1 = 10
+        assert stats.num_temporal_nodes == 10
+        # Edge versions: e1 has two (property change), all others one = 11
+        assert stats.num_temporal_edges == 11
+
+    def test_statistics_from_tpg(self, figure1_tpg):
+        assert graph_statistics(figure1_tpg) == graph_statistics(contact_tracing_example())
+
+    def test_as_row_keys(self, figure1):
+        row = graph_statistics(figure1).as_row()
+        assert set(row) == {"# nodes", "# edges", "# temp. nodes", "# temp. edges", "|Omega|"}
+
+
+class TestObjectVersions:
+    def test_versions_of_changing_node(self, figure1):
+        versions = list(object_versions(figure1, "n6"))
+        assert [(v["start"], v["end"]) for v in versions] == [(2, 8), (9, 9), (10, 11)]
+        assert versions[1]["properties"]["test"] == "pos"
+        assert "test" not in versions[0]["properties"]
+
+    def test_versions_of_stable_node(self, figure1):
+        versions = list(object_versions(figure1, "n1"))
+        assert len(versions) == 1
+        assert versions[0]["properties"] == {"name": "Ann", "risk": "low"}
+
+    def test_versions_of_edge_with_property_change(self, figure1):
+        versions = list(object_versions(figure1, "e1"))
+        assert [(v["start"], v["end"]) for v in versions] == [(3, 3), (5, 6)]
+        assert versions[0]["properties"]["loc"] == "cafe"
+        assert versions[1]["properties"]["loc"] == "park"
+
+
+class TestJsonSerialization:
+    def test_round_trip_dict(self, figure1):
+        payload = to_json_dict(figure1)
+        back = from_json_dict(payload)
+        assert set(back.nodes()) == set(figure1.nodes())
+        assert set(back.edges()) == set(figure1.edges())
+        for obj in figure1.objects():
+            assert back.existence(obj) == figure1.existence(obj)
+            for name in figure1.property_names(obj):
+                assert back.property_family(obj, name) == figure1.property_family(obj, name)
+
+    def test_round_trip_file_object(self, figure1):
+        buffer = io.StringIO()
+        save_json(figure1, buffer)
+        buffer.seek(0)
+        back = load_json(buffer)
+        assert set(back.objects()) == set(figure1.objects())
+
+    def test_round_trip_path(self, figure1, tmp_path):
+        path = tmp_path / "graph.json"
+        save_json(figure1, path)
+        back = load_json(path)
+        assert back.domain == figure1.domain
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(GraphIntegrityError):
+            from_json_dict({"nodes": []})
+
+
+class TestCsvSerialization:
+    def test_round_trip(self, figure1, tmp_path):
+        nodes = tmp_path / "nodes.csv"
+        edges = tmp_path / "edges.csv"
+        save_csv(figure1, nodes, edges)
+        back = load_csv(nodes, edges, domain=(1, 11))
+        assert set(back.objects()) == set(figure1.objects())
+        for obj in figure1.objects():
+            assert back.existence(obj) == figure1.existence(obj)
+
+    def test_domain_inference(self, figure1, tmp_path):
+        nodes = tmp_path / "nodes.csv"
+        edges = tmp_path / "edges.csv"
+        save_csv(figure1, nodes, edges)
+        back = load_csv(nodes, edges)
+        assert back.domain == Interval(1, 11)
+
+
+class TestNetworkxExport:
+    def test_export_counts(self, figure1):
+        nx_graph = to_networkx(figure1)
+        assert nx_graph.number_of_nodes() == 7
+        assert nx_graph.number_of_edges() == 10
+
+    def test_export_attributes(self, figure1):
+        nx_graph = to_networkx(figure1)
+        assert nx_graph.nodes["n1"]["label"] == "Person"
+        assert nx_graph.nodes["n6"]["existence"] == [(2, 11)]

@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "-o", "out.json"])
+        assert args.persons == 200 and args.output == "out.json"
+
+    def test_query_defaults(self):
+        args = build_parser().parse_args(["query", "Q1"])
+        assert args.engine == "dataflow" and args.graph is None
+
+
+class TestExampleAndStats:
+    def test_example_roundtrip(self, tmp_path, capsys):
+        path = tmp_path / "fig1.json"
+        assert main(["example", "-o", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["domain"] == [1, 11]
+        assert capsys.readouterr().out.startswith("wrote")
+
+    def test_stats_of_example(self, tmp_path, capsys):
+        path = tmp_path / "fig1.json"
+        main(["example", "-o", str(path)])
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "# nodes" in out and "7" in out
+
+    def test_stats_missing_file(self, capsys):
+        assert main(["stats", "/nonexistent/graph.json"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestGenerate:
+    def test_generate_writes_valid_graph(self, tmp_path, capsys):
+        path = tmp_path / "campus.json"
+        code = main(
+            [
+                "generate",
+                "--persons", "20",
+                "--locations", "10",
+                "--rooms", "3",
+                "--windows", "16",
+                "--positivity", "0.2",
+                "-o", str(path),
+            ]
+        )
+        assert code == 0
+        from repro.model.io import load_json
+
+        graph = load_json(path)
+        graph.validate()
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestQuery:
+    def test_query_paper_name_on_builtin_example(self, capsys):
+        assert main(["query", "Q9"]) == 0
+        out = capsys.readouterr().out
+        assert "n3" in out and "n7" in out
+
+    def test_query_full_match_text(self, capsys):
+        assert main(["query", "MATCH (x:Room) ON contact_tracing", "--limit", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "n4" in out and "n5" in out
+
+    def test_query_with_stats_flag(self, capsys):
+        assert main(["query", "Q3", "--stats"]) == 0
+        assert "output size 2" in capsys.readouterr().out
+
+    def test_query_reference_engine(self, capsys):
+        assert main(["query", "Q6", "--engine", "reference", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "output size 1" in out and "n6" in out
+
+    def test_query_on_generated_graph(self, tmp_path, capsys):
+        path = tmp_path / "campus.json"
+        main(
+            ["generate", "--persons", "20", "--locations", "10", "--rooms", "3",
+             "--windows", "16", "--positivity", "0.2", "-o", str(path)]
+        )
+        capsys.readouterr()
+        assert main(["query", "Q2", "--graph", str(path), "--limit", "5"]) == 0
+        assert "x_time" in capsys.readouterr().out
+
+    def test_query_syntax_error_is_reported(self, capsys):
+        assert main(["query", "MATCH (x"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_query_unsupported_fragment_reports_error(self, capsys):
+        assert main(["query", "MATCH (x)-/(FWD/FWD)*/-(y) ON g"]) == 2
+        assert "error" in capsys.readouterr().err

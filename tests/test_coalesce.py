@@ -1,0 +1,85 @@
+"""Unit tests for the shared coalescing primitives."""
+
+from repro.temporal import Interval, IntervalSet, ValuedInterval
+from repro.temporal.coalesce import (
+    coalesce_intervals,
+    coalesce_point_rows,
+    coalesce_points,
+    coalesce_rows,
+    coalesce_valued_intervals,
+    expand_rows,
+    is_coalesced,
+    is_coalesced_valued,
+)
+
+
+class TestIntervalCoalescing:
+    def test_coalesce_intervals(self):
+        out = coalesce_intervals([Interval(1, 2), Interval(3, 5), Interval(8, 9)])
+        assert out == IntervalSet([(1, 5), (8, 9)])
+
+    def test_coalesce_points(self):
+        assert coalesce_points([5, 1, 2, 3, 9]) == IntervalSet([(1, 3), (5, 5), (9, 9)])
+
+    def test_coalesce_valued(self):
+        out = coalesce_valued_intervals([("a", Interval(1, 2)), ("a", Interval(3, 4))])
+        assert out.entries == (ValuedInterval("a", Interval(1, 4)),)
+
+
+class TestRowCoalescing:
+    def test_rows_with_same_key_merge(self):
+        rows = [("x", Interval(1, 2)), ("x", Interval(3, 4)), ("y", Interval(1, 1))]
+        assert coalesce_rows(rows) == [("x", Interval(1, 4)), ("y", Interval(1, 1))]
+
+    def test_rows_with_gaps_stay_split(self):
+        rows = [("x", Interval(1, 2)), ("x", Interval(5, 6))]
+        assert coalesce_rows(rows) == [("x", Interval(1, 2)), ("x", Interval(5, 6))]
+
+    def test_point_rows(self):
+        rows = [("a", 1), ("a", 2), ("a", 4), ("b", 9)]
+        assert coalesce_point_rows(rows) == [
+            ("a", Interval(1, 2)),
+            ("a", Interval(4, 4)),
+            ("b", Interval(9, 9)),
+        ]
+
+    def test_expand_rows_inverts_point_coalescing(self):
+        rows = [("a", 1), ("a", 2), ("b", 7)]
+        assert sorted(expand_rows(coalesce_point_rows(rows))) == sorted(rows)
+
+    def test_coalesce_rows_output_is_sorted(self):
+        rows = [("b", Interval(4, 5)), ("a", Interval(1, 1))]
+        out = coalesce_rows(rows)
+        assert out[0][0] == "a"
+
+    def test_empty_inputs(self):
+        assert coalesce_rows([]) == []
+        assert coalesce_point_rows([]) == []
+        assert expand_rows([]) == []
+
+
+class TestInvariantCheckers:
+    def test_is_coalesced_true(self):
+        assert is_coalesced([Interval(1, 2), Interval(4, 6)])
+
+    def test_is_coalesced_adjacent_false(self):
+        assert not is_coalesced([Interval(1, 2), Interval(3, 4)])
+
+    def test_is_coalesced_overlap_false(self):
+        assert not is_coalesced([Interval(1, 4), Interval(3, 6)])
+
+    def test_is_coalesced_valued_gap(self):
+        entries = [ValuedInterval("a", Interval(1, 2)), ValuedInterval("a", Interval(4, 5))]
+        assert is_coalesced_valued(entries)
+
+    def test_is_coalesced_valued_adjacent_different_values(self):
+        entries = [ValuedInterval("a", Interval(1, 2)), ValuedInterval("b", Interval(3, 5))]
+        assert is_coalesced_valued(entries)
+
+    def test_is_coalesced_valued_adjacent_same_value_false(self):
+        entries = [ValuedInterval("a", Interval(1, 2)), ValuedInterval("a", Interval(3, 5))]
+        assert not is_coalesced_valued(entries)
+
+    def test_intervalset_always_satisfies_invariant(self):
+        family = IntervalSet([(1, 2), (2, 6), (8, 8), (9, 10)])
+        assert is_coalesced(list(family.intervals))

@@ -1,0 +1,202 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.datagen import (
+    ContactTracingConfig,
+    SCALE_FACTORS,
+    TrajectoryConfig,
+    TrajectorySimulator,
+    default_scale_name,
+    generate_contact_tracing_graph,
+    random_itpg,
+    random_path_expression,
+    scale_factor,
+)
+from repro.datagen.scale import scales_up_to
+from repro.datagen.trajectory import co_location_contacts
+from repro.lang.fragments import classify
+from repro.model import graph_statistics
+
+
+class TestTrajectorySimulator:
+    def test_deterministic_given_seed(self):
+        config = TrajectoryConfig(num_persons=20, seed=5)
+        a = TrajectorySimulator(config).generate()
+        b = TrajectorySimulator(config).generate()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = TrajectorySimulator(TrajectoryConfig(num_persons=20, seed=1)).generate()
+        b = TrajectorySimulator(TrajectoryConfig(num_persons=20, seed=2)).generate()
+        assert a != b
+
+    def test_visits_within_domain(self):
+        config = TrajectoryConfig(num_persons=30, num_windows=48, seed=9)
+        for visit in TrajectorySimulator(config).generate():
+            assert 0 <= visit.start <= visit.end <= 47
+            assert 0 <= visit.location < config.num_locations
+            assert 0 <= visit.person < config.num_persons
+
+    def test_every_person_has_at_least_one_visit(self):
+        config = TrajectoryConfig(num_persons=25, seed=3)
+        persons = {v.person for v in TrajectorySimulator(config).generate()}
+        assert persons == set(range(25))
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            TrajectoryConfig(num_rooms=100, num_locations=10)
+        with pytest.raises(ValueError):
+            TrajectoryConfig(num_persons=0)
+
+    def test_location_weights_are_decreasing(self):
+        weights = TrajectorySimulator(TrajectoryConfig()).location_weights()
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_co_location_contacts_overlap(self):
+        config = TrajectoryConfig(num_persons=40, num_locations=10, num_rooms=2, seed=4)
+        visits = TrajectorySimulator(config).generate()
+        by_person_location = {}
+        for v in visits:
+            by_person_location.setdefault((v.person, v.location), []).append(v)
+        for a, b, location, start, end in co_location_contacts(visits):
+            assert a < b
+            assert start <= end
+
+
+class TestContactTracingGraph:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        config = ContactTracingConfig(
+            trajectory=TrajectoryConfig(num_persons=40, num_locations=20, num_rooms=5, seed=2),
+            positivity_rate=0.1,
+            seed=4,
+        )
+        return generate_contact_tracing_graph(config)
+
+    def test_graph_validates(self, graph):
+        graph.validate()
+
+    def test_node_and_edge_labels(self, graph):
+        node_labels = {graph.label(n) for n in graph.nodes()}
+        edge_labels = {graph.label(e) for e in graph.edges()}
+        assert node_labels == {"Person", "Room"}
+        assert edge_labels <= {"visits", "meets"}
+        assert "visits" in edge_labels
+
+    def test_visits_edges_connect_person_to_room(self, graph):
+        for edge in graph.edges():
+            src, tgt = graph.endpoints(edge)
+            if graph.label(edge) == "visits":
+                assert graph.label(src) == "Person" and graph.label(tgt) == "Room"
+            else:
+                assert graph.label(src) == "Person" and graph.label(tgt) == "Person"
+
+    def test_meets_edges_are_symmetric(self, graph):
+        forward = {
+            graph.endpoints(e)
+            for e in graph.edges()
+            if graph.label(e) == "meets" and not str(e).endswith("_rev")
+        }
+        backward = {
+            graph.endpoints(e)
+            for e in graph.edges()
+            if graph.label(e) == "meets" and str(e).endswith("_rev")
+        }
+        assert {(b, a) for a, b in forward} == backward
+
+    def test_risk_share_close_to_configured(self, graph):
+        persons = [n for n in graph.nodes() if graph.label(n) == "Person"]
+        high = [
+            p
+            for p in persons
+            if graph.property_family(p, "risk").when_equals("high")
+        ]
+        share = len(high) / len(persons)
+        assert 0.05 <= share <= 0.35
+
+    def test_positive_tests_present(self, graph):
+        positives = [
+            n
+            for n in graph.nodes()
+            if graph.label(n) == "Person" and graph.property_family(n, "test")
+        ]
+        assert positives
+
+    def test_positivity_rate_zero_gives_no_positives(self):
+        config = ContactTracingConfig(
+            trajectory=TrajectoryConfig(num_persons=30, seed=8), positivity_rate=0.0
+        )
+        graph = generate_contact_tracing_graph(config)
+        assert all(not graph.property_family(n, "test") for n in graph.nodes())
+
+    def test_determinism(self):
+        config = ContactTracingConfig(
+            trajectory=TrajectoryConfig(num_persons=15, seed=6), seed=3
+        )
+        a = generate_contact_tracing_graph(config)
+        b = generate_contact_tracing_graph(config)
+        assert graph_statistics(a) == graph_statistics(b)
+        assert set(a.objects()) == set(b.objects())
+
+    def test_with_positivity_copies_config(self):
+        config = ContactTracingConfig(positivity_rate=0.02)
+        bumped = config.with_positivity(0.1)
+        assert bumped.positivity_rate == 0.1
+        assert bumped.trajectory is config.trajectory
+
+
+class TestScaleFactors:
+    def test_scales_are_increasing(self):
+        sizes = [sf.num_persons for sf in SCALE_FACTORS.values()]
+        assert sizes == sorted(sizes)
+
+    def test_scale_factor_lookup(self):
+        assert scale_factor("S1").num_persons == 100
+        with pytest.raises(KeyError):
+            scale_factor("S99")
+
+    def test_scales_up_to(self):
+        names = [sf.name for sf in scales_up_to("S3")]
+        assert names == ["S1", "S2", "S3"]
+
+    def test_default_scale_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "S2")
+        assert default_scale_name() == "S2"
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(KeyError):
+            default_scale_name()
+
+    def test_config_carries_positivity(self):
+        config = scale_factor("S1").config(positivity_rate=0.07)
+        assert config.positivity_rate == 0.07
+        assert config.trajectory.num_persons == 100
+
+    def test_graph_size_grows_with_scale(self):
+        small = graph_statistics(generate_contact_tracing_graph(scale_factor("S1").config()))
+        larger = graph_statistics(generate_contact_tracing_graph(scale_factor("S2").config()))
+        assert larger.num_nodes > small.num_nodes
+        assert larger.num_temporal_edges > small.num_temporal_edges
+
+
+class TestRandomGenerators:
+    def test_random_itpg_is_valid_and_deterministic(self):
+        a = random_itpg(7)
+        b = random_itpg(7)
+        a.validate()
+        assert set(a.objects()) == set(b.objects())
+
+    def test_random_itpg_respects_sizes(self):
+        graph = random_itpg(3, num_nodes=4, num_edges=3, num_windows=6)
+        assert graph.num_nodes() == 4
+        assert graph.num_edges() <= 3
+        assert len(graph.domain) == 6
+
+    def test_random_path_expression_fragments(self):
+        no_noi = random_path_expression(5, allow_occurrence_indicators=False)
+        assert classify(no_noi).name in ("PC",)
+        expr = random_path_expression(5)
+        assert expr is not None
+
+    def test_random_path_expression_deterministic(self):
+        assert random_path_expression(11) == random_path_expression(11)

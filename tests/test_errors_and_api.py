@@ -1,0 +1,84 @@
+"""Tests for the exception hierarchy and the top-level package API."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    EvaluationError,
+    GraphIntegrityError,
+    InvalidIntervalError,
+    QuerySyntaxError,
+    QueryTranslationError,
+    ReproError,
+    UnknownObjectError,
+    UnsupportedFragmentError,
+)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            InvalidIntervalError,
+            GraphIntegrityError,
+            UnknownObjectError,
+            QuerySyntaxError,
+            QueryTranslationError,
+            UnsupportedFragmentError,
+            EvaluationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_value_errors_are_value_errors(self):
+        assert issubclass(InvalidIntervalError, ValueError)
+        assert issubclass(QuerySyntaxError, ValueError)
+
+    def test_unknown_object_is_key_error(self):
+        assert issubclass(UnknownObjectError, KeyError)
+
+    def test_single_except_clause_catches_everything(self, figure1):
+        from repro.dataflow import DataflowEngine
+
+        engine = DataflowEngine(figure1)
+        with pytest.raises(ReproError):
+            engine.match("MATCH (x")  # syntax error
+        with pytest.raises(ReproError):
+            engine.match("MATCH (x)-/(FWD/FWD)*/-(y) ON g")  # unsupported fragment
+
+
+class TestTopLevelApi:
+    def test_version_is_exposed(self):
+        assert repro.__version__
+
+    def test_all_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_snippet_from_module_docstring(self):
+        graph = repro.contact_tracing_example()
+        engine = repro.DataflowEngine(graph)
+        table = engine.match(
+            "MATCH (x:Person {risk = 'high'})-"
+            "/FWD/:meets/FWD/NEXT*/-({test = 'pos'}) ON contact_tracing"
+        )
+        assert len(table) == 3
+
+    def test_parse_and_classify_roundtrip(self):
+        expr = repro.parse_path("FWD/:meets/FWD/NEXT[0,12]")
+        assert repro.classify(expr) is repro.Fragment.NOI
+
+    def test_graph_statistics_export(self):
+        stats = repro.graph_statistics(repro.contact_tracing_example())
+        assert stats.num_nodes == 7
+
+    def test_snapshot_exports(self):
+        graph = repro.contact_tracing_example()
+        snap = repro.snapshot_at(graph, 5)
+        assert snap.has_node("n1")
+        assert len(list(repro.snapshot_sequence(graph))) == 11
+
+    def test_interval_exports(self):
+        assert repro.Interval(1, 2).end == 2
+        assert repro.IntervalSet([(1, 2)]).total_points() == 2

@@ -1,0 +1,67 @@
+"""Smoke tests: every example script must run end to end.
+
+The examples are part of the public deliverable; these tests import each
+script as a module and call its ``main()`` so that API drift breaks the
+build instead of silently breaking the documentation.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExampleScripts:
+    def test_quickstart(self, capsys):
+        _load("quickstart").main()
+        out = capsys.readouterr().out
+        assert "Q9" in out and "Cross-check passed" in out
+
+    def test_contact_tracing_small_population(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["contact_tracing.py", "60"])
+        _load("contact_tracing").main()
+        out = capsys.readouterr().out
+        assert "Exposure analysis" in out
+
+    def test_travel_planning(self, capsys):
+        _load("travel_planning").main()
+        out = capsys.readouterr().out
+        assert "earliest arrival" in out
+        assert "buenos_aires" in out
+
+    def test_room_availability(self, capsys):
+        _load("room_availability").main()
+        out = capsys.readouterr().out
+        assert "next available at hour 12" in out
+        assert "room_c: never closed" in out
+
+    def test_every_example_has_a_test(self):
+        scripts = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+        covered = {"quickstart", "contact_tracing", "travel_planning", "room_availability"}
+        assert scripts == covered, "add a smoke test for new example scripts"
+
+
+class TestMainModule:
+    def test_python_dash_m_entry_point(self, capsys):
+        from repro.cli import main
+
+        assert main(["query", "Q3"]) == 0
+        assert "n1" in capsys.readouterr().out
+
+    def test_main_module_importable(self):
+        import repro.__main__  # noqa: F401
+
+    @pytest.mark.parametrize("name", ["quickstart", "travel_planning"])
+    def test_examples_define_main(self, name):
+        module = _load(name)
+        assert callable(module.main)

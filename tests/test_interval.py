@@ -1,0 +1,152 @@
+"""Unit tests for closed integer intervals and Allen's relations."""
+
+import pytest
+
+from repro.errors import InvalidIntervalError
+from repro.temporal import Interval
+
+
+class TestConstruction:
+    def test_valid_interval(self):
+        iv = Interval(2, 5)
+        assert iv.start == 2
+        assert iv.end == 5
+
+    def test_singleton_interval(self):
+        assert len(Interval(3, 3)) == 1
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(5, 2)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(1.5, 3)  # type: ignore[arg-type]
+
+    def test_point_constructor(self):
+        assert Interval.point(7) == Interval(7, 7)
+
+    def test_from_points(self):
+        assert Interval.from_points([4, 2, 9]) == Interval(2, 9)
+
+    def test_from_points_empty_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval.from_points([])
+
+    def test_equality_and_hash(self):
+        assert Interval(1, 3) == Interval(1, 3)
+        assert hash(Interval(1, 3)) == hash(Interval(1, 3))
+        assert Interval(1, 3) != Interval(1, 4)
+
+    def test_ordering(self):
+        assert Interval(1, 3) < Interval(2, 2)
+        assert sorted([Interval(5, 6), Interval(1, 9)])[0] == Interval(1, 9)
+
+    def test_str(self):
+        assert str(Interval(1, 4)) == "[1, 4]"
+
+
+class TestMembershipAndIteration:
+    def test_len_counts_points(self):
+        assert len(Interval(3, 7)) == 5
+
+    def test_contains(self):
+        iv = Interval(2, 4)
+        assert 2 in iv and 3 in iv and 4 in iv
+        assert 1 not in iv and 5 not in iv
+
+    def test_iteration(self):
+        assert list(Interval(2, 5)) == [2, 3, 4, 5]
+
+    def test_points_is_range(self):
+        assert Interval(0, 3).points() == range(0, 4)
+
+
+class TestAllenRelations:
+    def test_during(self):
+        assert Interval(2, 3).during(Interval(1, 5))
+        assert Interval(1, 5).during(Interval(1, 5))
+        assert not Interval(0, 3).during(Interval(1, 5))
+
+    def test_contains_interval(self):
+        assert Interval(1, 5).contains_interval(Interval(2, 3))
+
+    def test_meets(self):
+        assert Interval(1, 2).meets(Interval(3, 4))
+        assert not Interval(1, 2).meets(Interval(4, 5))
+        assert not Interval(1, 3).meets(Interval(3, 4))
+
+    def test_before(self):
+        assert Interval(1, 2).before(Interval(4, 5))
+        assert not Interval(1, 2).before(Interval(3, 5))
+
+    def test_overlaps(self):
+        assert Interval(1, 4).overlaps(Interval(4, 6))
+        assert Interval(1, 4).overlaps(Interval(0, 9))
+        assert not Interval(1, 4).overlaps(Interval(5, 6))
+
+    def test_adjacent_or_overlapping(self):
+        assert Interval(1, 2).adjacent_or_overlapping(Interval(3, 4))
+        assert Interval(3, 4).adjacent_or_overlapping(Interval(1, 2))
+        assert not Interval(1, 2).adjacent_or_overlapping(Interval(4, 5))
+
+
+class TestSetOperations:
+    def test_intersect_overlap(self):
+        assert Interval(1, 5).intersect(Interval(3, 9)) == Interval(3, 5)
+
+    def test_intersect_disjoint_is_none(self):
+        assert Interval(1, 2).intersect(Interval(4, 5)) is None
+
+    def test_intersect_is_commutative(self):
+        a, b = Interval(2, 8), Interval(5, 11)
+        assert a.intersect(b) == b.intersect(a)
+
+    def test_union_of_overlapping(self):
+        assert Interval(1, 4).union(Interval(3, 8)) == Interval(1, 8)
+
+    def test_union_of_adjacent(self):
+        assert Interval(1, 2).union(Interval(3, 4)) == Interval(1, 4)
+
+    def test_union_of_disjoint_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(1, 2).union(Interval(5, 6))
+
+    def test_hull_covers_gap(self):
+        assert Interval(1, 2).hull(Interval(6, 7)) == Interval(1, 7)
+
+    def test_difference_no_overlap(self):
+        assert Interval(1, 3).difference(Interval(5, 6)) == [Interval(1, 3)]
+
+    def test_difference_middle_cut(self):
+        assert Interval(1, 9).difference(Interval(4, 5)) == [Interval(1, 3), Interval(6, 9)]
+
+    def test_difference_full_cover(self):
+        assert Interval(3, 4).difference(Interval(1, 9)) == []
+
+    def test_difference_left_trim(self):
+        assert Interval(1, 5).difference(Interval(0, 2)) == [Interval(3, 5)]
+
+    def test_difference_right_trim(self):
+        assert Interval(1, 5).difference(Interval(4, 9)) == [Interval(1, 3)]
+
+
+class TestArithmetic:
+    def test_shift_forward(self):
+        assert Interval(1, 3).shift(4) == Interval(5, 7)
+
+    def test_shift_backward(self):
+        assert Interval(5, 7).shift(-2) == Interval(3, 5)
+
+    def test_expand(self):
+        assert Interval(4, 5).expand(2, 3) == Interval(2, 8)
+
+    def test_expand_negative_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            Interval(4, 5).expand(-1, 0)
+
+    def test_clamp_within(self):
+        assert Interval(2, 9).clamp(Interval(0, 5)) == Interval(2, 5)
+
+    def test_clamp_outside_is_none(self):
+        assert Interval(8, 9).clamp(Interval(0, 5)) is None

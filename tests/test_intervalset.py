@@ -1,0 +1,186 @@
+"""Unit tests for coalesced interval families (IntervalSet)."""
+
+import pytest
+
+from repro.errors import InvalidIntervalError
+from repro.temporal import Interval, IntervalSet
+
+
+class TestConstructionAndCoalescing:
+    def test_empty(self):
+        family = IntervalSet.empty()
+        assert family.is_empty()
+        assert len(family) == 0
+        assert not family
+
+    def test_single(self):
+        family = IntervalSet.single(1, 4)
+        assert family.intervals == (Interval(1, 4),)
+
+    def test_point(self):
+        assert IntervalSet.point(5).intervals == (Interval(5, 5),)
+
+    def test_accepts_tuples(self):
+        family = IntervalSet([(1, 2), (5, 6)])
+        assert family.intervals == (Interval(1, 2), Interval(5, 6))
+
+    def test_overlapping_inputs_are_merged(self):
+        family = IntervalSet([Interval(1, 4), Interval(3, 8)])
+        assert family.intervals == (Interval(1, 8),)
+
+    def test_adjacent_inputs_are_merged(self):
+        family = IntervalSet([Interval(1, 2), Interval(3, 4)])
+        assert family.intervals == (Interval(1, 4),)
+
+    def test_disjoint_inputs_stay_separate(self):
+        family = IntervalSet([Interval(5, 6), Interval(1, 2)])
+        assert family.intervals == (Interval(1, 2), Interval(5, 6))
+
+    def test_unordered_inputs_are_sorted(self):
+        family = IntervalSet([Interval(7, 9), Interval(0, 1), Interval(3, 4)])
+        assert [iv.start for iv in family] == [0, 3, 7]
+
+    def test_from_points(self):
+        family = IntervalSet.from_points([1, 2, 3, 5, 9, 10])
+        assert family.intervals == (Interval(1, 3), Interval(5, 5), Interval(9, 10))
+
+    def test_from_points_with_duplicates(self):
+        assert IntervalSet.from_points([4, 4, 5]) == IntervalSet.single(4, 5)
+
+    def test_from_points_empty(self):
+        assert IntervalSet.from_points([]).is_empty()
+
+    def test_equality_and_hash(self):
+        a = IntervalSet([(1, 2), (4, 5)])
+        b = IntervalSet([(4, 5), (1, 2)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestMembership:
+    def test_contains_point(self):
+        family = IntervalSet([(1, 3), (7, 9)])
+        assert family.contains_point(2)
+        assert family.contains_point(7)
+        assert not family.contains_point(5)
+        assert 8 in family and 4 not in family
+
+    def test_interval_containing(self):
+        family = IntervalSet([(1, 3), (7, 9)])
+        assert family.interval_containing(8) == Interval(7, 9)
+        assert family.interval_containing(5) is None
+
+    def test_contains_interval(self):
+        family = IntervalSet([(1, 5), (8, 9)])
+        assert family.contains_interval(Interval(2, 4))
+        assert not family.contains_interval(Interval(4, 8))
+
+    def test_is_subset_of(self):
+        small = IntervalSet([(2, 3), (8, 8)])
+        big = IntervalSet([(1, 5), (7, 9)])
+        assert small.is_subset_of(big)
+        assert not big.is_subset_of(small)
+
+    def test_empty_is_subset_of_everything(self):
+        assert IntervalSet.empty().is_subset_of(IntervalSet([(1, 2)]))
+
+    def test_points_iteration(self):
+        family = IntervalSet([(1, 2), (5, 6)])
+        assert list(family.points()) == [1, 2, 5, 6]
+
+    def test_total_points(self):
+        assert IntervalSet([(1, 3), (9, 9)]).total_points() == 4
+
+    def test_min_max_points(self):
+        family = IntervalSet([(3, 4), (8, 11)])
+        assert family.min_point() == 3
+        assert family.max_point() == 11
+
+    def test_min_point_of_empty_raises(self):
+        with pytest.raises(InvalidIntervalError):
+            IntervalSet.empty().min_point()
+
+    def test_span(self):
+        assert IntervalSet([(2, 3), (8, 9)]).span() == Interval(2, 9)
+        assert IntervalSet.empty().span() is None
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = IntervalSet([(1, 3)])
+        b = IntervalSet([(4, 6)])
+        assert a.union(b) == IntervalSet([(1, 6)])
+
+    def test_intersect(self):
+        a = IntervalSet([(1, 5), (8, 12)])
+        b = IntervalSet([(4, 9)])
+        assert a.intersect(b) == IntervalSet([(4, 5), (8, 9)])
+
+    def test_intersect_empty(self):
+        assert IntervalSet([(1, 2)]).intersect(IntervalSet([(4, 5)])).is_empty()
+
+    def test_intersect_interval(self):
+        family = IntervalSet([(1, 3), (6, 9)])
+        assert family.intersect_interval(Interval(2, 7)) == IntervalSet([(2, 3), (6, 7)])
+
+    def test_difference(self):
+        a = IntervalSet([(1, 10)])
+        b = IntervalSet([(3, 4), (7, 8)])
+        assert a.difference(b) == IntervalSet([(1, 2), (5, 6), (9, 10)])
+
+    def test_difference_disjoint(self):
+        a = IntervalSet([(1, 2)])
+        assert a.difference(IntervalSet([(5, 6)])) == a
+
+    def test_complement(self):
+        family = IntervalSet([(2, 3), (6, 7)])
+        assert family.complement(Interval(0, 9)) == IntervalSet([(0, 1), (4, 5), (8, 9)])
+
+    def test_complement_of_empty_is_domain(self):
+        assert IntervalSet.empty().complement(Interval(1, 4)) == IntervalSet([(1, 4)])
+
+    def test_shift(self):
+        assert IntervalSet([(1, 2), (5, 6)]).shift(3) == IntervalSet([(4, 5), (8, 9)])
+
+    def test_dilate(self):
+        family = IntervalSet([(5, 6)])
+        assert family.dilate(2, 1) == IntervalSet([(3, 7)])
+
+    def test_dilate_with_domain_clamp(self):
+        family = IntervalSet([(1, 2), (8, 9)])
+        dilated = family.dilate(3, 3, domain=Interval(0, 10))
+        assert dilated == IntervalSet([(0, 5), (5, 10)]).union(IntervalSet([(0, 10)]))
+        assert dilated == IntervalSet([(0, 10)])
+
+    def test_overlaps(self):
+        a = IntervalSet([(1, 3), (9, 10)])
+        assert a.overlaps(IntervalSet([(3, 5)]))
+        assert not a.overlaps(IntervalSet([(5, 8)]))
+
+
+class TestAlgebraicLaws:
+    """Small hand-picked instances of laws also covered by the hypothesis suite."""
+
+    def test_union_is_commutative(self):
+        a = IntervalSet([(1, 4), (9, 9)])
+        b = IntervalSet([(3, 7)])
+        assert a.union(b) == b.union(a)
+
+    def test_intersection_distributes_over_union(self):
+        a = IntervalSet([(0, 5)])
+        b = IntervalSet([(3, 8)])
+        c = IntervalSet([(7, 10)])
+        left = a.intersect(b.union(c))
+        right = a.intersect(b).union(a.intersect(c))
+        assert left == right
+
+    def test_difference_then_union_restores_subset(self):
+        a = IntervalSet([(0, 9)])
+        b = IntervalSet([(2, 3), (6, 7)])
+        assert a.difference(b).union(b) == a
+
+    def test_result_is_always_coalesced(self):
+        a = IntervalSet([(0, 2)])
+        b = IntervalSet([(3, 5)])
+        merged = a.union(b)
+        assert len(merged) == 1

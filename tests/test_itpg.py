@@ -1,0 +1,156 @@
+"""Unit tests for interval-timestamped temporal property graphs."""
+
+import pytest
+
+from repro.errors import GraphIntegrityError, UnknownObjectError
+from repro.model import IntervalTPG
+from repro.temporal import Interval, IntervalSet
+
+
+@pytest.fixture()
+def graph():
+    g = IntervalTPG(Interval(0, 11))
+    g.add_node("p", "Person", IntervalSet([(0, 5), (8, 11)]))
+    g.add_node("q", "Person", IntervalSet([(0, 11)]))
+    g.add_node("room", "Room", [(2, 9)])
+    g.add_edge("pq", "meets", "p", "q", [(1, 3)])
+    g.add_edge("visit", "visits", "q", "room", [(4, 6)])
+    g.set_property("p", "risk", "low", 0, 5)
+    g.set_property("p", "risk", "high", 8, 11)
+    g.set_property("pq", "loc", "cafe", 1, 3)
+    return g
+
+
+class TestConstruction:
+    def test_domain(self, graph):
+        assert graph.domain == Interval(0, 11)
+        assert list(graph.time_points()) == list(range(12))
+
+    def test_existence_accepts_tuples_and_sets(self, graph):
+        assert graph.existence("room") == IntervalSet([(2, 9)])
+        assert graph.existence("p") == IntervalSet([(0, 5), (8, 11)])
+
+    def test_add_existence_extends_and_coalesces(self, graph):
+        graph.add_existence("room", 10, 11)
+        assert graph.existence("room") == IntervalSet([(2, 11)])
+
+    def test_duplicate_id_rejected(self, graph):
+        with pytest.raises(GraphIntegrityError):
+            graph.add_node("p", "Person")
+        with pytest.raises(GraphIntegrityError):
+            graph.add_edge("pq", "meets", "p", "q")
+
+    def test_unknown_endpoints_rejected(self, graph):
+        with pytest.raises(UnknownObjectError):
+            graph.add_edge("x", "meets", "p", "ghost")
+
+    def test_existence_outside_domain_rejected(self, graph):
+        with pytest.raises(GraphIntegrityError):
+            graph.add_existence("p", 10, 42)
+        with pytest.raises(GraphIntegrityError):
+            IntervalTPG(Interval(0, 3)).add_node("n", "L", [(0, 9)])
+
+    def test_property_outside_domain_rejected(self, graph):
+        with pytest.raises(GraphIntegrityError):
+            graph.set_property("p", "risk", "low", 0, 99)
+
+    def test_property_on_unknown_object_rejected(self, graph):
+        with pytest.raises(UnknownObjectError):
+            graph.set_property("ghost", "p", "v", 0, 1)
+
+
+class TestAccessors:
+    def test_label_and_kind(self, graph):
+        assert graph.label("p") == "Person"
+        assert graph.label("pq") == "meets"
+        assert graph.is_node("room") and graph.is_edge("visit")
+
+    def test_endpoints(self, graph):
+        assert graph.endpoints("visit") == ("q", "room")
+        assert graph.source("pq") == "p" and graph.target("pq") == "q"
+
+    def test_pointwise_existence(self, graph):
+        assert graph.exists("p", 0) and graph.exists("p", 11)
+        assert not graph.exists("p", 6)
+        assert not graph.exists("pq", 0)
+
+    def test_property_family(self, graph):
+        family = graph.property_family("p", "risk")
+        assert family.value_at(3) == "low"
+        assert family.value_at(9) == "high"
+        assert family.value_at(6) is None
+
+    def test_property_value(self, graph):
+        assert graph.property_value("pq", "loc", 2) == "cafe"
+        assert graph.property_value("pq", "loc", 5) is None
+        assert graph.property_value("room", "missing", 5) is None
+
+    def test_property_names(self, graph):
+        assert graph.property_names("p") == frozenset({"risk"})
+        assert graph.property_names("room") == frozenset()
+
+    def test_properties_returns_copy(self, graph):
+        props = graph.properties("p")
+        props.clear()
+        assert graph.property_names("p") == frozenset({"risk"})
+
+    def test_adjacency(self, graph):
+        assert graph.out_edges("p") == frozenset({"pq"})
+        assert graph.in_edges("q") == frozenset({"pq"})
+        assert graph.out_edges("q") == frozenset({"visit"})
+        assert graph.in_edges("room") == frozenset({"visit"})
+
+    def test_unknown_object_errors(self, graph):
+        with pytest.raises(UnknownObjectError):
+            graph.existence("ghost")
+        with pytest.raises(UnknownObjectError):
+            graph.label("ghost")
+        with pytest.raises(UnknownObjectError):
+            graph.out_edges("ghost")
+
+
+class TestVersionCounting:
+    def test_num_nodes_edges(self, graph):
+        assert graph.num_nodes() == 3
+        assert graph.num_edges() == 2
+
+    def test_temporal_nodes_count_versions(self, graph):
+        # p: two existence runs (risk differs but changes exactly at the run
+        # boundary) -> 2 versions; q: 1; room: 1.
+        assert graph.num_temporal_nodes() == 4
+
+    def test_temporal_edges_count_versions(self, graph):
+        assert graph.num_temporal_edges() == 2
+
+    def test_property_change_splits_version(self):
+        g = IntervalTPG(Interval(0, 9))
+        g.add_node("n", "Person", [(0, 9)])
+        g.set_property("n", "risk", "low", 0, 4)
+        g.set_property("n", "risk", "high", 5, 9)
+        assert g.num_temporal_nodes() == 2
+
+
+class TestValidation:
+    def test_valid_graph_passes(self, graph):
+        graph.validate()
+
+    def test_edge_outside_endpoint_existence_rejected(self):
+        g = IntervalTPG(Interval(0, 9))
+        g.add_node("a", "Person", [(0, 3)])
+        g.add_node("b", "Person", [(0, 9)])
+        g.add_edge("ab", "knows", "a", "b", [(2, 5)])
+        with pytest.raises(GraphIntegrityError):
+            g.validate()
+
+    def test_property_outside_existence_rejected(self):
+        g = IntervalTPG(Interval(0, 9))
+        g.add_node("a", "Person", [(0, 3)])
+        g.set_property("a", "name", "x", 2, 6)
+        with pytest.raises(GraphIntegrityError):
+            g.validate()
+
+    def test_figure1_is_valid(self, figure1):
+        figure1.validate()
+
+    def test_repr(self, graph):
+        assert "IntervalTPG" in repr(graph)

@@ -1,0 +1,203 @@
+"""Golden tests: the binding tables published in Section IV of the paper.
+
+Every expected table below is copied verbatim from the paper (queries Q1
+through Q12 over the Figure-1 contact-tracing graph).  Both evaluation
+engines must reproduce them exactly.
+"""
+
+import pytest
+
+from repro.dataflow import DataflowEngine, PAPER_QUERIES
+from repro.eval import ReferenceEngine
+
+
+def rows(*entries):
+    """Helper: build the expected row set from (obj, time) pairs per variable."""
+    return frozenset(tuple(entry) for entry in entries)
+
+
+@pytest.fixture(scope="module")
+def engines():
+    from repro.model.examples import contact_tracing_example
+
+    graph = contact_tracing_example()
+    return ReferenceEngine(graph), DataflowEngine(graph)
+
+
+def evaluate_both(engines, name):
+    reference, dataflow = engines
+    text = PAPER_QUERIES[name].text
+    ref_table = reference.match(text)
+    df_table = dataflow.match(text)
+    assert ref_table.as_set() == df_table.as_set(), f"engines disagree on {name}"
+    return ref_table
+
+
+class TestQ1ToQ4:
+    def test_q1_people(self, engines):
+        table = evaluate_both(engines, "Q1")
+        assert table.variables == ("x",)
+        # One row per (person, time point of existence): 9+9+7+10+8 = 43.
+        assert len(table) == 43
+        bound_objects = {obj for ((obj, _t),) in table.rows}
+        assert bound_objects == {"n1", "n2", "n3", "n6", "n7"}
+
+    def test_q1_time_ranges(self, engines):
+        table = evaluate_both(engines, "Q1")
+        times = {obj: set() for obj in ("n1", "n2", "n3", "n6", "n7")}
+        for ((obj, t),) in table.rows:
+            times[obj].add(t)
+        assert times["n1"] == set(range(1, 10))
+        assert times["n6"] == set(range(2, 12))
+
+    def test_q2_low_risk(self, engines):
+        table = evaluate_both(engines, "Q2")
+        expected = (
+            {(("n1", t),) for t in range(1, 10)}
+            | {(("n2", t),) for t in range(1, 5)}
+            | {(("n6", t),) for t in range(2, 12)}
+        )
+        assert table.as_set() == frozenset(expected)
+
+    def test_q3_low_risk_at_time_1(self, engines):
+        table = evaluate_both(engines, "Q3")
+        assert table.as_set() == rows((("n1", 1),), (("n2", 1),))
+
+    def test_q4_low_risk_before_10(self, engines):
+        table = evaluate_both(engines, "Q4")
+        expected = (
+            {(("n1", t),) for t in range(1, 10)}
+            | {(("n2", t),) for t in range(1, 5)}
+            | {(("n6", t),) for t in range(2, 10)}
+        )
+        assert table.as_set() == frozenset(expected)
+
+
+class TestQ5:
+    def test_q5_meetings(self, engines):
+        table = evaluate_both(engines, "Q5")
+        assert table.variables == ("x", "z", "y")
+        assert table.as_set() == rows(
+            (("n1", 5), ("e1", 5), ("n2", 5)),
+            (("n1", 6), ("e1", 6), ("n2", 6)),
+            (("n2", 1), ("e2", 1), ("n3", 1)),
+            (("n2", 2), ("e2", 2), ("n3", 2)),
+        )
+
+    def test_q5_structural_times_align(self, engines):
+        table = evaluate_both(engines, "Q5")
+        for (x, xt), (z, zt), (y, yt) in table.rows:
+            assert xt == zt == yt
+
+
+class TestQ6ToQ8:
+    def test_q6_previous_time_point(self, engines):
+        table = evaluate_both(engines, "Q6")
+        assert table.variables == ("x", "y")
+        assert table.as_set() == rows((("n6", 9), ("n6", 8)))
+
+    def test_q7_room_before_positive_test(self, engines):
+        table = evaluate_both(engines, "Q7")
+        assert table.variables == ("x", "z")
+        assert table.as_set() == rows((("n6", 9), ("n4", 8)))
+
+    def test_q8_rooms_at_or_before_positive_test(self, engines):
+        table = evaluate_both(engines, "Q8")
+        assert table.as_set() == rows(
+            (("n6", 9), ("n4", 8)),
+            (("n6", 9), ("n4", 7)),
+            (("n6", 9), ("n5", 6)),
+            (("n6", 9), ("n5", 5)),
+        )
+
+
+class TestQ9ToQ12:
+    def test_q9_met_someone_later_positive(self, engines):
+        table = evaluate_both(engines, "Q9")
+        assert table.variables == ("x",)
+        assert table.as_set() == rows((("n3", 4),), (("n7", 5),), (("n7", 6),))
+
+    def test_q10_meeting_after_positive_test(self, engines):
+        # Nobody in Figure 1 meets a person who already tested positive,
+        # so the instantiation of Q10 on the running example is empty.
+        table = evaluate_both(engines, "Q10")
+        assert len(table) == 0
+
+    def test_q11_shared_room_before_positive_test(self, engines):
+        table = evaluate_both(engines, "Q11")
+        assert table.as_set() == rows((("n3", 7),), (("n7", 7),), (("n7", 8),))
+
+    def test_q12_union_of_close_contacts(self, engines):
+        table = evaluate_both(engines, "Q12")
+        assert table.as_set() == rows(
+            (("n3", 4),),
+            (("n3", 7),),
+            (("n7", 5),),
+            (("n7", 6),),
+            (("n7", 7),),
+            (("n7", 8),),
+        )
+
+    def test_q12_contains_q9_and_q11(self, engines):
+        q9 = evaluate_both(engines, "Q9").as_set()
+        q11 = evaluate_both(engines, "Q11").as_set()
+        q12 = evaluate_both(engines, "Q12").as_set()
+        assert q9 | q11 == q12
+
+
+class TestUnnumberedExamplesFromSectionIV:
+    """MATCH clauses shown in the running text but not numbered."""
+
+    def test_prev_then_visits_with_intermediate_variable(self, engines):
+        reference, dataflow = engines
+        text = (
+            "MATCH (x:Person {test = 'pos'})-/PREV/-(y:Person)-[:visits]->(z:Room) "
+            "ON contact_tracing"
+        )
+        expected = rows((("n6", 9), ("n6", 8), ("n4", 8)))
+        assert reference.match(text).as_set() == expected
+        assert dataflow.match(text).as_set() == expected
+
+    def test_prev_then_visits_without_intermediate_variable(self, engines):
+        reference, dataflow = engines
+        text = (
+            "MATCH (x:Person {test = 'pos'})-/PREV/-()-[:visits]->(z:Room) "
+            "ON contact_tracing"
+        )
+        expected = rows((("n6", 9), ("n4", 8)))
+        assert reference.match(text).as_set() == expected
+        assert dataflow.match(text).as_set() == expected
+
+    def test_q11_extension_with_meets_branch(self, engines):
+        reference, dataflow = engines
+        text = (
+            "MATCH (x:Person {risk = 'high'})-"
+            "/(FWD/:meets/FWD/NEXT[0,12]) + "
+            "(FWD/:visits/FWD/:Room/BWD/:visits/BWD/NEXT[0,12])/-"
+            "({test = 'pos'}) ON contact_tracing"
+        )
+        expected = rows(
+            (("n3", 4),), (("n3", 7),), (("n7", 5),), (("n7", 6),), (("n7", 7),), (("n7", 8),)
+        )
+        assert reference.match(text).as_set() == expected
+        assert dataflow.match(text).as_set() == expected
+
+    def test_q7_equivalence_with_edge_pattern_form(self, engines):
+        reference, _dataflow = engines
+        verbose = reference.match(
+            "MATCH (x:Person {test = 'pos'})-/PREV/FWD/:visits/FWD/-(z:Room) "
+            "ON contact_tracing"
+        )
+        sugar = reference.match(
+            "MATCH (x:Person {test = 'pos'})-/PREV/-()-[:visits]->(z:Room) "
+            "ON contact_tracing"
+        )
+        assert verbose.as_set() == sugar.as_set()
+
+
+class TestTableIStatisticsOfRunningExample:
+    def test_temporal_object_counts(self, figure1):
+        from repro.model import graph_statistics
+
+        stats = graph_statistics(figure1)
+        assert stats.num_nodes == 7 and stats.num_edges == 10

@@ -1,0 +1,60 @@
+"""Tests for the formal-notation pretty printer."""
+
+import pytest
+
+from repro.lang import ast, parse_path, to_text
+
+
+class TestPathRendering:
+    def test_axes(self):
+        assert to_text(ast.F) == "F"
+        assert to_text(ast.P) == "P"
+
+    def test_concat(self):
+        assert to_text(ast.concat(ast.F, ast.N)) == "(F / N)"
+
+    def test_union(self):
+        assert to_text(ast.union(ast.F, ast.B)) == "(F + B)"
+
+    def test_repeat_bounded(self):
+        assert to_text(ast.repeat(ast.N, 0, 12)) == "N[0,12]"
+
+    def test_repeat_unbounded(self):
+        assert to_text(ast.star(ast.P)) == "P[0,_]"
+
+    def test_nested_expression(self):
+        expr = ast.concat(ast.union(ast.F, ast.B), ast.repeat(ast.N, 1, 2))
+        assert to_text(expr) == "((F + B) / N[1,2])"
+
+
+class TestTestRendering:
+    def test_basic_tests(self):
+        assert to_text(ast.is_node()) == "Node"
+        assert to_text(ast.is_edge()) == "Edge"
+        assert to_text(ast.exists()) == "EXISTS"
+        assert to_text(ast.label("Person")) == "Person"
+        assert to_text(ast.time_lt(9)) == "< 9"
+
+    def test_prop_eq(self):
+        assert to_text(ast.prop_eq("risk", "low")) == "risk -> 'low'"
+
+    def test_boolean_combinations(self):
+        rendered = to_text(ast.and_(ast.is_node(), ast.not_(ast.exists())))
+        assert rendered == "(Node AND NOT EXISTS)"
+        assert to_text(ast.or_(ast.is_node(), ast.is_edge())) == "(Node OR Edge)"
+
+    def test_path_condition(self):
+        rendered = to_text(ast.path_test(ast.concat(ast.F, ast.exists())))
+        assert rendered == "?((F / EXISTS))"
+
+    def test_test_path_renders_condition(self):
+        assert to_text(ast.test(ast.exists())) == "EXISTS"
+
+    def test_round_trippish_on_parsed_query(self):
+        expr = parse_path("FWD/:meets/FWD/NEXT*")
+        rendered = to_text(expr)
+        assert "meets" in rendered and "(N / EXISTS)[0,_]" in rendered
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            to_text(42)  # type: ignore[arg-type]

@@ -1,0 +1,201 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datagen.random_graphs import random_itpg, random_path_expression
+from repro.dataflow import DataflowEngine
+from repro.eval import ReferenceEngine
+from repro.eval.bottom_up import BottomUpEvaluator
+from repro.lang import ast
+from repro.model.convert import itpg_to_tpg, tpg_to_itpg
+from repro.temporal import Interval, IntervalSet, ValuedIntervalSet
+from repro.temporal.coalesce import is_coalesced
+
+
+# --------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------- #
+intervals = st.builds(
+    lambda a, length: Interval(a, a + length),
+    st.integers(min_value=0, max_value=40),
+    st.integers(min_value=0, max_value=15),
+)
+
+interval_sets = st.lists(intervals, max_size=6).map(IntervalSet)
+
+point_sets = st.sets(st.integers(min_value=0, max_value=60), max_size=25)
+
+
+# --------------------------------------------------------------------- #
+# Interval algebra
+# --------------------------------------------------------------------- #
+class TestIntervalProperties:
+    @given(intervals, intervals)
+    def test_intersection_symmetric_and_contained(self, a, b):
+        overlap = a.intersect(b)
+        assert overlap == b.intersect(a)
+        if overlap is not None:
+            assert overlap.during(a) and overlap.during(b)
+
+    @given(intervals, intervals)
+    def test_overlap_consistency(self, a, b):
+        assert a.overlaps(b) == (a.intersect(b) is not None)
+
+    @given(intervals, intervals)
+    def test_difference_partition(self, a, b):
+        pieces = a.difference(b)
+        covered = set()
+        for piece in pieces:
+            covered |= set(piece.points())
+        assert covered == set(a.points()) - set(b.points())
+
+    @given(intervals, st.integers(min_value=-20, max_value=20))
+    def test_shift_preserves_length(self, a, delta):
+        assert len(a.shift(delta)) == len(a)
+
+
+class TestIntervalSetProperties:
+    @given(point_sets)
+    def test_from_points_round_trip(self, points):
+        family = IntervalSet.from_points(points)
+        assert set(family.points()) == points
+        assert is_coalesced(list(family.intervals))
+
+    @given(interval_sets, interval_sets)
+    def test_union_contains_both(self, a, b):
+        union = a.union(b)
+        assert set(union.points()) == set(a.points()) | set(b.points())
+        assert is_coalesced(list(union.intervals))
+
+    @given(interval_sets, interval_sets)
+    def test_intersection_is_pointwise(self, a, b):
+        assert set(a.intersect(b).points()) == set(a.points()) & set(b.points())
+
+    @given(interval_sets, interval_sets)
+    def test_difference_is_pointwise(self, a, b):
+        assert set(a.difference(b).points()) == set(a.points()) - set(b.points())
+
+    @given(interval_sets)
+    def test_complement_partitions_domain(self, family):
+        domain = Interval(0, 70)
+        complement = family.complement(domain)
+        assert set(complement.points()) | set(family.intersect_interval(domain).points()) == set(
+            domain.points()
+        )
+        assert not complement.overlaps(family)
+
+    @given(interval_sets, st.integers(min_value=0, max_value=70))
+    def test_contains_point_matches_points(self, family, t):
+        assert family.contains_point(t) == (t in set(family.points()))
+
+    @given(point_sets, point_sets)
+    def test_subset_relation(self, a, b):
+        fa, fb = IntervalSet.from_points(a), IntervalSet.from_points(b)
+        assert fa.is_subset_of(fb) == (a <= b)
+
+
+class TestValuedIntervalProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=30), st.sampled_from(["a", "b", "c"])),
+            max_size=25,
+        )
+    )
+    def test_from_points_round_trip(self, assignments):
+        deduped = {}
+        for t, value in assignments:
+            deduped.setdefault(t, value)
+        family = ValuedIntervalSet.from_points(deduped.items())
+        for t, value in deduped.items():
+            assert family.value_at(t) == value
+        assert family.support().total_points() == len(deduped)
+
+
+# --------------------------------------------------------------------- #
+# Graph model invariants
+# --------------------------------------------------------------------- #
+class TestModelProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_itpg_tpg_round_trip(self, seed):
+        graph = random_itpg(seed)
+        back = tpg_to_itpg(itpg_to_tpg(graph))
+        for obj in graph.objects():
+            assert back.existence(obj) == graph.existence(obj)
+            for name in graph.property_names(obj):
+                assert back.property_family(obj, name) == graph.property_family(obj, name)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_random_graphs_satisfy_integrity(self, seed):
+        graph = random_itpg(seed)
+        graph.validate()
+        tpg = itpg_to_tpg(graph)
+        for edge in tpg.edges():
+            src, tgt = tpg.endpoints(edge)
+            for t in tpg.existence_points(edge):
+                assert tpg.exists(src, t) and tpg.exists(tgt, t)
+
+
+# --------------------------------------------------------------------- #
+# Language / evaluation invariants
+# --------------------------------------------------------------------- #
+class TestEvaluationProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=5_000), st.integers(min_value=0, max_value=5_000))
+    def test_union_and_concat_laws(self, graph_seed, expr_seed):
+        graph = random_itpg(graph_seed, num_nodes=4, num_edges=5, num_windows=5)
+        evaluator = BottomUpEvaluator(graph)
+        p = random_path_expression(expr_seed, max_depth=2)
+        q = random_path_expression(expr_seed + 1, max_depth=2)
+        union = evaluator.evaluate(ast.union(p, q)).tuples
+        assert union == evaluator.evaluate(p).tuples | evaluator.evaluate(q).tuples
+        # Concatenation with the always-true test is the identity.
+        assert (
+            evaluator.evaluate(ast.concat(p, ast.test(ast.and_()))).tuples
+            == evaluator.evaluate(p).tuples
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=5_000),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_bounded_repetition_unrolls_to_unions(self, graph_seed, lower, extra):
+        upper = lower + extra
+        graph = random_itpg(graph_seed, num_nodes=3, num_edges=4, num_windows=4)
+        evaluator = BottomUpEvaluator(graph)
+        body = ast.concat(ast.N, ast.test(ast.exists()))
+        repeated = evaluator.evaluate(ast.repeat(body, lower, upper)).tuples
+        unrolled = set()
+        for k in range(lower, upper + 1):
+            if k == 0:
+                expr = ast.repeat(body, 0, 0)
+            else:
+                expr = ast.concat(*([body] * k))
+            unrolled |= evaluator.evaluate(expr).tuples
+        assert repeated == unrolled
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=5_000))
+    def test_engines_agree_on_random_match_queries(self, seed):
+        graph = random_itpg(seed, num_nodes=5, num_edges=6, num_windows=6)
+        queries = [
+            "MATCH (x)-[:knows]->(y) ON g",
+            "MATCH (x:Person)-/NEXT[0,2]/-(y) ON g",
+            "MATCH (x)-/FWD/PREV*/-(y) ON g",
+        ]
+        reference = ReferenceEngine(graph)
+        dataflow = DataflowEngine(graph)
+        for query in queries:
+            assert reference.match(query).as_set() == dataflow.match(query).as_set()
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=5_000))
+    def test_time_restriction_is_monotone(self, seed):
+        graph = random_itpg(seed, num_nodes=4, num_edges=4, num_windows=6)
+        evaluator = BottomUpEvaluator(graph)
+        broad = evaluator.evaluate(ast.test(ast.time_lt(5))).tuples
+        narrow = evaluator.evaluate(ast.test(ast.time_lt(3))).tuples
+        assert narrow <= broad

@@ -1,0 +1,138 @@
+"""Tests for the executable hardness reductions of the appendix."""
+
+import pytest
+
+from repro.eval import check_anoi, check_full
+from repro.eval.bottom_up import evaluate_path
+from repro.lang.fragments import Fragment, classify, in_fragment
+from repro.reductions import (
+    QBFInstance,
+    gsubset_sum_reduction,
+    qbf_reduction,
+    solve_gsubset_sum,
+    solve_qbf,
+    solve_subset_sum,
+    subset_sum_reduction,
+)
+
+
+def member(instance):
+    """Membership of the instance tuple via the reference evaluator."""
+    key = instance.source + instance.target
+    return key in evaluate_path(instance.graph, instance.path)
+
+
+class TestSubsetSumGadget:
+    @pytest.mark.parametrize(
+        "numbers,target",
+        [
+            ([3, 5, 7], 12),
+            ([3, 5, 7], 11),
+            ([2, 4, 6], 5),
+            ([2, 4, 6], 12),
+            ([1], 0),
+            ([5], 5),
+            ([], 0),
+            ([4], 3),
+        ],
+    )
+    def test_matches_brute_force(self, numbers, target):
+        instance = subset_sum_reduction(numbers, target)
+        assert member(instance) == solve_subset_sum(numbers, target)
+
+    def test_gadget_is_in_anoi_fragment(self):
+        instance = subset_sum_reduction([2, 3], 4)
+        assert in_fragment(instance.path, Fragment.ANOI)
+        assert check_anoi(
+            instance.graph, instance.path, instance.source, instance.target
+        ) == solve_subset_sum([2, 3], 4)
+
+    def test_graph_is_single_node(self):
+        instance = subset_sum_reduction([1, 2], 3)
+        assert instance.graph.num_nodes() == 1
+        assert instance.graph.num_edges() == 0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            subset_sum_reduction([-1], 3)
+        with pytest.raises(ValueError):
+            subset_sum_reduction([1], -3)
+
+
+class TestGeneralizedSubsetSumGadget:
+    @pytest.mark.parametrize(
+        "u,w,target",
+        [
+            ([1], [1], 1),
+            ([2], [1], 2),
+            ([1, 2], [1], 3),
+            ([3], [1, 2], 3),
+            ([2, 2], [1], 5),
+            ([], [1], 1),
+        ],
+    )
+    def test_matches_brute_force(self, u, w, target):
+        instance = gsubset_sum_reduction(u, w, target)
+        assert member(instance) == solve_gsubset_sum(u, w, target)
+
+    def test_gadget_avoids_path_conditions(self):
+        instance = gsubset_sum_reduction([1], [2], 2)
+        assert classify(instance.path) is Fragment.NOI
+
+    def test_description_mentions_instance(self):
+        instance = gsubset_sum_reduction([1], [2], 2)
+        assert "G-SUBSET-SUM" in instance.description
+
+
+class TestQBFGadget:
+    CASES = [
+        (QBFInstance(("exists",), ((1,),)), True),
+        (QBFInstance(("forall",), ((1,),)), False),
+        (QBFInstance(("exists", "forall"), ((1,),)), True),
+        (QBFInstance(("forall", "exists"), ((1, 2),)), True),
+        (QBFInstance(("forall", "forall"), ((1, 2),)), False),
+        (QBFInstance(("exists", "exists"), ((1,), (-1,))), False),
+        (QBFInstance(("forall", "exists"), ((-1, 2), (1, -2))), True),
+        (QBFInstance(("exists", "forall"), ((-1, 2), (1, -2))), False),
+    ]
+
+    @pytest.mark.parametrize("instance,expected", CASES)
+    def test_brute_force_solver(self, instance, expected):
+        assert solve_qbf(instance) == expected
+
+    @pytest.mark.parametrize("instance,expected", CASES)
+    def test_gadget_matches_solver(self, instance, expected):
+        reduction = qbf_reduction(instance)
+        assert member(reduction) == expected
+
+    @pytest.mark.parametrize("instance,expected", CASES[:4])
+    def test_full_checker_agrees(self, instance, expected):
+        reduction = qbf_reduction(instance)
+        assert (
+            check_full(reduction.graph, reduction.path, reduction.source, reduction.target)
+            == expected
+        )
+
+    def test_gadget_uses_full_language(self):
+        # The bit predicate nests an occurrence indicator inside another
+        # (P[2^i, 2^i][0,_]), so the gadget needs the full NavL[PC,NOI].
+        reduction = qbf_reduction(QBFInstance(("exists", "forall"), ((1, 2),)))
+        assert classify(reduction.path) is Fragment.FULL
+
+    def test_domain_size_is_exponential_in_variables(self):
+        reduction = qbf_reduction(QBFInstance(("exists",) * 3, ((1,),)))
+        assert len(reduction.graph.domain) == 8
+
+    def test_invalid_instances_rejected(self):
+        with pytest.raises(ValueError):
+            QBFInstance(("maybe",), ((1,),))
+        with pytest.raises(ValueError):
+            QBFInstance(("exists",), ((2,),))
+        with pytest.raises(ValueError):
+            QBFInstance(("exists",), ((0,),))
+
+    def test_empty_clause_set_is_valid(self):
+        instance = QBFInstance(("forall",), ())
+        assert solve_qbf(instance)
+        reduction = qbf_reduction(instance)
+        assert member(reduction)

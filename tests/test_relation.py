@@ -1,0 +1,119 @@
+"""Tests for temporal relations (composition, repetition by squaring)."""
+
+import pytest
+
+from repro.eval.relation import TemporalRelation
+
+
+def rel(*tuples):
+    return TemporalRelation(tuples)
+
+
+@pytest.fixture()
+def identity():
+    # Identity over a tiny universe of temporal objects: one object, times 0..4.
+    return TemporalRelation({("o", t, "o", t) for t in range(5)})
+
+
+@pytest.fixture()
+def step():
+    # "Move one time point forward" over the same universe.
+    return TemporalRelation({("o", t, "o", t + 1) for t in range(4)})
+
+
+class TestBasicOperations:
+    def test_len_iter_contains(self, step):
+        assert len(step) == 4
+        assert ("o", 0, "o", 1) in step
+        assert ("o", 4, "o", 5) not in step
+        assert set(step) == step.tuples
+
+    def test_union_intersect_difference(self, step, identity):
+        both = step.union(identity)
+        assert len(both) == 9
+        assert step.intersect(identity).is_empty()
+        assert both.difference(identity) == step
+
+    def test_equality_and_hash(self):
+        assert rel(("a", 1, "b", 1)) == rel(("a", 1, "b", 1))
+        assert hash(rel(("a", 1, "b", 1))) == hash(rel(("a", 1, "b", 1)))
+
+    def test_source_project(self):
+        r = rel(("a", 1, "b", 2), ("a", 1, "c", 3), ("d", 4, "a", 1))
+        assert r.source_project() == {("a", 1), ("d", 4)}
+
+    def test_repr(self, step):
+        assert "4 tuples" in repr(step)
+
+
+class TestComposition:
+    def test_compose_chains_tuples(self):
+        left = rel(("a", 0, "b", 1))
+        right = rel(("b", 1, "c", 2), ("b", 9, "x", 9))
+        assert left.compose(right) == rel(("a", 0, "c", 2))
+
+    def test_compose_no_match_is_empty(self):
+        assert rel(("a", 0, "b", 1)).compose(rel(("c", 1, "d", 2))).is_empty()
+
+    def test_compose_with_identity_is_noop(self, step, identity):
+        assert step.compose(identity) == step
+        assert identity.compose(step) == step
+
+    def test_compose_is_associative(self, step, identity):
+        a = step
+        b = step.union(identity)
+        c = step.compose(step)
+        assert a.compose(b).compose(c) == a.compose(b.compose(c))
+
+
+class TestRepetition:
+    def test_power_zero_is_identity(self, step, identity):
+        assert step.power(0, identity) == identity
+
+    def test_power_one_is_self(self, step, identity):
+        assert step.power(1, identity) == step
+
+    def test_power_two(self, step, identity):
+        expected = TemporalRelation({("o", t, "o", t + 2) for t in range(3)})
+        assert step.power(2, identity) == expected
+
+    def test_power_matches_iterated_composition(self, step, identity):
+        manual = step
+        for _ in range(3):
+            manual = manual.compose(step)
+        assert step.power(4, identity) == manual
+
+    def test_bounded_repetition_enumerates_range(self, step, identity):
+        # steps of length 1..3
+        out = step.bounded_repetition(1, 3, identity)
+        expected = set()
+        for k in (1, 2, 3):
+            expected |= {("o", t, "o", t + k) for t in range(5 - k)}
+        assert out.tuples == frozenset(expected)
+
+    def test_bounded_repetition_includes_zero(self, step, identity):
+        out = step.bounded_repetition(0, 1, identity)
+        assert identity.tuples <= out.tuples
+        assert step.tuples <= out.tuples
+
+    def test_bounded_repetition_equal_bounds(self, step, identity):
+        assert step.bounded_repetition(2, 2, identity) == step.power(2, identity)
+
+    def test_bounded_repetition_invalid_bounds(self, step, identity):
+        with pytest.raises(ValueError):
+            step.bounded_repetition(3, 1, identity)
+
+    def test_unbounded_repetition_is_reflexive_transitive_closure(self, step, identity):
+        closure = step.unbounded_repetition(0, identity)
+        expected = {("o", t, "o", t2) for t in range(5) for t2 in range(t, 5)}
+        assert closure.tuples == frozenset(expected)
+
+    def test_unbounded_repetition_with_lower_bound(self, step, identity):
+        closure = step.unbounded_repetition(2, identity)
+        expected = {("o", t, "o", t2) for t in range(5) for t2 in range(t + 2, 5)}
+        assert closure.tuples == frozenset(expected)
+
+    def test_unbounded_matches_large_bounded(self, step, identity):
+        assert step.unbounded_repetition(0, identity) == step.bounded_repetition(
+            0, 25, identity
+        )

@@ -1,0 +1,169 @@
+"""Unit tests for the point-based temporal property graph model."""
+
+import pytest
+
+from repro.errors import GraphIntegrityError, UnknownObjectError
+from repro.model import TemporalPropertyGraph
+from repro.temporal import Interval, IntervalSet
+
+
+@pytest.fixture()
+def graph():
+    g = TemporalPropertyGraph(Interval(0, 9))
+    g.add_node("a", "Person")
+    g.add_node("b", "Person")
+    g.add_node("r", "Room")
+    g.add_edge("ab", "knows", "a", "b")
+    g.set_existence("a", range(0, 10))
+    g.set_existence("b", [0, 1, 2, 5, 6])
+    g.set_existence("r", [3, 4, 5])
+    g.set_existence("ab", [1, 2, 5])
+    g.set_property("a", "name", "alice", range(0, 10))
+    g.set_property("b", "risk", "low", [0, 1, 2])
+    g.set_property("b", "risk", "high", [5, 6])
+    g.set_property("ab", "loc", "cafe", [1, 2])
+    return g
+
+
+class TestDomain:
+    def test_domain(self, graph):
+        assert graph.domain == Interval(0, 9)
+
+    def test_time_points(self, graph):
+        assert list(graph.time_points()) == list(range(10))
+
+    def test_domain_from_tuple(self):
+        g = TemporalPropertyGraph((2, 5))
+        assert g.domain == Interval(2, 5)
+
+
+class TestConstructionErrors:
+    def test_duplicate_node_id(self, graph):
+        with pytest.raises(GraphIntegrityError):
+            graph.add_node("a", "Person")
+
+    def test_duplicate_id_across_kinds(self, graph):
+        with pytest.raises(GraphIntegrityError):
+            graph.add_node("ab", "Person")
+        with pytest.raises(GraphIntegrityError):
+            graph.add_edge("a", "knows", "a", "b")
+
+    def test_edge_with_unknown_endpoint(self, graph):
+        with pytest.raises(UnknownObjectError):
+            graph.add_edge("xz", "knows", "a", "nope")
+
+    def test_existence_outside_domain(self, graph):
+        with pytest.raises(GraphIntegrityError):
+            graph.set_existence("a", [42])
+
+    def test_property_outside_domain(self, graph):
+        with pytest.raises(GraphIntegrityError):
+            graph.set_property("a", "name", "x", [99])
+
+    def test_property_without_existence(self, graph):
+        with pytest.raises(GraphIntegrityError):
+            graph.set_property("r", "num", 1, [0])
+
+    def test_unknown_object_errors(self, graph):
+        with pytest.raises(UnknownObjectError):
+            graph.exists("ghost", 0)
+        with pytest.raises(UnknownObjectError):
+            graph.label("ghost")
+        with pytest.raises(UnknownObjectError):
+            graph.endpoints("ghost")
+        with pytest.raises(UnknownObjectError):
+            graph.property_value("ghost", "p", 0)
+
+
+class TestAccessors:
+    def test_nodes_and_edges(self, graph):
+        assert set(graph.nodes()) == {"a", "b", "r"}
+        assert set(graph.edges()) == {"ab"}
+        assert set(graph.objects()) == {"a", "b", "r", "ab"}
+
+    def test_is_node_is_edge(self, graph):
+        assert graph.is_node("a") and not graph.is_edge("a")
+        assert graph.is_edge("ab") and not graph.is_node("ab")
+
+    def test_has_object(self, graph):
+        assert graph.has_object("a") and graph.has_object("ab")
+        assert not graph.has_object("ghost")
+
+    def test_labels(self, graph):
+        assert graph.label("a") == "Person"
+        assert graph.label("r") == "Room"
+        assert graph.label("ab") == "knows"
+
+    def test_endpoints(self, graph):
+        assert graph.endpoints("ab") == ("a", "b")
+        assert graph.source("ab") == "a"
+        assert graph.target("ab") == "b"
+
+    def test_existence(self, graph):
+        assert graph.exists("a", 9)
+        assert graph.exists("b", 5)
+        assert not graph.exists("b", 3)
+        assert not graph.exists("ab", 0)
+
+    def test_existence_points(self, graph):
+        assert graph.existence_points("b") == frozenset({0, 1, 2, 5, 6})
+
+    def test_existence_intervals_are_coalesced(self, graph):
+        assert graph.existence_intervals("b") == IntervalSet([(0, 2), (5, 6)])
+
+    def test_property_value(self, graph):
+        assert graph.property_value("b", "risk", 1) == "low"
+        assert graph.property_value("b", "risk", 6) == "high"
+        assert graph.property_value("b", "risk", 3) is None
+        assert graph.property_value("b", "unknown", 1) is None
+
+    def test_property_names(self, graph):
+        assert graph.property_names("b") == frozenset({"risk"})
+        assert graph.property_names("r") == frozenset()
+
+    def test_property_assignments(self, graph):
+        assert graph.property_assignments("ab", "loc") == {1: "cafe", 2: "cafe"}
+
+    def test_adjacency(self, graph):
+        assert graph.out_edges("a") == frozenset({"ab"})
+        assert graph.in_edges("b") == frozenset({"ab"})
+        assert graph.out_edges("b") == frozenset()
+
+    def test_adjacency_unknown_node(self, graph):
+        with pytest.raises(UnknownObjectError):
+            graph.out_edges("ghost")
+
+
+class TestCounting:
+    def test_counts(self, graph):
+        assert graph.num_nodes() == 3
+        assert graph.num_edges() == 1
+        assert graph.num_temporal_objects() == 10 * 4
+
+    def test_existing_temporal_counts(self, graph):
+        assert graph.num_existing_temporal_nodes() == 10 + 5 + 3
+        assert graph.num_existing_temporal_edges() == 3
+
+    def test_repr(self, graph):
+        assert "nodes=3" in repr(graph)
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        def build():
+            g = TemporalPropertyGraph((0, 2))
+            g.add_node("n", "L")
+            g.set_existence("n", [0, 1])
+            g.set_property("n", "p", "v", [1])
+            return g
+
+        assert build() == build()
+
+    def test_different_property_breaks_equality(self):
+        g1 = TemporalPropertyGraph((0, 2))
+        g1.add_node("n", "L")
+        g1.set_existence("n", [0])
+        g2 = TemporalPropertyGraph((0, 2))
+        g2.add_node("n", "L")
+        g2.set_existence("n", [1])
+        assert g1 != g2

@@ -1,0 +1,210 @@
+"""Tests for the appendix tuple-membership checkers (Algorithms 3–7).
+
+Each checker is validated in two ways: directly on hand-picked cases
+over the tiny and Figure-1 graphs, and by cross-checking against the
+bottom-up reference evaluator on random graphs and random expressions of
+the appropriate fragment.
+"""
+
+import pytest
+
+from repro.datagen.random_graphs import random_itpg, random_path_expression
+from repro.errors import UnsupportedFragmentError
+from repro.eval import check_anoi, check_full, check_pc
+from repro.eval.bottom_up import BottomUpEvaluator
+from repro.eval.tuple_pc import PCChecker, temporal_radius
+from repro.eval.tuple_pspace import FullChecker
+from repro.lang import ast
+from repro.lang.fragments import classify, Fragment, in_fragment
+
+
+class TestTemporalRadius:
+    def test_axis_radius(self):
+        assert temporal_radius(ast.N) == 1
+        assert temporal_radius(ast.F) == 0
+
+    def test_concat_sums(self):
+        assert temporal_radius(ast.concat(ast.N, ast.P, ast.F)) == 2
+
+    def test_union_takes_max(self):
+        assert temporal_radius(ast.union(ast.concat(ast.N, ast.N), ast.F)) == 2
+
+    def test_test_is_zero(self):
+        assert temporal_radius(ast.test(ast.exists())) == 0
+
+
+class TestPCCheckerOnTiny:
+    def test_axis_membership(self, tiny):
+        assert check_pc(tiny, ast.F, ("a", 1), ("ab", 1))
+        assert check_pc(tiny, ast.F, ("ab", 1), ("b", 1))
+        assert not check_pc(tiny, ast.F, ("a", 1), ("b", 1))
+        assert check_pc(tiny, ast.N, ("a", 1), ("a", 2))
+        assert not check_pc(tiny, ast.N, ("a", 1), ("a", 3))
+
+    def test_two_hop_concat(self, tiny):
+        hop = ast.concat(ast.F, ast.test(ast.exists()), ast.F, ast.test(ast.exists()))
+        assert check_pc(tiny, hop, ("a", 2), ("b", 2))
+        assert not check_pc(tiny, hop, ("a", 5), ("b", 5))
+
+    def test_out_of_domain_times(self, tiny):
+        assert not check_pc(tiny, ast.N, ("a", 99), ("a", 100))
+
+    def test_unknown_object(self, tiny):
+        assert not check_pc(tiny, ast.N, ("ghost", 1), ("ghost", 2))
+
+    def test_path_condition(self, tiny):
+        condition = ast.test(ast.path_test(ast.concat(ast.F, ast.test(ast.exists()))))
+        assert check_pc(tiny, condition, ("a", 1), ("a", 1))
+        assert not check_pc(tiny, condition, ("a", 5), ("a", 5))
+
+    def test_rejects_occurrence_indicators(self, tiny):
+        with pytest.raises(UnsupportedFragmentError):
+            check_pc(tiny, ast.repeat(ast.N, 0, 2), ("a", 1), ("a", 2))
+
+    def test_memoization_reuse(self, tiny):
+        checker = PCChecker(tiny)
+        expr = ast.concat(ast.F, ast.test(ast.exists()))
+        assert checker.check(expr, ("a", 1), ("ab", 1))
+        assert checker.check(expr, ("a", 1), ("ab", 1))
+
+
+class TestFullCheckerOnTiny:
+    def test_bounded_repetition(self, tiny):
+        expr = ast.repeat(ast.N, 2, 4)
+        assert check_full(tiny, expr, ("a", 0), ("a", 3))
+        assert not check_full(tiny, expr, ("a", 0), ("a", 1))
+
+    def test_unbounded_repetition(self, tiny):
+        expr = ast.repeat(ast.concat(ast.N, ast.test(ast.exists())), 0, None)
+        assert check_full(tiny, expr, ("b", 6), ("b", 9))
+        assert not check_full(tiny, expr, ("b", 1), ("b", 7))
+
+    def test_exact_repetition_even_and_odd(self, tiny):
+        assert check_full(tiny, ast.repeat(ast.N, 4, 4), ("a", 0), ("a", 4))
+        assert check_full(tiny, ast.repeat(ast.N, 3, 3), ("a", 0), ("a", 3))
+        assert not check_full(tiny, ast.repeat(ast.N, 3, 3), ("a", 0), ("a", 4))
+
+    def test_zero_repetition(self, tiny):
+        assert check_full(tiny, ast.repeat(ast.F, 0, 0), ("a", 5), ("a", 5))
+        assert not check_full(tiny, ast.repeat(ast.F, 0, 0), ("a", 5), ("a", 6))
+
+    def test_without_memoization(self, tiny):
+        expr = ast.repeat(ast.N, 0, 3)
+        assert check_full(tiny, expr, ("a", 0), ("a", 3), memoize=False)
+
+    def test_shared_checker(self, tiny):
+        checker = FullChecker(tiny)
+        assert check_full(tiny, ast.N, ("a", 0), ("a", 1), checker=checker)
+        assert not check_full(tiny, ast.N, ("a", 0), ("a", 2), checker=checker)
+
+
+class TestANOICheckerOnTiny:
+    def test_temporal_indicator_arithmetic(self, tiny):
+        assert check_anoi(tiny, ast.repeat(ast.N, 2, 5), ("a", 1), ("a", 4))
+        assert not check_anoi(tiny, ast.repeat(ast.N, 2, 5), ("a", 1), ("a", 0))
+        assert check_anoi(tiny, ast.repeat(ast.P, 1, None), ("a", 8), ("a", 2))
+
+    def test_structural_indicator_reachability(self, tiny):
+        # a -F-> ab -F-> b -F-> bc -F-> c : four F steps from a to c.
+        assert check_anoi(tiny, ast.repeat(ast.F, 4, 4), ("a", 2), ("c", 2))
+        assert not check_anoi(tiny, ast.repeat(ast.F, 3, 3), ("a", 2), ("c", 2))
+        assert check_anoi(tiny, ast.repeat(ast.F, 0, None), ("a", 2), ("c", 2))
+
+    def test_structural_indicator_requires_same_time(self, tiny):
+        assert not check_anoi(tiny, ast.repeat(ast.F, 2, 2), ("a", 2), ("b", 3))
+
+    def test_backward_reachability(self, tiny):
+        assert check_anoi(tiny, ast.repeat(ast.B, 4, 4), ("c", 2), ("a", 2))
+
+    def test_rejects_path_conditions(self, tiny):
+        expr = ast.test(ast.path_test(ast.F))
+        with pytest.raises(UnsupportedFragmentError):
+            check_anoi(tiny, expr, ("a", 1), ("a", 1))
+
+    def test_rejects_compound_repetition(self, tiny):
+        expr = ast.repeat(ast.concat(ast.N, ast.test(ast.exists())), 0, 2)
+        with pytest.raises(UnsupportedFragmentError):
+            check_anoi(tiny, expr, ("a", 1), ("a", 1))
+
+    def test_subset_sum_gadget_shape(self):
+        from repro.reductions import subset_sum_reduction
+
+        instance = subset_sum_reduction([2, 3], 5)
+        assert check_anoi(instance.graph, instance.path, instance.source, instance.target)
+        miss = subset_sum_reduction([2, 2], 5)
+        assert not check_anoi(miss.graph, miss.path, miss.source, miss.target)
+
+
+class TestCrossCheckAgainstBottomUp:
+    """Random cross-validation of every checker against the reference engine."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_pc_checker_agrees(self, seed):
+        graph = random_itpg(seed, num_nodes=4, num_edges=5, num_windows=5)
+        expr = random_path_expression(
+            seed * 31 + 1, max_depth=2, allow_occurrence_indicators=False,
+            allow_path_conditions=True,
+        )
+        assert in_fragment(expr, Fragment.PC)
+        relation = BottomUpEvaluator(graph).evaluate(expr)
+        checker = PCChecker(graph)
+        objects = list(graph.objects())[:4]
+        times = list(graph.time_points())[:4]
+        for o1 in objects:
+            for t1 in times:
+                for o2 in objects:
+                    for t2 in times:
+                        expected = (o1, t1, o2, t2) in relation
+                        assert checker.check(expr, (o1, t1), (o2, t2)) == expected
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_full_checker_agrees(self, seed):
+        graph = random_itpg(seed + 100, num_nodes=3, num_edges=4, num_windows=4)
+        expr = random_path_expression(seed * 17 + 3, max_depth=2)
+        relation = BottomUpEvaluator(graph).evaluate(expr)
+        checker = FullChecker(graph)
+        objects = list(graph.objects())[:3]
+        times = list(graph.time_points())[:3]
+        for o1 in objects:
+            for t1 in times:
+                for o2 in objects:
+                    for t2 in times:
+                        expected = (o1, t1, o2, t2) in relation
+                        assert checker.check(expr, (o1, t1), (o2, t2)) == expected
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_anoi_checker_agrees(self, seed):
+        graph = random_itpg(seed + 200, num_nodes=4, num_edges=5, num_windows=5)
+        expr = _random_anoi_expression(seed)
+        assert classify(expr) in (Fragment.ANOI, Fragment.PC)
+        relation = BottomUpEvaluator(graph).evaluate(expr)
+        from repro.eval.tuple_anoi import ANOIChecker
+
+        checker = ANOIChecker(graph)
+        objects = list(graph.objects())[:4]
+        times = list(graph.time_points())[:4]
+        for o1 in objects:
+            for t1 in times:
+                for o2 in objects:
+                    for t2 in times:
+                        expected = (o1, t1, o2, t2) in relation
+                        assert checker.check(expr, (o1, t1), (o2, t2)) == expected
+
+
+def _random_anoi_expression(seed):
+    """Random expression with occurrence indicators only on axes."""
+    import random
+
+    rng = random.Random(seed)
+    parts = []
+    for _ in range(rng.randint(1, 3)):
+        axis = rng.choice((ast.F, ast.B, ast.N, ast.P))
+        if rng.random() < 0.5:
+            lower = rng.randint(0, 2)
+            upper = lower + rng.randint(0, 2)
+            parts.append(ast.repeat(axis, lower, upper))
+        else:
+            parts.append(axis)
+        if rng.random() < 0.4:
+            parts.append(ast.test(ast.exists()))
+    return ast.concat(*parts)

@@ -1,0 +1,122 @@
+"""Unit tests for valued intervals and coalesced valued-interval families."""
+
+import pytest
+
+from repro.errors import InvalidIntervalError
+from repro.temporal import Interval, IntervalSet, ValuedInterval, ValuedIntervalSet
+
+
+class TestValuedInterval:
+    def test_accessors(self):
+        entry = ValuedInterval("low", Interval(1, 4))
+        assert entry.value == "low"
+        assert entry.start == 1
+        assert entry.end == 4
+
+    def test_equality(self):
+        assert ValuedInterval("a", Interval(1, 2)) == ValuedInterval("a", Interval(1, 2))
+        assert ValuedInterval("a", Interval(1, 2)) != ValuedInterval("b", Interval(1, 2))
+
+
+class TestConstruction:
+    def test_empty(self):
+        assert ValuedIntervalSet.empty().is_empty()
+
+    def test_constant(self):
+        family = ValuedIntervalSet.constant("x", 2, 6)
+        assert family.entries == (ValuedInterval("x", Interval(2, 6)),)
+
+    def test_same_value_adjacent_entries_merge(self):
+        family = ValuedIntervalSet([("v", Interval(1, 2)), ("v", Interval(3, 4))])
+        assert family.entries == (ValuedInterval("v", Interval(1, 4)),)
+
+    def test_same_value_overlapping_entries_merge(self):
+        family = ValuedIntervalSet([("v", Interval(1, 4)), ("v", Interval(3, 6))])
+        assert family.entries == (ValuedInterval("v", Interval(1, 6)),)
+
+    def test_different_value_adjacent_entries_stay(self):
+        family = ValuedIntervalSet([("a", Interval(1, 2)), ("b", Interval(3, 4))])
+        assert len(family) == 2
+
+    def test_conflicting_overlap_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            ValuedIntervalSet([("a", Interval(1, 4)), ("b", Interval(3, 6))])
+
+    def test_gap_with_same_value_stays_separate(self):
+        family = ValuedIntervalSet([("v", Interval(1, 2)), ("v", Interval(5, 8))])
+        assert len(family) == 2
+
+    def test_from_points(self):
+        family = ValuedIntervalSet.from_points([(1, "a"), (2, "a"), (3, "b"), (5, "b")])
+        assert family.entries == (
+            ValuedInterval("a", Interval(1, 2)),
+            ValuedInterval("b", Interval(3, 3)),
+            ValuedInterval("b", Interval(5, 5)),
+        )
+
+    def test_from_points_conflicting_assignment_rejected(self):
+        with pytest.raises(InvalidIntervalError):
+            ValuedIntervalSet.from_points([(1, "a"), (1, "b")])
+
+    def test_equality_and_hash(self):
+        a = ValuedIntervalSet([("v", Interval(1, 2))])
+        b = ValuedIntervalSet([("v", Interval(1, 2))])
+        assert a == b and hash(a) == hash(b)
+
+
+class TestLookup:
+    @pytest.fixture()
+    def risk(self):
+        # Bob's risk history from Figure 1.
+        return ValuedIntervalSet([("low", Interval(1, 4)), ("high", Interval(5, 9))])
+
+    def test_value_at(self, risk):
+        assert risk.value_at(1) == "low"
+        assert risk.value_at(4) == "low"
+        assert risk.value_at(5) == "high"
+        assert risk.value_at(9) == "high"
+
+    def test_value_at_undefined(self, risk):
+        assert risk.value_at(0) is None
+        assert risk.value_at(10) is None
+
+    def test_is_defined_at(self, risk):
+        assert risk.is_defined_at(3)
+        assert not risk.is_defined_at(11)
+
+    def test_support(self, risk):
+        assert risk.support() == IntervalSet([(1, 9)])
+
+    def test_when_equals(self, risk):
+        assert risk.when_equals("low") == IntervalSet([(1, 4)])
+        assert risk.when_equals("high") == IntervalSet([(5, 9)])
+        assert risk.when_equals("none").is_empty()
+
+    def test_values(self, risk):
+        assert risk.values() == {"low", "high"}
+
+
+class TestAlgebra:
+    def test_merge_disjoint(self):
+        a = ValuedIntervalSet([("x", Interval(1, 2))])
+        b = ValuedIntervalSet([("y", Interval(4, 5))])
+        merged = a.merge(b)
+        assert merged.value_at(1) == "x" and merged.value_at(5) == "y"
+
+    def test_merge_conflict_rejected(self):
+        a = ValuedIntervalSet([("x", Interval(1, 4))])
+        b = ValuedIntervalSet([("y", Interval(2, 3))])
+        with pytest.raises(InvalidIntervalError):
+            a.merge(b)
+
+    def test_restrict(self):
+        family = ValuedIntervalSet([("a", Interval(1, 5)), ("b", Interval(7, 9))])
+        restricted = family.restrict(IntervalSet([(3, 8)]))
+        assert restricted.entries == (
+            ValuedInterval("a", Interval(3, 5)),
+            ValuedInterval("b", Interval(7, 8)),
+        )
+
+    def test_restrict_to_empty(self):
+        family = ValuedIntervalSet([("a", Interval(1, 5))])
+        assert family.restrict(IntervalSet.empty()).is_empty()
