@@ -1,0 +1,218 @@
+"""Perf-regression harness: compiled index + interval algebra vs the seed paths.
+
+Runs the Table-II query mix (Q1–Q12) through the dataflow engine twice —
+once on the seed evaluation path (``use_index=False``) and once on the
+compiled :class:`~repro.perf.graph_index.GraphIndex` path — cross-checks
+that the binding tables are identical, and records the per-query and
+median speedups.  A second section does the same for the bottom-up
+evaluator (point-based vs interval-native) on the running example and
+the SUBSET-SUM hardness gadget.
+
+The measurements land in ``BENCH_PR1.json`` (see PERFORMANCE.md for how
+to read it); later PRs are expected to re-run this harness and defend
+the trajectory.  The process exits non-zero if any engine pair diverges,
+which is what the CI smoke job asserts.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_regression.py            # default scale
+    PYTHONPATH=src python benchmarks/bench_perf_regression.py --smoke    # CI: S1, 1 round
+    REPRO_SCALE=S6 PYTHONPATH=src python benchmarks/bench_perf_regression.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.datagen import generate_contact_tracing_graph
+from repro.datagen.random_graphs import random_path_expression
+from repro.datagen.scale import SCALE_FACTORS, default_scale_name
+from repro.dataflow import DataflowEngine, PAPER_QUERIES
+from repro.eval.bottom_up import BottomUpEvaluator
+from repro.model.examples import contact_tracing_example
+from repro.perf import IntervalBottomUpEvaluator, graph_index_for
+from repro.reductions import subset_sum_reduction
+
+
+def best_of(rounds: int, fn, *args):
+    """Smallest wall-clock time of ``rounds`` calls, plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_dataflow(scale_name: str, positivity: float, rounds: int) -> dict:
+    """The Table-II mix, seed path vs indexed path, on one generated graph."""
+    config = SCALE_FACTORS[scale_name].config(positivity_rate=positivity)
+    graph = generate_contact_tracing_graph(config)
+
+    start = time.perf_counter()
+    graph_index_for(graph)
+    compile_seconds = time.perf_counter() - start
+
+    legacy = DataflowEngine(graph, use_index=False)
+    indexed = DataflowEngine(graph, use_index=True)
+
+    queries: dict[str, dict] = {}
+    divergences = 0
+    for name, query in PAPER_QUERIES.items():
+        legacy_seconds, legacy_result = best_of(
+            rounds, legacy.match_with_stats, query.text
+        )
+        indexed_seconds, indexed_result = best_of(
+            rounds, indexed.match_with_stats, query.text
+        )
+        agree = legacy_result.table.as_set() == indexed_result.table.as_set()
+        if not agree:
+            divergences += 1
+        queries[name] = {
+            "legacy_seconds": round(legacy_seconds, 6),
+            "indexed_seconds": round(indexed_seconds, 6),
+            "legacy_interval_seconds": round(legacy_result.interval_seconds, 6),
+            "indexed_interval_seconds": round(indexed_result.interval_seconds, 6),
+            "speedup": round(legacy_seconds / max(indexed_seconds, 1e-9), 3),
+            "output_size": indexed_result.output_size,
+            "outputs_agree": agree,
+        }
+    speedups = [entry["speedup"] for entry in queries.values()]
+    return {
+        "scale": scale_name,
+        "positivity_rate": positivity,
+        "num_nodes": graph.num_nodes(),
+        "num_edges": graph.num_edges(),
+        "index_compile_seconds": round(compile_seconds, 6),
+        "queries": queries,
+        "median_speedup": round(statistics.median(speedups), 3),
+        "min_speedup": round(min(speedups), 3),
+        "divergences": divergences,
+    }
+
+
+def bench_bottom_up(rounds: int) -> dict:
+    """Point-based vs interval-native bottom-up on exact small workloads."""
+    cases: dict[str, dict] = {}
+    divergences = 0
+
+    figure1 = contact_tracing_example()
+    paths = [random_path_expression(seed) for seed in range(6)]
+    point_seconds, point_relations = best_of(
+        rounds,
+        lambda: [BottomUpEvaluator(figure1).evaluate(p) for p in paths],
+    )
+    interval_seconds, interval_relations = best_of(
+        rounds,
+        lambda: [
+            IntervalBottomUpEvaluator(figure1).evaluate_points(p) for p in paths
+        ],
+    )
+    agree = point_relations == interval_relations
+    if not agree:
+        divergences += 1
+    cases["running_example_random_paths"] = {
+        "point_seconds": round(point_seconds, 6),
+        "interval_seconds": round(interval_seconds, 6),
+        "speedup": round(point_seconds / max(interval_seconds, 1e-9), 3),
+        "outputs_agree": agree,
+    }
+
+    # A long temporal domain is the design point of the interval algebra:
+    # the point evaluator pays |Ω|² per composition, the interval one pays
+    # per maximal diagonal.
+    gadget = subset_sum_reduction([13, 21, 34, 55, 89], 160)
+    point_seconds, point_relation = best_of(
+        rounds, lambda: BottomUpEvaluator(gadget.graph).evaluate(gadget.path)
+    )
+    interval_seconds, interval_relation = best_of(
+        rounds,
+        lambda: IntervalBottomUpEvaluator(gadget.graph).evaluate_points(gadget.path),
+    )
+    agree = point_relation == interval_relation
+    if not agree:
+        divergences += 1
+    cases["subset_sum_gadget"] = {
+        "point_seconds": round(point_seconds, 6),
+        "interval_seconds": round(interval_seconds, 6),
+        "speedup": round(point_seconds / max(interval_seconds, 1e-9), 3),
+        "outputs_agree": agree,
+    }
+    return {"cases": cases, "divergences": divergences}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        default=None,
+        choices=sorted(SCALE_FACTORS),
+        help="scale factor for the dataflow mix (default: REPRO_SCALE or S4)",
+    )
+    parser.add_argument("--positivity", type=float, default=0.05)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR1.json"),
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: smallest scale, one round (still cross-checks outputs)",
+    )
+    args = parser.parse_args(argv)
+
+    scale = args.scale or ("S1" if args.smoke else default_scale_name())
+    rounds = 1 if args.smoke else max(1, args.rounds)
+
+    dataflow = bench_dataflow(scale, args.positivity, rounds)
+    bottom_up = bench_bottom_up(rounds)
+    report = {
+        "benchmark": "bench_perf_regression",
+        "python": platform.python_version(),
+        "rounds": rounds,
+        "dataflow": dataflow,
+        "bottom_up": bottom_up,
+        "total_divergences": dataflow["divergences"] + bottom_up["divergences"],
+    }
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"=== dataflow engine, Table-II mix at {scale} "
+          f"({dataflow['num_nodes']} nodes, {dataflow['num_edges']} edges) ===")
+    header = f"{'query':<6}{'legacy (s)':>12}{'indexed (s)':>13}{'speedup':>9}  agree"
+    print(header)
+    print("-" * len(header))
+    for name, entry in dataflow["queries"].items():
+        print(
+            f"{name:<6}{entry['legacy_seconds']:>12.4f}"
+            f"{entry['indexed_seconds']:>13.4f}{entry['speedup']:>8.2f}x"
+            f"  {'yes' if entry['outputs_agree'] else 'NO'}"
+        )
+    print(f"median speedup: {dataflow['median_speedup']:.2f}x "
+          f"(index compile: {dataflow['index_compile_seconds']:.3f}s)")
+    for name, entry in bottom_up["cases"].items():
+        print(f"bottom-up {name}: {entry['speedup']:.2f}x "
+              f"({'agree' if entry['outputs_agree'] else 'DIVERGE'})")
+    print(f"report written to {out_path}")
+
+    if report["total_divergences"]:
+        print("ERROR: engine outputs diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

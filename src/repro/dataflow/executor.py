@@ -46,6 +46,7 @@ from repro.lang.translate import CompiledMatch, compile_match
 from repro.model.convert import tpg_to_itpg
 from repro.model.itpg import IntervalTPG
 from repro.model.tpg import TemporalPropertyGraph
+from repro.perf.graph_index import GraphIndex, graph_index_for
 from repro.temporal.alignment import reachable_window
 from repro.temporal.intervalset import IntervalSet
 
@@ -75,8 +76,18 @@ class MatchResult:
 class DataflowEngine:
     """Interval-based dataflow evaluation of MATCH queries (Section VI)."""
 
-    def __init__(self, graph: TemporalGraph, workers: int = 1) -> None:
-        if isinstance(graph, TemporalPropertyGraph):
+    def __init__(
+        self, graph: TemporalGraph, workers: int = 1, use_index: bool = True
+    ) -> None:
+        # The compiled index is shared per graph across engines and queries
+        # (index first, so a point-based graph is converted exactly once and
+        # the conversion is reused too); ``use_index=False`` keeps the
+        # uncompiled seed behaviour available so the regression benchmark can
+        # measure the gap.
+        self._index: GraphIndex | None = graph_index_for(graph) if use_index else None
+        if self._index is not None:
+            graph = self._index.graph
+        elif isinstance(graph, TemporalPropertyGraph):
             graph = tpg_to_itpg(graph)
         self._graph = graph
         self._workers = max(1, int(workers))
@@ -89,6 +100,10 @@ class DataflowEngine:
     @property
     def workers(self) -> int:
         return self._workers
+
+    @property
+    def index(self) -> GraphIndex | None:
+        return self._index
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -161,7 +176,7 @@ class DataflowEngine:
     # Steps 1 & 2: interval-based frontier processing
     # ------------------------------------------------------------------ #
     def _run_chain(self, chain: tuple[ChainStep, ...]) -> list[Row]:
-        seeds = self._initial_frontier(chain)
+        seeds, chain = self._initial_frontier(chain)
         if self._workers == 1 or len(seeds) < 2 * self._workers:
             return self._run_chain_on(seeds, chain)
         chunks = _split(seeds, self._workers)
@@ -172,13 +187,28 @@ class DataflowEngine:
                 results.extend(future.result())
         return results
 
-    def _initial_frontier(self, chain: tuple[ChainStep, ...]) -> list[Row]:
+    def _initial_frontier(
+        self, chain: tuple[ChainStep, ...]
+    ) -> tuple[list[Row], tuple[ChainStep, ...]]:
+        """Seed rows plus the chain remaining after any absorbed leading test.
+
+        With an index, a leading :class:`TestStep` is answered from the
+        memoized condition table, so the frontier starts with only the
+        objects that can match (and their satisfaction times) instead of
+        every object of the graph.
+        """
+        if self._index is not None and chain and isinstance(chain[0], TestStep):
+            table = self._index.condition_table(chain[0].condition)
+            seeds = [
+                Row((Group((), obj, times),), ()) for obj, times in table.items()
+            ]
+            return seeds, chain[1:]
         objects: Iterable[ObjectId]
         if chain and isinstance(chain[0], TestStep) and _requires_node(chain[0].condition):
             objects = self._graph.nodes()
         else:
             objects = self._graph.objects()
-        return [initial_row(obj, self._domain_times) for obj in objects]
+        return [initial_row(obj, self._domain_times) for obj in objects], chain
 
     def _run_chain_on(self, frontier: list[Row], chain: Sequence[ChainStep]) -> list[Row]:
         current = frontier
@@ -205,8 +235,23 @@ class DataflowEngine:
         raise TypeError(f"unknown chain step {step!r}")
 
     def _apply_test(self, frontier: list[Row], condition: Test) -> list[Row]:
-        graph = self._graph
+        index = self._index
         out: list[Row] = []
+        if index is not None:
+            # One memoized condition table shared by every row (and every
+            # later query on the same graph) replaces a per-row AST walk.
+            table = index.condition_table(condition)
+            for row in frontier:
+                group = row.last
+                satisfied = table.get(group.current)
+                if satisfied is None:
+                    continue
+                times = group.times.intersect(satisfied)
+                if times.is_empty():
+                    continue
+                out.append(row.replace_last(group.with_times(times)))
+            return out
+        graph = self._graph
         for row in frontier:
             group = row.last
             times = group.times.intersect(condition_times(graph, group.current, condition))
@@ -216,8 +261,26 @@ class DataflowEngine:
         return out
 
     def _apply_struct(self, frontier: list[Row], forward: bool) -> list[Row]:
-        graph = self._graph
+        index = self._index
         out: list[Row] = []
+        if index is not None:
+            adjacency = index.out_adjacency if forward else index.in_adjacency
+            endpoint = index.edge_target if forward else index.edge_source
+            for row in frontier:
+                group = row.last
+                current = group.current
+                edges = adjacency.get(current)
+                if edges is not None:
+                    for edge in edges:
+                        out.append(row.replace_last(group.with_current(edge, group.times)))
+                else:
+                    out.append(
+                        row.replace_last(
+                            group.with_current(endpoint[current], group.times)
+                        )
+                    )
+            return out
+        graph = self._graph
         for row in frontier:
             group = row.last
             current = group.current
@@ -232,11 +295,15 @@ class DataflowEngine:
 
     def _apply_temporal(self, frontier: list[Row], step: TemporalStep) -> list[Row]:
         graph = self._graph
+        index = self._index
         domain = graph.domain
         out: list[Row] = []
         for row in frontier:
             group = row.last
-            existence = graph.existence(group.current)
+            if index is not None:
+                existence = index.existence[group.current]
+            else:
+                existence = graph.existence(group.current)
             targets: list[IntervalSet] = []
             for anchor in group.times:
                 for _anchor_piece, window in reachable_window(

@@ -68,6 +68,8 @@ class ChainStep:
 class TestStep(ChainStep):
     """Filter the current group's validity times with a static condition."""
 
+    __test__ = False  # not a pytest test class despite the name
+
     condition: Test
 
 

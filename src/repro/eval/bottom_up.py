@@ -52,14 +52,29 @@ class BottomUpEvaluator:
     The evaluator caches the relation of every sub-expression it has
     seen, so repeated sub-expressions (common once MATCH clauses are
     compiled) are only evaluated once per graph.
+
+    With ``use_intervals=True`` the recursion runs on the coalesced
+    diagonal representation
+    (:class:`~repro.perf.interval_eval.IntervalBottomUpEvaluator`) and
+    only the final relation is expanded to point tuples; the point
+    relations produced are identical (cross-checked in the test suite),
+    but the intermediate cost scales with maximal intervals instead of
+    time points.
     """
 
-    def __init__(self, graph: TemporalGraph) -> None:
+    def __init__(self, graph: TemporalGraph, use_intervals: bool = False) -> None:
+        source = graph
         if isinstance(graph, IntervalTPG):
             graph = itpg_to_tpg(graph)
         self._graph = graph
         self._cache: dict[PathExpr, TemporalRelation] = {}
         self._identity: TemporalRelation | None = None
+        self._interval_evaluator = None
+        if use_intervals:
+            # Imported lazily: repro.perf builds on repro.eval.relation.
+            from repro.perf.interval_eval import IntervalBottomUpEvaluator
+
+            self._interval_evaluator = IntervalBottomUpEvaluator(source)
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -73,7 +88,10 @@ class BottomUpEvaluator:
         cached = self._cache.get(path)
         if cached is not None:
             return cached
-        relation = self._evaluate(path)
+        if self._interval_evaluator is not None:
+            relation = self._interval_evaluator.evaluate(path).to_temporal_relation()
+        else:
+            relation = self._evaluate(path)
         self._cache[path] = relation
         return relation
 

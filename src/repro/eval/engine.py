@@ -39,8 +39,8 @@ TemporalGraph = TypingUnion[TemporalPropertyGraph, IntervalTPG]
 class ReferenceEngine:
     """Reference (slow but complete) evaluation of TRPQs over one graph."""
 
-    def __init__(self, graph: TemporalGraph) -> None:
-        self._evaluator = BottomUpEvaluator(graph)
+    def __init__(self, graph: TemporalGraph, use_intervals: bool = False) -> None:
+        self._evaluator = BottomUpEvaluator(graph, use_intervals=use_intervals)
 
     @property
     def graph(self) -> TemporalPropertyGraph:

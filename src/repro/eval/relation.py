@@ -60,9 +60,15 @@ class TemporalRelation:
     # Set algebra
     # ------------------------------------------------------------------ #
     def union(self, other: "TemporalRelation") -> "TemporalRelation":
+        if not self._tuples:
+            return other
+        if not other._tuples:
+            return self
         return TemporalRelation(self._tuples | other._tuples)
 
     def intersect(self, other: "TemporalRelation") -> "TemporalRelation":
+        if not self._tuples or not other._tuples:
+            return _EMPTY
         return TemporalRelation(self._tuples & other._tuples)
 
     def difference(self, other: "TemporalRelation") -> "TemporalRelation":
@@ -78,6 +84,8 @@ class TemporalRelation:
         tuples; a hash join on the shared ``(o, t)`` attribute has the
         same output and better constants in Python.
         """
+        if not self._tuples or not other._tuples:
+            return _EMPTY
         index: dict[tuple[ObjectId, int], list[tuple[ObjectId, int]]] = defaultdict(list)
         for o, t, o2, t2 in other._tuples:
             index[(o, t)].append((o2, t2))
@@ -146,7 +154,13 @@ class TemporalRelation:
         closure = identity.union(self)
         while True:
             nxt = closure.compose(closure).union(closure)
-            if nxt == closure:
+            # ``nxt`` always contains ``closure``, so an unchanged size
+            # already implies convergence — skip the tuple-set equality.
+            if len(nxt) == len(closure):
                 break
             closure = nxt
         return self.power(lower, identity).compose(closure)
+
+
+#: Shared empty relation returned by the early-exit fast paths.
+_EMPTY = TemporalRelation()

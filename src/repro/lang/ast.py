@@ -106,6 +106,8 @@ P = Axis("P")
 class TestPath(PathExpr):
     """A condition used as a path expression: stays put if the test holds."""
 
+    __test__ = False  # not a pytest test class despite the name
+
     condition: "Test"
 
     def __repr__(self) -> str:
@@ -278,6 +280,9 @@ def _as_path(value: PathExpr | Test) -> PathExpr:
 def test(condition: Test) -> TestPath:
     """Lift a condition into a path expression."""
     return TestPath(condition)
+
+
+test.__test__ = False  # keep pytest from collecting the constructor helper
 
 
 def concat(*parts: PathExpr | Test) -> PathExpr:

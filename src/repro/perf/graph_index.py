@@ -1,0 +1,330 @@
+"""One-time compilation of a temporal graph into query-ready indexes.
+
+The evaluation hot paths repeatedly ask the same questions of the graph:
+which edges leave this node, which objects carry this label, at which
+times does this object satisfy a static condition.  The seed engines
+answered them by walking the graph per frontier row — rebuilding
+``frozenset`` adjacency copies and re-walking condition ASTs for every
+row of every step.  A :class:`GraphIndex` answers them from structures
+compiled once per graph and shared across queries and engines:
+
+* adjacency as immutable tuples (no per-call copies);
+* ``label → objects`` and ``(property, value) → objects`` buckets, used
+  to seed frontiers with only the objects that can match a condition;
+* per-object existence families (the coalesced ``IntervalSet``\\ s);
+* memoized *condition tables*: for a static condition, the mapping from
+  every satisfying object to its coalesced satisfaction times.
+
+Use :func:`graph_index_for` to obtain the shared per-graph instance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Optional, Union as TypingUnion
+
+from repro.errors import UnsupportedFragmentError
+from repro.lang.ast import (
+    AndTest,
+    EdgeTest,
+    ExistsTest,
+    LabelTest,
+    NodeTest,
+    NotTest,
+    OrTest,
+    PathTest,
+    PropEq,
+    Test,
+    TimeLt,
+    TrueTest,
+)
+from repro.model.convert import tpg_to_itpg
+from repro.model.itpg import IntervalTPG
+from repro.model.tpg import TemporalPropertyGraph
+from repro.temporal.interval import Interval
+from repro.temporal.intervalset import IntervalSet
+from repro.temporal.valued import ValuedIntervalSet
+
+ObjectId = Hashable
+TemporalGraph = TypingUnion[TemporalPropertyGraph, IntervalTPG]
+#: Resolves a path condition to ``object → satisfaction times`` (engines that
+#: support ``(?path)`` supply one; the dataflow fragment does not).
+PathTestResolver = Callable[[PathTest], dict[ObjectId, IntervalSet]]
+
+
+class GraphIndex:
+    """Compiled, immutable-by-convention indexes over one :class:`IntervalTPG`.
+
+    Build via :func:`graph_index_for` so the compilation cost is paid
+    once per graph; the memoized condition tables then accumulate across
+    every query and engine that shares the instance.
+    """
+
+    def __init__(self, graph: IntervalTPG) -> None:
+        self._graph = graph
+        self._domain = graph.domain
+        self._full = IntervalSet((graph.domain,))
+        self._empty = IntervalSet.empty()
+
+        self._nodes: frozenset[ObjectId] = frozenset(graph.nodes())
+        self._edges: frozenset[ObjectId] = frozenset(graph.edges())
+        self.objects: tuple[ObjectId, ...] = tuple(graph.objects())
+
+        self.labels: dict[ObjectId, str] = {}
+        self.existence: dict[ObjectId, IntervalSet] = {}
+        self.out_adjacency: dict[ObjectId, tuple[ObjectId, ...]] = {}
+        self.in_adjacency: dict[ObjectId, tuple[ObjectId, ...]] = {}
+        self.edge_source: dict[ObjectId, ObjectId] = {}
+        self.edge_target: dict[ObjectId, ObjectId] = {}
+
+        node_buckets: dict[str, list[ObjectId]] = {}
+        edge_buckets: dict[str, list[ObjectId]] = {}
+        prop_buckets: dict[tuple[str, Hashable], list[ObjectId]] = {}
+        self._properties: dict[ObjectId, dict[str, ValuedIntervalSet]] = {}
+
+        for node in graph.nodes():
+            self.labels[node] = graph.label(node)
+            self.existence[node] = graph.existence(node)
+            self.out_adjacency[node] = tuple(graph.out_edges(node))
+            self.in_adjacency[node] = tuple(graph.in_edges(node))
+            node_buckets.setdefault(graph.label(node), []).append(node)
+        for edge in graph.edges():
+            self.labels[edge] = graph.label(edge)
+            self.existence[edge] = graph.existence(edge)
+            src, tgt = graph.endpoints(edge)
+            self.edge_source[edge] = src
+            self.edge_target[edge] = tgt
+            edge_buckets.setdefault(graph.label(edge), []).append(edge)
+        for obj in self.objects:
+            families = graph.properties(obj)
+            self._properties[obj] = families
+            for name, family in families.items():
+                for entry in family:
+                    bucket = prop_buckets.setdefault((name, entry.value), [])
+                    if not bucket or bucket[-1] is not obj:
+                        bucket.append(obj)
+
+        self.node_label_buckets: dict[str, tuple[ObjectId, ...]] = {
+            label: tuple(members) for label, members in node_buckets.items()
+        }
+        self.edge_label_buckets: dict[str, tuple[ObjectId, ...]] = {
+            label: tuple(members) for label, members in edge_buckets.items()
+        }
+        self.prop_value_buckets: dict[tuple[str, Hashable], tuple[ObjectId, ...]] = {
+            key: tuple(members) for key, members in prop_buckets.items()
+        }
+
+        self._times_cache: dict[tuple[Test, ObjectId], IntervalSet] = {}
+        self._table_cache: dict[Test, dict[ObjectId, IntervalSet]] = {}
+        self._static_cache: dict[Test, bool] = {}
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def graph(self) -> IntervalTPG:
+        return self._graph
+
+    @property
+    def domain(self) -> Interval:
+        return self._domain
+
+    def is_node(self, obj: ObjectId) -> bool:
+        return obj in self._nodes
+
+    def is_edge(self, obj: ObjectId) -> bool:
+        return obj in self._edges
+
+    def nodes(self) -> frozenset[ObjectId]:
+        return self._nodes
+
+    def edges(self) -> frozenset[ObjectId]:
+        return self._edges
+
+    # ------------------------------------------------------------------ #
+    # Condition evaluation
+    # ------------------------------------------------------------------ #
+    def is_static(self, condition: Test) -> bool:
+        """True when the condition contains no path condition ``(?path)``."""
+        cached = self._static_cache.get(condition)
+        if cached is None:
+            cached = _is_static(condition)
+            self._static_cache[condition] = cached
+        return cached
+
+    def times_for(
+        self,
+        obj: ObjectId,
+        condition: Test,
+        path_test_resolver: Optional[PathTestResolver] = None,
+    ) -> IntervalSet:
+        """Coalesced times at which ``(obj, t)`` satisfies ``condition``.
+
+        Results for static conditions are memoized per ``(condition,
+        object)``; conditions containing ``(?path)`` require a resolver
+        and are never cached here (the resolver caches at its own level).
+        """
+        if self.is_static(condition):
+            key = (condition, obj)
+            cached = self._times_cache.get(key)
+            if cached is None:
+                cached = self._times(obj, condition, None)
+                self._times_cache[key] = cached
+            return cached
+        return self._times(obj, condition, path_test_resolver)
+
+    def condition_table(
+        self,
+        condition: Test,
+        path_test_resolver: Optional[PathTestResolver] = None,
+    ) -> dict[ObjectId, IntervalSet]:
+        """``object → satisfaction times`` for every object with nonempty times.
+
+        Candidates are narrowed through the label / property buckets
+        before any per-object work, and the finished table is memoized
+        (static conditions only).  Treat the returned mapping as
+        read-only: it is shared between callers.
+        """
+        static = self.is_static(condition)
+        if static:
+            cached = self._table_cache.get(condition)
+            if cached is not None:
+                return cached
+        candidates = self._candidates(condition)
+        if candidates is None:
+            pool: Iterable[ObjectId] = self.objects
+        else:
+            # Filter the deterministic object order through the candidate
+            # set rather than iterating the (hash-ordered) set itself, so
+            # frontier seeding stays reproducible across processes.
+            pool = (obj for obj in self.objects if obj in candidates)
+        table: dict[ObjectId, IntervalSet] = {}
+        for obj in pool:
+            times = self.times_for(obj, condition, path_test_resolver)
+            if not times.is_empty():
+                table[obj] = times
+        if static:
+            self._table_cache[condition] = table
+        return table
+
+    def _times(
+        self,
+        obj: ObjectId,
+        condition: Test,
+        resolver: Optional[PathTestResolver],
+    ) -> IntervalSet:
+        if isinstance(condition, AndTest):
+            result = self._full
+            for part in condition.parts:
+                result = result.intersect(self._times(obj, part, resolver))
+                if result.is_empty():
+                    return self._empty
+            return result
+        if isinstance(condition, LabelTest):
+            return self._full if self.labels.get(obj) == condition.label else self._empty
+        if isinstance(condition, PropEq):
+            family = self._properties[obj].get(condition.prop)
+            if family is None:
+                return self._empty
+            return family.when_equals(condition.value)
+        if isinstance(condition, ExistsTest):
+            return self.existence[obj]
+        if isinstance(condition, NodeTest):
+            return self._full if obj in self._nodes else self._empty
+        if isinstance(condition, EdgeTest):
+            return self._full if obj in self._edges else self._empty
+        if isinstance(condition, TimeLt):
+            if condition.bound <= self._domain.start:
+                return self._empty
+            return IntervalSet(
+                (Interval(self._domain.start, min(self._domain.end, condition.bound - 1)),)
+            )
+        if isinstance(condition, TrueTest):
+            return self._full
+        if isinstance(condition, OrTest):
+            result = self._empty
+            for part in condition.parts:
+                result = result.union(self._times(obj, part, resolver))
+            return result
+        if isinstance(condition, NotTest):
+            return self._times(obj, condition.inner, resolver).complement(self._domain)
+        if isinstance(condition, PathTest):
+            if resolver is None:
+                raise UnsupportedFragmentError(
+                    "path conditions (?path) require an engine-supplied resolver"
+                )
+            return resolver(condition).get(obj, self._empty)
+        raise TypeError(f"unknown test {condition!r}")
+
+    def _candidates(self, condition: Test) -> Optional[frozenset[ObjectId]]:
+        """Objects that can possibly satisfy the condition, or ``None`` for all.
+
+        Sound over-approximation only — the per-object times are always
+        verified afterwards — so unrestrictive tests simply return
+        ``None``.
+        """
+        if isinstance(condition, LabelTest):
+            return frozenset(
+                self.node_label_buckets.get(condition.label, ())
+                + self.edge_label_buckets.get(condition.label, ())
+            )
+        if isinstance(condition, PropEq):
+            return frozenset(
+                self.prop_value_buckets.get((condition.prop, condition.value), ())
+            )
+        if isinstance(condition, NodeTest):
+            return self._nodes
+        if isinstance(condition, EdgeTest):
+            return self._edges
+        if isinstance(condition, AndTest):
+            narrowed: Optional[frozenset[ObjectId]] = None
+            for part in condition.parts:
+                part_candidates = self._candidates(part)
+                if part_candidates is None:
+                    continue
+                narrowed = (
+                    part_candidates
+                    if narrowed is None
+                    else narrowed & part_candidates
+                )
+            return narrowed
+        if isinstance(condition, OrTest):
+            union: frozenset[ObjectId] = frozenset()
+            for part in condition.parts:
+                part_candidates = self._candidates(part)
+                if part_candidates is None:
+                    return None
+                union |= part_candidates
+            return union
+        return None
+
+
+def _is_static(condition: Test) -> bool:
+    if isinstance(condition, PathTest):
+        return False
+    if isinstance(condition, (AndTest, OrTest)):
+        return all(_is_static(part) for part in condition.parts)
+    if isinstance(condition, NotTest):
+        return _is_static(condition.inner)
+    return True
+
+
+# --------------------------------------------------------------------- #
+# Per-graph cache
+# --------------------------------------------------------------------- #
+_CACHE_ATTR = "_repro_graph_index"
+
+
+def graph_index_for(graph: TemporalGraph) -> GraphIndex:
+    """The shared :class:`GraphIndex` of ``graph``, compiling it on first use.
+
+    Point-based graphs are converted to their interval form once.  The
+    index is stored on the graph object itself, so its lifetime is
+    exactly the graph's lifetime — no global registry to leak through.
+    """
+    cached = getattr(graph, _CACHE_ATTR, None)
+    if cached is not None:
+        return cached
+    itpg = tpg_to_itpg(graph) if isinstance(graph, TemporalPropertyGraph) else graph
+    index = GraphIndex(itpg)
+    setattr(graph, _CACHE_ATTR, index)
+    return index

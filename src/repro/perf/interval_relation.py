@@ -1,0 +1,305 @@
+"""Interval-native temporal relations (the Section-VI representation for algebra).
+
+A :class:`~repro.eval.relation.TemporalRelation` materializes a binary
+relation over temporal objects as explicit ``(o, t, o', t')`` 4-tuples,
+so its size — and the cost of every operation on it — scales with the
+number of time *points*.  This module lifts the paper's coalesced
+interval representation from unary existence families to binary
+relations.
+
+Every relation denoted by a NavL[PC,NOI] expression is a finite union of
+*diagonals*
+
+    ``{(o, t, o', t + δ) : t ∈ I}``
+
+for an object pair ``(o, o')``, an integer offset ``δ`` and a coalesced
+family of anchor intervals ``I``: tests and structural axes contribute
+``δ = 0`` diagonals, the temporal axes ``N``/``P`` contribute ``δ = ±1``,
+and union / composition / repetition preserve the form (composition adds
+offsets, so the closure under the algebra is immediate by induction).
+:class:`IntervalRelation` stores exactly this decomposition —
+``(o, o') → δ → IntervalSet`` — and implements the bottom-up algebra of
+Theorem C.1 as interval arithmetic, so cost scales with the number of
+maximal intervals rather than with ``|Ω|``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from repro.eval.relation import TemporalRelation
+from repro.temporal.interval import Interval
+from repro.temporal.intervalset import IntervalSet
+
+ObjectId = Hashable
+#: ``(source object, target object) → time offset → anchor intervals``.
+DiagonalMap = dict[tuple[ObjectId, ObjectId], dict[int, IntervalSet]]
+
+
+class IntervalRelation:
+    """An immutable temporal relation stored as coalesced diagonal families.
+
+    The represented point relation is
+    ``{(o, t, o', t + δ) : ((o, o'), δ, I) stored, t ∈ I}``.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(
+        self,
+        data: Mapping[tuple[ObjectId, ObjectId], Mapping[int, IntervalSet]] = (),
+    ) -> None:
+        normalized: DiagonalMap = {}
+        for pair, diagonals in dict(data).items():
+            kept = {
+                delta: family
+                for delta, family in diagonals.items()
+                if not family.is_empty()
+            }
+            if kept:
+                normalized[pair] = kept
+        self._data = normalized
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def empty() -> "IntervalRelation":
+        return IntervalRelation()
+
+    @staticmethod
+    def identity(objects: Iterable[ObjectId], domain: Interval) -> "IntervalRelation":
+        """The diagonal relation ``{(o, t, o, t) : t ∈ domain}`` (``path⁰``)."""
+        family = IntervalSet((domain,))
+        return IntervalRelation({(o, o): {0: family} for o in objects})
+
+    @staticmethod
+    def from_diagonals(
+        entries: Iterable[tuple[ObjectId, ObjectId, int, IntervalSet]]
+    ) -> "IntervalRelation":
+        """Build a relation from ``(source, target, offset, anchors)`` entries."""
+        data: DiagonalMap = {}
+        for src, dst, delta, family in entries:
+            if family.is_empty():
+                continue
+            diagonals = data.setdefault((src, dst), {})
+            existing = diagonals.get(delta)
+            diagonals[delta] = family if existing is None else existing.union(family)
+        return IntervalRelation(data)
+
+    @staticmethod
+    def from_temporal_relation(relation: TemporalRelation) -> "IntervalRelation":
+        """Exact conversion from the point-tuple representation."""
+        grouped: dict[tuple[ObjectId, ObjectId, int], set[int]] = defaultdict(set)
+        for o, t, o2, t2 in relation:
+            grouped[(o, o2, t2 - t)].add(t)
+        return IntervalRelation.from_diagonals(
+            (src, dst, delta, IntervalSet.from_points(points))
+            for (src, dst, delta), points in grouped.items()
+        )
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+    def is_empty(self) -> bool:
+        return not self._data
+
+    def num_diagonals(self) -> int:
+        """Number of stored maximal diagonal intervals (the compact size)."""
+        return sum(
+            len(family)
+            for diagonals in self._data.values()
+            for family in diagonals.values()
+        )
+
+    def num_tuples(self) -> int:
+        """Number of represented point tuples, without materializing them."""
+        return sum(
+            family.total_points()
+            for diagonals in self._data.values()
+            for family in diagonals.values()
+        )
+
+    def entries(self) -> Iterator[tuple[ObjectId, ObjectId, int, IntervalSet]]:
+        """Iterate over the stored ``(source, target, offset, anchors)`` entries."""
+        for (src, dst), diagonals in self._data.items():
+            for delta, family in diagonals.items():
+                yield src, dst, delta, family
+
+    def __contains__(self, item: tuple[ObjectId, int, ObjectId, int]) -> bool:
+        o, t, o2, t2 = item
+        diagonals = self._data.get((o, o2))
+        if not diagonals:
+            return False
+        family = diagonals.get(t2 - t)
+        return family is not None and family.contains_point(t)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalRelation):
+            return NotImplemented
+        return self._data == other._data
+
+    def __hash__(self) -> int:
+        return hash(
+            frozenset(
+                (pair, delta, family)
+                for pair, diagonals in self._data.items()
+                for delta, family in diagonals.items()
+            )
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"IntervalRelation({len(self._data)} pairs, "
+            f"{self.num_diagonals()} diagonals)"
+        )
+
+    def to_temporal_relation(self) -> TemporalRelation:
+        """Expand to the point-tuple representation (for cross-checks/output)."""
+        tuples = [
+            (src, t, dst, t + delta)
+            for src, dst, delta, family in self.entries()
+            for t in family.points()
+        ]
+        return TemporalRelation(tuples)
+
+    def source_project(self) -> dict[ObjectId, IntervalSet]:
+        """Starting temporal objects as ``object → times`` (for path conditions)."""
+        out: dict[ObjectId, IntervalSet] = {}
+        for (src, _dst), diagonals in self._data.items():
+            for family in diagonals.values():
+                existing = out.get(src)
+                out[src] = family if existing is None else existing.union(family)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Algebra
+    # ------------------------------------------------------------------ #
+    def union(self, other: "IntervalRelation") -> "IntervalRelation":
+        if not self._data:
+            return other
+        if not other._data:
+            return self
+        data: DiagonalMap = {
+            pair: dict(diagonals) for pair, diagonals in self._data.items()
+        }
+        for pair, diagonals in other._data.items():
+            mine = data.setdefault(pair, {})
+            for delta, family in diagonals.items():
+                existing = mine.get(delta)
+                mine[delta] = family if existing is None else existing.union(family)
+        return IntervalRelation(data)
+
+    def intersect(self, other: "IntervalRelation") -> "IntervalRelation":
+        if not self._data or not other._data:
+            return IntervalRelation.empty()
+        data: DiagonalMap = {}
+        for pair, diagonals in self._data.items():
+            theirs = other._data.get(pair)
+            if not theirs:
+                continue
+            kept: dict[int, IntervalSet] = {}
+            for delta, family in diagonals.items():
+                other_family = theirs.get(delta)
+                if other_family is None:
+                    continue
+                overlap = family.intersect(other_family)
+                if not overlap.is_empty():
+                    kept[delta] = overlap
+            if kept:
+                data[pair] = kept
+        return IntervalRelation(data)
+
+    def compose(self, other: "IntervalRelation") -> "IntervalRelation":
+        """Relational composition as diagonal arithmetic.
+
+        ``(a, t, b, t + δ₁)`` with ``t ∈ I`` composed with
+        ``(b, u, c, u + δ₂)`` with ``u ∈ J`` yields
+        ``(a, t, c, t + δ₁ + δ₂)`` for ``t ∈ I ∩ (J − δ₁)`` — one
+        interval-set intersection per matching diagonal pair, never a
+        point-level join.
+        """
+        if not self._data or not other._data:
+            return IntervalRelation.empty()
+        by_source: dict[ObjectId, list[tuple[ObjectId, int, IntervalSet]]] = (
+            defaultdict(list)
+        )
+        for (src, dst), diagonals in other._data.items():
+            for delta, family in diagonals.items():
+                by_source[src].append((dst, delta, family))
+        data: DiagonalMap = {}
+        for (src, mid), diagonals in self._data.items():
+            continuations = by_source.get(mid)
+            if not continuations:
+                continue
+            for delta1, family1 in diagonals.items():
+                for dst, delta2, family2 in continuations:
+                    anchors = family1.intersect(family2.shift(-delta1))
+                    if anchors.is_empty():
+                        continue
+                    out = data.setdefault((src, dst), {})
+                    delta = delta1 + delta2
+                    existing = out.get(delta)
+                    out[delta] = (
+                        anchors if existing is None else existing.union(anchors)
+                    )
+        return IntervalRelation(data)
+
+    def power(self, exponent: int, identity: "IntervalRelation") -> "IntervalRelation":
+        """``self`` composed with itself ``exponent`` times (Algorithm 1)."""
+        if exponent == 0:
+            return identity
+        if exponent == 1:
+            return self
+        half = self.power(exponent // 2, identity)
+        squared = half.compose(half)
+        if exponent % 2 == 0:
+            return squared
+        return squared.compose(self)
+
+    def bounded_repetition(
+        self, lower: int, upper: int, identity: "IntervalRelation"
+    ) -> "IntervalRelation":
+        """``⋃_{k=lower}^{upper} self^k`` (Algorithms 1 and 2 on intervals)."""
+        if upper < lower:
+            raise ValueError(f"upper bound {upper} below lower bound {lower}")
+        prefix = self.power(lower, identity)
+        if upper == lower:
+            return prefix
+        return prefix.compose(self._repetition_up_to(upper - lower, identity))
+
+    def _repetition_up_to(
+        self, bound: int, identity: "IntervalRelation"
+    ) -> "IntervalRelation":
+        if bound <= 0:
+            return identity
+        base = identity.union(self)
+        result = identity
+        power = base
+        remaining = bound
+        while remaining > 0:
+            if remaining & 1:
+                result = result.compose(power)
+            power = power.compose(power)
+            remaining >>= 1
+        return result
+
+    def unbounded_repetition(
+        self, lower: int, identity: "IntervalRelation"
+    ) -> "IntervalRelation":
+        """``⋃_{k>=lower} self^k`` via a doubling fixpoint.
+
+        Each iteration unions the previous closure back in, so the
+        closure grows monotonically and an unchanged tuple count implies
+        convergence — no structural equality check needed.
+        """
+        closure = identity.union(self)
+        size = closure.num_tuples()
+        while True:
+            closure = closure.compose(closure).union(closure)
+            next_size = closure.num_tuples()
+            if next_size == size:
+                break
+            size = next_size
+        return self.power(lower, identity).compose(closure)

@@ -42,6 +42,13 @@ class IntervalSet:
         """The empty family (``∅ ∈ FC``)."""
         return IntervalSet(())
 
+    @classmethod
+    def _from_coalesced(cls, intervals: Iterable[Interval]) -> "IntervalSet":
+        """Wrap intervals already known to satisfy the FC invariant."""
+        instance = object.__new__(cls)
+        instance._intervals = tuple(intervals)
+        return instance
+
     @staticmethod
     def single(start: int, end: int) -> "IntervalSet":
         """Family containing the single interval ``[start, end]``."""
@@ -166,6 +173,12 @@ class IntervalSet:
     # Algebra
     # ------------------------------------------------------------------ #
     def union(self, other: "IntervalSet") -> "IntervalSet":
+        # Both operands already satisfy the FC invariant, so when either
+        # is empty the other can be returned without re-coalescing.
+        if not self._intervals:
+            return other
+        if not other._intervals:
+            return self
         return IntervalSet(self._intervals + other._intervals)
 
     def intersect(self, other: "IntervalSet") -> "IntervalSet":
@@ -184,7 +197,32 @@ class IntervalSet:
         return IntervalSet(result)
 
     def intersect_interval(self, interval: Interval) -> "IntervalSet":
-        return self.intersect(IntervalSet((interval,)))
+        """Intersection with one interval via binary search on the family.
+
+        Locates the first stored interval that can overlap, then clips
+        until past ``interval.end`` — no temporary one-element family and
+        no re-coalescing (clipping disjoint, non-adjacent intervals keeps
+        them disjoint and non-adjacent).
+        """
+        stored = self._intervals
+        if not stored:
+            return self
+        # First stored interval with end >= interval.start.
+        lo, hi = 0, len(stored)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if stored[mid].end < interval.start:
+                lo = mid + 1
+            else:
+                hi = mid
+        result: list[Interval] = []
+        for iv in stored[lo:]:
+            if iv.start > interval.end:
+                break
+            overlap = iv.intersect(interval)
+            if overlap is not None:
+                result.append(overlap)
+        return IntervalSet._from_coalesced(result)
 
     def difference(self, other: "IntervalSet") -> "IntervalSet":
         """Pointwise set difference ``self \\ other``."""

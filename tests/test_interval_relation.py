@@ -1,0 +1,163 @@
+"""The diagonal-interval relation algebra must mirror TemporalRelation exactly."""
+
+import random
+
+import pytest
+
+from repro.eval.relation import TemporalRelation
+from repro.perf.interval_relation import IntervalRelation
+from repro.temporal import Interval, IntervalSet
+
+OBJECTS = ["a", "b", "c", "d"]
+DOMAIN = Interval(0, 11)
+
+
+def random_temporal_relation(seed: int, size: int = 40) -> TemporalRelation:
+    """Random point tuples biased towards small offsets (diagonal-friendly)."""
+    rng = random.Random(seed)
+    tuples = []
+    for _ in range(size):
+        o = rng.choice(OBJECTS)
+        o2 = rng.choice(OBJECTS)
+        t = rng.randint(DOMAIN.start, DOMAIN.end)
+        t2 = min(DOMAIN.end, max(DOMAIN.start, t + rng.randint(-3, 3)))
+        tuples.append((o, t, o2, t2))
+    return TemporalRelation(tuples)
+
+
+def identity_pair():
+    point = TemporalRelation(
+        (o, t, o, t) for o in OBJECTS for t in DOMAIN.points()
+    )
+    interval = IntervalRelation.identity(OBJECTS, DOMAIN)
+    return point, interval
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_point_round_trip(self, seed):
+        relation = random_temporal_relation(seed)
+        lifted = IntervalRelation.from_temporal_relation(relation)
+        assert lifted.to_temporal_relation() == relation
+        assert lifted.num_tuples() == len(relation)
+
+    def test_membership_matches_expansion(self):
+        relation = random_temporal_relation(3)
+        lifted = IntervalRelation.from_temporal_relation(relation)
+        for o in OBJECTS:
+            for o2 in OBJECTS:
+                for t in DOMAIN.points():
+                    for t2 in DOMAIN.points():
+                        assert ((o, t, o2, t2) in lifted) == (
+                            (o, t, o2, t2) in relation
+                        )
+
+    def test_compact_representation(self):
+        # A full-domain diagonal is one stored interval, not |domain| tuples.
+        family = IntervalSet((DOMAIN,))
+        lifted = IntervalRelation.from_diagonals([("a", "b", 0, family)])
+        assert lifted.num_diagonals() == 1
+        assert lifted.num_tuples() == len(DOMAIN)
+
+
+class TestAlgebraAgreement:
+    """Each interval-native operation expands to the point-based result."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_union(self, seed):
+        a = random_temporal_relation(seed)
+        b = random_temporal_relation(seed + 100)
+        got = (
+            IntervalRelation.from_temporal_relation(a)
+            .union(IntervalRelation.from_temporal_relation(b))
+            .to_temporal_relation()
+        )
+        assert got == a.union(b)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_intersect(self, seed):
+        a = random_temporal_relation(seed)
+        b = random_temporal_relation(seed + 1)  # adjacent seeds share tuples
+        got = (
+            IntervalRelation.from_temporal_relation(a)
+            .intersect(IntervalRelation.from_temporal_relation(b))
+            .to_temporal_relation()
+        )
+        assert got == a.intersect(b)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_compose(self, seed):
+        a = random_temporal_relation(seed)
+        b = random_temporal_relation(seed + 100)
+        got = (
+            IntervalRelation.from_temporal_relation(a)
+            .compose(IntervalRelation.from_temporal_relation(b))
+            .to_temporal_relation()
+        )
+        assert got == a.compose(b)
+
+    @pytest.mark.parametrize("exponent", [0, 1, 2, 3, 5])
+    def test_power(self, exponent):
+        relation = random_temporal_relation(7, size=20)
+        point_identity, interval_identity = identity_pair()
+        got = (
+            IntervalRelation.from_temporal_relation(relation)
+            .power(exponent, interval_identity)
+            .to_temporal_relation()
+        )
+        assert got == relation.power(exponent, point_identity)
+
+    @pytest.mark.parametrize("bounds", [(0, 0), (0, 1), (1, 3), (2, 2), (0, 5)])
+    def test_bounded_repetition(self, bounds):
+        lower, upper = bounds
+        relation = random_temporal_relation(9, size=20)
+        point_identity, interval_identity = identity_pair()
+        got = (
+            IntervalRelation.from_temporal_relation(relation)
+            .bounded_repetition(lower, upper, interval_identity)
+            .to_temporal_relation()
+        )
+        assert got == relation.bounded_repetition(lower, upper, point_identity)
+
+    @pytest.mark.parametrize("lower", [0, 1, 2])
+    def test_unbounded_repetition(self, lower):
+        relation = random_temporal_relation(11, size=15)
+        point_identity, interval_identity = identity_pair()
+        got = (
+            IntervalRelation.from_temporal_relation(relation)
+            .unbounded_repetition(lower, interval_identity)
+            .to_temporal_relation()
+        )
+        assert got == relation.unbounded_repetition(lower, point_identity)
+
+    def test_bounded_repetition_rejects_inverted_bounds(self):
+        relation = IntervalRelation.empty()
+        with pytest.raises(ValueError):
+            relation.bounded_repetition(3, 1, relation)
+
+
+class TestProjectionsAndEdges:
+    def test_source_project(self):
+        relation = random_temporal_relation(5)
+        lifted = IntervalRelation.from_temporal_relation(relation)
+        projected = {
+            (obj, t)
+            for obj, times in lifted.source_project().items()
+            for t in times.points()
+        }
+        assert projected == relation.source_project()
+
+    def test_empty_operands(self):
+        relation = IntervalRelation.from_temporal_relation(random_temporal_relation(2))
+        empty = IntervalRelation.empty()
+        assert empty.is_empty()
+        assert relation.union(empty) == relation
+        assert empty.union(relation) == relation
+        assert relation.compose(empty).is_empty()
+        assert empty.compose(relation).is_empty()
+        assert relation.intersect(empty).is_empty()
+
+    def test_empty_families_dropped_on_construction(self):
+        relation = IntervalRelation({("a", "b"): {0: IntervalSet.empty()}})
+        assert relation.is_empty()
+        assert relation.num_diagonals() == 0

@@ -1,0 +1,133 @@
+"""Cross-checks of the perf layer against the point-based ground truth.
+
+Everything the compiled index and the interval-native relations change is
+an implementation detail: on every graph and every expression, the
+indexed dataflow engine, the interval bottom-up evaluator and the seed
+engines must produce the same answers.
+"""
+
+import pytest
+
+from repro.datagen.random_graphs import random_itpg, random_path_expression
+from repro.dataflow import DataflowEngine, PAPER_QUERIES
+from repro.eval import ReferenceEngine
+from repro.eval.bottom_up import BottomUpEvaluator
+from repro.perf import IntervalBottomUpEvaluator
+from repro.reductions import (
+    gsubset_sum_reduction,
+    solve_gsubset_sum,
+    solve_subset_sum,
+    subset_sum_reduction,
+)
+
+
+class TestDataflowIndexedVsLegacy:
+    """use_index=True must be an invisible optimization."""
+
+    @pytest.mark.parametrize("name", list(PAPER_QUERIES))
+    def test_paper_queries_on_running_example(self, figure1, name):
+        text = PAPER_QUERIES[name].text
+        indexed = DataflowEngine(figure1, use_index=True).match(text)
+        legacy = DataflowEngine(figure1, use_index=False).match(text)
+        assert indexed.as_set() == legacy.as_set()
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "MATCH (x) ON g",
+            "MATCH (x:Person)-[:knows]->(y) ON g",
+            "MATCH (x {risk = 'high'})-/NEXT[1,3]/-(y) ON g",
+            "MATCH (x)-/FWD/BWD/-(y) ON g",
+            "MATCH (x:Person)-/PREV*/-(y:Person) ON g",
+        ],
+    )
+    def test_random_graphs(self, small_random_graphs, query):
+        for graph in small_random_graphs:
+            indexed = DataflowEngine(graph, use_index=True).match(query)
+            legacy = DataflowEngine(graph, use_index=False).match(query)
+            reference = ReferenceEngine(graph).match(query)
+            assert indexed.as_set() == legacy.as_set() == reference.as_set()
+
+    def test_interval_output_agrees(self, figure1):
+        query = PAPER_QUERIES["Q2"].text
+        indexed = DataflowEngine(figure1, use_index=True).match_intervals(query)
+        legacy = DataflowEngine(figure1, use_index=False).match_intervals(query)
+        assert sorted(indexed, key=repr) == sorted(legacy, key=repr)
+
+    def test_workers_with_index(self, figure1):
+        query = PAPER_QUERIES["Q5"].text
+        serial = DataflowEngine(figure1, workers=1).match(query)
+        parallel = DataflowEngine(figure1, workers=4).match(query)
+        assert serial.as_set() == parallel.as_set()
+
+
+class TestIntervalBottomUp:
+    """The interval evaluator is exact on every fragment, including (?path)."""
+
+    def test_running_example_random_paths(self, figure1):
+        point = BottomUpEvaluator(figure1)
+        interval = IntervalBottomUpEvaluator(figure1)
+        for seed in range(20):
+            path = random_path_expression(seed, allow_path_conditions=True)
+            assert interval.evaluate_points(path) == point.evaluate(path), path
+
+    def test_random_graphs_random_paths(self):
+        for graph_seed in range(4):
+            graph = random_itpg(graph_seed)
+            point = BottomUpEvaluator(graph)
+            interval = IntervalBottomUpEvaluator(graph)
+            for seed in range(12):
+                path = random_path_expression(
+                    seed + 50 * graph_seed, allow_path_conditions=True
+                )
+                assert interval.evaluate_points(path) == point.evaluate(path), path
+
+    def test_fast_mode_flag_on_bottom_up(self, figure1):
+        fast = BottomUpEvaluator(figure1, use_intervals=True)
+        slow = BottomUpEvaluator(figure1)
+        for seed in range(10):
+            path = random_path_expression(seed, allow_path_conditions=True)
+            assert fast.evaluate(path) == slow.evaluate(path), path
+
+    def test_fast_mode_flag_on_reference_engine(self, figure1):
+        for name in ("Q1", "Q5", "Q6", "Q10"):
+            text = PAPER_QUERIES[name].text
+            fast = ReferenceEngine(figure1, use_intervals=True).match(text)
+            slow = ReferenceEngine(figure1).match(text)
+            assert fast.as_set() == slow.as_set()
+
+
+class TestHardnessGadgets:
+    """The interval algebra must stay exact on the adversarial reductions."""
+
+    @pytest.mark.parametrize(
+        "numbers,target",
+        [
+            ([3, 5, 7], 12),
+            ([3, 5, 7], 11),
+            ([2, 4, 6], 7),
+            ([1, 2, 3, 4], 10),
+            ([], 0),
+        ],
+    )
+    def test_subset_sum(self, numbers, target):
+        instance = subset_sum_reduction(numbers, target)
+        evaluator = IntervalBottomUpEvaluator(instance.graph)
+        relation = evaluator.evaluate(instance.path)
+        expected = solve_subset_sum(numbers, target)
+        got = (*instance.source, *instance.target) in relation
+        assert got == expected
+        # Full-relation agreement with the ground truth, not just the endpoint.
+        assert relation.to_temporal_relation() == BottomUpEvaluator(
+            instance.graph
+        ).evaluate(instance.path)
+
+    @pytest.mark.parametrize(
+        "u,w,target",
+        [([2, 3], [1], 5), ([2], [3], 4), ([1, 4], [5], 9)],
+    )
+    def test_generalized_subset_sum(self, u, w, target):
+        instance = gsubset_sum_reduction(u, w, target)
+        evaluator = IntervalBottomUpEvaluator(instance.graph)
+        got = (*instance.source, *instance.target) in evaluator.evaluate(instance.path)
+        assert got == solve_gsubset_sum(u, w, target)
