@@ -1,0 +1,232 @@
+"""PR-2 regression harness: coalescing frontier vs the legacy row frontier.
+
+Runs the Table-II query mix (Q1–Q12) through the dataflow engine twice on
+the same compiled :class:`~repro.perf.graph_index.GraphIndex` — once with
+the seed row-per-path frontier (``use_coalesced=False``) and once with
+the coalescing frontier, fused hops and interval-native Step 3
+(``use_coalesced=True``, the default) — cross-checks that every binding
+table is identical, and reports per-query and median speedups.  The
+headline number is the median over the **Q10–Q12 bounded
+temporal-navigation mix**, the row-churn workload PR 1 left open.
+
+The measurements land in ``BENCH_PR2.json`` keyed by scale factor, so a
+single baseline file can hold both the committed S4 measurement and the
+S1 smoke reference CI compares against::
+
+    PYTHONPATH=src python benchmarks/bench_pr2_frontier.py              # REPRO_SCALE or S4
+    PYTHONPATH=src python benchmarks/bench_pr2_frontier.py --scale S1   # add the S1 section
+    PYTHONPATH=src python benchmarks/bench_pr2_frontier.py --smoke \\
+        --out bench_smoke_pr2.json --check-against BENCH_PR2.json       # CI regression gate
+
+With ``--check-against`` the process exits non-zero if any engine pair
+diverges or if the measured Q10–Q12 median speedup falls more than
+``--tolerance`` (default 10%) below the same-scale baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.datagen import generate_contact_tracing_graph
+from repro.datagen.scale import SCALE_FACTORS, default_scale_name
+from repro.dataflow import DataflowEngine, PAPER_QUERIES
+from repro.perf import graph_index_for
+
+#: The bounded temporal-navigation mix whose median is the headline number.
+FOCUS_QUERIES = ("Q10", "Q11", "Q12")
+
+
+def best_of(rounds: int, fn, *args):
+    """Smallest wall-clock time of ``rounds`` calls, plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_scale(scale_name: str, positivity: float, rounds: int) -> dict:
+    """Q1–Q12, legacy row frontier vs coalescing frontier, on one graph."""
+    config = SCALE_FACTORS[scale_name].config(positivity_rate=positivity)
+    graph = generate_contact_tracing_graph(config)
+
+    start = time.perf_counter()
+    graph_index_for(graph)
+    compile_seconds = time.perf_counter() - start
+
+    legacy = DataflowEngine(graph, use_coalesced=False)
+    coalesced = DataflowEngine(graph, use_coalesced=True)
+
+    queries: dict[str, dict] = {}
+    divergences = 0
+    for name, query in PAPER_QUERIES.items():
+        legacy_seconds, legacy_result = best_of(
+            rounds, legacy.match_with_stats, query.text
+        )
+        coalesced_seconds, coalesced_result = best_of(
+            rounds, coalesced.match_with_stats, query.text
+        )
+        agree = legacy_result.table.as_set() == coalesced_result.table.as_set()
+        if not agree:
+            divergences += 1
+        queries[name] = {
+            "legacy_seconds": round(legacy_seconds, 6),
+            "coalesced_seconds": round(coalesced_seconds, 6),
+            "legacy_interval_seconds": round(legacy_result.interval_seconds, 6),
+            "coalesced_interval_seconds": round(coalesced_result.interval_seconds, 6),
+            "speedup": round(legacy_seconds / max(coalesced_seconds, 1e-9), 3),
+            "output_size": coalesced_result.output_size,
+            "legacy_frontier_rows": legacy_result.frontier_rows,
+            "coalesced_frontier_rows": coalesced_result.frontier_rows,
+            "rows_merged": coalesced_result.rows_merged,
+            "outputs_agree": agree,
+        }
+    speedups = [entry["speedup"] for entry in queries.values()]
+    focus = [queries[name]["speedup"] for name in FOCUS_QUERIES]
+    return {
+        "scale": scale_name,
+        "positivity_rate": positivity,
+        "num_nodes": graph.num_nodes(),
+        "num_edges": graph.num_edges(),
+        "index_compile_seconds": round(compile_seconds, 6),
+        "queries": queries,
+        "median_speedup": round(statistics.median(speedups), 3),
+        "q10_q12": {
+            "queries": list(FOCUS_QUERIES),
+            "median_speedup": round(statistics.median(focus), 3),
+            "min_speedup": round(min(focus), 3),
+        },
+        "divergences": divergences,
+    }
+
+
+def check_against(baseline_path: Path, measured: dict, tolerance: float) -> int:
+    """Compare the measured Q10–Q12 median against the same-scale baseline."""
+    if not baseline_path.exists():
+        print(f"WARNING: baseline {baseline_path} not found; skipping check")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    scale = measured["scale"]
+    reference = baseline.get("results", {}).get(scale)
+    if reference is None:
+        print(
+            f"WARNING: baseline {baseline_path} has no {scale} section; "
+            "skipping regression check"
+        )
+        return 0
+    expected = reference["q10_q12"]["median_speedup"]
+    floor = expected * (1.0 - tolerance)
+    got = measured["q10_q12"]["median_speedup"]
+    print(
+        f"regression check at {scale}: measured Q10–Q12 median {got:.2f}x, "
+        f"baseline {expected:.2f}x, floor {floor:.2f}x"
+    )
+    if got < floor:
+        print(
+            f"ERROR: Q10–Q12 median speedup regressed more than "
+            f"{tolerance:.0%} vs {baseline_path}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        default=None,
+        choices=sorted(SCALE_FACTORS),
+        help="scale factor (default: REPRO_SCALE or S4; --smoke forces S1)",
+    )
+    parser.add_argument("--positivity", type=float, default=0.05)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR2.json"),
+        help="JSON report path; existing per-scale sections are preserved",
+    )
+    parser.add_argument(
+        "--check-against",
+        default=None,
+        help="baseline BENCH_PR2.json to compare the Q10–Q12 median against",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed relative regression of the Q10–Q12 median (default 10%%)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: smallest scale (still best-of-3 so the ratio is stable)",
+    )
+    args = parser.parse_args(argv)
+
+    scale = args.scale or ("S1" if args.smoke else default_scale_name())
+    rounds = max(1, args.rounds)
+
+    measured = bench_scale(scale, args.positivity, rounds)
+
+    out_path = Path(args.out)
+    report = {"benchmark": "bench_pr2_frontier", "results": {}}
+    if out_path.exists():
+        try:
+            report = json.loads(out_path.read_text())
+        except json.JSONDecodeError:
+            pass
+    report["benchmark"] = "bench_pr2_frontier"
+    report["python"] = platform.python_version()
+    report.setdefault("results", {})[scale] = measured
+    report["rounds"] = rounds
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(
+        f"=== dataflow frontier, Q1–Q12 at {scale} "
+        f"({measured['num_nodes']} nodes, {measured['num_edges']} edges) ==="
+    )
+    header = (
+        f"{'query':<6}{'legacy (s)':>12}{'coalesced (s)':>15}{'speedup':>9}"
+        f"{'rows':>12}{'merged':>9}  agree"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, entry in measured["queries"].items():
+        rows = f"{entry['legacy_frontier_rows']}→{entry['coalesced_frontier_rows']}"
+        print(
+            f"{name:<6}{entry['legacy_seconds']:>12.4f}"
+            f"{entry['coalesced_seconds']:>15.4f}{entry['speedup']:>8.2f}x"
+            f"{rows:>12}{entry['rows_merged']:>9}"
+            f"  {'yes' if entry['outputs_agree'] else 'NO'}"
+        )
+    print(
+        f"median speedup: {measured['median_speedup']:.2f}x overall, "
+        f"{measured['q10_q12']['median_speedup']:.2f}x on the Q10–Q12 mix "
+        f"(index compile: {measured['index_compile_seconds']:.3f}s)"
+    )
+    print(f"report written to {out_path}")
+
+    status = 0
+    if args.check_against:
+        status = check_against(Path(args.check_against), measured, args.tolerance)
+    if measured["divergences"]:
+        print("ERROR: engine outputs diverged", file=sys.stderr)
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -60,6 +60,11 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--workers", type=int, default=1, help="dataflow worker threads")
     query.add_argument("--limit", type=int, default=25, help="rows to print (0 = all)")
     query.add_argument("--stats", action="store_true", help="print timing and output size")
+    query.add_argument(
+        "--legacy-frontier",
+        action="store_true",
+        help="use the seed row-per-path frontier instead of the coalescing one",
+    )
 
     example = sub.add_parser("example", help="write the Figure-1 running example as JSON")
     example.add_argument("--output", "-o", required=True, help="output JSON path")
@@ -114,14 +119,23 @@ def _cmd_query(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     text = _resolve_query(args.match)
     if args.engine == "dataflow":
-        engine = DataflowEngine(graph, workers=args.workers)
+        engine = DataflowEngine(
+            graph,
+            workers=args.workers,
+            use_coalesced=not args.legacy_frontier,
+        )
         result = engine.match_with_stats(text)
         table = result.table
         if args.stats:
+            frontier_mode = "legacy rows" if args.legacy_frontier else "coalesced"
             print(
                 f"# interval time {result.interval_seconds:.4f}s, "
                 f"total time {result.total_seconds:.4f}s, "
                 f"output size {result.output_size}"
+            )
+            print(
+                f"# frontier: {frontier_mode}, {result.frontier_rows} rows, "
+                f"{result.rows_merged} merged"
             )
     else:
         table = ReferenceEngine(graph).match(text)

@@ -12,6 +12,15 @@ matches through it:
   point-wise temporal bindings, enforcing the recorded temporal links;
   the combined time is ``total_seconds`` ("total time" in Table II).
 
+By default the frontier is the *coalescing*, set-at-a-time
+:class:`~repro.dataflow.frontier2.Frontier`: after every step, rows that
+agree on their binding signature are merged by unioning their validity
+interval families, and Step 3 runs on the interval-native
+:class:`~repro.dataflow.frontier2.IntervalMaterializer`.
+``use_coalesced=False`` restores the seed behaviour — one row per
+(binding, path) with point-wise link checking during materialization —
+so the regression benchmarks can measure the gap.
+
 The engine can partition the initial frontier across a thread pool
 (``workers > 1``), mirroring the paper's Rayon-based parallelism sweep.
 CPython's GIL prevents real speedups for this CPU-bound workload; the
@@ -27,16 +36,25 @@ from dataclasses import dataclass
 from typing import Hashable, Iterable, Sequence, Union as TypingUnion
 
 from repro.dataflow.frontier import Group, Row, TemporalLink, initial_row
+from repro.dataflow.frontier2 import (
+    Frontier,
+    IntervalFamily,
+    IntervalMaterializer,
+    RowFrontier,
+)
 from repro.dataflow.steps import (
     AltStep,
     BindStep,
     ChainStep,
+    HopStep,
     StructStep,
     TemporalStep,
     TestStep,
+    bind_group_indices,
     chain_has_temporal_step,
     compile_chain,
     condition_times,
+    fuse_hops,
 )
 from repro.errors import EvaluationError
 from repro.eval.bindings import BindingTable
@@ -48,7 +66,7 @@ from repro.model.itpg import IntervalTPG
 from repro.model.tpg import TemporalPropertyGraph
 from repro.perf.graph_index import GraphIndex, graph_index_for
 from repro.temporal.alignment import reachable_window
-from repro.temporal.intervalset import IntervalSet
+from repro.temporal.intervalset import IntervalSet, IntervalSetAccumulator
 
 ObjectId = Hashable
 TemporalGraph = TypingUnion[TemporalPropertyGraph, IntervalTPG]
@@ -63,6 +81,9 @@ class MatchResult:
     total_seconds: float
     output_size: int
     frontier_rows: int
+    #: How many frontier rows the coalescing frontier absorbed into
+    #: signature-equal survivors across all steps (0 in legacy row mode).
+    rows_merged: int = 0
 
     def as_table_row(self) -> dict[str, float | int]:
         """The three columns the paper reports per query in Table II."""
@@ -73,11 +94,24 @@ class MatchResult:
         }
 
 
+class _ChainStats:
+    """Mutable per-call counters threaded through the chain run."""
+
+    __slots__ = ("rows_merged",)
+
+    def __init__(self) -> None:
+        self.rows_merged = 0
+
+
 class DataflowEngine:
     """Interval-based dataflow evaluation of MATCH queries (Section VI)."""
 
     def __init__(
-        self, graph: TemporalGraph, workers: int = 1, use_index: bool = True
+        self,
+        graph: TemporalGraph,
+        workers: int = 1,
+        use_index: bool = True,
+        use_coalesced: bool = True,
     ) -> None:
         # The compiled index is shared per graph across engines and queries
         # (index first, so a point-based graph is converted exactly once and
@@ -91,7 +125,9 @@ class DataflowEngine:
             graph = tpg_to_itpg(graph)
         self._graph = graph
         self._workers = max(1, int(workers))
+        self._use_coalesced = bool(use_coalesced)
         self._domain_times = IntervalSet((graph.domain,))
+        self._materializer = IntervalMaterializer(graph, self._index)
 
     @property
     def graph(self) -> IntervalTPG:
@@ -104,6 +140,10 @@ class DataflowEngine:
     @property
     def index(self) -> GraphIndex | None:
         return self._index
+
+    @property
+    def use_coalesced(self) -> bool:
+        return self._use_coalesced
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -118,9 +158,10 @@ class DataflowEngine:
         """Evaluate a MATCH clause and return the table plus timing breakdown."""
         compiled = query if isinstance(query, CompiledMatch) else compile_match(query)
         chain = self._compile(compiled)
+        stats = _ChainStats()
 
         start = time.perf_counter()
-        frontier = self._run_chain(chain)
+        frontier = self._run_chain(chain, stats)
         interval_seconds = time.perf_counter() - start
 
         rows = self._materialize(frontier, compiled.variables)
@@ -132,34 +173,53 @@ class DataflowEngine:
             total_seconds=total_seconds,
             output_size=len(table),
             frontier_rows=len(frontier),
+            rows_merged=stats.rows_merged,
         )
 
     def match_intervals(
         self, query: TypingUnion[str, MatchQuery, CompiledMatch]
-    ) -> list[tuple[tuple[tuple[str, ObjectId], ...], IntervalSet]]:
-        """Coalesced (interval) output for queries without temporal navigation.
+    ) -> list[IntervalFamily]:
+        """Coalesced (interval) output: one entry per binding tuple.
 
-        Returns one entry per frontier row: the variable bindings and the
-        shared validity interval set.  Raises :class:`EvaluationError` if
-        the query navigates through time (its output cannot be coalesced,
-        as discussed in Section VI).
+        This is the primary output path of the coalescing engine: each
+        entry pairs the variable bindings with the coalesced family of
+        times at which they all hold (:meth:`match` derives the point
+        table from the same per-row families).  Defined whenever every
+        variable is bound within a single temporal group — all of
+        Q1–Q5, and temporal-navigation queries such as Q9–Q12 whose
+        output variables precede the navigation.  Raises
+        :class:`EvaluationError` when variables span temporal groups
+        (their binding times are linked, not shared, as discussed in
+        Section VI).
         """
         compiled = query if isinstance(query, CompiledMatch) else compile_match(query)
         chain = self._compile(compiled)
-        if chain_has_temporal_step(chain):
+        stats = _ChainStats()
+        if not self._use_coalesced:
+            # Seed behaviour: interval output only without temporal
+            # navigation, one (possibly duplicated) entry per frontier row.
+            if chain_has_temporal_step(chain):
+                raise EvaluationError(
+                    "interval (coalesced) output is only defined for queries "
+                    "without temporal navigation"
+                )
+            out: list[IntervalFamily] = []
+            for row in self._run_chain(chain, stats):
+                positions = row.variable_positions()
+                bindings = tuple(
+                    (variable, positions[variable][1])
+                    for variable in compiled.variables
+                )
+                out.append((bindings, row.last.times))
+            return out
+        spread = bind_group_indices(chain)
+        if spread is not None and len(spread) > 1:
             raise EvaluationError(
-                "interval (coalesced) output is only defined for queries without "
-                "temporal navigation"
+                "interval (coalesced) output is only defined when every variable "
+                "is bound within a single temporal group"
             )
-        frontier = self._run_chain(chain)
-        out = []
-        for row in frontier:
-            positions = row.variable_positions()
-            bindings = tuple(
-                (variable, positions[variable][1]) for variable in compiled.variables
-            )
-            out.append((bindings, row.last.times))
-        return out
+        frontier = self._run_chain(chain, stats)
+        return self._materializer.families(frontier, compiled.variables)
 
     # ------------------------------------------------------------------ #
     # Chain compilation
@@ -170,22 +230,68 @@ class DataflowEngine:
             steps.extend(compile_chain(segment.path))
             if segment.variable:
                 steps.append(BindStep(segment.variable))
-        return tuple(steps)
+        chain = tuple(steps)
+        if self._use_coalesced and self._index is not None:
+            # Set-at-a-time traversal core: structural hops run through the
+            # index's memoized (source → target → times) tables instead of
+            # materializing one frontier row per traversed edge.
+            chain = fuse_hops(chain, self._index.is_static)
+        return chain
 
     # ------------------------------------------------------------------ #
     # Steps 1 & 2: interval-based frontier processing
     # ------------------------------------------------------------------ #
-    def _run_chain(self, chain: tuple[ChainStep, ...]) -> list[Row]:
+    def _new_collector(self) -> TypingUnion[Frontier, RowFrontier]:
+        if not self._use_coalesced:
+            return RowFrontier()
+        object_id = self._index.object_id if self._index is not None else None
+        return Frontier(object_id)
+
+    def _collector_for(self, step: ChainStep) -> TypingUnion[Frontier, RowFrontier]:
+        """The cheapest collector that preserves the frontier invariant.
+
+        Test, Bind and Temporal steps are injective on binding
+        signatures — applied to a signature-unique frontier they cannot
+        produce two signature-equal rows (a Test only narrows the last
+        validity family, which the signature excludes; a Bind extends
+        the bindings deterministically; a Temporal step folds the last
+        family into the signature, which distinguished the inputs).
+        Those steps skip the signature bookkeeping entirely; only
+        structural moves, fused hops and alternatives — where distinct
+        rows can converge on the same signature — pay for the
+        coalescing collector.
+        """
+        if self._use_coalesced and isinstance(step, (StructStep, HopStep, AltStep)):
+            return self._new_collector()
+        return RowFrontier()
+
+    def _run_chain(self, chain: tuple[ChainStep, ...], stats: _ChainStats) -> list[Row]:
         seeds, chain = self._initial_frontier(chain)
         if self._workers == 1 or len(seeds) < 2 * self._workers:
-            return self._run_chain_on(seeds, chain)
+            return self._run_chain_on(seeds, chain, stats)
         chunks = _split(seeds, self._workers)
-        results: list[Row] = []
+        chunk_stats = [_ChainStats() for _ in chunks]
         with ThreadPoolExecutor(max_workers=self._workers) as pool:
-            futures = [pool.submit(self._run_chain_on, chunk, chain) for chunk in chunks]
-            for future in futures:
-                results.extend(future.result())
-        return results
+            futures = [
+                pool.submit(self._run_chain_on, chunk, chain, chunk_stat)
+                for chunk, chunk_stat in zip(chunks, chunk_stats)
+            ]
+            partials = [future.result() for future in futures]
+        for chunk_stat in chunk_stats:
+            stats.rows_merged += chunk_stat.rows_merged
+        if not self._use_coalesced:
+            results: list[Row] = []
+            for partial in partials:
+                results.extend(partial)
+            return results
+        # Signature-equal rows may have landed in different chunks; one
+        # final merge restores the frontier invariant.
+        combined = self._new_collector()
+        for partial in partials:
+            for row in partial:
+                combined.add(row)
+        stats.rows_merged += combined.rows_merged
+        return combined.rows()
 
     def _initial_frontier(
         self, chain: tuple[ChainStep, ...]
@@ -210,33 +316,51 @@ class DataflowEngine:
             objects = self._graph.objects()
         return [initial_row(obj, self._domain_times) for obj in objects], chain
 
-    def _run_chain_on(self, frontier: list[Row], chain: Sequence[ChainStep]) -> list[Row]:
+    def _run_chain_on(
+        self, frontier: list[Row], chain: Sequence[ChainStep], stats: _ChainStats
+    ) -> list[Row]:
         current = frontier
         for step in chain:
             if not current:
                 break
-            current = self._apply_step(current, step)
+            collector = self._collector_for(step)
+            self._apply_step(current, step, collector, stats)
+            stats.rows_merged += collector.rows_merged
+            current = collector.rows()
         return current
 
-    def _apply_step(self, frontier: list[Row], step: ChainStep) -> list[Row]:
+    def _apply_step(
+        self,
+        frontier: list[Row],
+        step: ChainStep,
+        out: TypingUnion[Frontier, RowFrontier],
+        stats: _ChainStats,
+    ) -> None:
         if isinstance(step, TestStep):
-            return self._apply_test(frontier, step.condition)
-        if isinstance(step, StructStep):
-            return self._apply_struct(frontier, step.forward)
-        if isinstance(step, TemporalStep):
-            return self._apply_temporal(frontier, step)
-        if isinstance(step, BindStep):
-            return [row.replace_last(row.last.bind(step.variable)) for row in frontier]
-        if isinstance(step, AltStep):
-            out: list[Row] = []
+            self._apply_test(frontier, step.condition, out)
+        elif isinstance(step, StructStep):
+            self._apply_struct(frontier, step.forward, out)
+        elif isinstance(step, HopStep):
+            self._apply_hop(frontier, step, out)
+        elif isinstance(step, TemporalStep):
+            self._apply_temporal(frontier, step, out)
+        elif isinstance(step, BindStep):
+            for row in frontier:
+                out.add(row.replace_last(row.last.bind(step.variable)))
+        elif isinstance(step, AltStep):
             for alternative in step.alternatives:
-                out.extend(self._run_chain_on(list(frontier), alternative))
-            return out
-        raise TypeError(f"unknown chain step {step!r}")
+                for row in self._run_chain_on(list(frontier), alternative, stats):
+                    out.add(row)
+        else:
+            raise TypeError(f"unknown chain step {step!r}")
 
-    def _apply_test(self, frontier: list[Row], condition: Test) -> list[Row]:
+    def _apply_test(
+        self,
+        frontier: list[Row],
+        condition: Test,
+        out: TypingUnion[Frontier, RowFrontier],
+    ) -> None:
         index = self._index
-        out: list[Row] = []
         if index is not None:
             # One memoized condition table shared by every row (and every
             # later query on the same graph) replaces a per-row AST walk.
@@ -249,20 +373,23 @@ class DataflowEngine:
                 times = group.times.intersect(satisfied)
                 if times.is_empty():
                     continue
-                out.append(row.replace_last(group.with_times(times)))
-            return out
+                out.add(row.replace_last(group.with_times(times)))
+            return
         graph = self._graph
         for row in frontier:
             group = row.last
             times = group.times.intersect(condition_times(graph, group.current, condition))
             if times.is_empty():
                 continue
-            out.append(row.replace_last(group.with_times(times)))
-        return out
+            out.add(row.replace_last(group.with_times(times)))
 
-    def _apply_struct(self, frontier: list[Row], forward: bool) -> list[Row]:
+    def _apply_struct(
+        self,
+        frontier: list[Row],
+        forward: bool,
+        out: TypingUnion[Frontier, RowFrontier],
+    ) -> None:
         index = self._index
-        out: list[Row] = []
         if index is not None:
             adjacency = index.out_adjacency if forward else index.in_adjacency
             endpoint = index.edge_target if forward else index.edge_source
@@ -272,14 +399,14 @@ class DataflowEngine:
                 edges = adjacency.get(current)
                 if edges is not None:
                     for edge in edges:
-                        out.append(row.replace_last(group.with_current(edge, group.times)))
+                        out.add(row.replace_last(group.with_current(edge, group.times)))
                 else:
-                    out.append(
+                    out.add(
                         row.replace_last(
                             group.with_current(endpoint[current], group.times)
                         )
                     )
-            return out
+            return
         graph = self._graph
         for row in frontier:
             group = row.last
@@ -287,24 +414,78 @@ class DataflowEngine:
             if graph.is_node(current):
                 edges = graph.out_edges(current) if forward else graph.in_edges(current)
                 for edge in edges:
-                    out.append(row.replace_last(group.with_current(edge, group.times)))
+                    out.add(row.replace_last(group.with_current(edge, group.times)))
             else:
                 successor = graph.target(current) if forward else graph.source(current)
-                out.append(row.replace_last(group.with_current(successor, group.times)))
-        return out
+                out.add(row.replace_last(group.with_current(successor, group.times)))
 
-    def _apply_temporal(self, frontier: list[Row], step: TemporalStep) -> list[Row]:
+    def _apply_hop(
+        self,
+        frontier: list[Row],
+        step: HopStep,
+        out: TypingUnion[Frontier, RowFrontier],
+    ) -> None:
+        """Fused structural hop through the index's memoized entries.
+
+        Only compiled into the chain when the engine runs coalesced with
+        an index (:meth:`_compile`), so ``self._index`` is always set
+        here.
+        """
+        index = self._index
+        assert index is not None
+        for row in frontier:
+            group = row.last
+            entries = index.hop_entries(
+                group.current,
+                step.forward_in,
+                step.mid_conditions,
+                step.forward_out,
+                step.target_conditions,
+            )
+            times = group.times
+            for target, hop_times in entries:
+                joined = times.intersect(hop_times)
+                if joined.is_empty():
+                    continue
+                out.add(row.replace_last(group.with_current(target, joined)))
+
+    def _apply_temporal(
+        self,
+        frontier: list[Row],
+        step: TemporalStep,
+        out: TypingUnion[Frontier, RowFrontier],
+    ) -> None:
         graph = self._graph
         index = self._index
         domain = graph.domain
-        out: list[Row] = []
+        # Conditions fused into the step (coalesced + indexed mode only):
+        # rows whose object cannot satisfy them never reach the window
+        # arithmetic below.
+        condition_tables = ()
+        if step.target_conditions:
+            assert index is not None  # fuse_hops only runs with an index
+            condition_tables = tuple(
+                index.condition_table(c) for c in step.target_conditions
+            )
         for row in frontier:
             group = row.last
+            satisfied: IntervalSet | None = None
+            if condition_tables:
+                for table in condition_tables:
+                    found = table.get(group.current)
+                    if found is None:
+                        satisfied = IntervalSet.empty()
+                        break
+                    satisfied = (
+                        found if satisfied is None else satisfied.intersect(found)
+                    )
+                if satisfied is not None and satisfied.is_empty():
+                    continue
             if index is not None:
                 existence = index.existence[group.current]
             else:
                 existence = graph.existence(group.current)
-            targets: list[IntervalSet] = []
+            accumulator = IntervalSetAccumulator()
             for anchor in group.times:
                 for _anchor_piece, window in reachable_window(
                     anchor,
@@ -315,12 +496,14 @@ class DataflowEngine:
                     step.require_existence,
                     domain,
                 ):
-                    targets.append(IntervalSet((window,)))
-            if not targets:
+                    accumulator.add_interval(window)
+            if not accumulator:
                 continue
-            reachable = IntervalSet.empty()
-            for family in targets:
-                reachable = reachable.union(family)
+            reached = accumulator.build()
+            if satisfied is not None:
+                reached = reached.intersect(satisfied)
+                if reached.is_empty():
+                    continue
             link = TemporalLink(
                 obj=group.current,
                 forward=step.forward,
@@ -328,12 +511,11 @@ class DataflowEngine:
                 upper=step.upper,
                 contiguous=step.require_existence,
             )
-            new_group = Group((), group.current, reachable)
-            out.append(row.append_group(new_group, link))
-        return out
+            new_group = Group((), group.current, reached)
+            out.add(row.append_group(new_group, link))
 
     # ------------------------------------------------------------------ #
-    # Step 3: point-wise materialization
+    # Step 3: materialization
     # ------------------------------------------------------------------ #
     def _materialize(self, frontier: list[Row], variables: tuple[str, ...]) -> list[tuple]:
         if self._workers == 1 or len(frontier) < 2 * self._workers:
@@ -351,6 +533,10 @@ class DataflowEngine:
     def _materialize_rows(
         self, frontier: list[Row], variables: tuple[str, ...]
     ) -> list[tuple]:
+        if self._use_coalesced:
+            # Interval-native Step 3: alive/reach passes plus per-binding
+            # interval families; shared with ``match_intervals``.
+            return self._materializer.points(frontier, variables)
         graph = self._graph
         out: list[tuple] = []
         for row in frontier:

@@ -60,14 +60,20 @@ class TemporalLink:
     contiguous: bool
 
     def admits(self, graph: IntervalTPG, t_from: int, t_to: int) -> bool:
-        """Point-level check used during materialization."""
+        """Point-level check used during materialization.
+
+        ``contiguous`` requires every *visited* point to exist — the
+        anchor ``t_from`` itself is excluded (``(N/∃)[n, m]`` semantics),
+        so the existence run is looked up at the first visited point.
+        """
         delta = (t_to - t_from) if self.forward else (t_from - t_to)
         if delta < self.lower:
             return False
         if self.upper is not None and delta > self.upper:
             return False
         if self.contiguous and delta > 0:
-            run = graph.existence(self.obj).interval_containing(t_from)
+            first = t_from + 1 if self.forward else t_from - 1
+            run = graph.existence(self.obj).interval_containing(first)
             if run is None or t_to not in run:
                 return False
         return True

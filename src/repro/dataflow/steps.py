@@ -25,7 +25,7 @@ interval representation during Steps 1 and 2.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Optional
+from typing import Callable, Hashable, Optional
 
 from repro.errors import UnsupportedFragmentError
 from repro.lang.ast import (
@@ -89,12 +89,20 @@ class TemporalStep(ChainStep):
     ``None`` means unbounded).  ``require_existence`` records whether
     every visited time point (excluding the anchor) must exist — true for
     every expression produced by the practical syntax.
+
+    ``target_conditions`` holds static tests fused into the step by
+    :func:`fuse_hops` (coalesced engine only): the reached times are
+    intersected with their satisfaction times, and — because the tests
+    are evaluated from memoized condition tables keyed by object — rows
+    whose object cannot satisfy them skip the window arithmetic
+    entirely.
     """
 
     forward: bool
     lower: int
     upper: Optional[int]
     require_existence: bool = True
+    target_conditions: tuple[Test, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -102,6 +110,27 @@ class AltStep(ChainStep):
     """Union: evaluate each alternative sub-chain and merge the results."""
 
     alternatives: tuple[tuple[ChainStep, ...], ...]
+
+
+@dataclass(frozen=True)
+class HopStep(ChainStep):
+    """A fused ``Struct · Test* · Struct · Test*`` traversal.
+
+    The coalescing engine rewrites a structural move, the static tests
+    on the object it lands on, and the following structural move into a
+    single set-at-a-time hop (:func:`fuse_hops`).  Executed through the
+    memoized :meth:`~repro.perf.graph_index.GraphIndex.hop_entries`
+    table, a hop never materializes one frontier row per traversed
+    edge: parallel edges between the same endpoints are pre-unioned
+    into one coalesced interval family per ``(source, target)`` pair,
+    which is what stops Q11/Q12-style room joins from multiplying
+    signature-equal rows.
+    """
+
+    forward_in: bool
+    mid_conditions: tuple[Test, ...]
+    forward_out: bool
+    target_conditions: tuple[Test, ...]
 
 
 @dataclass(frozen=True)
@@ -166,7 +195,18 @@ def _merge_existence(steps: list[ChainStep]) -> list[ChainStep]:
 
     The practical syntax translates ``NEXT`` into ``N/∃``; for interval
     processing it is more convenient (and equivalent) to record the
-    existence requirement on the temporal step itself.
+    existence requirement on the temporal step itself.  The merge is
+    only valid for exactly-one-move steps (``lower == upper == 1``),
+    where "the final point exists" and "every visited point exists"
+    coincide.  For a multi-move step, ``require_existence`` demands
+    that *every* visited point exists (the ``(N/∃)[n,m]`` semantics)
+    whereas a trailing test only constrains the final point
+    (``N[n,m]/∃``), so merging wrongly rejects navigation across
+    existence gaps; for a zero-move-capable step (``N[0,1]/∃``) the
+    trailing test still applies while ``require_existence`` checks
+    nothing on the identity branch, so merging wrongly admits
+    non-existing anchors.  Both cases were flagged by differential
+    cross-checks against the bottom-up ground truth.
     """
     merged: list[ChainStep] = []
     for step in steps:
@@ -175,6 +215,8 @@ def _merge_existence(steps: list[ChainStep]) -> list[ChainStep]:
             and isinstance(step, TestStep)
             and isinstance(step.condition, ExistsTest)
             and isinstance(merged[-1], TemporalStep)
+            and merged[-1].lower == 1
+            and merged[-1].upper == 1
         ):
             previous = merged[-1]
             merged[-1] = TemporalStep(
@@ -209,6 +251,124 @@ def chain_has_temporal_step(steps: tuple[ChainStep, ...]) -> bool:
             if any(chain_has_temporal_step(alt) for alt in step.alternatives):
                 return True
     return False
+
+
+def fuse_hops(
+    steps: tuple[ChainStep, ...], is_static: Callable[[Test], bool]
+) -> tuple[ChainStep, ...]:
+    """Rewrite ``Struct · Test* · Struct [· Test*]`` runs into :class:`HopStep`\\ s.
+
+    Only static tests (decided by ``is_static``) may be folded into a
+    hop, and the trailing target tests are left unconsumed when another
+    structural step follows them: they are re-emitted as ordinary
+    :class:`TestStep`\\ s between the two hops (evaluated on the
+    already-coalesced node-level frontier, which is cheap), so chains
+    of hops fuse pairwise without overlap.
+    Alternatives are fused recursively; every other step is preserved,
+    and the rewrite is a pure execution-strategy change (hops evaluate
+    to exactly the relation of the steps they replace).
+    """
+    out: list[ChainStep] = []
+    i = 0
+    n = len(steps)
+    while i < n:
+        step = steps[i]
+        if isinstance(step, AltStep):
+            out.append(
+                AltStep(
+                    tuple(fuse_hops(alt, is_static) for alt in step.alternatives)
+                )
+            )
+            i += 1
+            continue
+        if isinstance(step, TemporalStep):
+            j = i + 1
+            conditions: list[Test] = []
+            while (
+                j < n
+                and isinstance(steps[j], TestStep)
+                and is_static(steps[j].condition)
+            ):
+                conditions.append(steps[j].condition)
+                j += 1
+            if conditions:
+                out.append(
+                    TemporalStep(
+                        forward=step.forward,
+                        lower=step.lower,
+                        upper=step.upper,
+                        require_existence=step.require_existence,
+                        target_conditions=step.target_conditions + tuple(conditions),
+                    )
+                )
+                i = j
+                continue
+            out.append(step)
+            i += 1
+            continue
+        if isinstance(step, StructStep):
+            j = i + 1
+            mids: list[Test] = []
+            while (
+                j < n
+                and isinstance(steps[j], TestStep)
+                and is_static(steps[j].condition)
+            ):
+                mids.append(steps[j].condition)
+                j += 1
+            if j < n and isinstance(steps[j], StructStep):
+                second = steps[j]
+                j += 1
+                targets: list[Test] = []
+                while (
+                    j < n
+                    and isinstance(steps[j], TestStep)
+                    and is_static(steps[j].condition)
+                ):
+                    targets.append(steps[j].condition)
+                    j += 1
+                if j < n and isinstance(steps[j], StructStep):
+                    # Leave the target tests to seed the next hop's mids.
+                    j -= len(targets)
+                    targets = []
+                out.append(
+                    HopStep(
+                        forward_in=step.forward,
+                        mid_conditions=tuple(mids),
+                        forward_out=second.forward,
+                        target_conditions=tuple(targets),
+                    )
+                )
+                i = j
+                continue
+        out.append(step)
+        i += 1
+    return tuple(out)
+
+
+def bind_group_indices(steps: tuple[ChainStep, ...]) -> Optional[set[int]]:
+    """The temporal-group indices at which the chain binds variables.
+
+    Each top-level :class:`TemporalStep` closes the current group and
+    opens the next one, so the returned set tells whether all variables
+    share one matching time (``len(result) <= 1``) — the condition under
+    which the output can stay coalesced.  Returns ``None`` when the
+    group index becomes branch-dependent (an :class:`AltStep` whose
+    alternatives navigate through time); callers must then decide per
+    frontier row.  :class:`BindStep`\\ s never occur inside alternatives
+    (alternatives come from path unions, bindings from segments).
+    """
+    group = 0
+    groups: set[int] = set()
+    for step in steps:
+        if isinstance(step, TemporalStep):
+            group += 1
+        elif isinstance(step, AltStep):
+            if any(chain_has_temporal_step(alt) for alt in step.alternatives):
+                return None
+        elif isinstance(step, BindStep):
+            groups.add(group)
+    return groups
 
 
 # --------------------------------------------------------------------- #

@@ -13,7 +13,8 @@ import random
 from typing import Optional
 
 from repro.lang import ast
-from repro.lang.ast import PathExpr
+from repro.lang.ast import PathExpr, Test
+from repro.lang.parser import EdgePattern, MatchQuery, NodePattern, PathPattern
 from repro.model.itpg import IntervalTPG
 from repro.temporal.interval import Interval
 from repro.temporal.intervalset import IntervalSet
@@ -120,6 +121,101 @@ def _random_path(
             upper = None
         return ast.repeat(_random_path(rng, depth - 1, allow_noi, allow_pc), lower, upper)
     return _random_leaf(rng, allow_pc)
+
+
+def random_match_query(seed: int, max_connectors: int = 2) -> MatchQuery:
+    """A random MATCH clause inside the dataflow-supported fragment.
+
+    Used by the differential fuzzing harness: the generated queries
+    combine node/edge patterns with path connectors whose occurrence
+    indicators sit only on temporal axes, so every engine (dataflow in
+    both frontier modes, reference, bottom-up) accepts them.  The
+    construction is deterministic given ``seed`` and always binds at
+    least one variable.
+    """
+    rng = random.Random(0x5EED_0000 + seed)
+    names = iter(f"v{i}" for i in range(16))
+    elements = [_random_node_pattern(rng, next(names), bind=True)]
+    connectors: list[EdgePattern | PathPattern] = []
+    for _ in range(rng.randint(0, max_connectors)):
+        connectors.append(_random_connector(rng, next(names)))
+        elements.append(
+            _random_node_pattern(rng, next(names), bind=rng.random() < 0.6)
+        )
+    return MatchQuery(
+        elements=tuple(elements),
+        connectors=tuple(connectors),
+        graph_name="g",
+        text=f"<random_match_query({seed})>",
+    )
+
+
+def _random_node_pattern(rng: random.Random, name: str, bind: bool) -> NodePattern:
+    label = rng.choice(_LABELS) if rng.random() < 0.4 else None
+    condition = _random_static_test(rng) if rng.random() < 0.4 else None
+    return NodePattern(
+        variable=name if bind else None, label=label, condition=condition
+    )
+
+
+def _random_connector(rng: random.Random, name: str) -> EdgePattern | PathPattern:
+    if rng.random() < 0.45:
+        direction = rng.choice(("out", "in", "both"))
+        bind = direction != "both" and rng.random() < 0.4
+        return EdgePattern(
+            variable=name if bind else None,
+            label=rng.choice(_EDGE_LABELS) if rng.random() < 0.5 else None,
+            condition=None,
+            direction=direction,
+        )
+    path = _random_dataflow_path(rng, depth=2)
+    return PathPattern(path=path, source_text="<random>")
+
+
+def _random_dataflow_path(rng: random.Random, depth: int) -> PathExpr:
+    parts: list[PathExpr] = []
+    for _ in range(rng.randint(1, 3)):
+        choice = rng.random()
+        if choice < 0.3:
+            parts.append(rng.choice((ast.F, ast.B)))
+        elif choice < 0.6:
+            axis: PathExpr = rng.choice((ast.N, ast.P))
+            if rng.random() < 0.5:
+                # Practical-syntax style: every visited point must exist
+                # ((N/∃) and its repetitions — the contiguous fragment).
+                axis = ast.concat(axis, ast.test(ast.exists()))
+            if rng.random() < 0.6:
+                lower = rng.randint(0, 2)
+                upper: Optional[int] = lower + rng.randint(0, 3)
+                if rng.random() < 0.2:
+                    upper = None
+                axis = ast.repeat(axis, lower, upper)
+            parts.append(axis)
+        elif choice < 0.85 or depth <= 0:
+            parts.append(ast.test(_random_static_test(rng)))
+        else:
+            parts.append(
+                ast.union(
+                    _random_dataflow_path(rng, depth - 1),
+                    _random_dataflow_path(rng, depth - 1),
+                )
+            )
+    if len(parts) == 1:
+        return parts[0]
+    return ast.concat(*parts)
+
+
+def _random_static_test(rng: random.Random) -> Test:
+    choice = rng.random()
+    if choice < 0.3:
+        return ast.exists()
+    if choice < 0.5:
+        return ast.label(rng.choice(_LABELS + _EDGE_LABELS))
+    if choice < 0.7:
+        return ast.prop_eq(rng.choice(_PROPS), rng.choice(_VALUES))
+    if choice < 0.85:
+        return ast.time_lt(rng.randint(1, 8))
+    return ast.and_(ast.exists(), ast.prop_eq(rng.choice(_PROPS), rng.choice(_VALUES)))
 
 
 def _random_leaf(rng: random.Random, allow_pc: bool) -> PathExpr:

@@ -41,7 +41,7 @@ from repro.model.convert import tpg_to_itpg
 from repro.model.itpg import IntervalTPG
 from repro.model.tpg import TemporalPropertyGraph
 from repro.temporal.interval import Interval
-from repro.temporal.intervalset import IntervalSet
+from repro.temporal.intervalset import IntervalSet, IntervalSetAccumulator
 from repro.temporal.valued import ValuedIntervalSet
 
 ObjectId = Hashable
@@ -68,6 +68,13 @@ class GraphIndex:
         self._nodes: frozenset[ObjectId] = frozenset(graph.nodes())
         self._edges: frozenset[ObjectId] = frozenset(graph.edges())
         self.objects: tuple[ObjectId, ...] = tuple(graph.objects())
+        #: Dense per-object integers in deterministic enumeration order.
+        #: The coalescing frontier keys its rows by binding signature; the
+        #: compact ids keep those signature tuples small and cheap to hash
+        #: compared to the raw (often string) object identifiers.
+        self.object_id: dict[ObjectId, int] = {
+            obj: position for position, obj in enumerate(self.objects)
+        }
 
         self.labels: dict[ObjectId, str] = {}
         self.existence: dict[ObjectId, IntervalSet] = {}
@@ -116,6 +123,9 @@ class GraphIndex:
         self._times_cache: dict[tuple[Test, ObjectId], IntervalSet] = {}
         self._table_cache: dict[Test, dict[ObjectId, IntervalSet]] = {}
         self._static_cache: dict[Test, bool] = {}
+        self._hop_cache: dict[
+            tuple, dict[ObjectId, tuple[tuple[ObjectId, IntervalSet], ...]]
+        ] = {}
 
     # ------------------------------------------------------------------ #
     # Basic accessors
@@ -254,6 +264,91 @@ class GraphIndex:
                 )
             return resolver(condition).get(obj, self._empty)
         raise TypeError(f"unknown test {condition!r}")
+
+    # ------------------------------------------------------------------ #
+    # Fused hops (set-at-a-time structural traversal)
+    # ------------------------------------------------------------------ #
+    def hop_entries(
+        self,
+        obj: ObjectId,
+        forward_in: bool,
+        mid_conditions: tuple[Test, ...],
+        forward_out: bool,
+        target_conditions: tuple[Test, ...],
+    ) -> tuple[tuple[ObjectId, IntervalSet], ...]:
+        """Per-source entries of a fused two-struct hop, memoized per graph.
+
+        Each entry pairs a reachable target object with the coalesced
+        times contributed by every intermediate object on the way (all
+        parallel edges between the same endpoints collapse into one
+        family — the diagonal form of
+        :class:`~repro.perf.interval_relation.IntervalRelation` with
+        offset 0).  The per-source results are computed lazily — only
+        for objects an actual frontier visits — because precomputing
+        edge-sourced hops for the whole graph would be quadratic in the
+        adjacency degree.
+        """
+        key = (forward_in, mid_conditions, forward_out, target_conditions)
+        per_source = self._hop_cache.get(key)
+        if per_source is None:
+            per_source = self._hop_cache[key] = {}
+        entries = per_source.get(obj)
+        if entries is None:
+            entries = per_source[obj] = self._compute_hop(
+                obj, forward_in, mid_conditions, forward_out, target_conditions
+            )
+        return entries
+
+    def _step_objects(self, obj: ObjectId, forward: bool) -> tuple[ObjectId, ...]:
+        """One structural move: node → adjacent edges, edge → endpoint."""
+        if obj in self._nodes:
+            adjacency = self.out_adjacency if forward else self.in_adjacency
+            return adjacency[obj]
+        endpoint = self.edge_target if forward else self.edge_source
+        return (endpoint[obj],)
+
+    def _compute_hop(
+        self,
+        obj: ObjectId,
+        forward_in: bool,
+        mid_conditions: tuple[Test, ...],
+        forward_out: bool,
+        target_conditions: tuple[Test, ...],
+    ) -> tuple[tuple[ObjectId, IntervalSet], ...]:
+        mid_tables = [self.condition_table(c) for c in mid_conditions]
+        target_tables = [self.condition_table(c) for c in target_conditions]
+        merged: dict[ObjectId, IntervalSetAccumulator] = {}
+        for mid in self._step_objects(obj, forward_in):
+            times = self._full
+            for table in mid_tables:
+                satisfied = table.get(mid)
+                if satisfied is None:
+                    times = self._empty
+                    break
+                times = times.intersect(satisfied)
+                if times.is_empty():
+                    break
+            if times.is_empty():
+                continue
+            for target in self._step_objects(mid, forward_out):
+                target_times = times
+                for table in target_tables:
+                    satisfied = table.get(target)
+                    if satisfied is None:
+                        target_times = self._empty
+                        break
+                    target_times = target_times.intersect(satisfied)
+                    if target_times.is_empty():
+                        break
+                if target_times.is_empty():
+                    continue
+                accumulator = merged.get(target)
+                if accumulator is None:
+                    accumulator = merged[target] = IntervalSetAccumulator()
+                accumulator.add(target_times)
+        return tuple(
+            (target, accumulator.build()) for target, accumulator in merged.items()
+        )
 
     def _candidates(self, condition: Test) -> Optional[frozenset[ObjectId]]:
         """Objects that can possibly satisfy the condition, or ``None`` for all.

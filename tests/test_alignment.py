@@ -85,24 +85,48 @@ class TestReachableWindow:
     def test_forward_contiguous_respects_run_end(self):
         existence = IntervalSet([(0, 5), (8, 12)])
         out = reachable_window(Interval(4, 4), existence, 0, 10, True, True, self.DOMAIN)
-        # The run containing 4 ends at 5; the later run is unreachable contiguously.
-        assert out == [(Interval(4, 4), Interval(4, 5))]
+        # The run containing 4 ends at 5; the later run is unreachable
+        # contiguously.  Reachable points: {4} (zero moves) ∪ {5}.
+        assert out == [
+            (Interval(4, 4), Interval(4, 4)),
+            (Interval(4, 4), Interval(5, 5)),
+        ]
 
     def test_backward_unbounded_contiguous(self):
         existence = IntervalSet([(2, 9)])
         out = reachable_window(Interval(9, 9), existence, 0, None, False, True, self.DOMAIN)
-        assert out == [(Interval(9, 9), Interval(2, 9))]
+        assert out == [
+            (Interval(9, 9), Interval(9, 9)),
+            (Interval(9, 9), Interval(2, 8)),
+        ]
 
-    def test_anchor_outside_existence_gives_nothing_when_contiguous(self):
+    def test_anchor_outside_existence_reaches_only_itself_when_contiguous(self):
+        # Zero moves visit no point, so with lower bound 0 every anchor
+        # reaches itself regardless of existence ((N/∃)[0,m] semantics:
+        # the k = 0 repetition is the identity).
         existence = IntervalSet([(5, 9)])
-        assert reachable_window(Interval(1, 2), existence, 0, 3, True, True, self.DOMAIN) == []
+        out = reachable_window(Interval(1, 2), existence, 0, 3, True, True, self.DOMAIN)
+        assert out == [(Interval(1, 2), Interval(1, 2))]
 
-    def test_anchor_spanning_two_runs_produces_two_windows(self):
+    def test_anchor_just_before_run_can_enter_it(self):
+        # The anchor itself is never visited, so a move from t = 4 into
+        # the run [5, 9] is contiguous: the visited points 5, 6, 7 exist.
+        existence = IntervalSet([(5, 9)])
+        out = reachable_window(Interval(4, 4), existence, 1, 3, True, True, self.DOMAIN)
+        assert out == [(Interval(4, 4), Interval(5, 7))]
+
+    def test_anchor_just_after_run_can_enter_it_backward(self):
+        existence = IntervalSet([(5, 9)])
+        out = reachable_window(Interval(10, 10), existence, 2, None, False, True, self.DOMAIN)
+        assert out == [(Interval(10, 10), Interval(5, 8))]
+
+    def test_anchor_spanning_two_runs_produces_identity_and_run_windows(self):
         existence = IntervalSet([(0, 3), (6, 9)])
         out = reachable_window(Interval(2, 7), existence, 0, None, True, True, self.DOMAIN)
         assert out == [
-            (Interval(2, 3), Interval(2, 3)),
-            (Interval(6, 7), Interval(6, 9)),
+            (Interval(2, 7), Interval(2, 7)),  # zero moves
+            (Interval(2, 2), Interval(3, 3)),  # within the first run
+            (Interval(5, 7), Interval(6, 9)),  # entering/within the second run
         ]
 
     def test_non_contiguous_ignores_existence(self):

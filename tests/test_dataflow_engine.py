@@ -74,9 +74,42 @@ class TestStatsAndOutput:
         assert by_object[("n2")] == IntervalSet([(5, 9)])
 
     def test_match_intervals_rejects_temporal_queries(self, figure1):
+        # Q6 binds x before and y after the temporal step: their binding
+        # times are linked, not shared, so no coalesced output exists.
         engine = DataflowEngine(figure1)
         with pytest.raises(EvaluationError):
             engine.match_intervals(PAPER_QUERIES["Q6"].text)
+
+    def test_match_intervals_covers_single_group_temporal_queries(self, figure1):
+        # Q11 navigates through time but binds only x (before the
+        # navigation), so its output is a coalesced family per binding —
+        # the primary output path, from which match() derives the table.
+        engine = DataflowEngine(figure1)
+        families = engine.match_intervals(PAPER_QUERIES["Q11"].text)
+        expanded = {
+            (bindings[0][1], t)
+            for bindings, times in families
+            for t in times.points()
+        }
+        pointwise = {
+            (obj, t) for ((obj, t),) in engine.match(PAPER_QUERIES["Q11"].text).rows
+        }
+        assert expanded == pointwise
+        assert len(families) == len({bindings for bindings, _ in families})
+
+    def test_legacy_frontier_mode_still_restricts_match_intervals(self, figure1):
+        engine = DataflowEngine(figure1, use_coalesced=False)
+        with pytest.raises(EvaluationError):
+            engine.match_intervals(PAPER_QUERIES["Q11"].text)
+
+    def test_rows_merged_stat(self, figure1):
+        coalesced = DataflowEngine(figure1).match_with_stats(PAPER_QUERIES["Q11"].text)
+        legacy = DataflowEngine(figure1, use_coalesced=False).match_with_stats(
+            PAPER_QUERIES["Q11"].text
+        )
+        assert legacy.rows_merged == 0
+        assert coalesced.frontier_rows <= legacy.frontier_rows
+        assert coalesced.table.as_set() == legacy.table.as_set()
 
     def test_match_intervals_expansion_matches_pointwise_output(self, figure1):
         engine = DataflowEngine(figure1)

@@ -1,0 +1,213 @@
+"""Differential fuzzing: every engine must agree on randomized inputs.
+
+The coalescing frontier rewrote the hottest correctness-critical loop of
+the repository, so this suite cross-checks all evaluation engines on
+randomized graphs and queries:
+
+* **MATCH level** — :func:`repro.datagen.random_graphs.random_itpg`
+  graphs and :func:`~repro.datagen.random_graphs.random_match_query`
+  queries (restricted to the dataflow fragment) evaluated by the
+  dataflow engine in coalesced, legacy-row and unindexed modes, and by
+  the reference engine in point and interval bottom-up modes.
+* **Path level** — random NavL[PC,NOI] expressions (including path
+  conditions) evaluated by the point-based bottom-up algorithm, its
+  ``use_intervals`` fast mode and the raw interval evaluator.
+
+Every failure message contains the seeds needed to reproduce the case in
+isolation (`run_match_case(seed)` / the named generator calls), so a
+fuzz counterexample can be replayed without re-running the sweep.  The
+sweep sizes (≥200 MATCH cases plus the path-level cases) keep the whole
+module in tier-1 time budgets; CI additionally runs a dedicated
+fixed-seed matrix (see ``.github/workflows/ci.yml``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datagen.random_graphs import (
+    random_itpg,
+    random_match_query,
+    random_path_expression,
+)
+from repro.dataflow import DataflowEngine, PAPER_QUERIES
+from repro.eval import ReferenceEngine
+from repro.eval.bottom_up import BottomUpEvaluator
+from repro.errors import EvaluationError
+from repro.perf import IntervalBottomUpEvaluator
+
+#: MATCH-level sweep: ``BATCHES × BATCH_SIZE`` generated cases.
+BATCH_SIZE = 25
+BATCHES = 9  # 225 cases ≥ the 200 required by the suite's charter
+#: CI shifts the whole seed window per matrix entry; 0 keeps local runs
+#: deterministic and identical to the committed baseline.
+SEED_OFFSET = int(os.environ.get("REPRO_FUZZ_SEED_OFFSET", "0"))
+
+
+def run_match_case(seed: int) -> None:
+    """One differential MATCH case; raises AssertionError on divergence.
+
+    Reproduce a failure with::
+
+        graph = random_itpg(<seed>)
+        query = random_match_query(<seed> * 31 + 7)
+    """
+    graph = random_itpg(seed)
+    query = random_match_query(seed * 31 + 7)
+    engines = {
+        "dataflow-coalesced": DataflowEngine(graph),
+        "dataflow-legacy-rows": DataflowEngine(graph, use_coalesced=False),
+        "dataflow-coalesced-noindex": DataflowEngine(graph, use_index=False),
+        "reference-point": ReferenceEngine(graph),
+        "reference-intervals": ReferenceEngine(graph, use_intervals=True),
+    }
+    results = {name: engine.match(query).as_set() for name, engine in engines.items()}
+    reference = results["reference-point"]
+    for name, rows in results.items():
+        assert rows == reference, (
+            f"{name} diverged from reference-point on fuzz seed {seed}: "
+            f"sizes {({n: len(r) for n, r in results.items()})}; "
+            f"reproduce with random_itpg({seed}) and "
+            f"random_match_query({seed * 31 + 7}); "
+            f"only-in-{name}={sorted(rows - reference, key=repr)[:5]}, "
+            f"missing={sorted(reference - rows, key=repr)[:5]}"
+        )
+
+    # The coalesced interval output, where defined, must expand to the
+    # point table (and where undefined, raising is the contract).
+    coalesced = engines["dataflow-coalesced"]
+    try:
+        families = coalesced.match_intervals(query)
+    except EvaluationError:
+        return
+    variables = coalesced.match(query).variables
+    # Rebuild rows in variable order; all bindings share the matching time.
+    expanded = {
+        tuple((dict(bindings)[v], t) for v in variables)
+        for bindings, times in families
+        for t in times.points()
+    }
+    assert expanded == reference, (
+        f"match_intervals expansion diverged on fuzz seed {seed}: "
+        f"reproduce with random_itpg({seed}) and random_match_query({seed * 31 + 7})"
+    )
+
+
+class TestMatchLevelDifferential:
+    """All five engine configurations agree on random MATCH queries."""
+
+    @pytest.mark.parametrize("batch", range(BATCHES))
+    def test_random_graphs_random_queries(self, batch):
+        for offset in range(BATCH_SIZE):
+            run_match_case(SEED_OFFSET + batch * BATCH_SIZE + offset)
+
+    def test_paper_queries_on_random_contact_graphs(self):
+        from repro.datagen import (
+            ContactTracingConfig,
+            TrajectoryConfig,
+            generate_contact_tracing_graph,
+        )
+
+        for seed in (1, 2):
+            config = ContactTracingConfig(
+                trajectory=TrajectoryConfig(
+                    num_persons=10, num_locations=6, num_rooms=3, seed=seed
+                ),
+                positivity_rate=0.25,
+                seed=seed,
+            )
+            graph = generate_contact_tracing_graph(config)
+            coalesced = DataflowEngine(graph)
+            legacy = DataflowEngine(graph, use_coalesced=False)
+            reference = ReferenceEngine(graph)
+            for name, query in PAPER_QUERIES.items():
+                a = coalesced.match(query.text).as_set()
+                b = legacy.match(query.text).as_set()
+                c = reference.match(query.text).as_set()
+                assert a == b == c, (
+                    f"{name} diverged on contact-tracing fuzz seed {seed} "
+                    f"(coalesced={len(a)}, legacy={len(b)}, reference={len(c)})"
+                )
+
+
+class TestRegressionCounterexamples:
+    """Minimized divergences found by fuzzing and review, pinned forever."""
+
+    def test_multi_move_exists_merge_crosses_gaps(self):
+        # Fuzz seed 112: P[0,_]/∃ tests existence only at the end, so
+        # navigation may cross existence gaps (the seed engine wrongly
+        # required every intermediate point to exist).
+        run_match_case(112)
+
+    def test_zero_move_exists_merge_still_tests_existence(self):
+        # Review counterexample: in N · N[0,1]/∃ · N the trailing ∃ also
+        # applies to the zero-move branch, so a non-existing anchor must
+        # not survive (merging ∃ into a lower=0 step would admit it).
+        from repro.lang import ast
+        from repro.lang.parser import MatchQuery, NodePattern, PathPattern
+        from repro.model.itpg import IntervalTPG
+        from repro.temporal.interval import Interval
+        from repro.temporal.intervalset import IntervalSet
+
+        graph = IntervalTPG(Interval(0, 6))
+        graph.add_node("a", "Person", IntervalSet([(2, 3), (5, 5)]))
+        graph.validate()
+        path = ast.concat(
+            ast.N, ast.repeat(ast.N, 0, 1), ast.test(ast.exists()), ast.N
+        )
+        query = MatchQuery(
+            elements=(NodePattern(variable="x"), NodePattern(variable="y")),
+            connectors=(PathPattern(path=path, source_text="<review-repro>"),),
+            graph_name="g",
+            text="<review-repro>",
+        )
+        reference = ReferenceEngine(graph).match(query).as_set()
+        for engine in (
+            DataflowEngine(graph),
+            DataflowEngine(graph, use_coalesced=False),
+        ):
+            assert engine.match(query).as_set() == reference
+
+
+class TestPathLevelDifferential:
+    """Bottom-up point mode, interval mode and the raw interval evaluator agree."""
+
+    @pytest.mark.parametrize("graph_seed", range(5))
+    def test_random_paths_all_bottom_up_modes(self, graph_seed):
+        graph = random_itpg(graph_seed)
+        point = BottomUpEvaluator(graph)
+        fast = BottomUpEvaluator(graph, use_intervals=True)
+        interval = IntervalBottomUpEvaluator(graph)
+        for offset in range(12):
+            seed = 1000 + graph_seed * 100 + offset
+            path = random_path_expression(seed, allow_path_conditions=True)
+            expected = point.evaluate(path)
+            assert fast.evaluate(path) == expected, (
+                f"use_intervals mode diverged: random_itpg({graph_seed}), "
+                f"random_path_expression({seed}, allow_path_conditions=True)"
+            )
+            assert interval.evaluate_points(path) == expected, (
+                f"interval evaluator diverged: random_itpg({graph_seed}), "
+                f"random_path_expression({seed}, allow_path_conditions=True)"
+            )
+
+
+try:  # pragma: no cover - exercised only where hypothesis is installed
+    from hypothesis import given, settings, strategies as st
+
+    HAS_HYPOTHESIS = True
+except ImportError:  # pragma: no cover
+    HAS_HYPOTHESIS = False
+
+
+if HAS_HYPOTHESIS:
+
+    class TestHypothesisDifferential:
+        """Property-based wrapper: any seed pair must agree (shrinks to one case)."""
+
+        @settings(max_examples=25, deadline=None, derandomize=True)
+        @given(seed=st.integers(min_value=0, max_value=50_000))
+        def test_any_seed_agrees(self, seed):
+            run_match_case(seed)

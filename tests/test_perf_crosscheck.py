@@ -8,7 +8,13 @@ engines must produce the same answers.
 
 import pytest
 
+from repro.datagen import (
+    ContactTracingConfig,
+    TrajectoryConfig,
+    generate_contact_tracing_graph,
+)
 from repro.datagen.random_graphs import random_itpg, random_path_expression
+from repro.datagen.scale import SCALE_FACTORS
 from repro.dataflow import DataflowEngine, PAPER_QUERIES
 from repro.eval import ReferenceEngine
 from repro.eval.bottom_up import BottomUpEvaluator
@@ -59,6 +65,61 @@ class TestDataflowIndexedVsLegacy:
         serial = DataflowEngine(figure1, workers=1).match(query)
         parallel = DataflowEngine(figure1, workers=4).match(query)
         assert serial.as_set() == parallel.as_set()
+
+
+class TestTableOneSweepBothFrontiers:
+    """Q1–Q12 on Table-I generator graphs, coalesced vs legacy row frontier.
+
+    The Table-II mix above runs on the paper's running example; this
+    sweep uses the contact-tracing generator behind the Table-I scale
+    factors (at test-sized counts) so the frontier rewrite is
+    cross-checked on the same graph family the benchmarks measure.
+    """
+
+    @pytest.fixture(scope="class")
+    def table1_graphs(self):
+        graphs = []
+        for scale_name in ("S1", "S2"):
+            base = SCALE_FACTORS[scale_name]
+            config = ContactTracingConfig(
+                trajectory=TrajectoryConfig(
+                    num_persons=max(8, base.num_persons // 12),
+                    num_locations=max(5, base.num_locations // 12),
+                    num_rooms=max(2, base.num_rooms // 6),
+                    num_windows=24,
+                    seed=13,
+                ),
+                positivity_rate=0.2,
+                seed=13,
+            )
+            graphs.append((scale_name, generate_contact_tracing_graph(config)))
+        return graphs
+
+    @pytest.mark.parametrize("name", list(PAPER_QUERIES))
+    def test_paper_query_both_frontier_modes(self, table1_graphs, name):
+        text = PAPER_QUERIES[name].text
+        for scale_name, graph in table1_graphs:
+            coalesced = DataflowEngine(graph, use_coalesced=True)
+            legacy = DataflowEngine(graph, use_coalesced=False)
+            reference = ReferenceEngine(graph, use_intervals=True)
+            a = coalesced.match(text).as_set()
+            b = legacy.match(text).as_set()
+            c = reference.match(text).as_set()
+            assert a == b == c, (
+                f"{name} diverged on shrunk Table-I graph {scale_name} "
+                f"(coalesced={len(a)}, legacy={len(b)}, reference={len(c)})"
+            )
+
+    @pytest.mark.parametrize("name", ["Q3", "Q5", "Q10", "Q11"])
+    def test_frontier_modes_agree_with_workers(self, table1_graphs, name):
+        text = PAPER_QUERIES[name].text
+        _scale, graph = table1_graphs[0]
+        serial = DataflowEngine(graph, use_coalesced=True).match(text)
+        threaded = DataflowEngine(graph, use_coalesced=True, workers=4).match(text)
+        legacy_threaded = DataflowEngine(
+            graph, use_coalesced=False, workers=4
+        ).match(text)
+        assert serial.as_set() == threaded.as_set() == legacy_threaded.as_set()
 
 
 class TestIntervalBottomUp:
