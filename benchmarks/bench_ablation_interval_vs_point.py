@@ -46,7 +46,7 @@ def bench_ablation_interval_vs_point(benchmark, small_graph, name):
     text = PAPER_QUERIES[name].text
 
     def run_both():
-        interval_result = dataflow.match_with_stats(text)
+        interval_result = dataflow.match_with_stats(text, expand_output=True)
         naive_result = naive.match_with_stats(text)
         assert interval_result.table.as_set() == naive_result.table.as_set()
         return interval_result, naive_result

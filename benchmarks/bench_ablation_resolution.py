@@ -57,7 +57,7 @@ def bench_ablation_temporal_resolution(benchmark, graphs_by_resolution, name):
     def sweep():
         measurements = []
         for windows in _RESOLUTIONS:
-            result = engines[windows].match_with_stats(text)
+            result = engines[windows].match_with_stats(text, expand_output=True)
             measurements.append(
                 (windows, result.interval_seconds, result.total_seconds, result.output_size)
             )

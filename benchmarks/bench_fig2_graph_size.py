@@ -27,7 +27,7 @@ def bench_fig2_query_across_scales(benchmark, scale_sweep, name):
     def sweep():
         measurements = []
         for sf in scale_sweep:
-            result = engines[sf.name].match_with_stats(query.text)
+            result = engines[sf.name].match_with_stats(query.text, expand_output=True)
             measurements.append(
                 (sf.name, sf.num_persons, result.total_seconds, result.output_size)
             )

@@ -32,7 +32,7 @@ def bench_fig3_parallelism_sweep(benchmark, largest_graph, largest_scale_name, n
     def sweep():
         timings = []
         for workers in _WORKER_COUNTS:
-            result = engines[workers].match_with_stats(query.text)
+            result = engines[workers].match_with_stats(query.text, expand_output=True)
             timings.append((workers, result.total_seconds))
         return timings
 

@@ -28,7 +28,7 @@ def bench_fig4_temporal_navigation_steps(benchmark, largest_graph, largest_scale
         measurements = []
         for bound in _BOUNDS:
             query = get_query(name, temporal_bound=bound)
-            result = engine.match_with_stats(query.text)
+            result = engine.match_with_stats(query.text, expand_output=True)
             measurements.append((bound, result.total_seconds, result.output_size))
         return measurements
 

@@ -31,7 +31,7 @@ def bench_fig5_positivity_rate(benchmark, largest_scale_name, name):
     def sweep():
         measurements = []
         for rate in _RATES:
-            result = engines[rate].match_with_stats(query.text)
+            result = engines[rate].match_with_stats(query.text, expand_output=True)
             measurements.append((rate, result.total_seconds, result.output_size))
         return measurements
 

@@ -41,7 +41,7 @@ def bench_fig7_relative_output_and_time(benchmark, scale_sweep, name):
 
     def sweep():
         return [
-            (sf.name, engines[sf.name].match_with_stats(query.text))
+            (sf.name, engines[sf.name].match_with_stats(query.text, expand_output=True))
             for sf in scale_sweep
         ]
 

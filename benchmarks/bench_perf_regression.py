@@ -44,13 +44,13 @@ from repro.perf import IntervalBottomUpEvaluator, graph_index_for
 from repro.reductions import subset_sum_reduction
 
 
-def best_of(rounds: int, fn, *args):
+def best_of(rounds: int, fn, *args, **kwargs):
     """Smallest wall-clock time of ``rounds`` calls, plus the last result."""
     best = float("inf")
     result = None
     for _ in range(rounds):
         start = time.perf_counter()
-        result = fn(*args)
+        result = fn(*args, **kwargs)
         best = min(best, time.perf_counter() - start)
     return best, result
 
@@ -71,10 +71,10 @@ def bench_dataflow(scale_name: str, positivity: float, rounds: int) -> dict:
     divergences = 0
     for name, query in PAPER_QUERIES.items():
         legacy_seconds, legacy_result = best_of(
-            rounds, legacy.match_with_stats, query.text
+            rounds, legacy.match_with_stats, query.text, expand_output=True
         )
         indexed_seconds, indexed_result = best_of(
-            rounds, indexed.match_with_stats, query.text
+            rounds, indexed.match_with_stats, query.text, expand_output=True
         )
         agree = legacy_result.table.as_set() == indexed_result.table.as_set()
         if not agree:

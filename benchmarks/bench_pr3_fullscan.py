@@ -1,0 +1,271 @@
+"""PR-3 regression harness: interval-native vs point-expanded output.
+
+PR 3 made the coalescing engine's output path lazy: for every query
+whose variables share one temporal group (all of Q1–Q5 and the Q9–Q12
+shapes), ``match_with_stats`` now returns an
+:class:`~repro.eval.bindings.IntervalBindingTable` built directly from
+the coalesced per-binding families — point rows expand only when the
+table is actually read.  The workload this targets is the **Q1/Q2/Q5
+full-scan mix**: queries whose evaluation is cheap but whose output used
+to be dominated by expanding large interval families into point rows
+(and sorting them) inside the hot loop.
+
+The harness runs each query twice on the *same* coalescing engine —
+
+* **lazy** — ``match_with_stats`` plus the interval-native size
+  (``len(table)``), i.e. the new default output path;
+* **eager** — the same call followed by forcing ``table.rows``, i.e.
+  exactly the point-expansion work the seed/PR-2 output path did;
+
+cross-checks the expanded rows (and the ``match_intervals`` families)
+against the legacy row-frontier point engine, and reports per-query and
+median speedups.  The headline number is the median over Q1/Q2/Q5.
+
+The measurements land in ``BENCH_PR3.json`` keyed by scale factor::
+
+    PYTHONPATH=src python benchmarks/bench_pr3_fullscan.py              # REPRO_SCALE or S4
+    PYTHONPATH=src python benchmarks/bench_pr3_fullscan.py --scale S1   # add the S1 section
+    PYTHONPATH=src python benchmarks/bench_pr3_fullscan.py --smoke \\
+        --out bench_smoke_pr3.json --check-against BENCH_PR3.json       # CI regression gate
+
+With ``--check-against`` the process exits non-zero if any output pair
+diverges or if the measured Q1/Q2/Q5 median speedup falls more than
+``--tolerance`` (default 10%) below the same-scale baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.datagen import generate_contact_tracing_graph
+from repro.datagen.scale import SCALE_FACTORS, default_scale_name
+from repro.dataflow import DataflowEngine, PAPER_QUERIES
+from repro.errors import EvaluationError
+from repro.eval.bindings import IntervalBindingTable, expand_match_families
+from repro.perf import graph_index_for
+
+#: The full-scan mix whose median is the headline number.
+FOCUS_QUERIES = ("Q1", "Q2", "Q5")
+#: Additional single-group queries measured for context.
+CONTEXT_QUERIES = ("Q3", "Q4", "Q9", "Q10", "Q11", "Q12")
+
+
+def best_of(rounds: int, fn, *args):
+    """Smallest wall-clock time of ``rounds`` calls, plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_scale(scale_name: str, positivity: float, rounds: int) -> dict:
+    """The single-group query mix, lazy vs eager output, on one graph."""
+    config = SCALE_FACTORS[scale_name].config(positivity_rate=positivity)
+    graph = generate_contact_tracing_graph(config)
+
+    start = time.perf_counter()
+    graph_index_for(graph)
+    compile_seconds = time.perf_counter() - start
+
+    coalesced = DataflowEngine(graph)
+    legacy = DataflowEngine(graph, use_coalesced=False)
+
+    def run_lazy(text: str):
+        result = coalesced.match_with_stats(text)
+        # Interval-native size only — no point expansion.
+        assert result.output_size == len(result.table)
+        return result
+
+    def run_eager(text: str):
+        # expand_output forces the point expansion + sort inside the
+        # timed region — the former default output path.
+        return coalesced.match_with_stats(text, expand_output=True)
+
+    queries: dict[str, dict] = {}
+    divergences = 0
+    for name in FOCUS_QUERIES + CONTEXT_QUERIES:
+        query = PAPER_QUERIES[name]
+        lazy_seconds, lazy_result = best_of(rounds, run_lazy, query.text)
+        eager_seconds, eager_result = best_of(rounds, run_eager, query.text)
+
+        table = lazy_result.table
+        is_lazy = isinstance(table, IntervalBindingTable)
+        # Cross-checks: the lazily expanded rows and the coalesced
+        # families must both reproduce the legacy point engine exactly.
+        legacy_table = legacy.match(query.text)
+        agree = table.as_set() == legacy_table.as_set() == eager_result.table.as_set()
+        try:
+            families = coalesced.match_intervals(query.text)
+        except EvaluationError:
+            families = None
+        if families is not None:
+            agree = agree and (
+                expand_match_families(families, legacy_table.variables)
+                == legacy_table.as_set()
+            )
+        if not agree:
+            divergences += 1
+
+        entry = {
+            "eager_seconds": round(eager_seconds, 6),
+            "lazy_seconds": round(lazy_seconds, 6),
+            "speedup": round(eager_seconds / max(lazy_seconds, 1e-9), 3),
+            "output_size": lazy_result.output_size,
+            "interval_native": is_lazy,
+            "outputs_agree": agree,
+        }
+        if is_lazy:
+            entry["families"] = table.num_families()
+            entry["intervals"] = table.num_intervals()
+        queries[name] = entry
+
+    focus = [queries[name]["speedup"] for name in FOCUS_QUERIES]
+    all_speedups = [entry["speedup"] for entry in queries.values()]
+    return {
+        "scale": scale_name,
+        "positivity_rate": positivity,
+        "num_nodes": graph.num_nodes(),
+        "num_edges": graph.num_edges(),
+        "index_compile_seconds": round(compile_seconds, 6),
+        "queries": queries,
+        "median_speedup": round(statistics.median(all_speedups), 3),
+        "q1_q2_q5": {
+            "queries": list(FOCUS_QUERIES),
+            "median_speedup": round(statistics.median(focus), 3),
+            "min_speedup": round(min(focus), 3),
+        },
+        "divergences": divergences,
+    }
+
+
+def check_against(baseline_path: Path, measured: dict, tolerance: float) -> int:
+    """Compare the measured Q1/Q2/Q5 median against the same-scale baseline."""
+    if not baseline_path.exists():
+        print(f"WARNING: baseline {baseline_path} not found; skipping check")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    scale = measured["scale"]
+    reference = baseline.get("results", {}).get(scale)
+    if reference is None:
+        print(
+            f"WARNING: baseline {baseline_path} has no {scale} section; "
+            "skipping regression check"
+        )
+        return 0
+    expected = reference["q1_q2_q5"]["median_speedup"]
+    floor = expected * (1.0 - tolerance)
+    got = measured["q1_q2_q5"]["median_speedup"]
+    print(
+        f"regression check at {scale}: measured Q1/Q2/Q5 median {got:.2f}x, "
+        f"baseline {expected:.2f}x, floor {floor:.2f}x"
+    )
+    if got < floor:
+        print(
+            f"ERROR: Q1/Q2/Q5 median speedup regressed more than "
+            f"{tolerance:.0%} vs {baseline_path}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        default=None,
+        choices=sorted(SCALE_FACTORS),
+        help="scale factor (default: REPRO_SCALE or S4; --smoke forces S1)",
+    )
+    parser.add_argument("--positivity", type=float, default=0.05)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR3.json"),
+        help="JSON report path; existing per-scale sections are preserved",
+    )
+    parser.add_argument(
+        "--check-against",
+        default=None,
+        help="baseline BENCH_PR3.json to compare the Q1/Q2/Q5 median against",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed relative regression of the Q1/Q2/Q5 median (default 10%%)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: smallest scale (still best-of-3 so the ratio is stable)",
+    )
+    args = parser.parse_args(argv)
+
+    scale = args.scale or ("S1" if args.smoke else default_scale_name())
+    rounds = max(1, args.rounds)
+
+    measured = bench_scale(scale, args.positivity, rounds)
+
+    out_path = Path(args.out)
+    report = {"benchmark": "bench_pr3_fullscan", "results": {}}
+    if out_path.exists():
+        try:
+            report = json.loads(out_path.read_text())
+        except json.JSONDecodeError:
+            pass
+    report["benchmark"] = "bench_pr3_fullscan"
+    report["python"] = platform.python_version()
+    report.setdefault("results", {})[scale] = measured
+    report["rounds"] = rounds
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(
+        f"=== interval-native output path at {scale} "
+        f"({measured['num_nodes']} nodes, {measured['num_edges']} edges) ==="
+    )
+    header = (
+        f"{'query':<6}{'eager (s)':>11}{'lazy (s)':>11}{'speedup':>9}"
+        f"{'rows':>9}{'families':>10}  agree"
+    )
+    print(header)
+    print("-" * len(header))
+    for name, entry in measured["queries"].items():
+        families = str(entry.get("families", "-"))
+        print(
+            f"{name:<6}{entry['eager_seconds']:>11.4f}"
+            f"{entry['lazy_seconds']:>11.4f}{entry['speedup']:>8.2f}x"
+            f"{entry['output_size']:>9}{families:>10}"
+            f"  {'yes' if entry['outputs_agree'] else 'NO'}"
+        )
+    print(
+        f"median speedup: {measured['median_speedup']:.2f}x overall, "
+        f"{measured['q1_q2_q5']['median_speedup']:.2f}x on the Q1/Q2/Q5 "
+        f"full-scan mix (index compile: {measured['index_compile_seconds']:.3f}s)"
+    )
+    print(f"report written to {out_path}")
+
+    status = 0
+    if args.check_against:
+        status = check_against(Path(args.check_against), measured, args.tolerance)
+    if measured["divergences"]:
+        print("ERROR: engine outputs diverged", file=sys.stderr)
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

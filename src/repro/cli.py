@@ -24,6 +24,7 @@ from repro.datagen import ContactTracingConfig, TrajectoryConfig, generate_conta
 from repro.dataflow import DataflowEngine, PAPER_QUERIES
 from repro.errors import ReproError
 from repro.eval import ReferenceEngine
+from repro.eval.bindings import IntervalBindingTable
 from repro.model import contact_tracing_example, graph_statistics
 from repro.model.io import load_json, save_json
 
@@ -53,13 +54,20 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--graph", help="path to a graph JSON file (default: Figure-1 example)")
     query.add_argument(
         "--engine",
-        choices=("dataflow", "reference"),
+        choices=("dataflow", "reference", "reference-intervals"),
         default="dataflow",
-        help="evaluation engine to use",
+        help="evaluation engine to use (reference-intervals runs the bottom-up "
+        "evaluator on the coalesced diagonal representation)",
     )
     query.add_argument("--workers", type=int, default=1, help="dataflow worker threads")
     query.add_argument("--limit", type=int, default=25, help="rows to print (0 = all)")
     query.add_argument("--stats", action="store_true", help="print timing and output size")
+    query.add_argument(
+        "--intervals",
+        action="store_true",
+        help="print the coalesced interval output (one line per binding tuple "
+        "with its maximal validity intervals) instead of expanding point rows",
+    )
     query.add_argument(
         "--legacy-frontier",
         action="store_true",
@@ -115,15 +123,46 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_families(families, limit: Optional[int]) -> None:
+    """Render coalesced ``(bindings, IntervalSet)`` families, one per line."""
+    ordered = sorted(
+        families, key=lambda family: tuple(repr(obj) for _name, obj in family[0])
+    )
+    shown = ordered if limit is None else ordered[:limit]
+    for bindings, times in shown:
+        bound = ", ".join(f"{name}={obj}" for name, obj in bindings) or "<match>"
+        spans = " u ".join(f"[{iv.start},{iv.end}]" for iv in times)
+        print(f"{bound} @ {spans}")
+    if limit is not None and len(ordered) > limit:
+        print(f"... ({len(ordered) - limit} more families)")
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     text = _resolve_query(args.match)
+    limit = None if args.limit == 0 else args.limit
     if args.engine == "dataflow":
         engine = DataflowEngine(
             graph,
             workers=args.workers,
             use_coalesced=not args.legacy_frontier,
         )
+    else:
+        engine = ReferenceEngine(
+            graph, use_intervals=(args.engine == "reference-intervals")
+        )
+    if args.intervals:
+        families = engine.match_intervals(text)
+        if args.stats:
+            intervals = sum(len(times) for _bindings, times in families)
+            points = sum(times.total_points() for _bindings, times in families)
+            print(
+                f"# {len(families)} families, {intervals} intervals, "
+                f"{points} points"
+            )
+        _print_families(families, limit)
+        return 0
+    if args.engine == "dataflow":
         result = engine.match_with_stats(text)
         table = result.table
         if args.stats:
@@ -137,11 +176,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 f"# frontier: {frontier_mode}, {result.frontier_rows} rows, "
                 f"{result.rows_merged} merged"
             )
+            if isinstance(table, IntervalBindingTable):
+                print(
+                    f"# output kept interval-native: {table.num_families()} "
+                    f"families, {table.num_intervals()} intervals "
+                    "(rows expand lazily)"
+                )
     else:
-        table = ReferenceEngine(graph).match(text)
+        table = engine.match(text)
         if args.stats:
             print(f"# output size {len(table)}")
-    limit = None if args.limit == 0 else args.limit
     print(table.pretty(limit=limit))
     return 0
 

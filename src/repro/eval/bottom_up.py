@@ -83,6 +83,19 @@ class BottomUpEvaluator:
     def graph(self) -> TemporalPropertyGraph:
         return self._graph
 
+    @property
+    def interval_evaluator(self):
+        """The interval-native evaluator, or ``None`` in point mode.
+
+        Exposed so :class:`~repro.eval.engine.ReferenceEngine` can run
+        its MATCH composition directly on
+        :class:`~repro.perf.interval_relation.IntervalRelation`
+        diagonals (via
+        :class:`~repro.perf.interval_eval.IntervalMatchEvaluator`)
+        instead of expanding each segment relation to point tuples.
+        """
+        return self._interval_evaluator
+
     def evaluate(self, path: PathExpr) -> TemporalRelation:
         """The relation ``JpathK_G`` as a :class:`TemporalRelation`."""
         cached = self._cache.get(path)

@@ -1,7 +1,7 @@
 """The reference evaluation engine: path evaluation and MATCH evaluation.
 
 :class:`ReferenceEngine` wraps a temporal graph (point-based or
-interval-based) and offers two operations:
+interval-based) and offers three operations:
 
 * :meth:`ReferenceEngine.evaluate_path` — the binary relation
   ``JpathK_G`` (Theorem C.1's bottom-up algorithm);
@@ -11,6 +11,19 @@ interval-based) and offers two operations:
   engine propagates a frontier of partial bindings through the segments,
   binding each variable to the temporal object reached at the end of its
   segment.
+* :meth:`ReferenceEngine.match_intervals` — the coalesced (interval)
+  output of a MATCH clause, mirroring
+  :meth:`repro.dataflow.executor.DataflowEngine.match_intervals`: one
+  ``(bindings, IntervalSet)`` family per distinct binding tuple,
+  defined whenever every variable is bound at a single shared time.
+
+With ``use_intervals=True`` the MATCH frontier itself stays
+interval-native: segments advance by composing
+:class:`~repro.perf.interval_relation.IntervalRelation` diagonals
+(:class:`~repro.perf.interval_eval.IntervalMatchEvaluator`), and point
+rows are expanded only from the final frontier.  In point mode the
+frontier is the classic ``(bindings, current)`` hash join; both modes
+compute identical tables (cross-checked in the differential fuzz suite).
 
 This engine favours clarity and faithfulness to the paper's semantics
 over speed; the dataflow engine (:mod:`repro.dataflow`) is the fast
@@ -20,10 +33,10 @@ one in the tests.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Hashable, Union as TypingUnion
 
-from repro.eval.bindings import BindingTable
+from repro.errors import EvaluationError
+from repro.eval.bindings import BindingTable, Family
 from repro.eval.bottom_up import BottomUpEvaluator
 from repro.eval.relation import TemporalRelation
 from repro.lang.ast import PathExpr
@@ -31,6 +44,7 @@ from repro.lang.parser import MatchQuery
 from repro.lang.translate import CompiledMatch, compile_match
 from repro.model.itpg import IntervalTPG
 from repro.model.tpg import TemporalPropertyGraph
+from repro.temporal.intervalset import IntervalSet
 
 ObjectId = Hashable
 TemporalGraph = TypingUnion[TemporalPropertyGraph, IntervalTPG]
@@ -41,6 +55,14 @@ class ReferenceEngine:
 
     def __init__(self, graph: TemporalGraph, use_intervals: bool = False) -> None:
         self._evaluator = BottomUpEvaluator(graph, use_intervals=use_intervals)
+        self._match_evaluator = None
+        if self._evaluator.interval_evaluator is not None:
+            # Imported lazily: repro.perf builds on repro.eval.relation.
+            from repro.perf.interval_eval import IntervalMatchEvaluator
+
+            self._match_evaluator = IntervalMatchEvaluator(
+                self._evaluator.interval_evaluator
+            )
 
     @property
     def graph(self) -> TemporalPropertyGraph:
@@ -66,13 +88,60 @@ class ReferenceEngine:
     def match(self, query: TypingUnion[str, MatchQuery, CompiledMatch]) -> BindingTable:
         """Evaluate a MATCH clause and return its temporal binding table."""
         compiled = query if isinstance(query, CompiledMatch) else compile_match(query)
+        if self._match_evaluator is not None:
+            rows = self._match_evaluator.rows(compiled)
+        else:
+            rows = [bindings for bindings, _current in self._point_frontier(compiled)]
+        return BindingTable.build(compiled.variables, rows)
+
+    def match_intervals(
+        self, query: TypingUnion[str, MatchQuery, CompiledMatch]
+    ) -> list[Family]:
+        """Coalesced (interval) output: one entry per distinct binding tuple.
+
+        Mirrors the dataflow engine's ``match_intervals``: each entry
+        pairs the variable bindings with the coalesced family of times
+        at which they all hold, and expanding every family over its
+        times reproduces :meth:`match` exactly.  Raises
+        :class:`~repro.errors.EvaluationError` when some output row
+        binds variables at different times — then the output has no
+        shared time axis to coalesce on.  (The check here is exact and
+        per-row, so this engine accepts some queries — e.g. temporal
+        moves that cancel out — that the dataflow engine rejects from
+        its static chain shape.)
+        """
+        compiled = query if isinstance(query, CompiledMatch) else compile_match(query)
+        if self._match_evaluator is not None:
+            return self._match_evaluator.families(compiled)
+        merged: dict[tuple[tuple[str, ObjectId], ...], set[int]] = {}
+        for bindings, current in self._point_frontier(compiled):
+            times = {t for _obj, t in bindings}
+            if len(times) > 1:
+                raise EvaluationError(
+                    "interval (coalesced) output is only defined when every "
+                    "variable is bound at a single shared time"
+                )
+            t = times.pop() if times else current[1]
+            key = tuple(
+                (variable, obj)
+                for variable, (obj, _t) in zip(compiled.variables, bindings)
+            )
+            merged.setdefault(key, set()).add(t)
+        return [
+            (bindings, IntervalSet.from_points(points))
+            for bindings, points in merged.items()
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Point-mode frontier propagation
+    # ------------------------------------------------------------------ #
+    def _point_frontier(self, compiled: CompiledMatch):
         frontier = self._initial_frontier(compiled)
         for segment in compiled.segments[1:]:
             if not frontier:
                 break
             frontier = self._advance(frontier, segment.path, segment.variable)
-        rows = [bindings for bindings, _current in frontier]
-        return BindingTable.build(compiled.variables, rows)
+        return frontier
 
     def _initial_frontier(self, compiled: CompiledMatch):
         first = compiled.segments[0]
@@ -90,10 +159,7 @@ class ReferenceEngine:
         return frontier
 
     def _advance(self, frontier, path: PathExpr, variable):
-        relation = self.evaluate_path(path)
-        index: dict[tuple[ObjectId, int], list[tuple[ObjectId, int]]] = defaultdict(list)
-        for o, t, o2, t2 in relation:
-            index[(o, t)].append((o2, t2))
+        index = self.evaluate_path(path).index_by_source()
         out = []
         seen = set()
         for bindings, current in frontier:

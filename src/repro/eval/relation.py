@@ -86,14 +86,23 @@ class TemporalRelation:
         """
         if not self._tuples or not other._tuples:
             return _EMPTY
-        index: dict[tuple[ObjectId, int], list[tuple[ObjectId, int]]] = defaultdict(list)
-        for o, t, o2, t2 in other._tuples:
-            index[(o, t)].append((o2, t2))
+        index = other.index_by_source()
         out: set[Tuple4] = set()
         for o, t, o2, t2 in self._tuples:
             for o3, t3 in index.get((o2, t2), ()):
                 out.add((o, t, o3, t3))
         return TemporalRelation(out)
+
+    def index_by_source(self) -> dict[tuple[ObjectId, int], list[tuple[ObjectId, int]]]:
+        """Target temporal objects grouped by source temporal object.
+
+        The hash-join index shared by :meth:`compose` and the reference
+        engine's MATCH frontier advance.
+        """
+        index: dict[tuple[ObjectId, int], list[tuple[ObjectId, int]]] = defaultdict(list)
+        for o, t, o2, t2 in self._tuples:
+            index[(o, t)].append((o2, t2))
+        return index
 
     def source_project(self) -> set[tuple[ObjectId, int]]:
         """The set of starting temporal objects (used for path conditions)."""

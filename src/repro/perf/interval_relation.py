@@ -127,6 +127,23 @@ class IntervalRelation:
             for delta, family in diagonals.items():
                 yield src, dst, delta, family
 
+    def by_source(self) -> dict[ObjectId, list[tuple[ObjectId, int, IntervalSet]]]:
+        """Stored diagonals grouped by source object.
+
+        The returned map sends each source to its ``(target, offset,
+        anchors)`` continuations — the join index used by
+        :meth:`compose` and by the MATCH-segment composer
+        (:class:`~repro.perf.interval_eval.IntervalMatchEvaluator`),
+        which both advance per source object rather than per point.
+        """
+        grouped: dict[ObjectId, list[tuple[ObjectId, int, IntervalSet]]] = (
+            defaultdict(list)
+        )
+        for (src, dst), diagonals in self._data.items():
+            for delta, family in diagonals.items():
+                grouped[src].append((dst, delta, family))
+        return grouped
+
     def __contains__(self, item: tuple[ObjectId, int, ObjectId, int]) -> bool:
         o, t, o2, t2 = item
         diagonals = self._data.get((o, o2))
@@ -222,12 +239,7 @@ class IntervalRelation:
         """
         if not self._data or not other._data:
             return IntervalRelation.empty()
-        by_source: dict[ObjectId, list[tuple[ObjectId, int, IntervalSet]]] = (
-            defaultdict(list)
-        )
-        for (src, dst), diagonals in other._data.items():
-            for delta, family in diagonals.items():
-                by_source[src].append((dst, delta, family))
+        by_source = other.by_source()
         data: DiagonalMap = {}
         for (src, mid), diagonals in self._data.items():
             continuations = by_source.get(mid)

@@ -1,0 +1,199 @@
+"""Interval-native MATCH composition in the reference/bottom-up engine.
+
+PR 3 lifted the reference engine's MATCH-segment composition onto
+:class:`~repro.perf.interval_relation.IntervalRelation` diagonals
+(:class:`~repro.perf.interval_eval.IntervalMatchEvaluator`) and gave
+:class:`~repro.eval.engine.ReferenceEngine` a first-class
+``match_intervals`` mirroring the dataflow API.  These tests pin:
+
+* the offset-diagonal frontier representation (binding times relate to
+  the current time by fixed offsets along composed diagonals);
+* exact agreement of interval-mode ``match`` with the point-mode ground
+  truth, including the reference-only fragment (path conditions,
+  structural repetition) that the dataflow engine rejects;
+* ``match_intervals`` in both modes: canonical families, exact
+  expansion, and the dynamic per-row definedness check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.random_graphs import (
+    random_itpg,
+    random_match_query,
+    random_path_expression,
+)
+from repro.dataflow import DataflowEngine
+from repro.errors import EvaluationError
+from repro.eval import ReferenceEngine
+from repro.eval.bindings import expand_match_families
+from repro.lang import ast
+from repro.lang.parser import MatchQuery, NodePattern, PathPattern
+from repro.lang.translate import compile_match
+from repro.perf.interval_eval import IntervalBottomUpEvaluator, IntervalMatchEvaluator
+from repro.temporal import Interval, IntervalSet
+
+
+def pc_query(path, bind_second=True, text="<pc>"):
+    """A two-element MATCH joined by an arbitrary NavL path connector."""
+    return MatchQuery(
+        elements=(
+            NodePattern(variable="x"),
+            NodePattern(variable="y" if bind_second else None),
+        ),
+        connectors=(PathPattern(path=path, source_text=text),),
+        graph_name="g",
+        text=text,
+    )
+
+
+class TestOffsetFrontier:
+    """The offset-diagonal representation of the MATCH frontier."""
+
+    def test_temporal_axis_shifts_offsets(self):
+        graph = random_itpg(0)
+        composer = IntervalMatchEvaluator(IntervalBottomUpEvaluator(graph))
+        compiled = compile_match(pc_query(ast.N, text="<n>"))
+        for (bindings, offsets, _current), times in composer.frontier(
+            compiled
+        ).items():
+            assert len(bindings) == len(offsets) == 2
+            # x was bound one N-move before y: its time is current - 1.
+            assert offsets == (-1, 0)
+            assert not times.is_empty()
+
+    def test_cancelling_moves_return_to_zero_offset(self):
+        graph = random_itpg(0)
+        composer = IntervalMatchEvaluator(IntervalBottomUpEvaluator(graph))
+        compiled = compile_match(pc_query(ast.concat(ast.N, ast.P), text="<np>"))
+        entries = composer.frontier(compiled)
+        assert entries
+        for (_bindings, offsets, _current), _times in entries.items():
+            assert offsets == (0, 0)
+
+    def test_frontier_families_are_coalesced(self):
+        graph = random_itpg(1)
+        composer = IntervalMatchEvaluator(IntervalBottomUpEvaluator(graph))
+        compiled = compile_match(random_match_query(42))
+        for _key, times in composer.frontier(compiled).items():
+            assert not times.is_empty()
+            intervals = times.intervals
+            for left, right in zip(intervals, intervals[1:]):
+                assert right.start - left.end > 1
+
+
+class TestIntervalModeMatch:
+    """Interval-mode match() equals the point-mode ground truth."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_queries_agree(self, seed):
+        graph = random_itpg(seed)
+        query = random_match_query(seed * 131 + 5)
+        point = ReferenceEngine(graph).match(query)
+        interval = ReferenceEngine(graph, use_intervals=True).match(query)
+        assert point.variables == interval.variables
+        assert point.rows == interval.rows
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_reference_only_fragment_agrees(self, seed):
+        # Path conditions and structural repetition are outside the
+        # dataflow fragment; the interval-native composition must still
+        # handle them (through the sub-relation's source projection).
+        graph = random_itpg(seed)
+        path = random_path_expression(5500 + seed, allow_path_conditions=True)
+        query = pc_query(path, text=f"<pc-{seed}>")
+        point = ReferenceEngine(graph).match(query)
+        interval = ReferenceEngine(graph, use_intervals=True).match(query)
+        assert point.rows == interval.rows
+
+    def test_unbound_elements_and_empty_variable_lists(self):
+        graph = random_itpg(2)
+        query = MatchQuery(
+            elements=(NodePattern(variable=None), NodePattern(variable=None)),
+            connectors=(PathPattern(path=ast.F, source_text="<f>"),),
+            graph_name="g",
+            text="<anon>",
+        )
+        point = ReferenceEngine(graph).match(query)
+        interval = ReferenceEngine(graph, use_intervals=True).match(query)
+        assert point.variables == interval.variables == ()
+        assert point.rows == interval.rows
+
+
+class TestReferenceMatchIntervals:
+    """ReferenceEngine.match_intervals mirrors the dataflow API."""
+
+    @pytest.mark.parametrize("use_intervals", [False, True])
+    def test_families_expand_to_match_rows(self, figure1, use_intervals):
+        engine = ReferenceEngine(figure1, use_intervals=use_intervals)
+        query = "MATCH (x:Person {risk = 'high'}) ON g"
+        table = engine.match(query)
+        families = engine.match_intervals(query)
+        bindings = [b for b, _times in families]
+        assert len(bindings) == len(set(bindings))
+        assert expand_match_families(families, table.variables) == table.as_set()
+
+    @pytest.mark.parametrize("use_intervals", [False, True])
+    def test_agrees_with_dataflow_families(self, figure1, use_intervals):
+        engine = ReferenceEngine(figure1, use_intervals=use_intervals)
+        dataflow = DataflowEngine(figure1)
+        query = "MATCH (x:Person)-[z:meets]->(y:Person) ON g"
+        mine = sorted(
+            ((b, tuple(ts.intervals)) for b, ts in engine.match_intervals(query)),
+            key=repr,
+        )
+        theirs = sorted(
+            ((b, tuple(ts.intervals)) for b, ts in dataflow.match_intervals(query)),
+            key=repr,
+        )
+        assert mine == theirs
+
+    @pytest.mark.parametrize("use_intervals", [False, True])
+    def test_rejects_group_spanning_bindings(self, use_intervals):
+        graph = random_itpg(4)
+        engine = ReferenceEngine(graph, use_intervals=use_intervals)
+        query = pc_query(ast.N, text="<n>")
+        # x and y are bound one temporal move apart: no shared time axis.
+        if engine.match(query):
+            with pytest.raises(EvaluationError):
+                engine.match_intervals(query)
+
+    @pytest.mark.parametrize("use_intervals", [False, True])
+    def test_definedness_is_per_output_row(self, use_intervals):
+        # An empty result never raises: with no output rows there is
+        # nothing that fails to coalesce.
+        graph = random_itpg(4)
+        never = MatchQuery(
+            elements=(
+                NodePattern(variable="x", condition=ast.prop_eq("risk", "none")),
+                NodePattern(variable="y"),
+            ),
+            connectors=(PathPattern(path=ast.N, source_text="<n>"),),
+            graph_name="g",
+            text="<never>",
+        )
+        engine = ReferenceEngine(graph, use_intervals=use_intervals)
+        assert engine.match(never).is_empty()
+        assert engine.match_intervals(never) == []
+
+
+class TestHandBuiltGraph:
+    """A fully hand-checkable instance of the offset composition."""
+
+    def test_two_segment_family(self):
+        graph_domain = Interval(0, 6)
+        from repro.model.itpg import IntervalTPG
+
+        graph = IntervalTPG(graph_domain)
+        graph.add_node("a", "Person", IntervalSet([(0, 4)]))
+        graph.add_node("b", "Person", IntervalSet([(2, 6)]))
+        graph.add_edge("e", "meets", "a", "b", IntervalSet([(2, 4)]))
+        graph.validate()
+        query = "MATCH (x:Person)-[:meets]->(y:Person) ON g"
+        for use_intervals in (False, True):
+            engine = ReferenceEngine(graph, use_intervals=use_intervals)
+            families = engine.match_intervals(query)
+            assert families == [
+                ((("x", "a"), ("y", "b")), IntervalSet([(2, 4)]))
+            ]

@@ -184,3 +184,68 @@ class TestAlgebraicLaws:
         b = IntervalSet([(3, 5)])
         merged = a.union(b)
         assert len(merged) == 1
+
+
+class TestDomainEdgeCases:
+    """Hand-picked edge cases behind the PR-3 point-model property sweep:
+    empty families, single-point domains, clipping at domain edges and
+    coalescing of difference remainders."""
+
+    def test_dilate_empty_family_stays_empty(self):
+        assert IntervalSet.empty().dilate(3, 3).is_empty()
+        assert IntervalSet.empty().dilate(3, 3, Interval(0, 5)).is_empty()
+
+    def test_dilate_clips_before_at_domain_start(self):
+        family = IntervalSet([(1, 2)])
+        assert family.dilate(4, 0, Interval(0, 10)) == IntervalSet([(0, 2)])
+
+    def test_dilate_clips_after_at_domain_end(self):
+        family = IntervalSet([(8, 9)])
+        assert family.dilate(0, 4, Interval(0, 10)) == IntervalSet([(8, 10)])
+
+    def test_dilate_domain_fully_clips_family(self):
+        family = IntervalSet([(10, 12)])
+        assert family.dilate(1, 1, Interval(0, 5)).is_empty()
+
+    def test_dilate_bridges_gap_and_coalesces(self):
+        family = IntervalSet([(0, 1), (4, 5)])
+        assert family.dilate(1, 1) == IntervalSet([(-1, 6)])
+
+    def test_difference_with_empty_cut_is_identity(self):
+        family = IntervalSet([(0, 3), (6, 8)])
+        assert family.difference(IntervalSet.empty()) == family
+
+    def test_difference_from_empty_is_empty(self):
+        assert IntervalSet.empty().difference(IntervalSet([(0, 3)])).is_empty()
+
+    def test_difference_splits_interval_and_stays_coalesced(self):
+        family = IntervalSet([(0, 9)])
+        result = family.difference(IntervalSet([(3, 3), (7, 7)]))
+        assert result == IntervalSet([(0, 2), (4, 6), (8, 9)])
+        intervals = result.intervals
+        for left, right in zip(intervals, intervals[1:]):
+            assert right.start - left.end > 1
+
+    def test_difference_cut_beyond_every_interval(self):
+        family = IntervalSet([(0, 2)])
+        assert family.difference(IntervalSet([(5, 9)])) == family
+
+    def test_complement_of_empty_is_full_domain(self):
+        domain = Interval(2, 7)
+        assert IntervalSet.empty().complement(domain) == IntervalSet((domain,))
+
+    def test_complement_of_full_domain_is_empty(self):
+        domain = Interval(2, 7)
+        assert IntervalSet((domain,)).complement(domain).is_empty()
+
+    def test_complement_on_single_point_domain(self):
+        domain = Interval(4, 4)
+        assert IntervalSet.point(4).complement(domain).is_empty()
+        assert IntervalSet.point(9).complement(domain) == IntervalSet.point(4)
+
+    def test_complement_clips_family_outside_domain(self):
+        # Points of the family outside the domain must not leak into
+        # (or subtract from) the complement.
+        domain = Interval(0, 5)
+        family = IntervalSet([(4, 9)])
+        assert family.complement(domain) == IntervalSet([(0, 3)])

@@ -94,6 +94,81 @@ class TestIntervalSetProperties:
         assert fa.is_subset_of(fb) == (a <= b)
 
 
+class TestDilateDifferenceComplementPointModel:
+    """PR-3 satellite sweep: brute-force point-model oracle on the
+    operations behind temporal navigation (``dilate``) and negation
+    (``difference`` / ``complement``), with the domain-edge and
+    coalescing cases the bug hunts flagged as risky."""
+
+    @given(interval_sets, st.integers(0, 5), st.integers(0, 5))
+    def test_dilate_is_pointwise_window(self, family, before, after):
+        dilated = family.dilate(before, after)
+        want = {
+            q
+            for p in family.points()
+            for q in range(p - before, p + after + 1)
+        }
+        assert set(dilated.points()) == want
+        assert is_coalesced(list(dilated.intervals))
+
+    @given(
+        interval_sets,
+        st.integers(0, 5),
+        st.integers(0, 5),
+        st.integers(0, 40),
+        st.integers(0, 30),
+    )
+    def test_dilate_clips_at_domain_edges(self, family, before, after, start, length):
+        domain = Interval(start, start + length)
+        dilated = family.dilate(before, after, domain)
+        want = {
+            q
+            for p in family.points()
+            for q in range(p - before, p + after + 1)
+            if domain.start <= q <= domain.end
+        }
+        assert set(dilated.points()) == want
+        assert is_coalesced(list(dilated.intervals))
+
+    @given(interval_sets)
+    def test_dilate_zero_is_identity(self, family):
+        assert family.dilate(0, 0) == family
+
+    @given(interval_sets, st.integers(0, 5))
+    def test_dilate_coalesces_bridged_gaps(self, family, radius):
+        # Growing by the gap width must merge neighbouring intervals —
+        # the FC invariant the frontier relies on downstream.
+        dilated = family.dilate(radius, radius)
+        intervals = dilated.intervals
+        for left, right in zip(intervals, intervals[1:]):
+            assert right.start - left.end > 1
+
+    @given(interval_sets, interval_sets)
+    def test_difference_is_pointwise_and_coalesced(self, a, b):
+        result = a.difference(b)
+        assert set(result.points()) == set(a.points()) - set(b.points())
+        assert is_coalesced(list(result.intervals))
+
+    @given(interval_sets, interval_sets)
+    def test_difference_then_union_restores(self, a, b):
+        # (a \ b) ∪ (a ∩ b) == a — exercises the clip-and-recoalesce
+        # path on adjacent remainders.
+        assert a.difference(b).union(a.intersect(b)) == a
+
+    @given(interval_sets)
+    def test_complement_is_involutive_on_domain(self, family):
+        domain = Interval(0, 70)
+        restricted = family.intersect_interval(domain)
+        assert restricted.complement(domain).complement(domain) == restricted
+
+    @given(st.integers(0, 70))
+    def test_single_point_domain(self, t):
+        domain = Interval(t, t)
+        assert IntervalSet.empty().complement(domain) == IntervalSet.point(t)
+        assert IntervalSet.point(t).complement(domain).is_empty()
+        assert IntervalSet.point(t).dilate(3, 3, domain) == IntervalSet.point(t)
+
+
 class TestValuedIntervalProperties:
     @given(
         st.lists(
