@@ -59,9 +59,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluation engine to use (reference-intervals runs the bottom-up "
         "evaluator on the coalesced diagonal representation)",
     )
-    query.add_argument("--workers", type=int, default=1, help="dataflow worker threads")
+    query.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="dataflow workers (0 = one per CPU core)",
+    )
+    query.add_argument(
+        "--backend",
+        choices=DataflowEngine.BACKENDS,
+        default="thread",
+        help="dataflow parallel backend: 'thread' (GIL-bound, cheap for small "
+        "frontiers) or 'process' (worker-process pool that scales with cores)",
+    )
     query.add_argument("--limit", type=int, default=25, help="rows to print (0 = all)")
     query.add_argument("--stats", action="store_true", help="print timing and output size")
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the execution plan (backend, workers, weighted chunk plan) "
+        "before the results",
+    )
     query.add_argument(
         "--intervals",
         action="store_true",
@@ -137,7 +155,33 @@ def _print_families(families, limit: Optional[int]) -> None:
         print(f"... ({len(ordered) - limit} more families)")
 
 
+def _print_explain(plan: dict) -> None:
+    """Render :meth:`DataflowEngine.explain` output, one ``#`` line each."""
+    print(
+        f"# plan: backend={plan['backend']} "
+        f"(effective: {plan['effective_backend']}), workers={plan['workers']}, "
+        f"output={plan['output_mode']}"
+    )
+    print(
+        f"# plan: {plan['seed_rows']} seed rows, {plan['chain_steps']} chain steps, "
+        f"{len(plan['chunks'])} chunk(s)"
+    )
+    for position, chunk in enumerate(plan["chunks"]):
+        print(
+            f"# plan: chunk {position}: {chunk['seeds']} seeds, "
+            f"weight {chunk['weight']}"
+        )
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
+    # Pure argument validation comes first, before any graph loading.
+    if args.engine != "dataflow" and (args.backend != "thread" or args.explain):
+        print(
+            "error: --backend and --explain apply to the dataflow engine only "
+            f"(got --engine {args.engine})",
+            file=sys.stderr,
+        )
+        return 2
     graph = _load_graph(args.graph)
     text = _resolve_query(args.match)
     limit = None if args.limit == 0 else args.limit
@@ -146,7 +190,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
             graph,
             workers=args.workers,
             use_coalesced=not args.legacy_frontier,
+            parallel_backend=args.backend,
         )
+        if args.explain:
+            _print_explain(engine.explain(text))
     else:
         engine = ReferenceEngine(
             graph, use_intervals=(args.engine == "reference-intervals")

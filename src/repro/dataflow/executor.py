@@ -21,15 +21,26 @@ interval families, and Step 3 runs on the interval-native
 (binding, path) with point-wise link checking during materialization —
 so the regression benchmarks can measure the gap.
 
-The engine can partition the initial frontier across a thread pool
+The engine can partition the initial frontier across workers
 (``workers > 1``), mirroring the paper's Rayon-based parallelism sweep.
-CPython's GIL prevents real speedups for this CPU-bound workload; the
-knob exists so the Figure-3 harness can measure and report the curve
-honestly.
+Two backends share one degree-weighted chunking policy
+(:mod:`repro.parallel.partition`):
+
+* ``parallel_backend="thread"`` (default) — a thread pool; output-
+  invariant but GIL-bound, so it measures ~1× on CPU-bound queries.
+  It stays the cheap fallback for small frontiers.
+* ``parallel_backend="process"`` — the :mod:`repro.parallel` subsystem:
+  seed chunks run Steps 1–3 in a persistent worker-process pool (the
+  graph ships to each worker once and is cached per ``(graph, pid)``),
+  workers return compact interval families, and the parent performs a
+  single coalescing merge.  This is the path that actually scales with
+  cores, like the paper's Fig. 3.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -64,6 +75,7 @@ from repro.lang.translate import CompiledMatch, compile_match
 from repro.model.convert import tpg_to_itpg
 from repro.model.itpg import IntervalTPG
 from repro.model.tpg import TemporalPropertyGraph
+from repro.parallel.partition import chunk_weight, weighted_chunks
 from repro.perf.graph_index import GraphIndex, graph_index_for
 from repro.temporal.alignment import reachable_window
 from repro.temporal.intervalset import IntervalSet, IntervalSetAccumulator
@@ -86,9 +98,16 @@ class MatchResult:
     """
 
     table: TypingUnion[BindingTable, IntervalBindingTable]
+    #: Steps 1–2 wall time.  Under the process backend this is the
+    #: parallel critical path: the longest per-worker chain time, which
+    #: is what the paper's per-core Fig.-3 sweep measures.
     interval_seconds: float
     total_seconds: float
     output_size: int
+    #: Surviving frontier rows.  Under the process backend this sums the
+    #: per-chunk frontiers, so signature-equal rows split across chunks
+    #: may be counted once per chunk (the output merge still coalesces
+    #: them exactly).
     frontier_rows: int
     #: How many frontier rows the coalescing frontier absorbed into
     #: signature-equal survivors across all steps (0 in legacy row mode).
@@ -115,25 +134,49 @@ class _ChainStats:
 class DataflowEngine:
     """Interval-based dataflow evaluation of MATCH queries (Section VI)."""
 
+    #: Valid values of ``parallel_backend``.
+    BACKENDS = ("thread", "process")
+
     def __init__(
         self,
         graph: TemporalGraph,
         workers: int = 1,
         use_index: bool = True,
         use_coalesced: bool = True,
+        parallel_backend: str = "thread",
+        start_method: str | None = None,
     ) -> None:
         # The compiled index is shared per graph across engines and queries
         # (index first, so a point-based graph is converted exactly once and
         # the conversion is reused too); ``use_index=False`` keeps the
         # uncompiled seed behaviour available so the regression benchmark can
         # measure the gap.
+        if parallel_backend not in self.BACKENDS:
+            raise ValueError(
+                f"unknown parallel backend {parallel_backend!r}: "
+                f"expected one of {', '.join(repr(b) for b in self.BACKENDS)}"
+            )
+        if (
+            start_method is not None
+            and start_method not in multiprocessing.get_all_start_methods()
+        ):
+            raise ValueError(
+                f"unknown start method {start_method!r}: this platform supports "
+                f"{', '.join(multiprocessing.get_all_start_methods())}"
+            )
         self._index: GraphIndex | None = graph_index_for(graph) if use_index else None
         if self._index is not None:
             graph = self._index.graph
         elif isinstance(graph, TemporalPropertyGraph):
             graph = tpg_to_itpg(graph)
         self._graph = graph
-        self._workers = max(1, int(workers))
+        workers = int(workers)
+        if workers == 0:
+            # ``workers=0`` means "use every core" (mirrors the CLI).
+            workers = os.cpu_count() or 1
+        self._workers = max(1, workers)
+        self._backend = parallel_backend
+        self._start_method = start_method
         self._use_coalesced = bool(use_coalesced)
         self._domain_times = IntervalSet((graph.domain,))
         self._materializer = IntervalMaterializer(graph, self._index)
@@ -145,6 +188,10 @@ class DataflowEngine:
     @property
     def workers(self) -> int:
         return self._workers
+
+    @property
+    def parallel_backend(self) -> str:
+        return self._backend
 
     @property
     def index(self) -> GraphIndex | None:
@@ -187,10 +234,24 @@ class DataflowEngine:
         stats = _ChainStats()
 
         start = time.perf_counter()
-        frontier = self._run_chain(chain, stats)
-        interval_seconds = time.perf_counter() - start
-
-        table = self._build_table(chain, frontier, compiled.variables)
+        seeds, rest = self._initial_frontier(chain)
+        if self._process_engages(seeds):
+            mode = self._output_mode(chain)
+            data, frontier_rows, chain_seconds = self._process_run(
+                rest, seeds, compiled.variables, mode, stats
+            )
+            if mode == "families":
+                table: TypingUnion[BindingTable, IntervalBindingTable] = (
+                    IntervalBindingTable(compiled.variables, data)
+                )
+            else:
+                table = BindingTable.build(compiled.variables, data)
+            interval_seconds = chain_seconds
+        else:
+            frontier = self._run_chain_chunks(seeds, rest, stats)
+            interval_seconds = time.perf_counter() - start
+            table = self._build_table(chain, frontier, compiled.variables)
+            frontier_rows = len(frontier)
         if expand_output:
             _ = table.rows
         total_seconds = time.perf_counter() - start
@@ -199,7 +260,7 @@ class DataflowEngine:
             interval_seconds=interval_seconds,
             total_seconds=total_seconds,
             output_size=len(table),
-            frontier_rows=len(frontier),
+            frontier_rows=frontier_rows,
             rows_merged=stats.rows_merged,
         )
 
@@ -233,29 +294,57 @@ class DataflowEngine:
                     "interval (coalesced) output is only defined for queries "
                     "without temporal navigation"
                 )
-            merged: dict[tuple, IntervalSetAccumulator] = {}
-            for row in self._run_chain(chain, stats):
-                positions = row.variable_positions()
-                bindings = tuple(
-                    (variable, positions[variable][1])
-                    for variable in compiled.variables
+        else:
+            spread = bind_group_indices(chain)
+            if spread is not None and len(spread) > 1:
+                raise EvaluationError(
+                    "interval (coalesced) output is only defined when every "
+                    "variable is bound within a single temporal group"
                 )
-                accumulator = merged.get(bindings)
-                if accumulator is None:
-                    accumulator = merged[bindings] = IntervalSetAccumulator()
-                accumulator.add(row.last.times)
-            return [
-                (bindings, accumulator.build())
-                for bindings, accumulator in merged.items()
-            ]
-        spread = bind_group_indices(chain)
-        if spread is not None and len(spread) > 1:
-            raise EvaluationError(
-                "interval (coalesced) output is only defined when every variable "
-                "is bound within a single temporal group"
+        seeds, rest = self._initial_frontier(chain)
+        if self._process_engages(seeds):
+            families, _rows, _seconds = self._process_run(
+                rest, seeds, compiled.variables, "families", stats
             )
-        frontier = self._run_chain(chain, stats)
+            return families
+        frontier = self._run_chain_chunks(seeds, rest, stats)
+        if not self._use_coalesced:
+            return legacy_families(frontier, compiled.variables)
         return self._materializer.families(frontier, compiled.variables)
+
+    def explain(self, query: TypingUnion[str, MatchQuery, CompiledMatch]) -> dict:
+        """The execution plan a :meth:`match` call would use, without running it.
+
+        Returns a dictionary with the configured and effective backend
+        (``"sequential"`` when the frontier is too small to engage any
+        worker pool), the output mode (``families`` = interval-native,
+        ``points``), and the degree-weighted chunk plan the partitioner
+        would produce.  ``repro query … --explain`` prints this.
+        """
+        compiled = query if isinstance(query, CompiledMatch) else compile_match(query)
+        chain = self._compile(compiled)
+        seeds, rest = self._initial_frontier(chain)
+        engages = self._engages(seeds)
+        if engages:
+            chunks = weighted_chunks(seeds, self._workers, self._seed_weight)
+        else:
+            chunks = [seeds]
+        return {
+            "backend": self._backend,
+            "effective_backend": self._backend if engages else "sequential",
+            "workers": self._workers,
+            "start_method": self._start_method,
+            "seed_rows": len(seeds),
+            "chain_steps": len(rest),
+            "output_mode": self._output_mode(chain),
+            "chunks": [
+                {
+                    "seeds": len(chunk),
+                    "weight": chunk_weight(chunk, self._seed_weight),
+                }
+                for chunk in chunks
+            ],
+        }
 
     # ------------------------------------------------------------------ #
     # Chain compilation
@@ -303,9 +392,16 @@ class DataflowEngine:
 
     def _run_chain(self, chain: tuple[ChainStep, ...], stats: _ChainStats) -> list[Row]:
         seeds, chain = self._initial_frontier(chain)
-        if self._workers == 1 or len(seeds) < 2 * self._workers:
+        return self._run_chain_chunks(seeds, chain, stats)
+
+    def _run_chain_chunks(
+        self, seeds: list[Row], chain: tuple[ChainStep, ...], stats: _ChainStats
+    ) -> list[Row]:
+        if not self._engages(seeds):
             return self._run_chain_on(seeds, chain, stats)
-        chunks = _split(seeds, self._workers)
+        # Degree-weighted chunks (shared with the process backend): a
+        # count-based split lets one hub-heavy chunk straggle.
+        chunks = weighted_chunks(seeds, self._workers, self._seed_weight)
         chunk_stats = [_ChainStats() for _ in chunks]
         with ThreadPoolExecutor(max_workers=self._workers) as pool:
             futures = [
@@ -328,6 +424,76 @@ class DataflowEngine:
                 combined.add(row)
         stats.rows_merged += combined.rows_merged
         return combined.rows()
+
+    def _engages(self, seeds: list[Row]) -> bool:
+        """Whether any worker pool engages for this seed frontier.
+
+        The single engagement predicate shared by the thread path, the
+        process dispatch and :meth:`explain` — small frontiers always
+        run sequentially, where per-chunk overhead would dominate.
+        """
+        return self._workers > 1 and len(seeds) >= 2 * self._workers
+
+    # ------------------------------------------------------------------ #
+    # Process backend (repro.parallel)
+    # ------------------------------------------------------------------ #
+    def _process_engages(self, seeds: list[Row]) -> bool:
+        """Whether this query dispatches to the worker-process pool.
+
+        Small frontiers fall back to the sequential/thread path: the
+        per-task pickling cost would dominate any win, which is exactly
+        the regime where the GIL-bound backends are already fine.
+        """
+        return self._backend == "process" and self._engages(seeds)
+
+    def _process_run(
+        self,
+        chain: tuple[ChainStep, ...],
+        seeds: list[Row],
+        variables: tuple[str, ...],
+        mode: str,
+        stats: _ChainStats,
+    ) -> tuple[list, int, float]:
+        """Chunked Steps 1–3 in worker processes, one coalescing merge here.
+
+        Returns ``(data, frontier_rows, chain_seconds)`` where ``data``
+        is a merged family list (``mode="families"``) or point tuples
+        (``mode="points"``) and ``chain_seconds`` is the longest
+        per-worker Steps-1–2 time (the parallel critical path).
+        """
+        from repro.parallel.merge import merge_family_chunks, merge_point_chunks
+        from repro.parallel.plan import pack_seeds, plan_for
+        from repro.parallel.pool import shared_pool
+
+        plan = plan_for(self._graph, self._index is not None, self._use_coalesced)
+        pool = shared_pool(self._workers, self._start_method)
+        chunks = weighted_chunks(seeds, self._workers, self._seed_weight)
+        packed = [pack_seeds(chunk) for chunk in chunks]
+        results = pool.run_chunks(plan, chain, packed, mode, variables)
+        stats.rows_merged += sum(result["rows_merged"] for result in results)
+        frontier_rows = sum(result["frontier_rows"] for result in results)
+        chain_seconds = max(result["chain_seconds"] for result in results)
+        if mode == "families":
+            data: list = merge_family_chunks([result["data"] for result in results])
+        else:
+            data = merge_point_chunks([result["data"] for result in results])
+        return data, frontier_rows, chain_seconds
+
+    def _seed_weight(self, row: Row) -> int:
+        """Chunking weight of one seed row (indexed out-degree when available)."""
+        obj = row.last.current
+        index = self._index
+        if index is not None:
+            return index.seed_weight(obj)
+        graph = self._graph
+        if graph.is_node(obj):
+            return 1 + len(graph.out_edges(obj))
+        return 2
+
+    @staticmethod
+    def _row_cost(row: Row) -> int:
+        """Chunking weight of one surviving row during materialization."""
+        return 1 + sum(group.times.total_points() for group in row.groups)
 
     def _initial_frontier(
         self, chain: tuple[ChainStep, ...]
@@ -570,18 +736,26 @@ class DataflowEngine:
         other shapes (legacy mode, group-spanning or branch-dependent
         binds) take the point-row path.
         """
-        if self._use_coalesced:
-            spread = bind_group_indices(chain)
-            if spread is not None and len(spread) <= 1:
-                families = self._materializer.families(frontier, variables)
-                return IntervalBindingTable(variables, families)
+        if self._output_mode(chain) == "families":
+            families = self._materializer.families(frontier, variables)
+            return IntervalBindingTable(variables, families)
         rows = self._materialize(frontier, variables)
         return BindingTable.build(variables, rows)
 
+    def _output_mode(self, chain: tuple[ChainStep, ...]) -> str:
+        """``"families"`` when the output can stay interval-native, else ``"points"``."""
+        if self._use_coalesced:
+            spread = bind_group_indices(chain)
+            if spread is not None and len(spread) <= 1:
+                return "families"
+        return "points"
+
     def _materialize(self, frontier: list[Row], variables: tuple[str, ...]) -> list[tuple]:
-        if self._workers == 1 or len(frontier) < 2 * self._workers:
+        if not self._engages(frontier):
             return self._materialize_rows(frontier, variables)
-        chunks = _split(frontier, self._workers)
+        # Same weighted partitioner as the chain run; here the cost
+        # proxy is the rows' covered time points (expansion work).
+        chunks = weighted_chunks(frontier, self._workers, self._row_cost)
         out: list[tuple] = []
         with ThreadPoolExecutor(max_workers=self._workers) as pool:
             futures = [
@@ -617,6 +791,33 @@ class DataflowEngine:
 # ------------------------------------------------------------------ #
 # Helpers
 # ------------------------------------------------------------------ #
+def legacy_families(
+    rows: Iterable[Row], variables: tuple[str, ...]
+) -> list[IntervalFamily]:
+    """Canonical ``(bindings, times)`` families of a legacy row frontier.
+
+    The seed engine's interval output (no temporal navigation, so every
+    row is single-group): rows reaching the same bindings through
+    different paths merge into one coalesced entry.  Shared between
+    :meth:`DataflowEngine.match_intervals` in legacy mode and the
+    process-backend workers running a legacy-configured plan.
+    """
+    merged: dict[tuple, IntervalSetAccumulator] = {}
+    for row in rows:
+        positions = row.variable_positions()
+        missing = [v for v in variables if v not in positions]
+        if missing:
+            raise EvaluationError(f"variables {missing} were never bound")
+        bindings = tuple((variable, positions[variable][1]) for variable in variables)
+        accumulator = merged.get(bindings)
+        if accumulator is None:
+            accumulator = merged[bindings] = IntervalSetAccumulator()
+        accumulator.add(row.last.times)
+    return [
+        (bindings, accumulator.build()) for bindings, accumulator in merged.items()
+    ]
+
+
 def _requires_node(condition: Test) -> bool:
     """True if the condition conjunctively requires the object to be a node."""
     if isinstance(condition, NodeTest):
@@ -627,7 +828,13 @@ def _requires_node(condition: Test) -> bool:
 
 
 def _split(items: list, parts: int) -> list[list]:
-    """Split a list into at most ``parts`` contiguous chunks of similar size."""
+    """Split a list into at most ``parts`` contiguous chunks of similar size.
+
+    The seed count-based splitter.  The hot paths now use the
+    degree-weighted :func:`repro.parallel.partition.weighted_chunks`
+    (count slicing lets one hub-heavy chunk straggle); this stays as the
+    reference implementation its unit tests pin.
+    """
     if parts <= 1 or len(items) <= 1:
         return [items]
     size = (len(items) + parts - 1) // parts

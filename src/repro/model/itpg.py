@@ -314,6 +314,23 @@ class IntervalTPG:
     # ------------------------------------------------------------------ #
     # Dunder plumbing
     # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        """Pickle only the graph itself, never per-process caches.
+
+        The perf layer memoizes derived structures on the graph instance
+        under ``_repro_``-prefixed attributes (the compiled
+        :class:`~repro.perf.graph_index.GraphIndex`, parallel execution
+        plans).  Those caches are process-local — the process backend
+        ships graphs to worker processes exactly so each worker can
+        rebuild and memoize its own index — so they are stripped here
+        rather than serialized along.
+        """
+        return {
+            key: value
+            for key, value in self.__dict__.items()
+            if not key.startswith("_repro_")
+        }
+
     def __repr__(self) -> str:
         return (
             f"IntervalTPG(domain={self._domain}, nodes={self.num_nodes()}, "

@@ -1,0 +1,51 @@
+"""Process-parallel frontier execution (the paper's Fig.-3 parallelism).
+
+The dataflow engine's thread backend is output-invariant but GIL-bound;
+this package supplies the backend that scales with cores:
+
+* :mod:`repro.parallel.partition` — the degree-weighted chunk
+  partitioner shared by the thread and process backends;
+* :mod:`repro.parallel.plan` — picklable execution plans: a stable
+  per-graph token plus the serialized graph payload, shipped to each
+  worker at most once;
+* :mod:`repro.parallel.pool` — persistent worker-process pools, the
+  graph installation protocol, and the worker-side chunk runner;
+* :mod:`repro.parallel.merge` — the single parent-side coalescing merge
+  of per-chunk partial results.
+
+Select it with ``DataflowEngine(graph, workers=N,
+parallel_backend="process")`` or ``repro query … --workers N --backend
+process``.
+"""
+
+from repro.parallel.partition import chunk_weight, weighted_chunks
+from repro.parallel.plan import (
+    ExecutionPlan,
+    graph_token,
+    pack_seeds,
+    plan_for,
+    unpack_seeds,
+)
+from repro.parallel.merge import merge_family_chunks, merge_point_chunks
+from repro.parallel.pool import (
+    PlanNotInstalledError,
+    WorkerPool,
+    shared_pool,
+    shutdown_pools,
+)
+
+__all__ = [
+    "ExecutionPlan",
+    "PlanNotInstalledError",
+    "WorkerPool",
+    "chunk_weight",
+    "graph_token",
+    "merge_family_chunks",
+    "merge_point_chunks",
+    "pack_seeds",
+    "plan_for",
+    "shared_pool",
+    "shutdown_pools",
+    "unpack_seeds",
+    "weighted_chunks",
+]

@@ -1,0 +1,140 @@
+"""Picklable execution plans for the process-parallel backend.
+
+A worker process cannot share the parent's :class:`IntervalTPG` or its
+compiled :class:`~repro.perf.graph_index.GraphIndex`; it has to rebuild
+both from bytes.  The expensive part — the graph payload — therefore
+ships **once** per ``(graph, worker)`` pair and is cached worker-side by
+a stable *token*: an :class:`ExecutionPlan` pairs that token with the
+pickled graph (serialized lazily, exactly once per graph, and reused by
+every engine and query on it) and the engine configuration the workers
+must replicate (``use_index`` / ``use_coalesced``).
+
+Plans are memoized on the graph object itself (the same pattern as
+:func:`~repro.perf.graph_index.graph_index_for`), under a ``_repro_``
+attribute that :meth:`IntervalTPG.__getstate__` strips — payloads never
+nest payloads.
+
+The per-query parts of a dispatch (compiled chain, seed chunk) are small
+and travel with each task; seeds use the compact ``(object, endpoint
+pairs)`` form of :mod:`repro.eval.bindings` rather than pickled
+:class:`~repro.dataflow.frontier.Row` objects.
+"""
+
+from __future__ import annotations
+
+import pickle
+import uuid
+from typing import Hashable, Iterable, Sequence
+
+from repro.dataflow.frontier import Group, Row
+from repro.eval.bindings import pack_interval_set, unpack_interval_set
+from repro.model.itpg import IntervalTPG
+
+ObjectId = Hashable
+#: Wire form of one seed row: the anchored object plus its validity times.
+PackedSeed = tuple[ObjectId, tuple[tuple[int, int], ...]]
+
+_TOKEN_ATTR = "_repro_parallel_token"
+_PLANS_ATTR = "_repro_parallel_plans"
+
+
+class _PayloadCell:
+    """One per-graph slot for the serialized payload, shared by all plans."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: bytes | None = None
+
+
+class ExecutionPlan:
+    """What a worker needs to replicate the parent engine for one graph."""
+
+    __slots__ = ("token", "use_index", "use_coalesced", "_graph", "_cell")
+
+    def __init__(
+        self,
+        token: str,
+        graph: IntervalTPG,
+        use_index: bool,
+        use_coalesced: bool,
+        cell: _PayloadCell,
+    ) -> None:
+        self.token = token
+        self.use_index = use_index
+        self.use_coalesced = use_coalesced
+        self._graph = graph
+        self._cell = cell
+
+    @property
+    def payload(self) -> bytes:
+        """The pickled graph, serialized on first use and then reused.
+
+        The bytes live in a per-graph cell shared by every plan
+        (configuration) on the graph, so the graph is pickled at most
+        once no matter how many plans exist or in which order they
+        first need the payload.  ``IntervalTPG.__getstate__`` guarantees
+        the bytes contain the graph only — no cached index, no nested
+        plans.
+        """
+        if self._cell.value is None:
+            self._cell.value = pickle.dumps(
+                self._graph, protocol=pickle.HIGHEST_PROTOCOL
+            )
+        return self._cell.value
+
+    @property
+    def payload_bytes(self) -> int:
+        """Size of the serialized graph (the plan's one-time shipping cost)."""
+        return len(self.payload)
+
+
+def graph_token(graph: IntervalTPG) -> str:
+    """The stable parallel-execution identity of ``graph``.
+
+    Assigned on first use and stored on the graph, so the token's
+    lifetime is the graph's lifetime (``id()`` reuse after garbage
+    collection can never alias two graphs) and every engine sharing the
+    graph shares the token — which is what lets worker-side caches
+    answer repeat queries with zero re-transfer.
+    """
+    token = getattr(graph, _TOKEN_ATTR, None)
+    if token is None:
+        token = uuid.uuid4().hex
+        setattr(graph, _TOKEN_ATTR, token)
+    return token
+
+
+def plan_for(graph: IntervalTPG, use_index: bool, use_coalesced: bool) -> ExecutionPlan:
+    """The shared :class:`ExecutionPlan` for one graph + engine configuration."""
+    plans: dict[tuple[bool, bool] | str, object] | None = getattr(
+        graph, _PLANS_ATTR, None
+    )
+    if plans is None:
+        plans = {"cell": _PayloadCell()}
+        setattr(graph, _PLANS_ATTR, plans)
+    key = (use_index, use_coalesced)
+    plan = plans.get(key)
+    if plan is None:
+        plan = plans[key] = ExecutionPlan(
+            graph_token(graph), graph, use_index, use_coalesced, plans["cell"]
+        )
+    return plan
+
+
+def pack_seeds(seeds: Iterable[Row]) -> list[PackedSeed]:
+    """Initial frontier rows in compact wire form.
+
+    Seeds are always single-group, binding-free rows (the shape
+    ``_initial_frontier`` produces), so the object and its validity
+    family reconstruct them exactly.
+    """
+    return [(row.last.current, pack_interval_set(row.last.times)) for row in seeds]
+
+
+def unpack_seeds(packed: Sequence[PackedSeed]) -> list[Row]:
+    """Inverse of :func:`pack_seeds`."""
+    return [
+        Row((Group((), obj, unpack_interval_set(endpoints)),), ())
+        for obj, endpoints in packed
+    ]

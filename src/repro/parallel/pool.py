@@ -1,0 +1,308 @@
+"""Persistent worker-process pools for frontier execution.
+
+CPython's GIL makes the thread backend a measurement device rather than
+a speedup (`bench_fig3_parallelism.py`); this module is the path that
+actually scales with cores.  A :class:`WorkerPool` wraps a
+``ProcessPoolExecutor`` plus the *graph installation protocol*:
+
+* Each task names its graph by the execution plan's stable token.  The
+  serialized graph payload is attached only while **no** worker has
+  acknowledged the token (the cold-start query); afterwards tasks carry
+  the token alone — repeated queries on the same graph pay **zero
+  re-transfer**, with late-spawning workers covered by the retry below.
+* A worker that receives a bare token it has not installed raises
+  :class:`PlanNotInstalledError`; the parent retries that one chunk with
+  the payload attached.  This makes the protocol self-healing without a
+  broadcast barrier.
+* Workers rebuild the graph **once per process**, memoize it (and the
+  :class:`~repro.perf.graph_index.GraphIndex` compiled from it, via
+  :func:`~repro.perf.graph_index.worker_index_for`) keyed by token, and
+  then run ordinary chunk-level chain execution + interval
+  materialization, returning compact packed families or point tuples.
+
+Pools are shared process-wide through :func:`shared_pool`, keyed by
+``(start method, worker count)``, so every engine and every query on
+the same machine reuses warm workers.  A crashed worker breaks the
+whole ``ProcessPoolExecutor``; the registry drops the broken pool and
+the failure surfaces as :class:`~repro.errors.EvaluationError`, so the
+next query transparently gets a fresh pool.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Optional, Sequence
+
+from repro.errors import EvaluationError, ReproError
+from repro.parallel.plan import ExecutionPlan, PackedSeed, unpack_seeds
+
+#: Worker-side cap on cached graphs: oldest-installed evicted first.
+_WORKER_GRAPH_LIMIT = 8
+
+
+class PlanNotInstalledError(ReproError):
+    """A worker received a bare graph token it has no cached graph for."""
+
+
+class WorkerPool:
+    """A persistent process pool speaking the graph installation protocol."""
+
+    def __init__(self, workers: int, start_method: Optional[str] = None) -> None:
+        context = (
+            multiprocessing.get_context(start_method)
+            if start_method is not None
+            else multiprocessing.get_context()
+        )
+        self.start_method = context.get_start_method()
+        self.workers = workers
+        self._executor = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+        #: token -> worker pids that have acknowledged the graph.
+        self._warm: dict[str, set[int]] = {}
+        self.broken = False
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def run_chunks(
+        self,
+        plan: ExecutionPlan,
+        chain: tuple,
+        chunks: Sequence[Sequence[PackedSeed]],
+        mode: str,
+        variables: tuple[str, ...],
+    ) -> list[dict]:
+        """Execute seed chunks in the pool, returning per-chunk result dicts.
+
+        Results come back in chunk order.  Worker-raised exceptions
+        propagate unchanged after all chunks have drained; a crashed
+        worker process surfaces as :class:`EvaluationError` and retires
+        the pool from the shared registry.
+        """
+        try:
+            return self._dispatch(plan, chain, chunks, mode, variables)
+        except BrokenProcessPool as exc:
+            self.broken = True
+            _discard_pool(self)
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            raise EvaluationError(
+                "a process-backend worker crashed while executing the query "
+                f"(pool of {self.workers} '{self.start_method}' workers); "
+                "the pool has been retired — re-running the query will start "
+                "a fresh one"
+            ) from exc
+
+    def _dispatch(
+        self,
+        plan: ExecutionPlan,
+        chain: tuple,
+        chunks: Sequence[Sequence[PackedSeed]],
+        mode: str,
+        variables: tuple[str, ...],
+    ) -> list[dict]:
+        token = plan.token
+        # Attach the payload only while *no* worker has acknowledged the
+        # graph (the cold-start query).  Afterwards tasks ship the bare
+        # token: a not-yet-warm worker picking one up triggers the
+        # self-healing resend below, which converges without ever
+        # re-shipping the payload to the whole pool per query.
+        payload = plan.payload if self._needs_payload(token) else None
+        futures = [
+            self._executor.submit(
+                _execute_chunk,
+                token,
+                payload,
+                plan.use_index,
+                plan.use_coalesced,
+                chain,
+                chunk,
+                mode,
+                variables,
+            )
+            for chunk in chunks
+        ]
+        results: list[Optional[dict]] = [None] * len(chunks)
+        retries: list[int] = []
+        errors: list[Exception] = []
+        for i, future in enumerate(futures):
+            try:
+                results[i] = future.result()
+            except PlanNotInstalledError:
+                retries.append(i)
+            except BrokenProcessPool:
+                raise
+            except Exception as exc:  # worker-raised: drain siblings, then re-raise
+                errors.append(exc)
+        if errors:
+            raise errors[0]
+        if retries:
+            # Self-healing resend: the payload travels with every retry,
+            # so a second PlanNotInstalledError is impossible.  All
+            # retries are submitted before any is awaited — the retry
+            # round stays parallel.
+            retry_futures = [
+                self._executor.submit(
+                    _execute_chunk,
+                    token,
+                    plan.payload,
+                    plan.use_index,
+                    plan.use_coalesced,
+                    chain,
+                    chunks[i],
+                    mode,
+                    variables,
+                )
+                for i in retries
+            ]
+            for i, future in zip(retries, retry_futures):
+                results[i] = future.result()
+        warm = self._warm.setdefault(token, set())
+        for result in results:
+            warm.add(result["pid"])
+        return results
+
+    def _needs_payload(self, token: str) -> bool:
+        return not self._warm.get(token)
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+
+# --------------------------------------------------------------------- #
+# Shared pool registry
+# --------------------------------------------------------------------- #
+_POOLS: dict[tuple[str, int], WorkerPool] = {}
+
+
+def shared_pool(workers: int, start_method: Optional[str] = None) -> WorkerPool:
+    """The process-wide pool for ``(start method, workers)``, created lazily."""
+    method = start_method or multiprocessing.get_start_method()
+    if method not in multiprocessing.get_all_start_methods():
+        raise ValueError(
+            f"unknown multiprocessing start method {method!r}; "
+            f"available: {', '.join(multiprocessing.get_all_start_methods())}"
+        )
+    key = (method, workers)
+    pool = _POOLS.get(key)
+    if pool is None or pool.broken:
+        pool = _POOLS[key] = WorkerPool(workers, method)
+    return pool
+
+
+def _discard_pool(pool: WorkerPool) -> None:
+    for key, candidate in list(_POOLS.items()):
+        if candidate is pool:
+            del _POOLS[key]
+
+
+def shutdown_pools() -> None:
+    """Retire every shared pool (used by tests and the atexit hook)."""
+    for pool in list(_POOLS.values()):
+        pool.close()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)
+
+
+# --------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------- #
+#: token -> rebuilt graph, insertion-ordered for LRU-ish eviction.
+_WORKER_GRAPHS: dict[str, object] = {}
+#: (token, use_index, use_coalesced) -> ready DataflowEngine.
+_WORKER_ENGINES: dict[tuple[str, bool, bool], object] = {}
+
+
+def _worker_engine(
+    token: str, payload: Optional[bytes], use_index: bool, use_coalesced: bool
+):
+    """The memoized worker-side engine for one graph + configuration."""
+    key = (token, use_index, use_coalesced)
+    engine = _WORKER_ENGINES.get(key)
+    if engine is not None:
+        return engine
+    import pickle
+
+    from repro.dataflow.executor import DataflowEngine
+    from repro.perf.graph_index import worker_index_for
+
+    graph = _WORKER_GRAPHS.get(token)
+    if graph is None:
+        if payload is None:
+            raise PlanNotInstalledError(
+                f"worker {os.getpid()} has no cached graph for token {token!r}"
+            )
+        graph = pickle.loads(payload)
+        _WORKER_GRAPHS[token] = graph
+        while len(_WORKER_GRAPHS) > _WORKER_GRAPH_LIMIT:
+            evicted = next(iter(_WORKER_GRAPHS))
+            del _WORKER_GRAPHS[evicted]
+            for engine_key in [k for k in _WORKER_ENGINES if k[0] == evicted]:
+                del _WORKER_ENGINES[engine_key]
+            from repro.perf.graph_index import _WORKER_INDEXES
+
+            _WORKER_INDEXES.pop(evicted, None)
+    if use_index:
+        # Compile (or reuse) the worker's own index before the engine
+        # asks for it, keeping the token registry authoritative.
+        worker_index_for(token, graph)
+    engine = DataflowEngine(
+        graph, workers=1, use_index=use_index, use_coalesced=use_coalesced
+    )
+    _WORKER_ENGINES[key] = engine
+    return engine
+
+
+def _run_chunk(
+    token: str,
+    payload: Optional[bytes],
+    use_index: bool,
+    use_coalesced: bool,
+    chain: tuple,
+    packed_seeds: Sequence[PackedSeed],
+    mode: str,
+    variables: tuple[str, ...],
+) -> dict:
+    """Chunk-level Steps 1–3: run the chain, then materialize in-worker."""
+    from repro.dataflow.executor import _ChainStats, legacy_families
+    from repro.eval.bindings import pack_families
+
+    engine = _worker_engine(token, payload, use_index, use_coalesced)
+    seeds = unpack_seeds(packed_seeds)
+    stats = _ChainStats()
+    start = time.perf_counter()
+    frontier = engine._run_chain_on(seeds, chain, stats)
+    chain_seconds = time.perf_counter() - start
+    if mode == "families":
+        if use_coalesced:
+            families = engine._materializer.families(frontier, variables)
+        else:
+            families = legacy_families(frontier, variables)
+        data = pack_families(families)
+    elif mode == "points":
+        data = engine._materialize_rows(frontier, variables)
+    else:
+        raise EvaluationError(f"unknown process-backend output mode {mode!r}")
+    return {
+        "pid": os.getpid(),
+        "data": data,
+        "frontier_rows": len(frontier),
+        "rows_merged": stats.rows_merged,
+        "chain_seconds": chain_seconds,
+        "total_seconds": time.perf_counter() - start,
+    }
+
+
+#: Fork-visible indirection: tests monkeypatch this to inject worker
+#: faults (the submitted ``_execute_chunk`` pickles by name, so a
+#: patched module global survives into fork-started children).
+_chunk_runner = _run_chunk
+
+
+def _execute_chunk(*args) -> dict:
+    return _chunk_runner(*args)

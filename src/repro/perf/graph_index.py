@@ -350,6 +350,23 @@ class GraphIndex:
             (target, accumulator.build()) for target, accumulator in merged.items()
         )
 
+    # ------------------------------------------------------------------ #
+    # Seed cost model (parallel chunking)
+    # ------------------------------------------------------------------ #
+    def seed_weight(self, obj: ObjectId) -> int:
+        """Estimated chain-execution cost of a frontier seeded at ``obj``.
+
+        The first structural step fans a node out to its adjacent edges,
+        so a seed's work is roughly proportional to its out-degree;
+        edges step to a single endpoint.  The weighted partitioner uses
+        this to stop one hub-heavy chunk from straggling behind the
+        rest — the imbalance a count-based split cannot see.
+        """
+        edges = self.out_adjacency.get(obj)
+        if edges is None:
+            return 2
+        return 1 + len(edges)
+
     def _candidates(self, condition: Test) -> Optional[frozenset[ObjectId]]:
         """Objects that can possibly satisfy the condition, or ``None`` for all.
 
@@ -422,4 +439,29 @@ def graph_index_for(graph: TemporalGraph) -> GraphIndex:
     itpg = tpg_to_itpg(graph) if isinstance(graph, TemporalPropertyGraph) else graph
     index = GraphIndex(itpg)
     setattr(graph, _CACHE_ATTR, index)
+    return index
+
+
+# --------------------------------------------------------------------- #
+# Worker-side index registry (process-parallel backend)
+# --------------------------------------------------------------------- #
+#: Per-process registry keyed by execution-plan token.  Worker processes
+#: receive a graph payload at most once per (graph, pid); every index
+#: built from it is memoized here so repeated queries on the same graph
+#: reuse the compiled structures and their accumulated condition tables.
+_WORKER_INDEXES: dict[str, GraphIndex] = {}
+
+
+def worker_index_for(token: str, graph: IntervalTPG) -> GraphIndex:
+    """Build (once per process) the :class:`GraphIndex` of a shipped graph.
+
+    ``token`` is the execution plan's stable graph identity — unlike
+    ``id(graph)`` it survives pickling, so a worker that receives the
+    same graph through different tasks still compiles exactly one
+    index.  Delegates to :func:`graph_index_for`, keeping the on-graph
+    attribute cache coherent with the token registry.
+    """
+    index = _WORKER_INDEXES.get(token)
+    if index is None:
+        index = _WORKER_INDEXES[token] = graph_index_for(graph)
     return index

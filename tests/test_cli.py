@@ -93,6 +93,46 @@ class TestQuery:
         assert main(["query", "Q2", "--graph", str(path), "--limit", "5"]) == 0
         assert "x_time" in capsys.readouterr().out
 
+    def test_query_process_backend_matches_thread(self, tmp_path, capsys):
+        path = tmp_path / "campus.json"
+        main(
+            ["generate", "--persons", "20", "--locations", "10", "--rooms", "3",
+             "--windows", "16", "--positivity", "0.2", "-o", str(path)]
+        )
+        capsys.readouterr()
+        assert main(["query", "Q1", "--graph", str(path), "--limit", "0"]) == 0
+        thread_out = capsys.readouterr().out
+        assert (
+            main(
+                ["query", "Q1", "--graph", str(path), "--limit", "0",
+                 "--workers", "2", "--backend", "process"]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == thread_out
+
+    def test_query_explain_prints_plan(self, capsys):
+        assert main(["query", "Q1", "--explain", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "# plan: backend=thread" in out
+        assert "chunk" in out and "weight" in out
+
+    def test_query_workers_zero_resolves_to_cpu_count(self, capsys):
+        assert main(["query", "Q1", "--workers", "0", "--stats"]) == 0
+        assert "output size" in capsys.readouterr().out
+
+    def test_query_backend_rejects_unknown_value(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "Q1", "--backend", "rayon"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_query_backend_requires_dataflow_engine(self, capsys):
+        assert (
+            main(["query", "Q6", "--engine", "reference", "--backend", "process"])
+            == 2
+        )
+        assert "dataflow engine only" in capsys.readouterr().err
+
     def test_query_syntax_error_is_reported(self, capsys):
         assert main(["query", "MATCH (x"]) == 2
         assert "error" in capsys.readouterr().err

@@ -1,17 +1,23 @@
-"""Worker-thread partitioning must be invisible in every output representation.
+"""Worker partitioning must be invisible in every output representation.
 
-The dataflow engine can split the seed frontier across a thread pool
-(``workers > 1``) and, under the coalesced frontier, signature-equal rows
-may land in different chunks.  The chunked run must re-merge them into a
-canonically coalesced frontier — no duplicate binding signatures, every
-interval family coalesced — and every public output (``match``,
-``match_with_stats``, ``match_intervals``) must be identical to the
-``workers=1`` run.  These are the invariants this module pins
-(the ``executor._run_chain`` / ``executor._materialize`` seams named in
-the PR-3 audit).
+The dataflow engine can split the seed frontier across a thread pool or
+a worker-process pool (``workers > 1``) and, under the coalesced
+frontier, signature-equal rows may land in different chunks.  The
+chunked run must re-merge them into a canonically coalesced result — no
+duplicate binding signatures, every interval family coalesced — and
+every public output (``match``, ``match_with_stats``,
+``match_intervals``) must be identical to the ``workers=1`` run.  These
+are the invariants this module pins (the ``executor._run_chain`` /
+``executor._materialize`` seams named in the PR-3 audit, extended in
+PR 4 with the ``repro.parallel`` process backend: output identity
+across start methods and engine configurations, the degree-weighted
+partitioner, and worker-crash error propagation).
 """
 
 from __future__ import annotations
+
+import multiprocessing
+import os
 
 import pytest
 
@@ -23,8 +29,12 @@ from repro.datagen import (
 from repro.datagen.random_graphs import random_itpg, random_match_query
 from repro.dataflow import DataflowEngine, PAPER_QUERIES, row_signature
 from repro.dataflow.executor import _ChainStats, _split
-from repro.errors import EvaluationError
+from repro.errors import EvaluationError, ReproError
+from repro.eval import ReferenceEngine
 from repro.lang.translate import compile_match
+from repro.parallel import plan_for, weighted_chunks
+from repro.parallel import pool as pool_module
+from repro.parallel.pool import shared_pool, shutdown_pools
 from repro.temporal.coalesce import is_coalesced
 
 
@@ -119,3 +129,235 @@ class TestChunkedFrontierInvariants:
             assert canonical_families(sequential, query) == canonical_families(
                 parallel, query
             ), f"workers family output diverged on random seed {seed}"
+
+
+class TestWeightedChunks:
+    """The degree-weighted partitioner both backends share."""
+
+    def test_covers_all_items_within_bounds(self):
+        items = list(range(11))
+        chunks = weighted_chunks(items, 4, weight=lambda x: 1 + x)
+        assert sorted(x for chunk in chunks for x in chunk) == items
+        assert len(chunks) <= 4
+        assert all(chunks)
+
+    def test_single_part_is_identity(self):
+        items = list(range(5))
+        assert weighted_chunks(items, 1, weight=lambda x: x + 1) == [items]
+
+    def test_unit_weights_balance_counts(self):
+        chunks = weighted_chunks(list(range(10)), 3)
+        assert sorted(len(chunk) for chunk in chunks) == [3, 3, 4]
+
+    def test_hub_heavy_weights_balance_load(self):
+        # One hub of weight 100 among 15 unit items: a count-based split
+        # into 4 chunks puts the hub plus 3 units in one chunk (load
+        # 103 vs 4); LPT isolates the hub and spreads the rest.
+        weights = {0: 100}
+        items = list(range(16))
+        chunks = weighted_chunks(items, 4, weight=lambda x: weights.get(x, 1))
+        loads = sorted(
+            sum(weights.get(x, 1) for x in chunk) for chunk in chunks
+        )
+        assert loads == [5, 5, 5, 100]
+
+    def test_deterministic_and_order_preserving(self):
+        items = list(range(20))
+        first = weighted_chunks(items, 3, weight=lambda x: (x * 7) % 5 + 1)
+        second = weighted_chunks(items, 3, weight=lambda x: (x * 7) % 5 + 1)
+        assert first == second
+        for chunk in first:
+            assert chunk == sorted(chunk)
+
+
+@pytest.fixture
+def fresh_pools():
+    """Isolate tests that poison the shared pool registry (fault injection)."""
+    shutdown_pools()
+    yield
+    shutdown_pools()
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class TestProcessBackend:
+    """`repro.parallel`: process partitioning must be invisible too."""
+
+    #: The dataflow configurations of the differential fuzz oracle (its
+    #: reference engines provide the ground truth below).
+    DATAFLOW_CONFIGS = {
+        "coalesced": {},
+        "legacy-rows": {"use_coalesced": False},
+        "coalesced-noindex": {"use_index": False},
+    }
+
+    def test_process_backend_output_identity_all_queries(self, contact_graph):
+        sequential = DataflowEngine(contact_graph)
+        process = DataflowEngine(contact_graph, workers=2, parallel_backend="process")
+        for name, query in PAPER_QUERIES.items():
+            seq_result = sequential.match_with_stats(query.text)
+            par_result = process.match_with_stats(query.text)
+            assert seq_result.output_size == par_result.output_size, name
+            assert seq_result.table.as_set() == par_result.table.as_set(), name
+            assert canonical_families(sequential, query.text) == canonical_families(
+                process, query.text
+            ), name
+
+    @pytest.mark.parametrize("config", sorted(DATAFLOW_CONFIGS))
+    def test_process_backend_agrees_with_fuzz_oracle_engines(self, config):
+        """Every dataflow config × process backend vs the oracle ground truth."""
+        kwargs = self.DATAFLOW_CONFIGS[config]
+        for seed in (0, 3, 7):
+            graph = random_itpg(seed, num_nodes=14, num_edges=24, num_windows=10)
+            query = random_match_query(seed * 31 + 7)
+            reference = ReferenceEngine(graph).match(query).as_set()
+            assert (
+                ReferenceEngine(graph, use_intervals=True).match(query).as_set()
+                == reference
+            )
+            sequential = DataflowEngine(graph, **kwargs)
+            process = DataflowEngine(
+                graph, workers=2, parallel_backend="process", **kwargs
+            )
+            assert process.match(query).as_set() == reference, (config, seed)
+            assert canonical_families(sequential, query) == canonical_families(
+                process, query
+            ), (config, seed)
+
+    @pytest.mark.parametrize(
+        "start_method",
+        [
+            pytest.param(
+                "fork",
+                marks=pytest.mark.skipif(
+                    not _fork_available(), reason="fork not available"
+                ),
+            ),
+            "spawn",
+        ],
+    )
+    def test_process_backend_start_methods(self, contact_graph, start_method):
+        sequential = DataflowEngine(contact_graph)
+        process = DataflowEngine(
+            contact_graph,
+            workers=2,
+            parallel_backend="process",
+            start_method=start_method,
+        )
+        for name in ("Q1", "Q5", "Q11"):
+            query = PAPER_QUERIES[name].text
+            assert (
+                sequential.match(query).as_set() == process.match(query).as_set()
+            ), (start_method, name)
+            assert canonical_families(sequential, query) == canonical_families(
+                process, query
+            ), (start_method, name)
+
+    def test_plan_payload_is_shared_and_cached(self, contact_graph):
+        engine = DataflowEngine(contact_graph, workers=2, parallel_backend="process")
+        other = DataflowEngine(contact_graph, workers=2, parallel_backend="process")
+        plan = plan_for(engine.graph, True, True)
+        assert plan_for(other.graph, True, True) is plan
+        payload = plan.payload
+        assert plan.payload is payload  # serialized once, then reused
+        # Every configuration on the same graph shares the one payload.
+        assert plan_for(engine.graph, True, False).payload is payload
+        assert plan_for(engine.graph, False, True).payload is payload
+        engine.match(PAPER_QUERIES["Q1"].text)
+        pool = shared_pool(2)
+        assert plan.token in pool._warm and pool._warm[plan.token]
+
+    def test_small_frontier_falls_back_to_sequential(self, contact_graph):
+        engine = DataflowEngine(
+            contact_graph, workers=64, parallel_backend="process"
+        )
+        plan = engine.explain(PAPER_QUERIES["Q9"].text)
+        assert plan["backend"] == "process"
+        assert plan["effective_backend"] == "sequential"
+        assert len(plan["chunks"]) == 1
+
+    def test_explain_reports_weighted_chunk_plan(self, contact_graph):
+        engine = DataflowEngine(contact_graph, workers=2, parallel_backend="process")
+        plan = engine.explain(PAPER_QUERIES["Q1"].text)
+        assert plan["effective_backend"] == "process"
+        assert plan["output_mode"] == "families"
+        assert sum(chunk["seeds"] for chunk in plan["chunks"]) == plan["seed_rows"]
+        weights = [chunk["weight"] for chunk in plan["chunks"]]
+        assert len(weights) > 1
+        # Balance with teeth: no chunk may hold the whole load, and the
+        # heaviest chunk can exceed the lightest by at most one seed's
+        # weight (the LPT guarantee when no single seed dominates).
+        assert max(weights) < sum(weights)
+        heaviest_seed = max(
+            engine._seed_weight(row)
+            for row in engine._initial_frontier(
+                engine._compile(compile_match(PAPER_QUERIES["Q1"].text))
+            )[0]
+        )
+        assert max(weights) - min(weights) <= heaviest_seed
+        assert all(chunk["seeds"] > 0 for chunk in plan["chunks"])
+
+    def test_workers_zero_means_cpu_count(self, contact_graph):
+        engine = DataflowEngine(contact_graph, workers=0)
+        assert engine.workers == (os.cpu_count() or 1)
+
+    def test_unknown_backend_rejected(self, contact_graph):
+        with pytest.raises(ValueError, match="unknown parallel backend"):
+            DataflowEngine(contact_graph, parallel_backend="rayon")
+
+    def test_unknown_start_method_rejected(self, contact_graph):
+        with pytest.raises(ValueError, match="unknown start method"):
+            DataflowEngine(
+                contact_graph, parallel_backend="process", start_method="warp"
+            )
+
+
+@pytest.mark.skipif(not _fork_available(), reason="fault injection relies on fork")
+class TestProcessBackendFaults:
+    """Worker failures must surface, and the next query must recover."""
+
+    def _engine(self, graph):
+        return DataflowEngine(
+            graph, workers=2, parallel_backend="process", start_method="fork"
+        )
+
+    def test_worker_exception_propagates(self, contact_graph, fresh_pools, monkeypatch):
+        def boom(*args):
+            raise RuntimeError("injected worker failure")
+
+        # ``_execute_chunk`` resolves the runner through a module global,
+        # so fork-started workers inherit the patched function.
+        monkeypatch.setattr(pool_module, "_chunk_runner", boom)
+        engine = self._engine(contact_graph)
+        with pytest.raises(RuntimeError, match="injected worker failure"):
+            engine.match(PAPER_QUERIES["Q1"].text)
+
+    def test_worker_crash_raises_evaluation_error_and_recovers(
+        self, contact_graph, fresh_pools, monkeypatch
+    ):
+        def crash(*args):
+            os._exit(17)
+
+        monkeypatch.setattr(pool_module, "_chunk_runner", crash)
+        engine = self._engine(contact_graph)
+        with pytest.raises(EvaluationError, match="worker crashed"):
+            engine.match(PAPER_QUERIES["Q1"].text)
+        # The broken pool was retired from the registry; with the fault
+        # removed, the same engine works again on a fresh pool.
+        monkeypatch.setattr(pool_module, "_chunk_runner", pool_module._run_chunk)
+        shutdown_pools()
+        sequential = DataflowEngine(contact_graph)
+        assert (
+            engine.match(PAPER_QUERIES["Q1"].text).as_set()
+            == sequential.match(PAPER_QUERIES["Q1"].text).as_set()
+        )
+
+    def test_crash_error_is_a_repro_error(self, contact_graph, fresh_pools, monkeypatch):
+        monkeypatch.setattr(
+            pool_module, "_chunk_runner", lambda *args: os._exit(3)
+        )
+        engine = self._engine(contact_graph)
+        with pytest.raises(ReproError):
+            engine.match(PAPER_QUERIES["Q1"].text)
