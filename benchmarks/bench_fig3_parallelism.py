@@ -50,6 +50,11 @@ from pathlib import Path
 _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+_BENCH_DIR = Path(__file__).resolve().parent
+if str(_BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(_BENCH_DIR))
+
+from ci_gate import speedup_gate_decision
 
 from repro.datagen import generate_contact_tracing_graph
 from repro.datagen.scale import SCALE_FACTORS, default_scale_name
@@ -181,40 +186,25 @@ def bench_scale(scale_name: str, positivity: float, rounds: int) -> dict:
 
 
 def check_against(baseline_path: Path, measured: dict, tolerance: float) -> int:
-    """Gate the process-backend focus median at ``GATE_WORKERS`` workers."""
+    """Gate the process-backend focus median at ``GATE_WORKERS`` workers.
+
+    The skip/engage rule (core minimum, missing baseline, core-count
+    mismatch) is the shared :func:`ci_gate.speedup_gate_decision` — the
+    single, unit-tested definition every core-sensitive gate uses.
+    """
     cores = os.cpu_count() or 1
-    if cores < 2:
-        print(
-            f"WARNING: only {cores} CPU core(s) visible — no parallel speedup is "
-            "physically possible, skipping the speedup gate (divergence checks "
-            "still apply)"
-        )
-        return 0
-    if not baseline_path.exists():
-        print(f"WARNING: baseline {baseline_path} not found; skipping check")
-        return 0
-    baseline = json.loads(baseline_path.read_text())
     scale = measured["scale"]
-    reference = baseline.get("results", {}).get(scale)
-    if reference is None:
-        print(
-            f"WARNING: baseline {baseline_path} has no {scale} section; "
-            "skipping regression check"
-        )
+    decision = speedup_gate_decision(
+        baseline_path,
+        scale,
+        cores,
+        min_cores=2,
+        harness=Path(__file__).name,
+    )
+    if not decision.engage:
+        print(f"WARNING: {decision.reason}")
         return 0
-    if reference.get("cpu_count") != cores:
-        # Speedup ratios are only comparable on like-for-like core
-        # counts: a 1-core baseline records pure dispatch overhead that
-        # a 4-core runner cannot be gated against (and vice versa).
-        print(
-            f"WARNING: baseline {baseline_path} was recorded on "
-            f"{reference.get('cpu_count', '?')} core(s) but this host has "
-            f"{cores}; speedup ratios are not comparable, skipping the gate "
-            "(divergence checks still apply). Regenerate the baseline on "
-            f"this host with: python {Path(__file__).name} --scale {scale} "
-            f"--out {baseline_path}"
-        )
-        return 0
+    reference = decision.reference
     expected = reference["focus_median_speedup"]["process"][str(GATE_WORKERS)]
     floor = expected * (1.0 - tolerance)
     got = measured["focus_median_speedup"]["process"][str(GATE_WORKERS)]

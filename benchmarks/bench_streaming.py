@@ -1,0 +1,289 @@
+"""Streaming evaluation: incremental vs full-recompute speedup (PR-5 harness).
+
+The `repro.streaming` subsystem keeps registered queries continuously
+answered while delta batches grow the graph, re-deriving only the seeds
+whose structural/temporal neighbourhood a batch dirties.  This harness
+measures what that buys over the from-scratch alternative on the
+contact-tracing stream (`repro.datagen.streaming`):
+
+* **incremental** — one `DataflowEngine(incremental=True)` session per
+  run: each batch is `apply_delta`-ed and every query's coalesced
+  families are re-read from the maintained cache;
+* **full recompute** — the same batch is applied to a shadow graph,
+  whose compiled index is then discarded so a fresh engine re-runs
+  Steps 1–3 from scratch for every query (what every engine in this
+  repository did before PR 5).
+
+Per batch the harness records both wall-clock times and their ratio;
+per batch size it reports the median/min speedup.  Every batch also
+cross-checks the incremental families against the cold engine's — any
+divergence makes the process exit non-zero (the same contract as the
+other harnesses).  The headline number is the median speedup at the
+smallest measured batch size ("small-batch" streams), which must stay
+above ``--min-speedup`` (default 2x).
+
+Measurements land in ``BENCH_PR5.json`` keyed by scale factor::
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py                # REPRO_SCALE or S4
+    PYTHONPATH=src python benchmarks/bench_streaming.py --smoke \\
+        --out bench_smoke_pr5.json --check-against BENCH_PR5.json \\
+        --tolerance 0.25                                               # CI gate
+
+With ``--check-against`` the run also fails if the small-batch median
+speedup falls more than ``--tolerance`` below the same-scale baseline.
+Unlike the parallelism gate this ratio is core-count independent (both
+sides run sequentially), so it engages on any host.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.datagen.scale import SCALE_FACTORS, default_scale_name
+from repro.datagen.streaming import contact_tracing_stream
+from repro.dataflow import DataflowEngine, PAPER_QUERIES
+from repro.streaming import apply_delta
+
+#: The streaming mix: the full-scan shapes a feed keeps re-asking, plus
+#: the join query whose answer drifts with every new meets edge.
+STREAM_QUERIES = ("Q1", "Q2", "Q5")
+#: Batch sizes (events per batch) swept per scale; the smallest one is
+#: the gated "small-batch" regime.
+BATCH_SIZES = (1, 4, 16)
+SMOKE_BATCH_SIZES = (1, 4)
+#: Upper bound on replayed batches per batch size (keeps big sweeps sane).
+MAX_BATCHES = 30
+
+
+def canonical(families) -> list:
+    return sorted(
+        ((bindings, tuple(times.intervals)) for bindings, times in families), key=repr
+    )
+
+
+def bench_batch_size(config, batch_size: int, max_batches: int) -> dict:
+    """Replay one stream twice: incrementally and with full recomputes."""
+    stream = contact_tracing_stream(config, batch_size=batch_size)
+    engine = DataflowEngine(stream.fresh_initial(), incremental=True)
+    queries = {name: PAPER_QUERIES[name].text for name in STREAM_QUERIES}
+    for text in queries.values():
+        engine.match(text)  # cold registration (outside the timed region)
+    shadow = stream.fresh_initial()
+
+    speedups: list[float] = []
+    incremental_seconds = full_seconds = 0.0
+    divergences = 0
+    affected = total = 0
+    batches = stream.batches[: max_batches]
+    for batch in batches:
+        start = time.perf_counter()
+        applied = engine.apply_delta(batch)
+        incremental = {
+            name: canonical(engine.match_intervals(text))
+            for name, text in queries.items()
+        }
+        t_incremental = time.perf_counter() - start
+        affected += applied.affected_seeds
+        total += applied.total_seeds
+
+        apply_delta(shadow, batch)
+        start = time.perf_counter()
+        if hasattr(shadow, "_repro_graph_index"):
+            # From-scratch means from scratch: a cold system would have
+            # to recompile its indexes against the grown graph too.
+            delattr(shadow, "_repro_graph_index")
+        cold_engine = DataflowEngine(shadow)
+        cold = {
+            name: canonical(cold_engine.match_intervals(text))
+            for name, text in queries.items()
+        }
+        t_full = time.perf_counter() - start
+
+        if incremental != cold:
+            divergences += 1
+        speedups.append(t_full / max(t_incremental, 1e-9))
+        incremental_seconds += t_incremental
+        full_seconds += t_full
+
+    return {
+        "batch_size": batch_size,
+        "batches": len(batches),
+        "events_per_stream": stream.total_events - stream.initial_events,
+        "median_speedup": round(statistics.median(speedups), 3),
+        "min_speedup": round(min(speedups), 3),
+        "incremental_seconds": round(incremental_seconds, 6),
+        "full_seconds": round(full_seconds, 6),
+        "seeds_rederived": affected,
+        "seeds_total": total,
+        "divergences": divergences,
+    }
+
+
+def bench_scale(scale_name: str, positivity: float, batch_sizes, max_batches: int) -> dict:
+    config = SCALE_FACTORS[scale_name].config(positivity_rate=positivity)
+    results = {
+        str(batch_size): bench_batch_size(config, batch_size, max_batches)
+        for batch_size in batch_sizes
+    }
+    small = str(min(batch_sizes))
+    return {
+        "scale": scale_name,
+        "positivity_rate": positivity,
+        "cpu_count": os.cpu_count(),
+        "queries": list(STREAM_QUERIES),
+        "batch_sizes": results,
+        "small_batch_size": int(small),
+        "small_batch_median_speedup": results[small]["median_speedup"],
+        "divergences": sum(entry["divergences"] for entry in results.values()),
+    }
+
+
+def check_against(baseline_path: Path, measured: dict, tolerance: float) -> int:
+    """Gate the small-batch median speedup against the committed baseline."""
+    if not baseline_path.exists():
+        print(f"WARNING: baseline {baseline_path} not found; skipping check")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    scale = measured["scale"]
+    reference = baseline.get("results", {}).get(scale)
+    if reference is None:
+        print(
+            f"WARNING: baseline {baseline_path} has no {scale} section; "
+            "skipping regression check"
+        )
+        return 0
+    expected = reference["small_batch_median_speedup"]
+    floor = expected * (1.0 - tolerance)
+    got = measured["small_batch_median_speedup"]
+    print(
+        f"regression check at {scale}: small-batch (size "
+        f"{measured['small_batch_size']}) incremental median {got:.2f}x, "
+        f"baseline {expected:.2f}x, floor {floor:.2f}x"
+    )
+    if got < floor:
+        print(
+            f"ERROR: streaming speedup regressed more than {tolerance:.0%} "
+            f"vs {baseline_path}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        default=None,
+        choices=sorted(SCALE_FACTORS),
+        help="scale factor (default: REPRO_SCALE or S4; --smoke forces S1)",
+    )
+    parser.add_argument("--positivity", type=float, default=0.05)
+    parser.add_argument(
+        "--max-batches",
+        type=int,
+        default=MAX_BATCHES,
+        help="cap on replayed batches per batch size",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=2.0,
+        help="absolute floor for the small-batch median speedup (default 2.0)",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR5.json"),
+        help="JSON report path; existing per-scale sections are preserved",
+    )
+    parser.add_argument(
+        "--check-against",
+        default=None,
+        help="baseline BENCH_PR5.json to compare the small-batch median against",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative regression of the gate median (default 25%%)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: smallest scale, two batch sizes",
+    )
+    args = parser.parse_args(argv)
+
+    scale = args.scale or ("S1" if args.smoke else default_scale_name())
+    batch_sizes = SMOKE_BATCH_SIZES if args.smoke else BATCH_SIZES
+    max_batches = max(1, args.max_batches if not args.smoke else min(args.max_batches, 15))
+
+    measured = bench_scale(scale, args.positivity, batch_sizes, max_batches)
+
+    out_path = Path(args.out)
+    report = {"benchmark": "bench_streaming", "results": {}}
+    if out_path.exists():
+        try:
+            report = json.loads(out_path.read_text())
+        except json.JSONDecodeError:
+            pass
+    report["benchmark"] = "bench_streaming"
+    report["python"] = platform.python_version()
+    report.setdefault("results", {})[scale] = measured
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(
+        f"=== Streaming evaluation at {scale} "
+        f"(queries {', '.join(STREAM_QUERIES)}) ==="
+    )
+    header = (
+        f"{'batch size':>10}{'batches':>9}{'incr (s)':>10}{'full (s)':>10}"
+        f"{'median':>9}{'min':>7}{'re-derived':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+    for key in sorted(measured["batch_sizes"], key=int):
+        entry = measured["batch_sizes"][key]
+        print(
+            f"{key:>10}{entry['batches']:>9}{entry['incremental_seconds']:>10.4f}"
+            f"{entry['full_seconds']:>10.4f}{entry['median_speedup']:>8.2f}x"
+            f"{entry['min_speedup']:>6.2f}x"
+            f"{entry['seeds_rederived']:>7}/{entry['seeds_total']}"
+        )
+    print(
+        f"small-batch median speedup: "
+        f"{measured['small_batch_median_speedup']:.2f}x "
+        f"(batch size {measured['small_batch_size']})"
+    )
+    print(f"report written to {out_path}")
+
+    status = 0
+    if measured["small_batch_median_speedup"] < args.min_speedup:
+        print(
+            f"ERROR: small-batch median speedup "
+            f"{measured['small_batch_median_speedup']:.2f}x is below the "
+            f"{args.min_speedup:.1f}x floor",
+            file=sys.stderr,
+        )
+        status = 1
+    if args.check_against:
+        status = max(status, check_against(Path(args.check_against), measured, args.tolerance))
+    if measured["divergences"]:
+        print("ERROR: incremental and cold outputs diverged", file=sys.stderr)
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

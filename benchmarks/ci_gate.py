@@ -1,0 +1,335 @@
+"""Unified CI bench-gate driver.
+
+Before PR 5, ``.github/workflows/ci.yml`` carried one copy-pasted step
+per perf harness, each with its own ``--out`` file, baseline file,
+tolerance and (for the parallelism sweep) a skip rule that lived only in
+a workflow comment.  This driver replaces those steps with **one**
+manifest-driven loop:
+
+* ``benchmarks/gates.toml`` declares every gate — the harness script,
+  its smoke output file, the committed baseline it regresses against,
+  the tolerance, and whether the gate is *core-sensitive* (speedup
+  ratios only comparable on like-for-like core counts);
+* ``python benchmarks/ci_gate.py --mode smoke`` runs each harness at
+  smoke scale with its baseline check; any non-zero harness exit fails
+  the driver (after running the remaining gates, so one regression does
+  not mask another);
+* ``python benchmarks/ci_gate.py --mode full --out-dir DIR`` runs each
+  harness at full scale without baseline checks and collects regenerated
+  ``BENCH_*.json`` candidates in ``DIR`` — the nightly-cron path that
+  fixes the "baseline is from a 1-core container" gap: candidates come
+  from the actual CI hardware and can be committed as new baselines.
+
+The core-count skip rule itself lives here as
+:func:`speedup_gate_decision` (unit-tested in
+``tests/test_ci_gate.py``); ``bench_fig3_parallelism.py`` imports it, so
+the rule is written and tested exactly once.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+try:
+    import tomllib
+except ImportError:  # Python 3.10: fall back to the mini parser below
+    tomllib = None
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+
+
+# --------------------------------------------------------------------- #
+# Manifest
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Gate:
+    """One entry of ``gates.toml``."""
+
+    name: str
+    harness: str
+    out: str
+    baseline: str | None = None
+    tolerance: float | None = None
+    #: Speedup ratios are core-count-sensitive: the baseline check only
+    #: engages when this host can parallelize at all *and* matches the
+    #: baseline's recorded core count (see :func:`speedup_gate_decision`).
+    core_sensitive: bool = False
+    min_cores: int = 2
+    #: Extra harness arguments applied in every mode.
+    args: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def harness_path(self) -> Path:
+        return BENCH_DIR / self.harness
+
+
+def parse_manifest_text(text: str) -> list[Gate]:
+    """Parse the gates manifest from TOML text."""
+    if tomllib is not None:
+        data = tomllib.loads(text)
+    else:
+        data = _parse_mini_toml(text)
+    gates: list[Gate] = []
+    for name, entry in data.get("gate", {}).items():
+        known = {
+            "harness", "out", "baseline", "tolerance", "core_sensitive",
+            "min_cores", "args",
+        }
+        unknown = set(entry) - known
+        if unknown:
+            raise ValueError(
+                f"gate {name!r}: unknown manifest keys {sorted(unknown)}"
+            )
+        gates.append(
+            Gate(
+                name=name,
+                harness=entry["harness"],
+                out=entry["out"],
+                baseline=entry.get("baseline"),
+                tolerance=entry.get("tolerance"),
+                core_sensitive=bool(entry.get("core_sensitive", False)),
+                min_cores=int(entry.get("min_cores", 2)),
+                args=tuple(entry.get("args", ())),
+            )
+        )
+    if not gates:
+        raise ValueError("gates manifest declares no [gate.*] sections")
+    return gates
+
+
+def load_manifest(path: Path | None = None) -> list[Gate]:
+    """Load ``benchmarks/gates.toml`` (or ``path``)."""
+    manifest = path or (BENCH_DIR / "gates.toml")
+    return parse_manifest_text(manifest.read_text())
+
+
+def _parse_mini_toml(text: str) -> dict:
+    """Minimal TOML subset parser for Python < 3.11 (no ``tomllib``).
+
+    Supports exactly what ``gates.toml`` uses: ``[table.sub]`` headers,
+    string / integer / float / boolean values, and single-line arrays of
+    strings.  Kept deliberately tiny; the real ``tomllib`` takes over on
+    3.11+.
+    """
+    root: dict = {}
+    current = root
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip() if not _in_string_comment(raw_line) else raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            current = root
+            for part in line[1:-1].strip().split("."):
+                current = current.setdefault(part.strip(), {})
+            continue
+        if "=" not in line:
+            raise ValueError(f"cannot parse manifest line: {raw_line!r}")
+        key, value = line.split("=", 1)
+        current[key.strip()] = _parse_mini_value(value.strip())
+    return root
+
+
+def _in_string_comment(line: str) -> bool:
+    """True when a ``#`` on the line sits inside a quoted string."""
+    stripped = line.split("#", 1)[0]
+    return stripped.count('"') % 2 == 1
+
+
+def _parse_mini_value(value: str):
+    if value.startswith("[") and value.endswith("]"):
+        inner = value[1:-1].strip()
+        if not inner:
+            return []
+        return [_parse_mini_value(part.strip()) for part in inner.split(",") if part.strip()]
+    if value.startswith('"') and value.endswith('"') and len(value) >= 2:
+        return value[1:-1]
+    if value in ("true", "false"):
+        return value == "true"
+    try:
+        return int(value)
+    except ValueError:
+        return float(value)
+
+
+# --------------------------------------------------------------------- #
+# Core-count skip rule (shared with bench_fig3_parallelism.py)
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class GateDecision:
+    """Whether a core-sensitive speedup gate engages, and why (not)."""
+
+    engage: bool
+    reason: str
+    #: The baseline's per-scale section when the gate engages.
+    reference: dict | None = None
+
+
+def speedup_gate_decision(
+    baseline_path: Path,
+    scale: str,
+    cores: int,
+    *,
+    min_cores: int = 2,
+    harness: str = "bench_fig3_parallelism.py",
+) -> GateDecision:
+    """Decide whether a core-sensitive speedup gate can engage.
+
+    The single definition of the skip/engage rule that previously lived
+    in ``bench_fig3_parallelism.check_against`` and a workflow comment:
+
+    * below ``min_cores`` visible cores no parallel speedup is physically
+      possible — skip (divergence checks still apply);
+    * a missing baseline file or scale section cannot gate — skip;
+    * a baseline recorded on a different core count is not comparable
+      (a 1-core baseline records pure dispatch overhead) — skip, and
+      tell the operator the exact regeneration command.
+
+    Only when all three hold does the ratio comparison engage, with the
+    baseline's per-scale section attached.
+    """
+    baseline_path = Path(baseline_path)
+    if cores < min_cores:
+        return GateDecision(
+            False,
+            f"only {cores} CPU core(s) visible (< {min_cores}) — no parallel "
+            "speedup is physically possible, skipping the speedup gate "
+            "(divergence checks still apply)",
+        )
+    if not baseline_path.exists():
+        return GateDecision(
+            False, f"baseline {baseline_path} not found; skipping the speedup gate"
+        )
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except json.JSONDecodeError as error:
+        return GateDecision(
+            False,
+            f"baseline {baseline_path} is not valid JSON ({error}); "
+            "skipping the speedup gate",
+        )
+    reference = baseline.get("results", {}).get(scale)
+    if reference is None:
+        return GateDecision(
+            False,
+            f"baseline {baseline_path} has no {scale} section; "
+            "skipping the speedup gate",
+        )
+    recorded = reference.get("cpu_count")
+    if recorded != cores:
+        return GateDecision(
+            False,
+            f"baseline {baseline_path} was recorded on {recorded or '?'} core(s) "
+            f"but this host has {cores}; speedup ratios are not comparable, "
+            "skipping the speedup gate (divergence checks still apply). "
+            f"Regenerate the baseline on this host with: python {harness} "
+            f"--scale {scale} --out {baseline_path}",
+        )
+    return GateDecision(
+        True,
+        f"baseline {baseline_path} recorded on {recorded} core(s), matching "
+        "this host — speedup gate engaged",
+        reference=reference,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Driver
+# --------------------------------------------------------------------- #
+def build_command(gate: Gate, mode: str, out_dir: Path) -> list[str]:
+    """The harness invocation for one gate in ``smoke`` or ``full`` mode."""
+    command = [sys.executable, str(gate.harness_path), *gate.args]
+    if mode == "smoke":
+        command.append("--smoke")
+        command.extend(["--out", str(out_dir / gate.out)])
+        if gate.baseline:
+            command.extend(["--check-against", str(REPO_ROOT / gate.baseline)])
+            if gate.tolerance is not None:
+                command.extend(["--tolerance", str(gate.tolerance)])
+    else:
+        # Full scale regenerates baseline candidates; no regression check
+        # (the output *is* the new reference), divergence exits still apply.
+        target = gate.baseline or gate.out
+        command.extend(["--out", str(out_dir / Path(target).name)])
+    return command
+
+
+def run_gates(
+    gates: list[Gate], mode: str, out_dir: Path, only: str | None = None
+) -> int:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    failures: list[str] = []
+    selected = [gate for gate in gates if only is None or gate.name == only]
+    if only is not None and not selected:
+        print(f"ERROR: no gate named {only!r} in the manifest", file=sys.stderr)
+        return 2
+    for gate in selected:
+        command = build_command(gate, mode, out_dir)
+        print(f"=== gate: {gate.name} ({mode}) ===")
+        print("$", " ".join(command))
+        sys.stdout.flush()
+        result = subprocess.run(command, env=env, cwd=str(REPO_ROOT))
+        if result.returncode != 0:
+            print(
+                f"ERROR: gate {gate.name} failed with exit code {result.returncode}",
+                file=sys.stderr,
+            )
+            failures.append(gate.name)
+    if failures:
+        print(f"FAILED gates: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"all {len(selected)} gate(s) passed ({mode} mode)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--mode",
+        choices=("smoke", "full"),
+        default="smoke",
+        help="smoke: CI gate with baseline checks; full: regenerate "
+        "baseline candidates (nightly)",
+    )
+    parser.add_argument(
+        "--out-dir",
+        default=".",
+        help="directory for harness reports (full mode collects "
+        "BENCH_*.json candidates here)",
+    )
+    parser.add_argument("--only", default=None, help="run a single named gate")
+    parser.add_argument(
+        "--manifest", default=None, help="alternative gates.toml path"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list the manifest gates and exit"
+    )
+    args = parser.parse_args(argv)
+
+    gates = load_manifest(Path(args.manifest) if args.manifest else None)
+    if args.list:
+        for gate in gates:
+            baseline = gate.baseline or "-"
+            tolerance = f"{gate.tolerance:.0%}" if gate.tolerance is not None else "-"
+            sensitive = " [core-sensitive]" if gate.core_sensitive else ""
+            print(
+                f"{gate.name}: {gate.harness} (baseline {baseline}, "
+                f"tolerance {tolerance}){sensitive}"
+            )
+        return 0
+    return run_gates(gates, args.mode, Path(args.out_dir), args.only)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -51,6 +51,7 @@ from repro.model import (
 from repro.lang import parse_path, parse_match, compile_match, classify, Fragment
 from repro.eval import ReferenceEngine, BindingTable, evaluate_path
 from repro.dataflow import DataflowEngine
+from repro.streaming import DeltaBatch, StreamingEngine
 
 __version__ = "1.0.0"
 
@@ -86,5 +87,7 @@ __all__ = [
     "BindingTable",
     "evaluate_path",
     "DataflowEngine",
+    "DeltaBatch",
+    "StreamingEngine",
     "__version__",
 ]

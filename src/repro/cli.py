@@ -7,7 +7,8 @@ The CLI exposes the most common workflows without writing Python:
 * ``python -m repro stats`` — print Table-I statistics of a saved graph;
 * ``python -m repro query`` — evaluate a MATCH clause over a saved graph
   (or over the built-in Figure-1 running example) and print the binding
-  table;
+  table; with ``--stream deltas.jsonl`` the query is kept incrementally
+  answered while delta batches are applied, re-reporting after each;
 * ``python -m repro example`` — dump the Figure-1 running example as
   JSON, as a starting point for experimentation.
 
@@ -17,6 +18,7 @@ Every command reads/writes the JSON format of :mod:`repro.model.io`.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
@@ -45,6 +47,28 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--positivity", type=float, default=0.05, help="positivity rate (0..1)")
     generate.add_argument("--seed", type=int, default=11, help="random seed")
     generate.add_argument("--output", "-o", required=True, help="output JSON path")
+    generate.add_argument(
+        "--stream-batches",
+        type=int,
+        default=None,
+        metavar="N",
+        help="emit a streaming workload instead of one graph: write the "
+        "initial prefix graph to --output and N delta batches (JSON lines, "
+        "replayable via 'query --stream') to --stream-output",
+    )
+    generate.add_argument(
+        "--stream-output",
+        default=None,
+        metavar="PATH",
+        help="delta-batch output path (required with --stream-batches)",
+    )
+    generate.add_argument(
+        "--stream-initial",
+        type=float,
+        default=0.5,
+        metavar="FRACTION",
+        help="share of events in the initial prefix graph (default 0.5)",
+    )
 
     stats = sub.add_parser("stats", help="print Table-I statistics of a graph")
     stats.add_argument("graph", help="path to a graph JSON file")
@@ -91,6 +115,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the seed row-per-path frontier instead of the coalescing one",
     )
+    query.add_argument(
+        "--stream",
+        default=None,
+        metavar="PATH",
+        help="apply delta batches from PATH (JSON lines, one DeltaBatch "
+        "object per line) incrementally, re-reporting the match after each "
+        "batch (dataflow engine only)",
+    )
 
     example = sub.add_parser("example", help="write the Figure-1 running example as JSON")
     example.add_argument("--output", "-o", required=True, help="output JSON path")
@@ -122,6 +154,35 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         positivity_rate=args.positivity,
         seed=args.seed,
     )
+    if args.stream_batches is not None:
+        if args.stream_output is None:
+            print(
+                "error: --stream-batches requires --stream-output",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.datagen.streaming import contact_tracing_stream
+
+        stream = contact_tracing_stream(
+            config,
+            num_batches=args.stream_batches,
+            initial_fraction=args.stream_initial,
+        )
+        save_json(stream.initial, args.output)
+        with open(args.stream_output, "w", encoding="utf-8") as handle:
+            for batch in stream.batches:
+                handle.write(json.dumps(batch.to_json_dict()) + "\n")
+        print(
+            f"wrote {args.output}: initial prefix with "
+            f"{stream.initial.num_nodes()} nodes, {stream.initial.num_edges()} "
+            f"edges ({stream.initial_events}/{stream.total_events} events)"
+        )
+        print(
+            f"wrote {args.stream_output}: {len(stream.batches)} delta batches "
+            f"(replay with: repro query <MATCH> --graph {args.output} "
+            f"--stream {args.stream_output})"
+        )
+        return 0
     graph = generate_contact_tracing_graph(config)
     save_json(graph, args.output)
     stats = graph_statistics(graph)
@@ -173,12 +234,59 @@ def _print_explain(plan: dict) -> None:
         )
 
 
+def _stream_batches(path: str):
+    """Parse a delta-batch stream file: one JSON DeltaBatch per line."""
+    from repro.streaming import DeltaBatch
+
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{number}: invalid JSON ({error})") from error
+            try:
+                yield DeltaBatch.from_json_dict(payload)
+            except (KeyError, TypeError, AttributeError) as error:
+                raise ValueError(
+                    f"{path}:{number}: invalid delta batch "
+                    f"({type(error).__name__}: {error})"
+                ) from error
+
+
+def _run_stream(engine: DataflowEngine, text: str, path: str) -> None:
+    """The --stream loop: apply each batch, report the output drift."""
+    result = engine.match_with_stats(text)
+    size = result.output_size
+    print(f"# stream: initial graph {engine.graph}, output size {size}")
+    for number, batch in enumerate(_stream_batches(path), start=1):
+        applied = engine.apply_delta(batch)
+        new_size = len(engine.match(text))
+        sequence = "-" if applied.sequence is None else str(applied.sequence)
+        horizon = (
+            f", horizon -> {engine.graph.domain.end}"
+            if applied.horizon_advanced
+            else ""
+        )
+        print(
+            f"# batch {number} (seq {sequence}): +{applied.new_nodes} nodes "
+            f"+{applied.new_edges} edges ~{applied.touched_objects} touched"
+            f"{horizon} | seeds re-derived {applied.affected_seeds}"
+            f"/{applied.total_seeds} | output {new_size} ({new_size - size:+d})"
+        )
+        size = new_size
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     # Pure argument validation comes first, before any graph loading.
-    if args.engine != "dataflow" and (args.backend != "thread" or args.explain):
+    if args.engine != "dataflow" and (
+        args.backend != "thread" or args.explain or args.stream
+    ):
         print(
-            "error: --backend and --explain apply to the dataflow engine only "
-            f"(got --engine {args.engine})",
+            "error: --backend, --explain and --stream apply to the dataflow "
+            f"engine only (got --engine {args.engine})",
             file=sys.stderr,
         )
         return 2
@@ -191,9 +299,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
             workers=args.workers,
             use_coalesced=not args.legacy_frontier,
             parallel_backend=args.backend,
+            incremental=args.stream is not None,
         )
         if args.explain:
             _print_explain(engine.explain(text))
+        if args.stream:
+            try:
+                _run_stream(engine, text, args.stream)
+            except ValueError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
     else:
         engine = ReferenceEngine(
             graph, use_intervals=(args.engine == "reference-intervals")

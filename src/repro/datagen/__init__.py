@@ -12,6 +12,10 @@ synthetic equivalent (see DESIGN.md, Substitutions):
   an interval-timestamped TPG with ``Person``/``Room`` nodes and
   ``visits``/``meets`` edges, the 18% high-risk assignment and the
   positivity-rate control used in the experiments;
+* :mod:`repro.datagen.streaming` — the same workload replayed as a
+  stream: an initial prefix graph plus time-ordered
+  :class:`~repro.streaming.delta.DeltaBatch` sequences for the
+  incremental evaluation harnesses;
 * :mod:`repro.datagen.scale` — the scale factors (S1…S6) standing in for
   the paper's G1…G10;
 * :mod:`repro.datagen.random_graphs` — small random TPGs and random
@@ -20,6 +24,7 @@ synthetic equivalent (see DESIGN.md, Substitutions):
 
 from repro.datagen.trajectory import TrajectoryConfig, TrajectorySimulator, VisitRecord
 from repro.datagen.contact_tracing import ContactTracingConfig, generate_contact_tracing_graph
+from repro.datagen.streaming import ContactTracingStream, contact_tracing_stream
 from repro.datagen.scale import ScaleFactor, SCALE_FACTORS, scale_factor, default_scale_name
 from repro.datagen.random_graphs import random_itpg, random_path_expression
 
@@ -29,6 +34,8 @@ __all__ = [
     "VisitRecord",
     "ContactTracingConfig",
     "generate_contact_tracing_graph",
+    "ContactTracingStream",
+    "contact_tracing_stream",
     "ScaleFactor",
     "SCALE_FACTORS",
     "scale_factor",

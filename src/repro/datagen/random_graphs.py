@@ -79,6 +79,79 @@ def _random_intervalset(rng: random.Random, domain: Interval) -> IntervalSet:
     return IntervalSet(pieces)
 
 
+def random_delta_batches(
+    graph: IntervalTPG,
+    seed: int,
+    num_batches: int = 3,
+    start_sequence: int = 1,
+) -> list:
+    """A valid sequence of random delta batches for ``graph``.
+
+    Used by the streaming differential oracle: batches mix new nodes
+    (with properties), new edges between nodes whose existence overlaps,
+    existence extensions, property writes on fresh existence, and
+    occasional horizon advances.  Every batch is constructed to pass
+    :func:`repro.streaming.delta.apply_delta` validation against the
+    graph grown by its predecessors, so the caller can apply the whole
+    sequence; the construction only reads ``graph`` (it tracks the
+    prospective existence itself) and is deterministic given ``seed``.
+    """
+    from repro.streaming.delta import DeltaBatch
+
+    rng = random.Random(0xDE17A + seed)
+    horizon = graph.domain.end
+    existence: dict = {obj: graph.existence(obj) for obj in graph.nodes()}
+    next_id = 0
+    batches = []
+    for position in range(num_batches):
+        batch = DeltaBatch(sequence=start_sequence + position)
+        if rng.random() < 0.3:
+            horizon += rng.randint(1, 3)
+            batch.extend_domain(horizon)
+        domain = Interval(graph.domain.start, horizon)
+        for _ in range(rng.randint(0, 2)):
+            node_id = f"sn{next_id}"
+            next_id += 1
+            start = rng.randint(domain.start, domain.end)
+            end = min(domain.end, start + rng.randint(0, 3))
+            batch.add_node(node_id, rng.choice(_LABELS), [(start, end)])
+            existence[node_id] = IntervalSet(((start, end),))
+            if rng.random() < 0.6:
+                batch.set_property(
+                    node_id, rng.choice(_PROPS), rng.choice(_VALUES), start, end
+                )
+        nodes = sorted(existence, key=repr)
+        for _ in range(rng.randint(0, 3)):
+            src, tgt = rng.choice(nodes), rng.choice(nodes)
+            shared = existence[src].intersect(existence[tgt])
+            if shared.is_empty():
+                continue
+            piece = rng.choice(list(shared))
+            start = rng.randint(piece.start, piece.end)
+            end = rng.randint(start, piece.end)
+            edge_id = f"se{next_id}"
+            next_id += 1
+            batch.add_edge(
+                edge_id, rng.choice(_EDGE_LABELS), src, tgt, [(start, end)]
+            )
+            if rng.random() < 0.4:
+                batch.set_property(edge_id, "loc", rng.choice(("cafe", "park")), start, end)
+        for _ in range(rng.randint(0, 2)):
+            obj = rng.choice(nodes)
+            start = rng.randint(domain.start, domain.end)
+            end = min(domain.end, start + rng.randint(0, 2))
+            batch.add_existence(obj, start, end)
+            grown = IntervalSet(((start, end),))
+            existence[obj] = existence[obj].union(grown)
+            if rng.random() < 0.5:
+                # A property on the freshly added existence (new values
+                # could conflict with stored ones, so fresh-only writes
+                # use a dedicated name that the random graphs never set).
+                batch.set_property(obj, "seen", "yes", start, end)
+        batches.append(batch)
+    return batches
+
+
 def random_path_expression(
     seed: int,
     max_depth: int = 3,

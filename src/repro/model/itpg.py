@@ -58,6 +58,29 @@ class IntervalTPG:
     def time_points(self) -> range:
         return self._domain.points()
 
+    def extend_domain(self, new_end: int) -> None:
+        """Advance the time-domain horizon ``Ω`` to end at ``new_end``.
+
+        Streaming growth is append-only: the horizon can only move
+        forward, so every existing interval stays inside the domain and
+        no stored family needs rewriting.  ``new_end`` equal to the
+        current end is a no-op; moving backwards raises
+        :class:`GraphIntegrityError`.  Derived structures compiled
+        against the old domain (a cached
+        :class:`~repro.perf.graph_index.GraphIndex`, engine domain
+        caches) are *not* refreshed here — the streaming layer
+        (:mod:`repro.streaming`) owns that maintenance.
+        """
+        new_end = int(new_end)
+        if new_end < self._domain.end:
+            raise GraphIntegrityError(
+                f"cannot shrink temporal domain {self._domain} to end at {new_end}: "
+                "streaming growth is append-only"
+            )
+        if new_end == self._domain.end:
+            return
+        self._domain = Interval(self._domain.start, new_end)
+
     # ------------------------------------------------------------------ #
     # Construction
     # ------------------------------------------------------------------ #

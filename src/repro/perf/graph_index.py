@@ -351,6 +351,133 @@ class GraphIndex:
         )
 
     # ------------------------------------------------------------------ #
+    # Incremental maintenance (streaming deltas)
+    # ------------------------------------------------------------------ #
+    def apply_delta(self, effects) -> None:
+        """Maintain the compiled index after an applied delta batch.
+
+        ``effects`` is the :class:`~repro.streaming.delta.DeltaEffects`
+        record of a batch already applied to :attr:`graph` (typed
+        loosely to keep :mod:`repro.perf` below :mod:`repro.streaming`
+        in the layering).  The compiled structures are updated in place:
+
+        * new objects are appended — their dense ``object_id`` slots
+          extend the table, so every existing frontier signature stays
+          valid;
+        * touched objects get their existence/property families and
+          label/property buckets refreshed from the graph; new edges are
+          appended to their endpoints' adjacency tuples;
+        * memoized *per-object* results (times cache, condition-table
+          entries) are recomputed for exactly the dirty objects, and hop
+          tables drop the sources whose 2-hop neighbourhood reaches the
+          dirty set — a hop reads two structural moves, so any farther
+          source is provably unaffected.
+
+        Advancing the horizon invalidates every memoized family instead:
+        condition satisfaction (``¬φ``, label tests, ``time < c``) is
+        clamped to the domain, so no per-object surgery is sound there.
+        """
+        dirty = set(effects.dirty)
+        if effects.horizon_advanced:
+            self._domain = self._graph.domain
+            self._full = IntervalSet((self._domain,))
+            self._times_cache.clear()
+            self._table_cache.clear()
+            self._hop_cache.clear()
+
+        graph = self._graph
+        appended: list[ObjectId] = []
+        for node in effects.new_nodes:
+            self._nodes = self._nodes | {node}
+            self.labels[node] = graph.label(node)
+            self.existence[node] = graph.existence(node)
+            self.out_adjacency[node] = ()
+            self.in_adjacency[node] = ()
+            self._properties[node] = graph.properties(node)
+            bucket = self.node_label_buckets.get(graph.label(node), ())
+            self.node_label_buckets[graph.label(node)] = bucket + (node,)
+            appended.append(node)
+        for edge in effects.new_edges:
+            self._edges = self._edges | {edge}
+            self.labels[edge] = graph.label(edge)
+            self.existence[edge] = graph.existence(edge)
+            src, tgt = graph.endpoints(edge)
+            self.edge_source[edge] = src
+            self.edge_target[edge] = tgt
+            self.out_adjacency[src] = self.out_adjacency[src] + (edge,)
+            self.in_adjacency[tgt] = self.in_adjacency[tgt] + (edge,)
+            self._properties[edge] = graph.properties(edge)
+            bucket = self.edge_label_buckets.get(graph.label(edge), ())
+            self.edge_label_buckets[graph.label(edge)] = bucket + (edge,)
+            appended.append(edge)
+        if appended:
+            position = len(self.objects)
+            self.objects = self.objects + tuple(appended)
+            for obj in appended:
+                self.object_id[obj] = position
+                position += 1
+
+        for obj in effects.touched:
+            self.existence[obj] = graph.existence(obj)
+            self._properties[obj] = graph.properties(obj)
+        for obj in sorted(dirty, key=lambda o: self.object_id[o]):
+            for name, family in self._properties[obj].items():
+                for entry in family:
+                    key = (name, entry.value)
+                    bucket = self.prop_value_buckets.get(key, ())
+                    if obj not in bucket:
+                        self.prop_value_buckets[key] = bucket + (obj,)
+
+        if not effects.horizon_advanced and dirty:
+            stale = [key for key in self._times_cache if key[1] in dirty]
+            for key in stale:
+                del self._times_cache[key]
+            # Condition tables are shared with callers by reference, so
+            # they are repaired in place: recompute exactly the dirty
+            # objects' satisfaction times.
+            for condition, table in self._table_cache.items():
+                for obj in dirty:
+                    times = self.times_for(obj, condition)
+                    if times.is_empty():
+                        table.pop(obj, None)
+                    else:
+                        table[obj] = times
+            if self._hop_cache:
+                stale_sources = self.structural_closure(dirty, 2)
+                for per_source in self._hop_cache.values():
+                    for obj in stale_sources:
+                        per_source.pop(obj, None)
+
+    def structural_closure(
+        self, objects: Iterable[ObjectId], radius: int
+    ) -> set[ObjectId]:
+        """All objects within ``radius`` structural moves of ``objects``.
+
+        A structural move relates a node with an incident edge (in
+        either direction — ``F`` and ``B`` are both covered by the
+        undirected incidence relation).  This is the locality bound
+        behind dirty-set invalidation: a chain evaluation seeded at
+        ``s`` only ever reads objects inside ``s``'s closure ball, so a
+        change at ``x`` can only affect seeds whose ball reaches ``x``.
+        """
+        closure = {obj for obj in objects if obj in self.labels}
+        frontier = set(closure)
+        for _ in range(radius):
+            if not frontier:
+                break
+            reached: set[ObjectId] = set()
+            for obj in frontier:
+                if obj in self._nodes:
+                    reached.update(self.out_adjacency[obj])
+                    reached.update(self.in_adjacency[obj])
+                else:
+                    reached.add(self.edge_source[obj])
+                    reached.add(self.edge_target[obj])
+            frontier = reached - closure
+            closure |= frontier
+        return closure
+
+    # ------------------------------------------------------------------ #
     # Seed cost model (parallel chunking)
     # ------------------------------------------------------------------ #
     def seed_weight(self, obj: ObjectId) -> int:

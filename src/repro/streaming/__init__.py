@@ -1,0 +1,39 @@
+"""Incremental / streaming evaluation over growing time domains.
+
+* :mod:`repro.streaming.delta` — the :class:`DeltaBatch` append-only
+  update model (new nodes/edges, existence extension, property writes,
+  horizon advance) with atomic validate-then-apply semantics;
+* :mod:`repro.streaming.engine` — the :class:`StreamingEngine` session
+  that keeps registered MATCH queries continuously answered by
+  re-deriving only the seeds whose structural/temporal neighbourhood a
+  batch dirtied, maintaining the compiled
+  :class:`~repro.perf.graph_index.GraphIndex` in place.
+
+The usual entry point is ``DataflowEngine(graph, incremental=True)``,
+which owns a session and exposes :meth:`apply_delta`; the CLI surfaces
+the same loop as ``repro query … --stream deltas.jsonl``.
+"""
+
+from repro.streaming.delta import (
+    DeltaBatch,
+    DeltaEffects,
+    EdgeAdd,
+    ExistenceAdd,
+    NodeAdd,
+    PropertySet,
+    apply_delta,
+)
+from repro.streaming.engine import ApplyResult, QueryUpdate, StreamingEngine
+
+__all__ = [
+    "DeltaBatch",
+    "DeltaEffects",
+    "NodeAdd",
+    "EdgeAdd",
+    "ExistenceAdd",
+    "PropertySet",
+    "apply_delta",
+    "StreamingEngine",
+    "ApplyResult",
+    "QueryUpdate",
+]

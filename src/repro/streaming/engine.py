@@ -1,0 +1,443 @@
+"""Incremental evaluation of MATCH queries over growing time domains.
+
+:class:`StreamingEngine` keeps a set of registered queries continuously
+answered while :class:`~repro.streaming.delta.DeltaBatch` updates are
+applied to the graph.  The central idea is *per-seed result caching*:
+
+* Registration evaluates the query once, seed by seed, and caches each
+  seed's contribution — the coalesced ``(bindings, times)`` families (or
+  point tuples, for group-spanning outputs) derived from the chain run
+  anchored at that seed.  The merged answer is the per-binding union of
+  all contributions, which is exactly what the batch engine's global
+  family merge computes.
+* :meth:`apply` applies the batch atomically, maintains the shared
+  :class:`~repro.perf.graph_index.GraphIndex` in place, and then
+  re-derives **only the affected seeds**: seeds inside the dirty set's
+  structural closure (radius = the chain's structural move count) whose
+  cached seed times intersect the delta's temporal footprint dilated by
+  the chain's temporal radius.  Everything outside that ball provably
+  cannot have changed — a chain run reads only objects within its
+  structural radius of the seed, and can only look at times within its
+  temporal radius of a seed time.
+* Advancing the time horizon recomputes every seed of every query:
+  condition satisfaction is clamped to the domain (``¬φ``, label tests,
+  ``time < c`` are all domain-wide), so no per-seed surgery is sound
+  there.  The common streaming shape — appends inside a fixed study
+  horizon — stays on the incremental path.
+
+Batches carry an optional ``sequence`` number; applying them out of
+order raises :class:`~repro.errors.EvaluationError` before anything is
+mutated.  Correctness of the whole scheme is pinned by the streaming
+differential oracle (``tests/test_streaming_oracle.py``): after every
+batch the incremental answer must equal a cold evaluation on a pristine
+copy of the materialized graph, across the fuzz-oracle engine configs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Hashable, Optional, Union as TypingUnion
+
+from repro.dataflow.frontier import Group, Row
+from repro.dataflow.steps import (
+    ChainStep,
+    chain_structural_radius,
+    chain_temporal_radius,
+)
+from repro.errors import EvaluationError
+from repro.eval.bindings import BindingTable, IntervalBindingTable
+from repro.lang.parser import MatchQuery
+from repro.lang.translate import CompiledMatch, compile_match
+from repro.model.itpg import IntervalTPG
+from repro.streaming.delta import DeltaBatch, DeltaEffects, apply_delta
+from repro.temporal.intervalset import IntervalSet, IntervalSetAccumulator
+
+ObjectId = Hashable
+QueryLike = TypingUnion[str, MatchQuery, CompiledMatch]
+#: One seed's cached contribution: interval families or point tuples.
+Contribution = TypingUnion[list, tuple]
+
+
+@dataclass
+class _QueryState:
+    """Cached evaluation state of one registered query."""
+
+    name: str
+    chain: tuple[ChainStep, ...]
+    variables: tuple[str, ...]
+    mode: str  # "families" | "points"
+    struct_radius: int
+    temporal_radius: Optional[int]
+    #: The chain after any leading test absorbed into the seed table
+    #: (fixed at registration — absorption depends only on chain shape).
+    rest: tuple[ChainStep, ...] = ()
+    #: Times of *every* current seed row (affected-seed time filter).
+    seed_times: dict[ObjectId, IntervalSet] = field(default_factory=dict)
+    #: Non-empty per-seed outputs (families or point tuples).
+    contributions: dict[ObjectId, Contribution] = field(default_factory=dict)
+    #: Merged output, rebuilt lazily after contributions change.
+    merged: Optional[TypingUnion[BindingTable, IntervalBindingTable]] = None
+
+
+@dataclass(frozen=True)
+class QueryUpdate:
+    """Per-query outcome of one applied batch."""
+
+    name: str
+    affected_seeds: int
+    total_seeds: int
+    recomputed_all: bool
+
+
+@dataclass(frozen=True)
+class ApplyResult:
+    """Outcome of :meth:`StreamingEngine.apply` for one batch."""
+
+    sequence: Optional[int]
+    new_nodes: int
+    new_edges: int
+    touched_objects: int
+    horizon_advanced: bool
+    queries: tuple[QueryUpdate, ...]
+    seconds: float
+
+    @property
+    def affected_seeds(self) -> int:
+        return sum(update.affected_seeds for update in self.queries)
+
+    @property
+    def total_seeds(self) -> int:
+        return sum(update.total_seeds for update in self.queries)
+
+
+class StreamingEngine:
+    """Continuously answered MATCH queries over a growing ITPG.
+
+    Either wraps a fresh
+    :class:`~repro.dataflow.executor.DataflowEngine` built for ``graph``
+    or (``engine=...``) drives an existing one — that is how
+    ``DataflowEngine(..., incremental=True)`` attaches its session.  The
+    parallel backends are irrelevant here: per-seed runs are sequential
+    by construction (each one processes a single-row frontier).
+    """
+
+    def __init__(
+        self,
+        graph: Optional[IntervalTPG] = None,
+        *,
+        engine=None,
+        use_index: bool = True,
+        use_coalesced: bool = True,
+    ) -> None:
+        if engine is None:
+            if graph is None:
+                raise ValueError("StreamingEngine needs a graph or an engine")
+            from repro.dataflow.executor import DataflowEngine
+
+            engine = DataflowEngine(
+                graph, use_index=use_index, use_coalesced=use_coalesced
+            )
+        self._engine = engine
+        self._graph: IntervalTPG = engine.graph
+        self._queries: dict[str, _QueryState] = {}
+        self._last_sequence: Optional[int] = None
+
+    @property
+    def graph(self) -> IntervalTPG:
+        return self._graph
+
+    @property
+    def engine(self):
+        return self._engine
+
+    @property
+    def last_sequence(self) -> Optional[int]:
+        return self._last_sequence
+
+    def query_names(self) -> tuple[str, ...]:
+        return tuple(self._queries)
+
+    # ------------------------------------------------------------------ #
+    # Registration and reads
+    # ------------------------------------------------------------------ #
+    def register(self, query: QueryLike, name: Optional[str] = None) -> str:
+        """Register a query (idempotent) and cold-evaluate it seed by seed.
+
+        Returns the registration name — by default the query text — used
+        by :meth:`results` / :meth:`table` and reported by :meth:`apply`.
+        """
+        if name is None:
+            name = query.text if isinstance(query, (MatchQuery, CompiledMatch)) else str(query)
+        existing = self._queries.get(name)
+        if existing is not None:
+            return name
+        compiled = query if isinstance(query, CompiledMatch) else compile_match(query)
+        chain = self._engine._compile(compiled)
+        state = _QueryState(
+            name=name,
+            chain=chain,
+            variables=compiled.variables,
+            mode=self._engine._output_mode(chain),
+            struct_radius=chain_structural_radius(chain),
+            temporal_radius=chain_temporal_radius(chain),
+        )
+        seed_map, state.rest = self._seed_table(state)
+        self._recompute_seeds(state, seed_map, only=None)
+        self._queries[name] = state
+        return name
+
+    def results(self, name: str):
+        """The merged coalesced families of a registered ``families`` query."""
+        state = self._state(name)
+        if state.mode != "families":
+            raise EvaluationError(
+                "interval (coalesced) output is only defined when every "
+                "variable is bound within a single temporal group"
+            )
+        return list(self._merged(state).families)
+
+    def table(self, name: str) -> TypingUnion[BindingTable, IntervalBindingTable]:
+        """The merged binding table of a registered query."""
+        return self._merged(self._state(name))
+
+    def _state(self, name: str) -> _QueryState:
+        state = self._queries.get(name)
+        if state is None:
+            raise EvaluationError(
+                f"query {name!r} is not registered with this streaming session"
+            )
+        return state
+
+    # ------------------------------------------------------------------ #
+    # Delta application
+    # ------------------------------------------------------------------ #
+    def apply(self, batch: DeltaBatch) -> ApplyResult:
+        """Apply one batch and incrementally refresh every registered query.
+
+        Ordering is enforced first: a batch whose ``sequence`` is not
+        strictly greater than the last applied one raises
+        :class:`EvaluationError` (unsequenced batches are always
+        accepted and do not advance the stream position).  Validation
+        failures inside :func:`~repro.streaming.delta.apply_delta` also
+        leave both the graph and the stream position untouched.
+        """
+        start = time.perf_counter()
+        if batch.sequence is not None and self._last_sequence is not None:
+            if batch.sequence <= self._last_sequence:
+                raise EvaluationError(
+                    f"delta batch applied out of order: sequence {batch.sequence} "
+                    f"after {self._last_sequence}; batches must arrive in strictly "
+                    "increasing sequence order"
+                )
+        if batch.is_empty():
+            if batch.sequence is not None:
+                self._last_sequence = batch.sequence
+            return ApplyResult(
+                sequence=batch.sequence,
+                new_nodes=0,
+                new_edges=0,
+                touched_objects=0,
+                horizon_advanced=False,
+                queries=tuple(
+                    QueryUpdate(state.name, 0, len(state.seed_times), False)
+                    for state in self._queries.values()
+                ),
+                seconds=time.perf_counter() - start,
+            )
+        effects = apply_delta(self._graph, batch)
+        if batch.sequence is not None:
+            self._last_sequence = batch.sequence
+        index = self._engine.index
+        if index is not None:
+            index.apply_delta(effects)
+        if effects.horizon_advanced:
+            self._engine._refresh_domain()
+        updates = tuple(
+            self._update_query(state, effects) for state in self._queries.values()
+        )
+        return ApplyResult(
+            sequence=batch.sequence,
+            new_nodes=len(effects.new_nodes),
+            new_edges=len(effects.new_edges),
+            touched_objects=len(effects.touched),
+            horizon_advanced=effects.horizon_advanced,
+            queries=updates,
+            seconds=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _update_query(self, state: _QueryState, effects: DeltaEffects) -> QueryUpdate:
+        if effects.horizon_advanced:
+            # Domain-clamped condition families shift for every object;
+            # only a full re-derivation is sound.
+            seed_map, state.rest = self._seed_table(state)
+            self._recompute_seeds(state, seed_map, only=None)
+            return QueryUpdate(state.name, len(seed_map), len(seed_map), True)
+        # Only the dirty closure is ever inspected, so a small batch
+        # costs O(closure), not O(total seeds): fresh seed rows are
+        # looked up for the dirty objects alone, and untouched affected
+        # seeds rebuild their rows from the cached (still valid,
+        # object-local) satisfaction times.
+        closure = self._closure(effects.dirty, state.struct_radius)
+        fresh = self._engine._seed_rows_for(
+            state.chain, [obj for obj in closure if obj in effects.dirty]
+        )
+        affected = self._affected_seeds(state, effects, closure, fresh)
+        for obj in affected:
+            if obj in effects.dirty:
+                row = fresh.get(obj)
+                if row is None:
+                    # The object no longer seeds this chain (e.g. a
+                    # condition stopped holding under negation).
+                    state.seed_times.pop(obj, None)
+                    if state.contributions.pop(obj, None) is not None:
+                        state.merged = None
+                    continue
+                state.seed_times[obj] = row.last.times
+            else:
+                row = Row((Group((), obj, state.seed_times[obj]),), ())
+            contribution = self._eval_seed(state, row, state.rest)
+            if contribution:
+                state.contributions[obj] = contribution
+            else:
+                state.contributions.pop(obj, None)
+            state.merged = None
+        return QueryUpdate(state.name, len(affected), len(state.seed_times), False)
+
+    def _seed_table(
+        self, state: _QueryState
+    ) -> tuple[dict[ObjectId, Row], tuple[ChainStep, ...]]:
+        """The full fresh seed table and the chain remainder."""
+        seeds, rest = self._engine._initial_frontier(state.chain)
+        return {row.last.current: row for row in seeds}, rest
+
+    def _affected_seeds(
+        self,
+        state: _QueryState,
+        effects: DeltaEffects,
+        closure: set[ObjectId],
+        fresh: dict[ObjectId, Row],
+    ) -> set[ObjectId]:
+        if state.temporal_radius is None:
+            window: Optional[IntervalSet] = None  # unbounded: time filter off
+        else:
+            radius = state.temporal_radius
+            window = effects.dirty_times.dilate(radius, radius, self._graph.domain)
+        affected: set[ObjectId] = set()
+        for obj in closure:
+            if obj in effects.dirty:
+                # The object's own families/adjacency changed: its seed
+                # row (existence, satisfaction times) may appear, move
+                # or vanish regardless of the cached time filter — but
+                # only seeds (old or new) contribute anything.
+                if obj in fresh or obj in state.seed_times:
+                    affected.add(obj)
+                continue
+            times = state.seed_times.get(obj)
+            if times is None:
+                # Untouched object that never was a seed: its static
+                # condition times are object-local, hence unchanged.
+                continue
+            if window is None or times.overlaps(window):
+                affected.add(obj)
+        return affected
+
+    def _closure(self, dirty, radius: int) -> set[ObjectId]:
+        index = self._engine.index
+        if index is not None:
+            return index.structural_closure(dirty, radius)
+        graph = self._graph
+        closure = {obj for obj in dirty if graph.has_object(obj)}
+        frontier = set(closure)
+        for _ in range(radius):
+            if not frontier:
+                break
+            reached: set[ObjectId] = set()
+            for obj in frontier:
+                if graph.is_node(obj):
+                    reached.update(graph.out_edges(obj))
+                    reached.update(graph.in_edges(obj))
+                else:
+                    reached.update(graph.endpoints(obj))
+            frontier = reached - closure
+            closure |= frontier
+        return closure
+
+    def _recompute_seeds(
+        self,
+        state: _QueryState,
+        seed_map: dict[ObjectId, Row],
+        only: Optional[set[ObjectId]],
+    ) -> int:
+        """Re-derive contributions for ``only`` seeds (``None`` = all).
+
+        The full-table path: registration and horizon advances.  (Batch
+        updates take the closure-bounded path in :meth:`_update_query`.)
+        Returns the number of seeds evaluated.
+        """
+        if only is None:
+            state.seed_times = {obj: row.last.times for obj, row in seed_map.items()}
+            state.contributions = {}
+            targets = seed_map
+        else:
+            for obj in only:
+                row = seed_map.get(obj)
+                if row is None:
+                    state.seed_times.pop(obj, None)
+                    state.contributions.pop(obj, None)
+                else:
+                    state.seed_times[obj] = row.last.times
+            targets = {obj: seed_map[obj] for obj in only if obj in seed_map}
+        for obj, row in targets.items():
+            contribution = self._eval_seed(state, row, state.rest)
+            if contribution:
+                state.contributions[obj] = contribution
+            else:
+                state.contributions.pop(obj, None)
+        if only is None or targets or (only - set(seed_map)):
+            state.merged = None
+        return len(targets)
+
+    def _eval_seed(
+        self, state: _QueryState, row: Row, rest: tuple[ChainStep, ...]
+    ) -> Contribution:
+        from repro.dataflow.executor import _ChainStats
+
+        engine = self._engine
+        frontier = engine._run_chain_on([row], rest, _ChainStats())
+        if not frontier:
+            return ()
+        if state.mode == "families":
+            return engine._materializer.families(frontier, state.variables)
+        # Point mode covers both the coalesced group-spanning shapes and
+        # the legacy (use_coalesced=False) engine, exactly as in batch
+        # Step 3.
+        return engine._materialize_rows(frontier, state.variables)
+
+    def _merged(
+        self, state: _QueryState
+    ) -> TypingUnion[BindingTable, IntervalBindingTable]:
+        if state.merged is not None:
+            return state.merged
+        if state.mode == "families":
+            accumulators: dict[tuple, IntervalSetAccumulator] = {}
+            for contribution in state.contributions.values():
+                for bindings, times in contribution:
+                    accumulator = accumulators.get(bindings)
+                    if accumulator is None:
+                        accumulator = accumulators[bindings] = IntervalSetAccumulator()
+                    accumulator.add(times)
+            families = [
+                (bindings, accumulator.build())
+                for bindings, accumulator in accumulators.items()
+            ]
+            state.merged = IntervalBindingTable(state.variables, families)
+        else:
+            rows: set[tuple] = set()
+            for contribution in state.contributions.values():
+                rows.update(contribution)
+            state.merged = BindingTable.build(state.variables, rows)
+        return state.merged

@@ -1,0 +1,239 @@
+"""Unit tests for the unified CI bench-gate driver (benchmarks/ci_gate.py).
+
+The skip/engage rule of the core-sensitive speedup gates used to live
+only in ``bench_fig3_parallelism.check_against`` plus a workflow
+comment; it now lives in ``ci_gate.speedup_gate_decision`` and is pinned
+here once, together with the manifest parsing (including the
+pre-3.11 mini-TOML fallback) and command construction.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
+
+import ci_gate
+from ci_gate import (
+    Gate,
+    build_command,
+    load_manifest,
+    parse_manifest_text,
+    speedup_gate_decision,
+)
+
+SAMPLE_MANIFEST = """
+# comment line
+[gate.alpha]
+harness = "bench_alpha.py"   # trailing comment
+out = "smoke_alpha.json"
+baseline = "BENCH_A.json"
+tolerance = 0.1
+core_sensitive = true
+min_cores = 2
+
+[gate.beta]
+harness = "bench_beta.py"
+out = "smoke_beta.json"
+args = ["--rounds", "2"]
+"""
+
+
+def make_baseline(tmp_path: Path, scale: str = "S1", cpu_count: int | None = 4) -> Path:
+    path = tmp_path / "BENCH_X.json"
+    section: dict = {"focus_median_speedup": {"process": {"4": 1.5}}}
+    if cpu_count is not None:
+        section["cpu_count"] = cpu_count
+    path.write_text(json.dumps({"results": {scale: section}}))
+    return path
+
+
+# --------------------------------------------------------------------- #
+# Manifest parsing
+# --------------------------------------------------------------------- #
+class TestManifest:
+    def test_parse_sample(self):
+        gates = parse_manifest_text(SAMPLE_MANIFEST)
+        assert [g.name for g in gates] == ["alpha", "beta"]
+        alpha, beta = gates
+        assert alpha.baseline == "BENCH_A.json"
+        assert alpha.tolerance == pytest.approx(0.1)
+        assert alpha.core_sensitive and alpha.min_cores == 2
+        assert beta.baseline is None and not beta.core_sensitive
+        assert beta.args == ("--rounds", "2")
+
+    def test_mini_parser_agrees_with_tomllib(self):
+        if ci_gate.tomllib is None:
+            pytest.skip("running on < 3.11: tomllib side unavailable")
+        saved = ci_gate.tomllib
+        try:
+            ci_gate.tomllib = None
+            mini = parse_manifest_text(SAMPLE_MANIFEST)
+        finally:
+            ci_gate.tomllib = saved
+        assert mini == parse_manifest_text(SAMPLE_MANIFEST)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown manifest keys"):
+            parse_manifest_text(
+                '[gate.x]\nharness = "a.py"\nout = "o.json"\ntypo = 1\n'
+            )
+
+    def test_empty_manifest_rejected(self):
+        with pytest.raises(ValueError, match="no \\[gate"):
+            parse_manifest_text("# nothing here\n")
+
+    def test_repo_manifest_is_consistent(self):
+        """The committed gates.toml names real harnesses and baselines."""
+        gates = load_manifest()
+        names = [gate.name for gate in gates]
+        assert "streaming" in names, "the PR 5 bench must register in the manifest"
+        repo = BENCH_DIR.parent
+        for gate in gates:
+            assert gate.harness_path.exists(), f"missing harness {gate.harness}"
+            if gate.baseline:
+                assert (repo / gate.baseline).exists(), (
+                    f"gate {gate.name} references missing baseline {gate.baseline}"
+                )
+                assert gate.tolerance is not None, (
+                    f"gate {gate.name} has a baseline but no tolerance"
+                )
+
+
+# --------------------------------------------------------------------- #
+# Core-count skip/engage rule
+# --------------------------------------------------------------------- #
+class TestSpeedupGateDecision:
+    def test_too_few_cores_skips(self, tmp_path):
+        baseline = make_baseline(tmp_path)
+        decision = speedup_gate_decision(baseline, "S1", cores=1, min_cores=2)
+        assert not decision.engage
+        assert "no parallel speedup is physically possible" in decision.reason
+
+    def test_missing_baseline_skips(self, tmp_path):
+        decision = speedup_gate_decision(tmp_path / "absent.json", "S1", cores=4)
+        assert not decision.engage
+        assert "not found" in decision.reason
+
+    def test_invalid_json_skips(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        decision = speedup_gate_decision(path, "S1", cores=4)
+        assert not decision.engage
+        assert "not valid JSON" in decision.reason
+
+    def test_missing_scale_section_skips(self, tmp_path):
+        baseline = make_baseline(tmp_path, scale="S4")
+        decision = speedup_gate_decision(baseline, "S1", cores=4)
+        assert not decision.engage
+        assert "no S1 section" in decision.reason
+
+    def test_core_count_mismatch_skips_with_regeneration_command(self, tmp_path):
+        baseline = make_baseline(tmp_path, cpu_count=1)
+        decision = speedup_gate_decision(
+            baseline, "S1", cores=4, harness="bench_fig3_parallelism.py"
+        )
+        assert not decision.engage
+        assert "recorded on 1 core(s)" in decision.reason
+        assert (
+            f"python bench_fig3_parallelism.py --scale S1 --out {baseline}"
+            in decision.reason
+        )
+
+    def test_unrecorded_core_count_skips(self, tmp_path):
+        baseline = make_baseline(tmp_path, cpu_count=None)
+        decision = speedup_gate_decision(baseline, "S1", cores=4)
+        assert not decision.engage
+
+    def test_matching_cores_engages_with_reference(self, tmp_path):
+        baseline = make_baseline(tmp_path, cpu_count=4)
+        decision = speedup_gate_decision(baseline, "S1", cores=4)
+        assert decision.engage
+        assert decision.reference["focus_median_speedup"]["process"]["4"] == 1.5
+
+    def test_bench_fig3_uses_the_shared_rule(self):
+        """The harness delegates instead of re-implementing the rule."""
+        import bench_fig3_parallelism
+
+        assert (
+            bench_fig3_parallelism.speedup_gate_decision
+            is speedup_gate_decision
+        )
+
+
+# --------------------------------------------------------------------- #
+# Command construction
+# --------------------------------------------------------------------- #
+class TestBuildCommand:
+    GATE = Gate(
+        name="x",
+        harness="bench_x.py",
+        out="smoke_x.json",
+        baseline="BENCH_X.json",
+        tolerance=0.25,
+        args=("--rounds", "2"),
+    )
+
+    def test_smoke_mode_checks_baseline(self, tmp_path):
+        command = build_command(self.GATE, "smoke", tmp_path)
+        assert command[0] == sys.executable
+        assert command[1].endswith("bench_x.py")
+        assert "--smoke" in command
+        assert "--rounds" in command and "2" in command
+        assert str(tmp_path / "smoke_x.json") in command
+        check = command.index("--check-against")
+        assert command[check + 1].endswith("BENCH_X.json")
+        tolerance = command.index("--tolerance")
+        assert command[tolerance + 1] == "0.25"
+
+    def test_smoke_mode_without_baseline_has_no_check(self, tmp_path):
+        gate = Gate(name="y", harness="bench_y.py", out="smoke_y.json")
+        command = build_command(gate, "smoke", tmp_path)
+        assert "--check-against" not in command
+        assert "--tolerance" not in command
+
+    def test_full_mode_regenerates_baseline_candidate(self, tmp_path):
+        command = build_command(self.GATE, "full", tmp_path)
+        assert "--smoke" not in command
+        assert "--check-against" not in command
+        out = command.index("--out")
+        assert command[out + 1] == str(tmp_path / "BENCH_X.json")
+
+    def test_full_mode_falls_back_to_out_name(self, tmp_path):
+        gate = Gate(name="y", harness="bench_y.py", out="smoke_y.json")
+        command = build_command(gate, "full", tmp_path)
+        out = command.index("--out")
+        assert command[out + 1] == str(tmp_path / "smoke_y.json")
+
+
+class TestDriver:
+    def test_unknown_only_gate_errors(self, tmp_path, capsys):
+        gates = [Gate(name="a", harness="bench_a.py", out="o.json")]
+        assert ci_gate.run_gates(gates, "smoke", tmp_path, only="nope") == 2
+        assert "no gate named" in capsys.readouterr().err
+
+    def test_driver_reports_all_failures(self, tmp_path, capsys, monkeypatch):
+        gates = parse_manifest_text(SAMPLE_MANIFEST)
+        calls = []
+
+        class FakeResult:
+            def __init__(self, code):
+                self.returncode = code
+
+        def fake_run(command, **kwargs):
+            calls.append(command)
+            return FakeResult(1 if "bench_alpha.py" in command[1] else 0)
+
+        monkeypatch.setattr(ci_gate.subprocess, "run", fake_run)
+        assert ci_gate.run_gates(gates, "smoke", tmp_path) == 1
+        err = capsys.readouterr().err
+        assert "gate alpha failed" in err
+        assert "FAILED gates: alpha" in err
+        # The failing gate did not stop the remaining ones.
+        assert len(calls) == 2

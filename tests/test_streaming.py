@@ -1,0 +1,548 @@
+"""Unit tests for the streaming subsystem: DeltaBatch, maintenance, CLI.
+
+The end-to-end incremental-vs-cold equivalence lives in
+``test_streaming_oracle.py``; this module pins the edge cases of the
+update model itself — adjacent-interval merging, out-of-domain deltas,
+empty batches, out-of-order application — plus the in-place
+``GraphIndex`` maintenance and the CLI ``--stream`` surface.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.dataflow import DataflowEngine
+from repro.datagen.streaming import contact_tracing_stream
+from repro.datagen import ContactTracingConfig, TrajectoryConfig
+from repro.errors import (
+    EvaluationError,
+    GraphIntegrityError,
+    InvalidIntervalError,
+    UnknownObjectError,
+)
+from repro.lang import ast
+from repro.model.io import from_json_dict, save_json, to_json_dict
+from repro.model.itpg import IntervalTPG
+from repro.perf.graph_index import graph_index_for
+from repro.streaming import DeltaBatch, StreamingEngine, apply_delta
+from repro.temporal.interval import Interval
+from repro.temporal.intervalset import IntervalSet
+
+
+def small_graph() -> IntervalTPG:
+    graph = IntervalTPG((0, 9))
+    graph.add_node("a", "Person", [(0, 4)])
+    graph.add_node("b", "Person", [(2, 9)])
+    graph.add_node("r", "Room", [(0, 9)])
+    graph.add_edge("e0", "meets", "a", "b", [(2, 4)])
+    graph.add_edge("v0", "visits", "a", "r", [(1, 3)])
+    graph.set_property("a", "risk", "low", 0, 4)
+    graph.set_property("b", "risk", "high", 2, 9)
+    return graph
+
+
+def snapshot(graph: IntervalTPG) -> dict:
+    return to_json_dict(graph)
+
+
+# --------------------------------------------------------------------- #
+# DeltaBatch edge cases
+# --------------------------------------------------------------------- #
+class TestDeltaBatchEdgeCases:
+    def test_adjacent_intervals_merge(self):
+        graph = small_graph()
+        effects = apply_delta(graph, DeltaBatch().add_existence("a", 5, 7))
+        # [0,4] + [5,7] coalesce into one maximal interval.
+        assert graph.existence("a") == IntervalSet(((0, 7),))
+        assert effects.touched == frozenset({"a"})
+        assert effects.dirty_times == IntervalSet(((5, 7),))
+
+    def test_adjacent_merge_maintains_index(self):
+        graph = small_graph()
+        index = graph_index_for(graph)
+        exists_table = index.condition_table(ast.exists())
+        assert exists_table["a"] == IntervalSet(((0, 4),))
+        apply_delta_and_maintain(graph, DeltaBatch().add_existence("a", 5, 7))
+        assert index.existence["a"] == IntervalSet(((0, 7),))
+        # The shared memoized table was repaired in place.
+        assert exists_table["a"] == IntervalSet(((0, 7),))
+
+    def test_delta_outside_domain_rejected_atomically(self):
+        graph = small_graph()
+        before = snapshot(graph)
+        batch = (
+            DeltaBatch()
+            .add_existence("b", 8, 9)  # valid part...
+            .add_node("c", "Person", [(12, 14)])  # ...entirely outside [0,9]
+        )
+        with pytest.raises(GraphIntegrityError, match="outside the temporal domain"):
+            apply_delta(graph, batch)
+        # Nothing was applied, including the valid records before the bad one.
+        assert snapshot(graph) == before
+
+    def test_delta_outside_domain_allowed_after_horizon_advance(self):
+        graph = small_graph()
+        batch = DeltaBatch().extend_domain(14).add_node("c", "Person", [(12, 14)])
+        effects = apply_delta(graph, batch)
+        assert effects.horizon_advanced
+        assert graph.domain == Interval(0, 14)
+        assert graph.existence("c") == IntervalSet(((12, 14),))
+
+    def test_horizon_cannot_move_backwards(self):
+        graph = small_graph()
+        with pytest.raises(GraphIntegrityError, match="append-only"):
+            apply_delta(graph, DeltaBatch().extend_domain(5))
+        with pytest.raises(GraphIntegrityError, match="backwards"):
+            DeltaBatch().extend_domain(9).extend_domain(5)
+
+    def test_empty_delta_is_noop(self):
+        graph = small_graph()
+        before = snapshot(graph)
+        batch = DeltaBatch(sequence=1)
+        assert batch.is_empty()
+        engine = DataflowEngine(graph, incremental=True)
+        rows = engine.match("MATCH (x:Person) ON g").as_set()
+        result = engine.apply_delta(batch)
+        assert result.affected_seeds == 0
+        assert snapshot(graph) == before
+        assert engine.match("MATCH (x:Person) ON g").as_set() == rows
+        # The empty batch still advances the stream position.
+        assert engine.streaming_session().last_sequence == 1
+
+    def test_out_of_order_batches_raise(self):
+        graph = small_graph()
+        engine = DataflowEngine(graph, incremental=True)
+        engine.apply_delta(DeltaBatch(sequence=2).add_existence("a", 5, 5))
+        with pytest.raises(EvaluationError, match="out of order"):
+            engine.apply_delta(DeltaBatch(sequence=2).add_existence("a", 6, 6))
+        with pytest.raises(EvaluationError, match="strictly increasing"):
+            engine.apply_delta(DeltaBatch(sequence=1))
+        # A failed apply leaves the stream position usable.
+        engine.apply_delta(DeltaBatch(sequence=3).add_existence("a", 6, 6))
+        assert graph.existence("a") == IntervalSet(((0, 6),))
+
+    def test_unsequenced_batches_always_accepted(self):
+        graph = small_graph()
+        engine = DataflowEngine(graph, incremental=True)
+        engine.apply_delta(DeltaBatch(sequence=5).add_existence("a", 5, 5))
+        engine.apply_delta(DeltaBatch().add_existence("a", 6, 6))
+        assert engine.streaming_session().last_sequence == 5
+
+    def test_duplicate_and_unknown_ids_rejected(self):
+        graph = small_graph()
+        before = snapshot(graph)
+        with pytest.raises(GraphIntegrityError, match="already in use"):
+            apply_delta(graph, DeltaBatch().add_node("a", "Person", [(0, 1)]))
+        with pytest.raises(UnknownObjectError, match="unknown node"):
+            apply_delta(graph, DeltaBatch().add_edge("e9", "meets", "a", "zz", [(2, 3)]))
+        with pytest.raises(UnknownObjectError, match="unknown object"):
+            apply_delta(graph, DeltaBatch().add_existence("zz", 0, 1))
+        assert snapshot(graph) == before
+
+    def test_edge_outside_endpoint_existence_rejected(self):
+        graph = small_graph()
+        before = snapshot(graph)
+        # "a" exists on [0,4] only; edge through [0,6] is not contained.
+        batch = DeltaBatch().add_edge("e9", "meets", "a", "b", [(2, 6)])
+        with pytest.raises(GraphIntegrityError, match="outside the existence"):
+            apply_delta(graph, batch)
+        assert snapshot(graph) == before
+        # Extending the endpoint in the same batch makes it valid.
+        apply_delta(
+            graph,
+            DeltaBatch().add_existence("a", 5, 6).add_edge("e9", "meets", "a", "b", [(2, 6)]),
+        )
+        graph.validate()
+
+    def test_conflicting_property_values_rejected_atomically(self):
+        graph = small_graph()
+        before = snapshot(graph)
+        batch = DeltaBatch().add_existence("a", 5, 5).set_property("a", "risk", "high", 3, 4)
+        with pytest.raises(InvalidIntervalError):
+            apply_delta(graph, batch)
+        assert snapshot(graph) == before
+
+    def test_property_outside_existence_rejected(self):
+        graph = small_graph()
+        with pytest.raises(GraphIntegrityError, match="outside its existence"):
+            apply_delta(graph, DeltaBatch().set_property("a", "risk", "low", 5, 6))
+
+    def test_batch_new_objects_can_be_extended_in_batch(self):
+        graph = small_graph()
+        batch = (
+            DeltaBatch()
+            .add_node("c", "Person", [(0, 2)])
+            .add_existence("c", 3, 5)
+            .add_edge("e9", "knows", "c", "b", [(3, 4)])
+            .set_property("c", "risk", "low", 0, 5)
+        )
+        effects = apply_delta(graph, batch)
+        graph.validate()
+        assert graph.existence("c") == IntervalSet(((0, 5),))
+        assert effects.new_nodes == ("c",)
+        assert effects.new_edges == ("e9",)
+        # Batch-new objects are dirty but not "touched existing".
+        assert "c" not in effects.touched
+        assert "b" in effects.touched  # endpoint adjacency changed
+
+    def test_json_round_trip(self):
+        batch = (
+            DeltaBatch(sequence=7)
+            .extend_domain(20)
+            .add_node("c", "Person", [(0, 2), (4, 5)])
+            .add_edge("e9", "meets", "c", "c", [(1, 2)])
+            .add_existence("c", 7, 8)
+            .set_property("c", "risk", "low", 0, 2)
+        )
+        clone = DeltaBatch.from_json_dict(json.loads(json.dumps(batch.to_json_dict())))
+        assert clone.sequence == 7
+        assert clone.horizon == 20
+        assert clone.nodes == batch.nodes
+        assert clone.edges == batch.edges
+        assert clone.existence == batch.existence
+        assert clone.properties == batch.properties
+
+
+def apply_delta_and_maintain(graph: IntervalTPG, batch: DeltaBatch):
+    """Apply a batch and maintain the graph's cached index (test helper)."""
+    effects = apply_delta(graph, batch)
+    graph_index_for(graph).apply_delta(effects)
+    return effects
+
+
+# --------------------------------------------------------------------- #
+# Incremental index maintenance
+# --------------------------------------------------------------------- #
+class TestIndexMaintenance:
+    def test_new_objects_enter_buckets_and_ids(self):
+        graph = small_graph()
+        index = graph_index_for(graph)
+        ids_before = dict(index.object_id)
+        apply_delta_and_maintain(
+            graph,
+            DeltaBatch()
+            .add_node("c", "Person", [(0, 3)])
+            .add_edge("e9", "meets", "c", "b", [(2, 3)])
+            .set_property("c", "risk", "high", 0, 3),
+        )
+        # Existing dense ids are stable; new objects appended.
+        for obj, dense in ids_before.items():
+            assert index.object_id[obj] == dense
+        assert index.is_node("c") and index.is_edge("e9")
+        assert "c" in index.node_label_buckets["Person"]
+        assert "e9" in index.edge_label_buckets["meets"]
+        assert "c" in index.prop_value_buckets[("risk", "high")]
+        assert index.edge_source["e9"] == "c"
+        assert "e9" in index.out_adjacency["c"]
+        assert "e9" in index.in_adjacency["b"]
+
+    def test_condition_tables_repaired_for_dirty_objects(self):
+        graph = small_graph()
+        index = graph_index_for(graph)
+        low = index.condition_table(ast.prop_eq("risk", "low"))
+        assert low["a"] == IntervalSet(((0, 4),))
+        assert "b" not in low
+        apply_delta_and_maintain(
+            graph,
+            DeltaBatch().add_existence("a", 5, 7).set_property("a", "risk", "low", 5, 7),
+        )
+        assert low["a"] == IntervalSet(((0, 7),))
+        # Untouched objects keep their entries untouched.
+        assert "b" not in low
+
+    def test_negated_condition_shrinks_on_update(self):
+        graph = small_graph()
+        index = graph_index_for(graph)
+        not_low = index.condition_table(ast.not_(ast.prop_eq("risk", "low")))
+        assert not_low["a"] == IntervalSet(((5, 9),))
+        apply_delta_and_maintain(
+            graph,
+            DeltaBatch().add_existence("a", 5, 6).set_property("a", "risk", "low", 5, 6),
+        )
+        assert not_low["a"] == IntervalSet(((7, 9),))
+
+    def test_hop_tables_invalidate_within_two_moves(self):
+        graph = small_graph()
+        index = graph_index_for(graph)
+        entries = index.hop_entries("a", True, (), True, ())
+        targets = {target for target, _times in entries}
+        assert targets == {"b", "r"}
+        apply_delta_and_maintain(
+            graph,
+            DeltaBatch()
+            .add_node("c", "Person", [(0, 9)])
+            .add_edge("e9", "knows", "a", "c", [(0, 4)]),
+        )
+        entries_after = index.hop_entries("a", True, (), True, ())
+        assert {target for target, _times in entries_after} == {"b", "r", "c"}
+
+    def test_horizon_advance_clears_domain_clamped_tables(self):
+        graph = small_graph()
+        index = graph_index_for(graph)
+        not_exists = index.condition_table(ast.not_(ast.exists()))
+        assert not_exists["a"] == IntervalSet(((5, 9),))
+        apply_delta_and_maintain(graph, DeltaBatch().extend_domain(12))
+        fresh = index.condition_table(ast.not_(ast.exists()))
+        assert fresh["a"] == IntervalSet(((5, 12),))
+        assert index.domain == Interval(0, 12)
+
+    def test_structural_closure_radii(self):
+        graph = small_graph()
+        index = graph_index_for(graph)
+        assert index.structural_closure({"a"}, 0) == {"a"}
+        assert index.structural_closure({"a"}, 1) == {"a", "e0", "v0"}
+        assert index.structural_closure({"a"}, 2) == {"a", "e0", "v0", "b", "r"}
+        assert index.structural_closure({"missing"}, 3) == set()
+
+
+# --------------------------------------------------------------------- #
+# StreamingEngine behaviour
+# --------------------------------------------------------------------- #
+class TestStreamingEngine:
+    QUERY = "MATCH (x:Person {risk = 'low'})-[z:meets]->(y:Person {risk = 'high'}) ON g"
+
+    def test_incremental_matches_cold_after_each_batch(self):
+        graph = small_graph()
+        engine = DataflowEngine(graph, incremental=True)
+        assert engine.incremental
+        batches = [
+            DeltaBatch(sequence=1)
+            .add_node("c", "Person", [(3, 8)])
+            .set_property("c", "risk", "high", 3, 8)
+            .add_edge("e1", "meets", "a", "c", [(3, 4)]),
+            DeltaBatch(sequence=2).add_existence("b", 0, 1),
+            DeltaBatch(sequence=3).extend_domain(12).add_existence("c", 9, 12)
+            .set_property("c", "risk", "high", 9, 12),
+        ]
+        for batch in batches:
+            engine.apply_delta(batch)
+            cold = DataflowEngine(from_json_dict(to_json_dict(graph)))
+            assert engine.match(self.QUERY).as_set() == cold.match(self.QUERY).as_set()
+            inc_families = sorted(
+                ((b, tuple(t.intervals)) for b, t in engine.match_intervals(self.QUERY)),
+                key=repr,
+            )
+            cold_families = sorted(
+                ((b, tuple(t.intervals)) for b, t in cold.match_intervals(self.QUERY)),
+                key=repr,
+            )
+            assert inc_families == cold_families
+
+    def test_apply_delta_requires_incremental(self):
+        engine = DataflowEngine(small_graph())
+        with pytest.raises(EvaluationError, match="incremental=True"):
+            engine.apply_delta(DeltaBatch())
+
+    def test_unaffected_seeds_are_not_rederived(self):
+        graph = small_graph()
+        engine = DataflowEngine(graph, incremental=True)
+        engine.match("MATCH (x:Person) ON g")
+        # Touch only the Room node: no Person seed is within radius 0.
+        result = engine.apply_delta(DeltaBatch(sequence=1).add_existence("r", 0, 9))
+        (update,) = result.queries
+        assert update.total_seeds == 2
+        assert update.affected_seeds == 0
+        assert not update.recomputed_all
+
+    def test_horizon_advance_recomputes_everything(self):
+        graph = small_graph()
+        engine = DataflowEngine(graph, incremental=True)
+        engine.match("MATCH (x:Person) ON g")
+        result = engine.apply_delta(DeltaBatch(sequence=1).extend_domain(11))
+        (update,) = result.queries
+        assert update.recomputed_all
+        assert update.affected_seeds == update.total_seeds
+
+    def test_streaming_engine_standalone_registration(self):
+        graph = small_graph()
+        session = StreamingEngine(graph)
+        name = session.register(self.QUERY)
+        assert name == self.QUERY
+        assert session.query_names() == (self.QUERY,)
+        families = session.results(name)
+        assert families
+        with pytest.raises(EvaluationError, match="not registered"):
+            session.table("MATCH (q) ON g")
+
+    def test_temporal_window_filter_skips_far_seeds(self):
+        # Chain with bounded temporal radius: a delta far in time from a
+        # seed's satisfaction times must not re-derive it.
+        graph = IntervalTPG((0, 30))
+        graph.add_node("early", "Person", [(0, 2)])
+        graph.add_node("late", "Person", [(25, 30)])
+        graph.add_node("mid", "Room", [(0, 30)])
+        graph.add_edge("ve", "visits", "early", "mid", [(0, 2)])
+        graph.add_edge("vl", "visits", "late", "mid", [(25, 28)])
+        engine = DataflowEngine(graph, incremental=True)
+        query = "MATCH (x:Person)-/FWD/:visits/FWD/NEXT[0,2]/-(r:Room) ON g"
+        engine.match(query)
+        # Dirty the shared room node late in time: 'early' seed times
+        # [0,2] are outside the dilated window [23,30] despite being in
+        # the structural closure.
+        result = engine.apply_delta(
+            DeltaBatch(sequence=1)
+            .add_node("p9", "Person", [(27, 29)])
+            .add_edge("v9", "visits", "p9", "mid", [(27, 28)])
+        )
+        (update,) = result.queries
+        assert update.affected_seeds >= 1
+        cold = DataflowEngine(from_json_dict(to_json_dict(graph)))
+        assert engine.match(query).as_set() == cold.match(query).as_set()
+        # 'early' was skipped by the time filter.
+        session = engine.streaming_session()
+        state = session._state(query)
+        assert "early" in state.seed_times
+
+    def test_legacy_and_noindex_sessions_agree(self):
+        payload = to_json_dict(small_graph())
+        query = "MATCH (x:Person {risk = 'high'}) ON g"
+        engines = {
+            "coalesced": DataflowEngine(from_json_dict(payload), incremental=True),
+            "noindex": DataflowEngine(
+                from_json_dict(payload), use_index=False, incremental=True
+            ),
+            "legacy": DataflowEngine(
+                from_json_dict(payload), use_coalesced=False, incremental=True
+            ),
+        }
+        batch = (
+            DeltaBatch(sequence=1)
+            .add_existence("a", 5, 9)
+            .set_property("a", "risk", "high", 5, 9)
+        )
+        reference = None
+        for engine in engines.values():
+            engine.match(query)
+            engine.apply_delta(
+                DeltaBatch.from_json_dict(batch.to_json_dict())
+            )
+            rows = engine.match(query).as_set()
+            if reference is None:
+                reference = rows
+            assert rows == reference
+        assert reference  # the update made 'a' high-risk on [5,9]
+
+
+# --------------------------------------------------------------------- #
+# Streaming workload generator
+# --------------------------------------------------------------------- #
+class TestContactTracingStream:
+    CONFIG = ContactTracingConfig(
+        trajectory=TrajectoryConfig(
+            num_persons=25, num_locations=20, num_rooms=6, num_windows=24, seed=5
+        ),
+        seed=5,
+    )
+
+    def test_stream_replays_to_valid_graph(self):
+        stream = contact_tracing_stream(self.CONFIG, num_batches=4)
+        assert stream.batches
+        sequences = [batch.sequence for batch in stream.batches]
+        assert sequences == sorted(sequences)
+        final = stream.replay()
+        final.validate()
+        assert final.num_nodes() > stream.initial.num_nodes() or (
+            final.num_edges() > stream.initial.num_edges()
+        )
+
+    def test_fresh_initial_is_pristine_under_mutation(self):
+        stream = contact_tracing_stream(self.CONFIG, num_batches=3)
+        engine = DataflowEngine(stream.initial, incremental=True)
+        engine.match("MATCH (x:Person) ON g")
+        for batch in stream.batches:
+            engine.apply_delta(batch)
+        # initial was mutated through the engine; fresh_initial was not.
+        assert stream.initial.num_edges() > stream.fresh_initial().num_edges()
+        cold = DataflowEngine(stream.replay())
+        assert (
+            engine.match("MATCH (x:Person) ON g").as_set()
+            == cold.match("MATCH (x:Person) ON g").as_set()
+        )
+
+    def test_advance_horizon_variant(self):
+        stream = contact_tracing_stream(
+            self.CONFIG, num_batches=4, initial_fraction=0.2, advance_horizon=True
+        )
+        full_end = self.CONFIG.trajectory.num_windows - 1
+        assert stream.initial.domain.end <= full_end
+        final = stream.replay()
+        final.validate()
+        if any(batch.horizon is not None for batch in stream.batches):
+            # Batches moved the horizon monotonically up to the final end.
+            horizons = [b.horizon for b in stream.batches if b.horizon is not None]
+            assert horizons == sorted(horizons)
+            assert final.domain.end == horizons[-1]
+        else:
+            # The prefix already reached the last event's end.
+            assert final.domain == stream.initial.domain
+
+    def test_batch_size_and_num_batches_are_exclusive(self):
+        with pytest.raises(ValueError):
+            contact_tracing_stream(self.CONFIG, num_batches=2, batch_size=3)
+
+
+# --------------------------------------------------------------------- #
+# CLI --stream
+# --------------------------------------------------------------------- #
+class TestCliStream:
+    def test_generate_and_stream_query(self, tmp_path, capsys):
+        graph_path = tmp_path / "prefix.json"
+        deltas_path = tmp_path / "deltas.jsonl"
+        assert cli_main([
+            "generate", "--persons", "20", "--locations", "15", "--rooms", "5",
+            "--windows", "16", "-o", str(graph_path),
+            "--stream-batches", "3", "--stream-output", str(deltas_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "delta batches" in out
+        assert deltas_path.exists()
+        assert cli_main([
+            "query", "MATCH (x:Person) ON g", "--graph", str(graph_path),
+            "--stream", str(deltas_path), "--stats", "--limit", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "# stream: initial graph" in out
+        assert "# batch 1 (seq 1):" in out
+        assert "# batch 3 (seq 3):" in out
+        assert "seeds re-derived" in out
+
+    def test_stream_requires_dataflow_engine(self, tmp_path, capsys):
+        deltas_path = tmp_path / "d.jsonl"
+        deltas_path.write_text("{}\n")
+        assert cli_main([
+            "query", "MATCH (x) ON g", "--engine", "reference",
+            "--stream", str(deltas_path),
+        ]) == 2
+        assert "--stream" in capsys.readouterr().err
+
+    def test_stream_final_table_reflects_batches(self, tmp_path, capsys):
+        graph_path = tmp_path / "g.json"
+        deltas_path = tmp_path / "d.jsonl"
+        save_json(small_graph(), str(graph_path))
+        batch = (
+            DeltaBatch(sequence=1)
+            .add_node("zz", "Person", [(0, 3)])
+            .set_property("zz", "risk", "high", 0, 3)
+        )
+        deltas_path.write_text(json.dumps(batch.to_json_dict()) + "\n\n# comment\n")
+        assert cli_main([
+            "query", "MATCH (x:Person {risk = 'high'}) ON g",
+            "--graph", str(graph_path), "--stream", str(deltas_path),
+            "--intervals", "--limit", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "x=zz @ [0,3]" in out
+
+    def test_stream_bad_json_reports_line(self, tmp_path, capsys):
+        graph_path = tmp_path / "g.json"
+        deltas_path = tmp_path / "d.jsonl"
+        save_json(small_graph(), str(graph_path))
+        deltas_path.write_text("not json\n")
+        assert cli_main([
+            "query", "MATCH (x) ON g", "--graph", str(graph_path),
+            "--stream", str(deltas_path),
+        ]) == 2
+        assert ":1: invalid JSON" in capsys.readouterr().err
