@@ -1,0 +1,303 @@
+"""Durable streaming: WAL + snapshot recovery vs full stream replay (PR-6).
+
+The resilience runtime makes a streaming session restartable: every
+applied delta batch lands in a checksummed WAL
+(:mod:`repro.resilience.wal`) and periodic snapshots capture the full
+engine state (:mod:`repro.resilience.snapshot`).  After a crash,
+``recover(snapshot, wal)`` rebuilds the session from the latest snapshot
+plus the WAL tail.  This harness measures what that buys — and costs —
+on the contact-tracing stream:
+
+* **scratch replay** — the pre-PR-6 restart story: a fresh incremental
+  engine cold-registers every query against the initial graph and
+  re-applies the *entire* delta stream;
+* **recovery** — ``recover()`` from a mid-stream snapshot: load the
+  snapshot graph, cold-register the queries, replay only the WAL tail;
+* **durability overhead** — the same continuous run with and without
+  the WAL attached, isolating the per-batch logging cost.
+
+The headline (gated) number is the **recovery speedup**: scratch-replay
+seconds over median recovery seconds.  With the snapshot taken at the
+stream midpoint the tail is half the batches, so the ratio must stay
+well above 1x — a regression means WAL replay or snapshot loading got
+disproportionately expensive.  Every run also cross-checks the recovered
+tables against the continuous session's; any divergence exits non-zero
+(the same contract as the other harnesses).
+
+Measurements land in ``BENCH_PR6.json`` keyed by scale factor::
+
+    PYTHONPATH=src python benchmarks/bench_recovery.py                 # REPRO_SCALE or S4
+    PYTHONPATH=src python benchmarks/bench_recovery.py --smoke \\
+        --out bench_smoke_pr6.json --check-against BENCH_PR6.json \\
+        --tolerance 0.25                                               # CI gate
+
+The ratio is core-count independent (everything runs sequentially), so
+the gate engages on any host.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.datagen.scale import SCALE_FACTORS, default_scale_name
+from repro.datagen.streaming import contact_tracing_stream
+from repro.dataflow import DataflowEngine, PAPER_QUERIES
+from repro.resilience import recover, write_snapshot
+
+#: The registered mix: full scans plus the join whose answer drifts with
+#: every new meets edge (same mix as the PR-5 streaming harness).
+STREAM_QUERIES = ("Q1", "Q2", "Q5")
+#: Upper bound on replayed batches (keeps big sweeps sane).
+MAX_BATCHES = 30
+#: Recovery is read-only and repeatable: best-of over this many runs.
+RECOVERY_REPEATS = 5
+SMOKE_RECOVERY_REPEATS = 3
+
+
+def tables(engine) -> dict:
+    # ``recover()`` hands back the StreamingEngine itself; a DataflowEngine
+    # reaches its session through ``streaming_session()``.
+    session = getattr(engine, "streaming_session", lambda: engine)()
+    return {name: session.table(name).as_set() for name in session.query_names()}
+
+
+def replay(stream, batches, *, wal_path=None, snapshot_path=None, snapshot_at=None):
+    """One continuous run; returns (seconds, engine) with queries registered.
+
+    Registration is *inside* the timed region: a restart pays it no
+    matter which path (scratch replay or recovery) it takes, so both
+    sides of the gated ratio must include it.
+    """
+    start = time.perf_counter()
+    engine = DataflowEngine(stream.fresh_initial(), incremental=True)
+    for name in STREAM_QUERIES:
+        engine.match(PAPER_QUERIES[name].text)
+    session = engine.streaming_session()
+    if wal_path is not None:
+        session.attach_wal(str(wal_path))
+    for number, batch in enumerate(batches, start=1):
+        engine.apply_delta(batch)
+        if snapshot_at is not None and number == snapshot_at:
+            write_snapshot(session, snapshot_path)
+    if session.wal is not None:
+        session.wal.close()
+    return time.perf_counter() - start, engine
+
+
+def bench_scale(scale_name: str, positivity: float, max_batches: int, repeats: int) -> dict:
+    config = SCALE_FACTORS[scale_name].config(positivity_rate=positivity)
+    stream = contact_tracing_stream(config, batch_size=1)
+    batches = stream.batches[:max_batches]
+    # Snapshot at the 3/4 mark: a crash typically lands close to the
+    # latest snapshot, and the short tail keeps the gated ratio out of
+    # the measurement noise at smoke scale.
+    snapshot_at = max(1, (3 * len(batches)) // 4)
+
+    # Scratch replay: the restart path this subsystem replaces.  Both
+    # sides of the gated ratio take the *minimum* over ``repeats`` runs —
+    # the least noise-contaminated estimate of the true cost (the smoke
+    # regime is tens of milliseconds, where scheduler jitter dwarfs any
+    # real regression the gate is after).
+    scratch_runs = []
+    for _ in range(repeats):
+        seconds, reference = replay(stream, batches)
+        scratch_runs.append(seconds)
+    scratch_seconds = min(scratch_runs)
+    reference_tables = tables(reference)
+
+    # Continuous durable run: WAL on every batch, snapshot at midpoint.
+    divergences = 0
+    with tempfile.TemporaryDirectory(prefix="repro-bench-recovery-") as tmpdir:
+        wal_path = Path(tmpdir) / "deltas.wal"
+        snapshot_path = Path(tmpdir) / "state.snap"
+        durable_seconds, durable = replay(
+            stream,
+            batches,
+            wal_path=wal_path,
+            snapshot_path=snapshot_path,
+            snapshot_at=snapshot_at,
+        )
+        if tables(durable) != reference_tables:
+            divergences += 1
+
+        recovery_runs = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            recovered, report = recover(snapshot_path, wal_path)
+            recovery_runs.append(time.perf_counter() - start)
+            if tables(recovered) != reference_tables:
+                divergences += 1
+        wal_bytes = wal_path.stat().st_size
+        snapshot_bytes = snapshot_path.stat().st_size
+
+    recovery_seconds = min(recovery_runs)
+    return {
+        "scale": scale_name,
+        "positivity_rate": positivity,
+        "cpu_count": os.cpu_count(),
+        "queries": list(STREAM_QUERIES),
+        "batches": len(batches),
+        "snapshot_at_batch": snapshot_at,
+        "wal_tail_replayed": report.replayed,
+        "scratch_seconds": round(scratch_seconds, 6),
+        "durable_seconds": round(durable_seconds, 6),
+        "durability_overhead": round(durable_seconds / max(scratch_seconds, 1e-9), 3),
+        "recovery_seconds": round(recovery_seconds, 6),
+        "recovery_seconds_median": round(statistics.median(recovery_runs), 6),
+        "recovery_repeats": repeats,
+        "recovery_speedup": round(scratch_seconds / max(recovery_seconds, 1e-9), 3),
+        "wal_bytes": wal_bytes,
+        "snapshot_bytes": snapshot_bytes,
+        "divergences": divergences,
+    }
+
+
+def check_against(baseline_path: Path, measured: dict, tolerance: float) -> int:
+    """Gate the recovery speedup against the committed baseline."""
+    if not baseline_path.exists():
+        print(f"WARNING: baseline {baseline_path} not found; skipping check")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    scale = measured["scale"]
+    reference = baseline.get("results", {}).get(scale)
+    if reference is None:
+        print(
+            f"WARNING: baseline {baseline_path} has no {scale} section; "
+            "skipping regression check"
+        )
+        return 0
+    expected = reference["recovery_speedup"]
+    floor = expected * (1.0 - tolerance)
+    got = measured["recovery_speedup"]
+    print(
+        f"regression check at {scale}: recovery speedup {got:.2f}x, "
+        f"baseline {expected:.2f}x, floor {floor:.2f}x"
+    )
+    if got < floor:
+        print(
+            f"ERROR: snapshot+WAL recovery regressed more than {tolerance:.0%} "
+            f"vs {baseline_path}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        default=None,
+        choices=sorted(SCALE_FACTORS),
+        help="scale factor (default: REPRO_SCALE or S4; --smoke forces S1)",
+    )
+    parser.add_argument("--positivity", type=float, default=0.05)
+    parser.add_argument(
+        "--max-batches",
+        type=int,
+        default=MAX_BATCHES,
+        help="cap on replayed batches",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.1,
+        help="absolute floor for the recovery speedup (default 1.1)",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR6.json"),
+        help="JSON report path; existing per-scale sections are preserved",
+    )
+    parser.add_argument(
+        "--check-against",
+        default=None,
+        help="baseline BENCH_PR6.json to compare the recovery speedup against",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative regression of the gate ratio (default 25%%)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: smallest scale, fewer batches and repeats",
+    )
+    args = parser.parse_args(argv)
+
+    scale = args.scale or ("S1" if args.smoke else default_scale_name())
+    max_batches = max(2, args.max_batches if not args.smoke else min(args.max_batches, 16))
+    repeats = SMOKE_RECOVERY_REPEATS if args.smoke else RECOVERY_REPEATS
+
+    measured = bench_scale(scale, args.positivity, max_batches, repeats)
+
+    out_path = Path(args.out)
+    report = {"benchmark": "bench_recovery", "results": {}}
+    if out_path.exists():
+        try:
+            report = json.loads(out_path.read_text())
+        except json.JSONDecodeError:
+            pass
+    report["benchmark"] = "bench_recovery"
+    report["python"] = platform.python_version()
+    report.setdefault("results", {})[scale] = measured
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(
+        f"=== Snapshot + WAL recovery at {scale} "
+        f"(queries {', '.join(STREAM_QUERIES)}) ==="
+    )
+    print(
+        f"stream: {measured['batches']} batches, snapshot at batch "
+        f"{measured['snapshot_at_batch']}, WAL tail of "
+        f"{measured['wal_tail_replayed']} record(s) "
+        f"({measured['wal_bytes']} WAL bytes, "
+        f"{measured['snapshot_bytes']} snapshot bytes)"
+    )
+    print(
+        f"scratch replay {measured['scratch_seconds']:.4f}s | durable run "
+        f"{measured['durable_seconds']:.4f}s "
+        f"({measured['durability_overhead']:.2f}x overhead) | recovery "
+        f"{measured['recovery_seconds']:.4f}s min of "
+        f"{measured['recovery_repeats']}"
+    )
+    print(f"recovery speedup over scratch replay: {measured['recovery_speedup']:.2f}x")
+    print(f"report written to {out_path}")
+
+    status = 0
+    if measured["recovery_speedup"] < args.min_speedup:
+        print(
+            f"ERROR: recovery speedup {measured['recovery_speedup']:.2f}x is "
+            f"below the {args.min_speedup:.1f}x floor",
+            file=sys.stderr,
+        )
+        status = 1
+    if args.check_against:
+        status = max(
+            status, check_against(Path(args.check_against), measured, args.tolerance)
+        )
+    if measured["divergences"]:
+        print(
+            "ERROR: recovered state diverged from the continuous run",
+            file=sys.stderr,
+        )
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -123,6 +123,73 @@ def build_parser() -> argparse.ArgumentParser:
         "object per line) incrementally, re-reporting the match after each "
         "batch (dataflow engine only)",
     )
+    query.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-query wall-clock budget; on expiry the query is cancelled "
+        "with a structured DeadlineExceeded error (dataflow engine only)",
+    )
+    query.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry crash-shaped process-backend failures up to N times with "
+        "exponential backoff, then degrade process -> thread -> serial "
+        "(dataflow engine only; default: fail fast)",
+    )
+    query.add_argument(
+        "--wal",
+        default=None,
+        metavar="PATH",
+        help="with --stream: append every applied batch to a checksummed "
+        "write-ahead log at PATH (replayable via 'repro recover')",
+    )
+    query.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="PATH",
+        help="with --stream: periodically write an atomic engine snapshot "
+        "to PATH (see --snapshot-every)",
+    )
+    query.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="snapshot after every N applied batches (default 1; "
+        "requires --snapshot)",
+    )
+
+    recover = sub.add_parser(
+        "recover",
+        help="rebuild a streaming session from a snapshot plus WAL tail",
+    )
+    recover.add_argument("--snapshot", required=True, help="snapshot JSON path")
+    recover.add_argument(
+        "--wal",
+        default=None,
+        metavar="PATH",
+        help="delta WAL to replay on top of the snapshot (records already "
+        "captured by the snapshot are skipped; a torn final record is "
+        "dropped and reported)",
+    )
+    recover.add_argument(
+        "--match",
+        default=None,
+        help="after recovery, print this registered query's table (defaults "
+        "to reporting the recovered queries without printing tables)",
+    )
+    recover.add_argument("--limit", type=int, default=25, help="rows to print (0 = all)")
+    recover.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        metavar="PATH",
+        help="save the recovered graph as JSON",
+    )
 
     example = sub.add_parser("example", help="write the Figure-1 running example as JSON")
     example.add_argument("--output", "-o", required=True, help="output JSON path")
@@ -234,35 +301,51 @@ def _print_explain(plan: dict) -> None:
         )
 
 
-def _stream_batches(path: str):
-    """Parse a delta-batch stream file: one JSON DeltaBatch per line."""
-    from repro.streaming import DeltaBatch
+def _run_stream(
+    engine: DataflowEngine,
+    text: str,
+    path: str,
+    wal: Optional[str] = None,
+    snapshot: Optional[str] = None,
+    snapshot_every: int = 1,
+) -> None:
+    """The --stream loop: apply each batch, report the output drift.
 
-    with open(path, "r", encoding="utf-8") as handle:
-        for number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line or line.startswith("#"):
-                continue
-            try:
-                payload = json.loads(line)
-            except json.JSONDecodeError as error:
-                raise ValueError(f"{path}:{number}: invalid JSON ({error})") from error
-            try:
-                yield DeltaBatch.from_json_dict(payload)
-            except (KeyError, TypeError, AttributeError) as error:
-                raise ValueError(
-                    f"{path}:{number}: invalid delta batch "
-                    f"({type(error).__name__}: {error})"
-                ) from error
+    Every line is validated by :func:`repro.streaming.read_delta_stream`
+    *before* it touches the engine, and application failures (e.g. an
+    out-of-order sequence) are re-raised as
+    :class:`~repro.errors.StreamFormatError` with the file/line/sequence
+    context attached — the engine state stays exactly as the last good
+    batch left it.  With ``wal`` / ``snapshot``, applied batches are
+    durably logged and the session periodically checkpointed, so a crash
+    mid-stream is recoverable via ``repro recover``.
+    """
+    from repro.errors import StreamFormatError
+    from repro.streaming.reader import read_delta_stream
 
-
-def _run_stream(engine: DataflowEngine, text: str, path: str) -> None:
-    """The --stream loop: apply each batch, report the output drift."""
     result = engine.match_with_stats(text)
     size = result.output_size
-    print(f"# stream: initial graph {engine.graph}, output size {size}")
-    for number, batch in enumerate(_stream_batches(path), start=1):
-        applied = engine.apply_delta(batch)
+    session = engine.streaming_session()
+    if wal is not None:
+        session.attach_wal(wal)
+    if snapshot is not None:
+        session.configure_snapshots(snapshot, every=snapshot_every)
+    durability = (
+        f", wal {wal}" if wal else ""
+    ) + (f", snapshots {snapshot} (every {snapshot_every})" if snapshot else "")
+    print(f"# stream: initial graph {engine.graph}, output size {size}{durability}")
+    batch_number = 0
+    for number, batch in read_delta_stream(path):
+        batch_number += 1
+        try:
+            applied = engine.apply_delta(batch)
+        except ReproError as error:
+            raise StreamFormatError(
+                f"{path}:{number}: {error}",
+                path=path,
+                line=number,
+                sequence=batch.sequence,
+            ) from error
         new_size = len(engine.match(text))
         sequence = "-" if applied.sequence is None else str(applied.sequence)
         horizon = (
@@ -271,22 +354,44 @@ def _run_stream(engine: DataflowEngine, text: str, path: str) -> None:
             else ""
         )
         print(
-            f"# batch {number} (seq {sequence}): +{applied.new_nodes} nodes "
+            f"# batch {batch_number} (seq {sequence}): +{applied.new_nodes} nodes "
             f"+{applied.new_edges} edges ~{applied.touched_objects} touched"
             f"{horizon} | seeds re-derived {applied.affected_seeds}"
             f"/{applied.total_seeds} | output {new_size} ({new_size - size:+d})"
         )
         size = new_size
+    if session.wal is not None:
+        session.wal.sync()
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
     # Pure argument validation comes first, before any graph loading.
     if args.engine != "dataflow" and (
-        args.backend != "thread" or args.explain or args.stream
+        args.backend != "thread"
+        or args.explain
+        or args.stream
+        or args.deadline is not None
+        or args.retries is not None
     ):
         print(
-            "error: --backend, --explain and --stream apply to the dataflow "
-            f"engine only (got --engine {args.engine})",
+            "error: --backend, --explain, --stream, --deadline and --retries "
+            f"apply to the dataflow engine only (got --engine {args.engine})",
+            file=sys.stderr,
+        )
+        return 2
+    if (args.wal or args.snapshot) and not args.stream:
+        print(
+            "error: --wal and --snapshot require --stream (they make the "
+            "streaming session durable)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.snapshot_every != 1 and not args.snapshot:
+        print("error: --snapshot-every requires --snapshot", file=sys.stderr)
+        return 2
+    if args.snapshot_every < 1:
+        print(
+            f"error: --snapshot-every must be >= 1 (got {args.snapshot_every})",
             file=sys.stderr,
         )
         return 2
@@ -294,18 +399,32 @@ def _cmd_query(args: argparse.Namespace) -> int:
     text = _resolve_query(args.match)
     limit = None if args.limit == 0 else args.limit
     if args.engine == "dataflow":
+        retry = None
+        if args.retries is not None:
+            from repro.resilience import RetryPolicy
+
+            retry = RetryPolicy(retries=args.retries)
         engine = DataflowEngine(
             graph,
             workers=args.workers,
             use_coalesced=not args.legacy_frontier,
             parallel_backend=args.backend,
             incremental=args.stream is not None,
+            deadline_seconds=args.deadline,
+            retry=retry,
         )
         if args.explain:
             _print_explain(engine.explain(text))
         if args.stream:
             try:
-                _run_stream(engine, text, args.stream)
+                _run_stream(
+                    engine,
+                    text,
+                    args.stream,
+                    wal=args.wal,
+                    snapshot=args.snapshot,
+                    snapshot_every=args.snapshot_every,
+                )
             except ValueError as error:
                 print(f"error: {error}", file=sys.stderr)
                 return 2
@@ -327,6 +446,23 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if args.engine == "dataflow":
         result = engine.match_with_stats(text)
         table = result.table
+        if result.degradation is not None:
+            # A retry policy had to step in: surface the audit trail so
+            # operators know the answer is real but the backend wasn't
+            # the configured one.
+            report = result.degradation
+            print(
+                f"# resilience: {report['retries']} failed attempt(s), "
+                f"backend {report['configured_backend']} -> "
+                f"{report['final_backend']}"
+                + (" (degraded)" if report["degraded"] else " (recovered)")
+            )
+            for record in report["failures"]:
+                print(
+                    f"# resilience: attempt {record['attempt']} on "
+                    f"{record['backend']}: {record['error_type']} "
+                    f"(backoff {record['delay']}s)"
+                )
         if args.stats:
             frontier_mode = "legacy rows" if args.legacy_frontier else "coalesced"
             print(
@@ -352,6 +488,26 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """Rebuild a streaming session from snapshot + WAL and report on it."""
+    from repro.resilience import recover
+
+    session, report = recover(args.snapshot, args.wal)
+    print(f"# {report.summary()}")
+    for name in report.queries:
+        table = session.table(name)
+        print(f"# query {name!r}: output size {len(table)}")
+    if args.output is not None:
+        save_json(session.graph, args.output)
+        print(f"# recovered graph saved to {args.output}")
+    if args.match is not None:
+        text = _resolve_query(args.match)
+        name = text if text in session.query_names() else session.register(text)
+        limit = None if args.limit == 0 else args.limit
+        print(session.table(name).pretty(limit=limit))
+    return 0
+
+
 def _cmd_example(args: argparse.Namespace) -> int:
     save_json(contact_tracing_example(), args.output)
     print(f"wrote the Figure-1 running example to {args.output}")
@@ -362,6 +518,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
     "query": _cmd_query,
+    "recover": _cmd_recover,
     "example": _cmd_example,
 }
 

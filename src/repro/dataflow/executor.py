@@ -67,7 +67,7 @@ from repro.dataflow.steps import (
     condition_times,
     fuse_hops,
 )
-from repro.errors import EvaluationError
+from repro.errors import EvaluationError, RetryBudgetExceeded
 from repro.eval.bindings import BindingTable, IntervalBindingTable
 from repro.lang.ast import AndTest, NodeTest, Test
 from repro.lang.parser import MatchQuery
@@ -77,6 +77,14 @@ from repro.model.itpg import IntervalTPG
 from repro.model.tpg import TemporalPropertyGraph
 from repro.parallel.partition import chunk_weight, weighted_chunks
 from repro.perf.graph_index import GraphIndex, graph_index_for
+from repro.resilience import failpoints
+from repro.resilience.deadline import Deadline
+from repro.resilience.retry import (
+    AttemptRecord,
+    DegradationReport,
+    RetryPolicy,
+    is_retryable,
+)
 from repro.temporal.alignment import reachable_window
 from repro.temporal.intervalset import IntervalSet, IntervalSetAccumulator
 
@@ -112,6 +120,10 @@ class MatchResult:
     #: How many frontier rows the coalescing frontier absorbed into
     #: signature-equal survivors across all steps (0 in legacy row mode).
     rows_merged: int = 0
+    #: Set when a retry policy had to re-attempt or demote the backend
+    #: (the :meth:`~repro.resilience.DegradationReport.to_dict` form);
+    #: ``None`` for a clean first-attempt run.
+    degradation: dict | None = None
 
     def as_table_row(self) -> dict[str, float | int]:
         """The three columns the paper reports per query in Table II."""
@@ -146,6 +158,8 @@ class DataflowEngine:
         parallel_backend: str = "thread",
         start_method: str | None = None,
         incremental: bool = False,
+        deadline_seconds: float | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         # The compiled index is shared per graph across engines and queries
         # (index first, so a point-based graph is converted exactly once and
@@ -184,6 +198,20 @@ class DataflowEngine:
         self._incremental = bool(incremental)
         #: Lazily created streaming session (``incremental=True`` only).
         self._session = None
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ValueError(
+                f"deadline_seconds must be positive, got {deadline_seconds!r}"
+            )
+        #: Per-query wall-clock budget; each match call arms a fresh
+        #: :class:`~repro.resilience.Deadline` from it.
+        self._deadline_seconds = deadline_seconds
+        self._deadline: Deadline | None = None
+        #: ``None`` keeps the seed fail-fast behaviour; a
+        #: :class:`~repro.resilience.RetryPolicy` turns crash-shaped
+        #: process-backend failures into retries + backend demotion.
+        self._retry = retry
+        #: How the most recent resilient run actually executed.
+        self._last_degradation: DegradationReport | None = None
 
     @property
     def graph(self) -> IntervalTPG:
@@ -247,6 +275,142 @@ class DataflowEngine:
         self._materializer = IntervalMaterializer(self._graph, self._index)
 
     # ------------------------------------------------------------------ #
+    # Resilience: deadlines, retry, degradation
+    # ------------------------------------------------------------------ #
+    @property
+    def deadline_seconds(self) -> float | None:
+        return self._deadline_seconds
+
+    @property
+    def retry(self) -> RetryPolicy | None:
+        return self._retry
+
+    @property
+    def last_degradation(self) -> DegradationReport | None:
+        """How the most recent query actually executed (``None`` = clean
+        first-attempt run or no resilient run yet)."""
+        return self._last_degradation
+
+    def _arm_deadline(self) -> Deadline | None:
+        """Start this query's wall-clock budget (``None`` when unbounded)."""
+        if self._deadline_seconds is None:
+            return None
+        deadline = Deadline(self._deadline_seconds)
+        self._deadline = deadline
+        self._materializer.deadline = deadline
+        return deadline
+
+    def _disarm_deadline(self) -> None:
+        self._deadline = None
+        self._materializer.deadline = None
+
+    def _run_resilient(
+        self,
+        chain: tuple[ChainStep, ...],
+        seeds: list[Row],
+        variables: tuple[str, ...],
+        mode: str,
+        stats: _ChainStats,
+    ) -> tuple[list, int, float]:
+        """The process dispatch under the retry policy.
+
+        Each rung of the demotion ladder gets the policy's full retry
+        budget; crash-shaped failures (see
+        :data:`~repro.resilience.RETRYABLE_EXCEPTIONS`) are retried with
+        capped exponential backoff + jitter, then the backend demotes
+        ``process → thread → serial``.  The escalation is recorded as a
+        :class:`DegradationReport` on :attr:`last_degradation`.  Only a
+        retryable failure *on the serial rung* (or ``degrade=False``)
+        exhausts the query: that raises
+        :class:`~repro.errors.RetryBudgetExceeded`.
+        """
+        policy = self._retry
+        self._last_degradation = None
+        if policy is None:
+            return self._process_run(chain, seeds, variables, mode, stats)
+        failures: list[AttemptRecord] = []
+        ladder = ("process", "thread", "serial") if policy.degrade else ("process",)
+        deadline = self._deadline
+        for backend in ladder:
+            delays = policy.delays()
+            slept = 0.0
+            attempt = 0
+            while True:
+                try:
+                    result = self._run_on_backend(
+                        backend, chain, seeds, variables, mode, stats
+                    )
+                    if failures:
+                        self._last_degradation = DegradationReport(
+                            configured_backend="process",
+                            final_backend=backend,
+                            failures=tuple(failures),
+                        )
+                    return result
+                except Exception as exc:
+                    if not is_retryable(exc):
+                        raise
+                    failures.append(
+                        AttemptRecord(
+                            backend=backend,
+                            attempt=attempt,
+                            error_type=type(exc).__name__,
+                            error=str(exc),
+                            delay=slept,
+                        )
+                    )
+                attempt += 1
+                delay = next(delays, None)
+                if delay is None:
+                    break  # budget spent on this rung: demote
+                if deadline is not None:
+                    # Never sleep past the deadline: better to attempt
+                    # (and let the attempt notice expiry) than to burn
+                    # the whole budget waiting.
+                    delay = min(delay, deadline.remaining())
+                time.sleep(delay)
+                slept = delay
+        report = DegradationReport(
+            configured_backend="process",
+            final_backend=ladder[-1],
+            failures=tuple(failures),
+        )
+        self._last_degradation = report
+        raise RetryBudgetExceeded(
+            f"query failed on every backend rung after {len(failures)} "
+            f"attempt(s) ({report.summary()}); last error: "
+            f"{failures[-1].error_type}: {failures[-1].error}",
+            attempts=tuple(record.to_dict() for record in failures),
+        )
+
+    def _run_on_backend(
+        self,
+        backend: str,
+        chain: tuple[ChainStep, ...],
+        seeds: list[Row],
+        variables: tuple[str, ...],
+        mode: str,
+        stats: _ChainStats,
+    ) -> tuple[list, int, float]:
+        """One attempt on one rung, normalized to the process-run shape."""
+        if backend == "process":
+            return self._process_run(chain, seeds, variables, mode, stats)
+        start = time.perf_counter()
+        if backend == "thread":
+            frontier = self._run_chain_chunks(seeds, chain, stats)
+        else:
+            frontier = self._run_chain_on(seeds, chain, stats)
+        chain_seconds = time.perf_counter() - start
+        if mode == "families":
+            if self._use_coalesced:
+                data: list = self._materializer.families(frontier, variables)
+            else:
+                data = legacy_families(frontier, variables)
+        else:
+            data = self._materialize_rows(frontier, variables)
+        return data, len(frontier), chain_seconds
+
+    # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
     def match(
@@ -295,29 +459,36 @@ class DataflowEngine:
         compiled = query if isinstance(query, CompiledMatch) else compile_match(query)
         chain = self._compile(compiled)
         stats = _ChainStats()
+        degradation: dict | None = None
 
-        start = time.perf_counter()
-        seeds, rest = self._initial_frontier(chain)
-        if self._process_engages(seeds):
-            mode = self._output_mode(chain)
-            data, frontier_rows, chain_seconds = self._process_run(
-                rest, seeds, compiled.variables, mode, stats
-            )
-            if mode == "families":
-                table: TypingUnion[BindingTable, IntervalBindingTable] = (
-                    IntervalBindingTable(compiled.variables, data)
+        self._arm_deadline()
+        try:
+            start = time.perf_counter()
+            seeds, rest = self._initial_frontier(chain)
+            if self._process_engages(seeds):
+                mode = self._output_mode(chain)
+                data, frontier_rows, chain_seconds = self._run_resilient(
+                    rest, seeds, compiled.variables, mode, stats
                 )
+                if self._last_degradation is not None:
+                    degradation = self._last_degradation.to_dict()
+                if mode == "families":
+                    table: TypingUnion[BindingTable, IntervalBindingTable] = (
+                        IntervalBindingTable(compiled.variables, data)
+                    )
+                else:
+                    table = BindingTable.build(compiled.variables, data)
+                interval_seconds = chain_seconds
             else:
-                table = BindingTable.build(compiled.variables, data)
-            interval_seconds = chain_seconds
-        else:
-            frontier = self._run_chain_chunks(seeds, rest, stats)
-            interval_seconds = time.perf_counter() - start
-            table = self._build_table(chain, frontier, compiled.variables)
-            frontier_rows = len(frontier)
-        if expand_output:
-            _ = table.rows
-        total_seconds = time.perf_counter() - start
+                frontier = self._run_chain_chunks(seeds, rest, stats)
+                interval_seconds = time.perf_counter() - start
+                table = self._build_table(chain, frontier, compiled.variables)
+                frontier_rows = len(frontier)
+            if expand_output:
+                _ = table.rows
+            total_seconds = time.perf_counter() - start
+        finally:
+            self._disarm_deadline()
         return MatchResult(
             table=table,
             interval_seconds=interval_seconds,
@@ -325,6 +496,7 @@ class DataflowEngine:
             output_size=len(table),
             frontier_rows=frontier_rows,
             rows_merged=stats.rows_merged,
+            degradation=degradation,
         )
 
     def match_intervals(
@@ -367,16 +539,20 @@ class DataflowEngine:
                     "interval (coalesced) output is only defined when every "
                     "variable is bound within a single temporal group"
                 )
-        seeds, rest = self._initial_frontier(chain)
-        if self._process_engages(seeds):
-            families, _rows, _seconds = self._process_run(
-                rest, seeds, compiled.variables, "families", stats
-            )
-            return families
-        frontier = self._run_chain_chunks(seeds, rest, stats)
-        if not self._use_coalesced:
-            return legacy_families(frontier, compiled.variables)
-        return self._materializer.families(frontier, compiled.variables)
+        self._arm_deadline()
+        try:
+            seeds, rest = self._initial_frontier(chain)
+            if self._process_engages(seeds):
+                families, _rows, _seconds = self._run_resilient(
+                    rest, seeds, compiled.variables, "families", stats
+                )
+                return families
+            frontier = self._run_chain_chunks(seeds, rest, stats)
+            if not self._use_coalesced:
+                return legacy_families(frontier, compiled.variables)
+            return self._materializer.families(frontier, compiled.variables)
+        finally:
+            self._disarm_deadline()
 
     def explain(self, query: TypingUnion[str, MatchQuery, CompiledMatch]) -> dict:
         """The execution plan a :meth:`match` call would use, without running it.
@@ -410,6 +586,15 @@ class DataflowEngine:
                 }
                 for chunk in chunks
             ],
+            "deadline_seconds": self._deadline_seconds,
+            "retry": None if self._retry is None else self._retry.to_dict(),
+            # How the engine's most recent resilient run actually went —
+            # retries and backend demotion leave their audit trail here.
+            "last_degradation": (
+                None
+                if self._last_degradation is None
+                else self._last_degradation.to_dict()
+            ),
         }
 
     # ------------------------------------------------------------------ #
@@ -535,7 +720,9 @@ class DataflowEngine:
         pool = shared_pool(self._workers, self._start_method)
         chunks = weighted_chunks(seeds, self._workers, self._seed_weight)
         packed = [pack_seeds(chunk) for chunk in chunks]
-        results = pool.run_chunks(plan, chain, packed, mode, variables)
+        results = pool.run_chunks(
+            plan, chain, packed, mode, variables, deadline=self._deadline
+        )
         stats.rows_merged += sum(result["rows_merged"] for result in results)
         frontier_rows = sum(result["frontier_rows"] for result in results)
         chain_seconds = max(result["chain_seconds"] for result in results)
@@ -622,9 +809,17 @@ class DataflowEngine:
         self, frontier: list[Row], chain: Sequence[ChainStep], stats: _ChainStats
     ) -> list[Row]:
         current = frontier
-        for step in chain:
+        deadline = self._deadline
+        for completed, step in enumerate(chain):
             if not current:
                 break
+            # Chaos hook: "sleep" models a pathologically slow step,
+            # "raise" a mid-chain fault (both serial and thread rungs).
+            failpoints.fire("engine.step")
+            if deadline is not None:
+                deadline.progress["steps_completed"] = completed
+                deadline.progress["frontier_rows"] = len(current)
+                deadline.check()
             collector = self._collector_for(step)
             self._apply_step(current, step, collector, stats)
             stats.rows_merged += collector.rows_merged
@@ -662,12 +857,15 @@ class DataflowEngine:
         condition: Test,
         out: TypingUnion[Frontier, RowFrontier],
     ) -> None:
+        deadline = self._deadline
         index = self._index
         if index is not None:
             # One memoized condition table shared by every row (and every
             # later query on the same graph) replaces a per-row AST walk.
             table = index.condition_table(condition)
             for row in frontier:
+                if deadline is not None:
+                    deadline.tick()
                 group = row.last
                 satisfied = table.get(group.current)
                 if satisfied is None:
@@ -679,6 +877,8 @@ class DataflowEngine:
             return
         graph = self._graph
         for row in frontier:
+            if deadline is not None:
+                deadline.tick()
             group = row.last
             times = group.times.intersect(condition_times(graph, group.current, condition))
             if times.is_empty():
@@ -691,11 +891,14 @@ class DataflowEngine:
         forward: bool,
         out: TypingUnion[Frontier, RowFrontier],
     ) -> None:
+        deadline = self._deadline
         index = self._index
         if index is not None:
             adjacency = index.out_adjacency if forward else index.in_adjacency
             endpoint = index.edge_target if forward else index.edge_source
             for row in frontier:
+                if deadline is not None:
+                    deadline.tick()
                 group = row.last
                 current = group.current
                 edges = adjacency.get(current)
@@ -711,6 +914,8 @@ class DataflowEngine:
             return
         graph = self._graph
         for row in frontier:
+            if deadline is not None:
+                deadline.tick()
             group = row.last
             current = group.current
             if graph.is_node(current):
@@ -733,9 +938,12 @@ class DataflowEngine:
         an index (:meth:`_compile`), so ``self._index`` is always set
         here.
         """
+        deadline = self._deadline
         index = self._index
         assert index is not None
         for row in frontier:
+            if deadline is not None:
+                deadline.tick()
             group = row.last
             entries = index.hop_entries(
                 group.current,
@@ -769,7 +977,10 @@ class DataflowEngine:
             condition_tables = tuple(
                 index.condition_table(c) for c in step.target_conditions
             )
+        deadline = self._deadline
         for row in frontier:
+            if deadline is not None:
+                deadline.tick()
             group = row.last
             satisfied: IntervalSet | None = None
             if condition_tables:

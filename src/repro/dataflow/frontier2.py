@@ -225,6 +225,10 @@ class IntervalMaterializer:
         self._graph = graph
         self._index = index
         self._domain = graph.domain
+        #: Armed by the owning engine per query; when set, the
+        #: frontier-level drivers tick it per row so a deadline can fire
+        #: during Step 3 (output can dwarf the chain run).
+        self.deadline = None
 
     # ------------------------------------------------------------------ #
     # Link propagation primitives
@@ -449,8 +453,11 @@ class IntervalMaterializer:
         unbound paths) are merged, so the result has exactly one entry
         per distinct binding tuple.
         """
+        deadline = self.deadline
         merged: dict[tuple, list[IntervalSet]] = {}
         for row in rows:
+            if deadline is not None:
+                deadline.tick()
             family = self.row_family(row, variables)
             if family is None:
                 continue
@@ -465,7 +472,10 @@ class IntervalMaterializer:
         self, rows: Iterable[Row], variables: tuple[str, ...]
     ) -> list[tuple[tuple[ObjectId, int], ...]]:
         """Point-based output tuples for a whole frontier."""
+        deadline = self.deadline
         out: list[tuple[tuple[ObjectId, int], ...]] = []
         for row in rows:
+            if deadline is not None:
+                deadline.tick()
             out.extend(self.row_points(row, variables))
         return out

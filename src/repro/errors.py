@@ -38,3 +38,102 @@ class UnsupportedFragmentError(ReproError, ValueError):
 
 class EvaluationError(ReproError, RuntimeError):
     """An evaluation engine failed while processing a well-formed query."""
+
+
+class WorkerCrashError(EvaluationError):
+    """A worker process of the parallel backend died mid-query.
+
+    Subclasses :class:`EvaluationError` so existing callers that treat a
+    crash as an evaluation failure keep working; the resilience runtime
+    (:mod:`repro.resilience.retry`) additionally recognizes it as a
+    *retryable* failure — the crashed pool has been retired, so a retry
+    transparently gets a fresh one.
+    """
+
+
+class DeadlineExceeded(ReproError, TimeoutError):
+    """A query ran past its configured deadline and was cancelled.
+
+    Carries structured context so callers can report partial progress:
+
+    * ``deadline_seconds`` — the configured budget;
+    * ``elapsed`` — wall-clock seconds when the deadline fired;
+    * ``partial`` — a dictionary of progress counters recorded at the
+      cancellation point (steps completed, rows merged, backend, …).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        deadline_seconds: float = 0.0,
+        elapsed: float = 0.0,
+        partial: dict | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.deadline_seconds = deadline_seconds
+        self.elapsed = elapsed
+        self.partial = dict(partial or {})
+
+
+class RetryBudgetExceeded(EvaluationError):
+    """Every retry (and, if enabled, every degraded backend) failed.
+
+    ``attempts`` carries the per-attempt failure records so operators can
+    see the whole escalation path in one place.
+    """
+
+    def __init__(self, message: str, attempts: tuple = ()) -> None:
+        super().__init__(message)
+        self.attempts = tuple(attempts)
+
+
+class WALError(ReproError, RuntimeError):
+    """A write-ahead log could not be read or written."""
+
+
+class WALCorruptError(WALError):
+    """A WAL record failed its checksum or framing mid-file.
+
+    A *torn final record* (interrupted last append) is expected after a
+    crash and is tolerated by recovery; corruption anywhere before the
+    tail means the log cannot be trusted and raises this error with the
+    file/line context attached.
+    """
+
+    def __init__(self, message: str, *, path: str = "", line: int = 0) -> None:
+        super().__init__(message)
+        self.path = path
+        self.line = line
+
+
+class StreamFormatError(ReproError, ValueError):
+    """A delta-stream line was malformed or out of order.
+
+    Structured variant of the raw parse errors: carries the stream
+    ``path``, 1-based ``line`` number and, when known, the batch
+    ``sequence``, so callers can point at the offending record without
+    re-parsing the message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str = "",
+        line: int = 0,
+        sequence: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.line = line
+        self.sequence = sequence
+
+
+class InjectedFault(ReproError, RuntimeError):
+    """A deterministic fault raised by an armed failpoint (tests only).
+
+    Never raised in production paths: it exists so the chaos suite can
+    tell injected failures apart from real ones, while the retry policy
+    still treats it as retryable.
+    """

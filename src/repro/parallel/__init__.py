@@ -31,6 +31,7 @@ from repro.parallel.pool import (
     PlanNotInstalledError,
     WorkerPool,
     shared_pool,
+    shutdown_all,
     shutdown_pools,
 )
 
@@ -45,6 +46,7 @@ __all__ = [
     "pack_seeds",
     "plan_for",
     "shared_pool",
+    "shutdown_all",
     "shutdown_pools",
     "unpack_seeds",
     "weighted_chunks",

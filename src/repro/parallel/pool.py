@@ -35,11 +35,18 @@ import multiprocessing
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from typing import Optional, Sequence
 
-from repro.errors import EvaluationError, ReproError
+from repro.errors import (
+    DeadlineExceeded,
+    EvaluationError,
+    ReproError,
+    WorkerCrashError,
+)
 from repro.parallel.plan import ExecutionPlan, PackedSeed, unpack_seeds
+from repro.resilience import failpoints
 
 #: Worker-side cap on cached graphs: oldest-installed evicted first.
 _WORKER_GRAPH_LIMIT = 8
@@ -75,21 +82,26 @@ class WorkerPool:
         chunks: Sequence[Sequence[PackedSeed]],
         mode: str,
         variables: tuple[str, ...],
+        deadline=None,
     ) -> list[dict]:
         """Execute seed chunks in the pool, returning per-chunk result dicts.
 
         Results come back in chunk order.  Worker-raised exceptions
         propagate unchanged after all chunks have drained; a crashed
-        worker process surfaces as :class:`EvaluationError` and retires
-        the pool from the shared registry.
+        worker process surfaces as :class:`WorkerCrashError` (an
+        :class:`EvaluationError`) and retires the pool from the shared
+        registry.  A :class:`~repro.resilience.Deadline` bounds how long
+        the parent waits for each future; on expiry the remaining
+        futures are cancelled and the deadline's structured
+        :class:`~repro.errors.DeadlineExceeded` is raised.
         """
         try:
-            return self._dispatch(plan, chain, chunks, mode, variables)
+            return self._dispatch(plan, chain, chunks, mode, variables, deadline)
         except BrokenProcessPool as exc:
             self.broken = True
             _discard_pool(self)
             self._executor.shutdown(wait=False, cancel_futures=True)
-            raise EvaluationError(
+            raise WorkerCrashError(
                 "a process-backend worker crashed while executing the query "
                 f"(pool of {self.workers} '{self.start_method}' workers); "
                 "the pool has been retired — re-running the query will start "
@@ -103,6 +115,7 @@ class WorkerPool:
         chunks: Sequence[Sequence[PackedSeed]],
         mode: str,
         variables: tuple[str, ...],
+        deadline=None,
     ) -> list[dict]:
         token = plan.token
         # Attach the payload only while *no* worker has acknowledged the
@@ -130,10 +143,10 @@ class WorkerPool:
         errors: list[Exception] = []
         for i, future in enumerate(futures):
             try:
-                results[i] = future.result()
+                results[i] = self._await(future, deadline, futures)
             except PlanNotInstalledError:
                 retries.append(i)
-            except BrokenProcessPool:
+            except (BrokenProcessPool, DeadlineExceeded):
                 raise
             except Exception as exc:  # worker-raised: drain siblings, then re-raise
                 errors.append(exc)
@@ -159,17 +172,42 @@ class WorkerPool:
                 for i in retries
             ]
             for i, future in zip(retries, retry_futures):
-                results[i] = future.result()
+                results[i] = self._await(future, deadline, retry_futures)
         warm = self._warm.setdefault(token, set())
         for result in results:
             warm.add(result["pid"])
         return results
+
+    @staticmethod
+    def _await(future, deadline, siblings) -> dict:
+        """Wait for one future, bounded by the deadline's remaining budget.
+
+        On expiry every sibling future is cancelled (undispatched chunks
+        never run; in-flight workers finish their chunk and the result
+        is dropped — processes cannot be interrupted cooperatively) and
+        the structured deadline error is raised.
+        """
+        if deadline is None:
+            return future.result()
+        try:
+            return future.result(timeout=deadline.remaining())
+        except FutureTimeoutError:
+            for sibling in siblings:
+                sibling.cancel()
+            raise deadline.exceeded(backend="process") from None
 
     def _needs_payload(self, token: str) -> bool:
         return not self._warm.get(token)
 
     def close(self) -> None:
         self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+        _discard_pool(self)
 
 
 # --------------------------------------------------------------------- #
@@ -206,6 +244,12 @@ def shutdown_pools() -> None:
     _POOLS.clear()
 
 
+#: Public alias for embedding applications (and the resilience docs):
+#: call on service shutdown to reap worker processes deterministically
+#: instead of leaning on the interpreter's atexit ordering.
+shutdown_all = shutdown_pools
+
+
 atexit.register(shutdown_pools)
 
 
@@ -226,6 +270,9 @@ def _worker_engine(
     engine = _WORKER_ENGINES.get(key)
     if engine is not None:
         return engine
+    # Chaos hook: fault the cold-start install path (kind "raise" models
+    # an OOM/deserialization failure; "kill" a crash while rebuilding).
+    failpoints.fire("worker.install")
     import pickle
 
     from repro.dataflow.executor import DataflowEngine
@@ -269,6 +316,9 @@ def _run_chunk(
     variables: tuple[str, ...],
 ) -> dict:
     """Chunk-level Steps 1–3: run the chain, then materialize in-worker."""
+    # Chaos hook: "kill" SIGKILLs this worker mid-chunk (breaking the
+    # whole pool, as a real crash would); "sleep" models a straggler.
+    failpoints.fire("worker.chunk")
     from repro.dataflow.executor import _ChainStats, legacy_families
     from repro.eval.bindings import pack_families
 

@@ -1,0 +1,76 @@
+"""Cooperative deadlines for query execution.
+
+A :class:`Deadline` is created per query by the dataflow engine and
+threaded through its hot loops.  Cancellation is *cooperative*: the
+loops call :meth:`tick` (cheap — a counter increment that consults the
+clock every :data:`Deadline.CHECK_EVERY` calls) or :meth:`check`
+(consults the clock immediately).  When the budget is exhausted a
+structured :class:`~repro.errors.DeadlineExceeded` is raised, carrying
+the progress counters recorded on :attr:`Deadline.progress` so callers
+see how far the query got.
+
+The process backend cannot tick inside worker processes; there the
+parent bounds each future wait by :meth:`remaining` and cancels
+undispatched chunks on expiry (see
+:meth:`repro.parallel.pool.WorkerPool.run_chunks`).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import DeadlineExceeded
+
+
+class Deadline:
+    """A wall-clock budget with cooperative cancellation checks."""
+
+    #: :meth:`tick` consults the clock once per this many calls, keeping
+    #: the per-row overhead of an armed deadline to a counter increment.
+    CHECK_EVERY = 256
+
+    __slots__ = ("seconds", "started", "_expires_at", "_ticks", "progress")
+
+    def __init__(self, seconds: float) -> None:
+        if seconds <= 0:
+            raise ValueError(f"deadline must be positive, got {seconds!r}")
+        self.seconds = float(seconds)
+        self.started = time.monotonic()
+        self._expires_at = self.started + self.seconds
+        self._ticks = 0
+        #: Mutable progress counters included in the exception payload.
+        self.progress: dict = {}
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self.started
+
+    def remaining(self) -> float:
+        """Seconds left in the budget (never negative)."""
+        return max(0.0, self._expires_at - time.monotonic())
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self._expires_at
+
+    def check(self) -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        if time.monotonic() >= self._expires_at:
+            raise self.exceeded()
+
+    def tick(self) -> None:
+        """Amortized check: consults the clock every ``CHECK_EVERY`` calls."""
+        self._ticks += 1
+        if self._ticks % self.CHECK_EVERY == 0:
+            self.check()
+
+    def exceeded(self, **extra) -> DeadlineExceeded:
+        """Build the structured cancellation error (with partial progress)."""
+        partial = dict(self.progress)
+        partial.update(extra)
+        elapsed = self.elapsed()
+        return DeadlineExceeded(
+            f"query exceeded its {self.seconds:g}s deadline after "
+            f"{elapsed:.3f}s (partial progress: {partial or 'none recorded'})",
+            deadline_seconds=self.seconds,
+            elapsed=elapsed,
+            partial=partial,
+        )

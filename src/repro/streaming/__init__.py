@@ -24,6 +24,7 @@ from repro.streaming.delta import (
     apply_delta,
 )
 from repro.streaming.engine import ApplyResult, QueryUpdate, StreamingEngine
+from repro.streaming.reader import parse_stream_line, read_delta_stream
 
 __all__ = [
     "DeltaBatch",
@@ -33,6 +34,8 @@ __all__ = [
     "ExistenceAdd",
     "PropertySet",
     "apply_delta",
+    "parse_stream_line",
+    "read_delta_stream",
     "StreamingEngine",
     "ApplyResult",
     "QueryUpdate",

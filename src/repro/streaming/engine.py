@@ -35,6 +35,7 @@ copy of the materialized graph, across the fuzz-oracle engine configs.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Hashable, Optional, Union as TypingUnion
@@ -69,6 +70,9 @@ class _QueryState:
     mode: str  # "families" | "points"
     struct_radius: int
     temporal_radius: Optional[int]
+    #: The MATCH text the query was registered from (``None`` when it
+    #: arrived pre-compiled) — snapshots need it to re-register.
+    text: Optional[str] = None
     #: The chain after any leading test absorbed into the seed table
     #: (fixed at registration — absorption depends only on chain shape).
     rest: tuple[ChainStep, ...] = ()
@@ -142,6 +146,13 @@ class StreamingEngine:
         self._graph: IntervalTPG = engine.graph
         self._queries: dict[str, _QueryState] = {}
         self._last_sequence: Optional[int] = None
+        #: Durability state (attached via :meth:`attach_wal` /
+        #: :meth:`configure_snapshots`, or restored by recovery).
+        self._wal = None
+        self._wal_seq = 0
+        self._snapshot_path: Optional[str] = None
+        self._snapshot_every: Optional[int] = None
+        self._applies_since_snapshot = 0
 
     @property
     def graph(self) -> IntervalTPG:
@@ -155,8 +166,70 @@ class StreamingEngine:
     def last_sequence(self) -> Optional[int]:
         return self._last_sequence
 
+    @property
+    def wal_seq(self) -> int:
+        """WAL sequence number of the last batch this session applied."""
+        return self._wal_seq
+
+    @property
+    def wal(self):
+        return self._wal
+
     def query_names(self) -> tuple[str, ...]:
         return tuple(self._queries)
+
+    def query_text(self, name: str) -> Optional[str]:
+        """The MATCH text ``name`` was registered from (``None`` if unknown)."""
+        return self._state(name).text
+
+    # ------------------------------------------------------------------ #
+    # Durability (repro.resilience)
+    # ------------------------------------------------------------------ #
+    def attach_wal(self, wal) -> None:
+        """Log every subsequently applied batch to ``wal`` (path or DeltaWAL).
+
+        The WAL records batches *after* they apply successfully, so the
+        log is always exactly the applied prefix of the stream; a
+        rejected batch never reaches it.  Attaching a WAL with existing
+        records positions the session after them (the normal resume
+        case: recovery replayed them already).
+        """
+        if isinstance(wal, (str, os.PathLike)):
+            from repro.resilience.wal import DeltaWAL
+
+            wal = DeltaWAL(wal)
+        self._wal = wal
+        self._wal_seq = max(self._wal_seq, wal.last_seq)
+
+    def configure_snapshots(self, path: str, every: int = 1) -> None:
+        """Write a snapshot to ``path`` after every ``every`` applied batches."""
+        if every < 1:
+            raise ValueError(f"snapshot interval must be >= 1, got {every}")
+        self._snapshot_path = str(path)
+        self._snapshot_every = int(every)
+        self._applies_since_snapshot = 0
+
+    def snapshot(self, path: Optional[str] = None) -> dict:
+        """Write a snapshot now; returns its metadata (see resilience.snapshot)."""
+        from repro.resilience.snapshot import write_snapshot
+
+        target = path or self._snapshot_path
+        if target is None:
+            raise EvaluationError(
+                "no snapshot path: pass one or call configure_snapshots first"
+            )
+        return write_snapshot(self, target)
+
+    def restore_positions(
+        self,
+        last_sequence: Optional[int] = None,
+        wal_seq: Optional[int] = None,
+    ) -> None:
+        """Set the stream/WAL positions (used by snapshot recovery)."""
+        if last_sequence is not None:
+            self._last_sequence = last_sequence
+        if wal_seq is not None:
+            self._wal_seq = wal_seq
 
     # ------------------------------------------------------------------ #
     # Registration and reads
@@ -174,6 +247,10 @@ class StreamingEngine:
             return name
         compiled = query if isinstance(query, CompiledMatch) else compile_match(query)
         chain = self._engine._compile(compiled)
+        if isinstance(query, str):
+            text: Optional[str] = query
+        else:
+            text = getattr(query, "text", None)
         state = _QueryState(
             name=name,
             chain=chain,
@@ -181,6 +258,7 @@ class StreamingEngine:
             mode=self._engine._output_mode(chain),
             struct_radius=chain_structural_radius(chain),
             temporal_radius=chain_temporal_radius(chain),
+            text=text,
         )
         seed_map, state.rest = self._seed_table(state)
         self._recompute_seeds(state, seed_map, only=None)
@@ -233,6 +311,7 @@ class StreamingEngine:
         if batch.is_empty():
             if batch.sequence is not None:
                 self._last_sequence = batch.sequence
+            self._log_applied(batch)
             return ApplyResult(
                 sequence=batch.sequence,
                 new_nodes=0,
@@ -256,6 +335,7 @@ class StreamingEngine:
         updates = tuple(
             self._update_query(state, effects) for state in self._queries.values()
         )
+        self._log_applied(batch)
         return ApplyResult(
             sequence=batch.sequence,
             new_nodes=len(effects.new_nodes),
@@ -269,6 +349,17 @@ class StreamingEngine:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+    def _log_applied(self, batch: DeltaBatch) -> None:
+        """Record a successfully applied batch durably (WAL-after, not
+        ahead: the log is the applied prefix — see :meth:`attach_wal`)."""
+        if self._wal is not None:
+            self._wal_seq = self._wal.append(batch)
+        if self._snapshot_every is not None:
+            self._applies_since_snapshot += 1
+            if self._applies_since_snapshot >= self._snapshot_every:
+                self.snapshot()
+                self._applies_since_snapshot = 0
+
     def _update_query(self, state: _QueryState, effects: DeltaEffects) -> QueryUpdate:
         if effects.horizon_advanced:
             # Domain-clamped condition families shift for every object;

@@ -1,0 +1,91 @@
+"""Structured reading of delta-batch stream files (JSON lines).
+
+The CLI's ``query --stream deltas.jsonl`` and the recovery tooling both
+consume streams of one :class:`~repro.streaming.delta.DeltaBatch` JSON
+object per line.  This reader is the single place that parses them, and
+it turns *every* malformed line into a structured
+:class:`~repro.errors.StreamFormatError` carrying the file path, 1-based
+line number and (when recoverable) the batch sequence — instead of the
+raw ``KeyError``/``TypeError`` tracebacks the seed reader leaked.
+
+Atomicity contract: the reader is a generator that validates each line
+*before* yielding it, and :meth:`StreamingEngine.apply` validates each
+batch before mutating anything — so a malformed or out-of-order record
+anywhere in a stream leaves the engine state exactly as the last good
+batch left it.
+
+The ``stream.delta`` failpoint (kind ``"malformed"``) corrupts a parsed
+payload in flight, so the chaos suite can drive this error path through
+the real CLI without crafting broken fixture files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, Union
+
+from repro.errors import GraphIntegrityError, StreamFormatError
+from repro.resilience import failpoints
+from repro.streaming.delta import DeltaBatch
+
+PathLike = Union[str, Path]
+
+
+def parse_stream_line(
+    line: str, *, path: str = "<stream>", number: int = 0
+) -> DeltaBatch:
+    """Parse one stream line into a batch, or raise :class:`StreamFormatError`."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise StreamFormatError(
+            f"{path}:{number}: invalid JSON ({error})", path=path, line=number
+        ) from error
+    if not isinstance(payload, dict):
+        raise StreamFormatError(
+            f"{path}:{number}: invalid delta batch (expected a JSON object, "
+            f"got {type(payload).__name__})",
+            path=path,
+            line=number,
+        )
+    spec = failpoints.fire("stream.delta")
+    if spec is not None and spec.kind == "malformed":
+        # Chaos injection: corrupt the record the way a buggy producer
+        # would — a node entry stripped of its required keys.
+        payload = dict(payload)
+        payload.setdefault("nodes", []).append({"bogus": True})
+    sequence = payload.get("sequence")
+    if sequence is not None and not isinstance(sequence, int):
+        raise StreamFormatError(
+            f"{path}:{number}: invalid delta batch (sequence must be an "
+            f"integer, got {sequence!r})",
+            path=path,
+            line=number,
+        )
+    try:
+        return DeltaBatch.from_json_dict(payload)
+    except (KeyError, TypeError, AttributeError, ValueError, GraphIntegrityError) as error:
+        raise StreamFormatError(
+            f"{path}:{number}: invalid delta batch "
+            f"({type(error).__name__}: {error})",
+            path=path,
+            line=number,
+            sequence=sequence,
+        ) from error
+
+
+def read_delta_stream(path: PathLike) -> Iterator[tuple[int, DeltaBatch]]:
+    """Yield ``(line_number, batch)`` for every record in the stream file.
+
+    Blank lines and ``#`` comments are skipped; anything else must be a
+    valid batch object or the generator raises :class:`StreamFormatError`
+    *before* yielding it.
+    """
+    path = str(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            yield number, parse_stream_line(line, path=path, number=number)

@@ -1,0 +1,270 @@
+"""Chaos suite: the resilience runtime under injected faults.
+
+Every test here drives a *real* execution path — pool workers, the
+dataflow step loop, the WAL appender, the CLI stream reader — through
+the deterministic failpoint registry (:mod:`repro.resilience.failpoints`)
+and checks the acceptance bar of the PR-6 charter:
+
+* a configured deadline fires within **2x** its budget on the serial,
+  thread, and process backends (slow steps / slow workers injected);
+* a deadline expiry is a hard stop: it is never retried, even when a
+  retry policy is armed;
+* a crash mid-WAL-append (torn write) loses exactly the torn record:
+  recovery lands on the longest durable prefix;
+* a malformed delta surfaces through the real CLI as a structured error
+  (exit code 2 with file/line context), leaving engine state untouched.
+
+Worker-SIGKILL recovery and backend degradation live with the other
+process-backend tests in ``test_workers_parallelism.py``
+(``TestFailpointCrashRecovery``); primitive-level unit tests live in
+``test_resilience.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.datagen import (
+    ContactTracingConfig,
+    TrajectoryConfig,
+    generate_contact_tracing_graph,
+)
+from repro.dataflow import DataflowEngine, PAPER_QUERIES
+from repro.errors import DeadlineExceeded, InjectedFault
+from repro.model.io import save_json
+from repro.model.itpg import IntervalTPG
+from repro.parallel.pool import shutdown_pools
+from repro.resilience import RetryPolicy, failpoints, recover, scan_wal, write_snapshot
+from repro.streaming import DeltaBatch, StreamingEngine
+
+
+@pytest.fixture(scope="module")
+def contact_graph():
+    """Large enough that worker pools actually engage (mirrors the PR-4 suite)."""
+    config = ContactTracingConfig(
+        trajectory=TrajectoryConfig(
+            num_persons=30, num_locations=10, num_rooms=5, num_windows=16, seed=7
+        ),
+        positivity_rate=0.2,
+        seed=7,
+    )
+    return generate_contact_tracing_graph(config)
+
+
+@pytest.fixture(autouse=True)
+def _clean_slate():
+    failpoints.disarm_all()
+    shutdown_pools()
+    yield
+    failpoints.disarm_all()
+    shutdown_pools()
+
+
+def small_graph() -> IntervalTPG:
+    graph = IntervalTPG((0, 9))
+    graph.add_node("a", "Person", [(0, 4)])
+    graph.add_node("b", "Person", [(2, 9)])
+    graph.add_node("r", "Room", [(0, 9)])
+    graph.add_edge("e0", "meets", "a", "b", [(2, 4)])
+    graph.add_edge("v0", "visits", "a", "r", [(1, 3)])
+    return graph
+
+
+QUERY = "MATCH (x:Person) ON g"
+
+
+# --------------------------------------------------------------------- #
+# Deadlines fire within 2x the configured budget on every backend
+# --------------------------------------------------------------------- #
+class TestDeadlineUnderSlowExecution:
+    #: The acceptance bound: expiry must surface within twice the budget
+    #: (the injected stall per step/worker is sized so one stall cannot
+    #: overshoot it).
+    def _assert_within_bound(self, error: DeadlineExceeded, budget: float):
+        assert error.deadline_seconds == budget
+        assert error.elapsed >= budget
+        assert error.elapsed <= 2.0 * budget, (
+            f"deadline fired after {error.elapsed:.3f}s, over 2x the "
+            f"{budget:g}s budget"
+        )
+
+    def test_serial_backend_cancels_slow_steps(self, contact_graph):
+        budget = 0.25
+        failpoints.arm("engine.step", "sleep", seconds=0.1, times=0)
+        engine = DataflowEngine(contact_graph, deadline_seconds=budget)
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            # Q5's chain is 8 steps deep: the injected 0.1s stalls blow
+            # the budget a couple of steps in.
+            engine.match(PAPER_QUERIES["Q5"].text)
+        self._assert_within_bound(excinfo.value, budget)
+        assert "steps_completed" in excinfo.value.partial
+
+    def test_thread_backend_cancels_slow_steps(self, contact_graph):
+        budget = 0.25
+        failpoints.arm("engine.step", "sleep", seconds=0.1, times=0)
+        engine = DataflowEngine(
+            contact_graph, workers=2, parallel_backend="thread",
+            deadline_seconds=budget,
+        )
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            engine.match(PAPER_QUERIES["Q5"].text)
+        self._assert_within_bound(excinfo.value, budget)
+
+    def test_process_backend_cancels_slow_workers(self, contact_graph):
+        budget = 0.5
+        failpoints.arm("worker.chunk", "sleep", seconds=5.0, times=0)
+        engine = DataflowEngine(
+            contact_graph, workers=2, parallel_backend="process",
+            deadline_seconds=budget,
+        )
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            engine.match(PAPER_QUERIES["Q1"].text)
+        self._assert_within_bound(excinfo.value, budget)
+        assert excinfo.value.partial.get("backend") == "process"
+
+    def test_deadline_is_never_retried(self, contact_graph):
+        """A spent budget is a hard stop even with a generous retry policy."""
+        budget = 0.5
+        failpoints.arm("worker.chunk", "sleep", seconds=5.0, times=0)
+        engine = DataflowEngine(
+            contact_graph, workers=2, parallel_backend="process",
+            deadline_seconds=budget,
+            retry=RetryPolicy(retries=3, base_delay=0.01, seed=5),
+        )
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            engine.match(PAPER_QUERIES["Q1"].text)
+        # Retrying would have stacked more worker waits on top; staying
+        # inside the 2x bound proves the expiry propagated immediately.
+        self._assert_within_bound(excinfo.value, budget)
+
+    def test_within_budget_query_is_unaffected(self, contact_graph):
+        engine = DataflowEngine(contact_graph, deadline_seconds=60.0)
+        baseline = DataflowEngine(contact_graph)
+        query = PAPER_QUERIES["Q1"].text
+        assert engine.match(query).as_set() == baseline.match(query).as_set()
+
+
+# --------------------------------------------------------------------- #
+# Torn WAL writes: crash mid-append loses exactly the torn record
+# --------------------------------------------------------------------- #
+class TestTornWALWrites:
+    def test_crash_mid_append_recovers_the_durable_prefix(self, tmp_path):
+        wal_path = tmp_path / "deltas.wal"
+        snap_path = tmp_path / "state.snap"
+        session = StreamingEngine(small_graph())
+        name = session.register(QUERY)
+        session.attach_wal(str(wal_path))
+        write_snapshot(session, snap_path)  # pre-stream snapshot
+
+        session.apply(DeltaBatch(sequence=1).add_existence("a", 5, 7))
+        failpoints.arm("wal.append", "torn", times=1)
+        with pytest.raises(InjectedFault):
+            # The "process dies" here: batch 2 reaches memory but only
+            # half its WAL record reaches the disk.
+            session.apply(DeltaBatch(sequence=2).add_existence("b", 0, 1))
+
+        scan = scan_wal(wal_path)
+        assert scan.torn_tail and scan.last_seq == 1
+
+        recovered, report = recover(snap_path, wal_path)
+        assert report.torn_tail
+        assert report.replayed == 1  # the durable prefix: batch 1 only
+
+        # The recovered state equals a continuous run that stopped at
+        # the last durable batch.
+        prefix = StreamingEngine(small_graph())
+        prefix.register(QUERY)
+        prefix.apply(DeltaBatch(sequence=1).add_existence("a", 5, 7))
+        assert recovered.table(name).as_set() == prefix.table(QUERY).as_set()
+
+    def test_reopened_wal_resumes_after_torn_write(self, tmp_path):
+        wal_path = tmp_path / "deltas.wal"
+        session = StreamingEngine(small_graph())
+        session.register(QUERY)
+        session.attach_wal(str(wal_path))
+        session.apply(DeltaBatch(sequence=1).add_existence("a", 5, 7))
+        failpoints.arm("wal.append", "torn", times=1)
+        with pytest.raises(InjectedFault):
+            session.apply(DeltaBatch(sequence=2).add_existence("b", 0, 1))
+        failpoints.disarm_all()
+
+        # The restarted writer repairs the tail and appends cleanly.
+        resumed = StreamingEngine(small_graph())
+        resumed.register(QUERY)
+        resumed.attach_wal(str(wal_path))
+        resumed.apply(DeltaBatch(sequence=5).add_existence("b", 0, 1))
+        scan = scan_wal(wal_path)
+        assert not scan.torn_tail
+        assert [record.seq for record in scan.records] == [1, 2]
+
+
+# --------------------------------------------------------------------- #
+# Malformed deltas through the real CLI
+# --------------------------------------------------------------------- #
+class TestMalformedDeltaViaCli:
+    def _stream_files(self, tmp_path):
+        graph_path = tmp_path / "graph.json"
+        save_json(small_graph(), graph_path)
+        deltas_path = tmp_path / "deltas.jsonl"
+        deltas_path.write_text(
+            "\n".join(
+                json.dumps(batch.to_json_dict())
+                for batch in (
+                    DeltaBatch(sequence=1).add_existence("a", 5, 7),
+                    DeltaBatch(sequence=2).add_existence("b", 0, 1),
+                )
+            )
+            + "\n"
+        )
+        return str(graph_path), str(deltas_path)
+
+    def test_injected_malformed_delta_exits_with_context(self, tmp_path, capsys):
+        graph_path, deltas_path = self._stream_files(tmp_path)
+        # Corrupt every parsed record in flight (a buggy producer).
+        failpoints.arm("stream.delta", "malformed", times=0)
+        code = cli_main(
+            ["query", QUERY, "--graph", graph_path, "--stream", deltas_path]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert f"{deltas_path}:1:" in captured.err
+        assert "invalid delta batch" in captured.err
+        # Nothing was applied: the failure struck before the first batch.
+        assert "# batch 1" not in captured.out
+
+    def test_failure_after_good_batches_keeps_their_output(self, tmp_path, capsys):
+        graph_path, _ = self._stream_files(tmp_path)
+        deltas_path = tmp_path / "partly-bad.jsonl"
+        deltas_path.write_text(
+            json.dumps(DeltaBatch(sequence=1).add_existence("a", 5, 7).to_json_dict())
+            + "\n"
+            + json.dumps({"sequence": 2, "nodes": [{"bogus": True}]})
+            + "\n"
+        )
+        wal_path = tmp_path / "deltas.wal"
+        code = cli_main(
+            [
+                "query", QUERY, "--graph", graph_path,
+                "--stream", str(deltas_path), "--wal", str(wal_path),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert f"{deltas_path}:2:" in captured.err
+        assert "# batch 1 (seq 1):" in captured.out
+        # Engine state stopped exactly at the last good batch: the WAL
+        # (written only after successful applies) holds batch 1 alone.
+        scan = scan_wal(wal_path)
+        assert [record.seq for record in scan.records] == [1]
+
+    def test_clean_stream_is_unaffected_by_unarmed_registry(self, tmp_path, capsys):
+        graph_path, deltas_path = self._stream_files(tmp_path)
+        code = cli_main(
+            ["query", QUERY, "--graph", graph_path, "--stream", deltas_path]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# batch 2 (seq 2):" in out

@@ -1,0 +1,590 @@
+"""Unit tests for the resilience runtime primitives.
+
+The end-to-end fault behaviour (killed workers, deadline expiry across
+backends, crash-recovery equivalence) lives in ``test_chaos.py`` and
+``test_workers_parallelism.py``; this module pins the building blocks in
+isolation: the failpoint registry, ``Deadline``, ``RetryPolicy``, the
+checksummed delta WAL, snapshots + ``recover``, the structured stream
+reader, pool lifecycle helpers, and the CLI surface (flag validation and
+the ``recover`` verb).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.errors import (
+    DeadlineExceeded,
+    EvaluationError,
+    InjectedFault,
+    ReproError,
+    RetryBudgetExceeded,
+    StreamFormatError,
+    WALCorruptError,
+    WALError,
+    WorkerCrashError,
+)
+from repro.dataflow import DataflowEngine
+from repro.model.io import from_json_dict, save_json, to_json_dict
+from repro.model.itpg import IntervalTPG
+from repro.parallel import shutdown_all
+from repro.parallel.pool import WorkerPool, shutdown_pools
+from repro.resilience import (
+    Deadline,
+    DeltaWAL,
+    RetryPolicy,
+    failpoints,
+    is_retryable,
+    load_snapshot,
+    recover,
+    scan_wal,
+    write_snapshot,
+)
+from repro.streaming import (
+    DeltaBatch,
+    StreamingEngine,
+    parse_stream_line,
+    read_delta_stream,
+)
+from repro.temporal.interval import Interval
+
+
+def small_graph() -> IntervalTPG:
+    graph = IntervalTPG((0, 9))
+    graph.add_node("a", "Person", [(0, 4)])
+    graph.add_node("b", "Person", [(2, 9)])
+    graph.add_node("r", "Room", [(0, 9)])
+    graph.add_edge("e0", "meets", "a", "b", [(2, 4)])
+    graph.add_edge("v0", "visits", "a", "r", [(1, 3)])
+    return graph
+
+
+QUERY = "MATCH (x:Person) ON g"
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints():
+    failpoints.disarm_all()
+    yield
+    failpoints.disarm_all()
+
+
+# --------------------------------------------------------------------- #
+# Failpoint registry
+# --------------------------------------------------------------------- #
+class TestFailpoints:
+    def test_unarmed_site_is_a_noop(self):
+        assert failpoints.fire("nothing.armed") is None
+        assert failpoints.hits("nothing.armed") == 0
+
+    def test_raise_kind_fires_and_counts(self):
+        failpoints.arm("unit.raise", "raise", times=2, message="boom")
+        with pytest.raises(InjectedFault, match="boom"):
+            failpoints.fire("unit.raise")
+        with pytest.raises(InjectedFault):
+            failpoints.fire("unit.raise")
+        # Budget spent: the third call is a no-op but still counted.
+        assert failpoints.fire("unit.raise") is None
+        assert failpoints.hits("unit.raise") == 3
+
+    def test_times_zero_fires_forever(self):
+        failpoints.arm("unit.forever", "raise", times=0)
+        for _ in range(5):
+            with pytest.raises(InjectedFault):
+                failpoints.fire("unit.forever")
+
+    def test_cooperative_kind_returns_spec(self):
+        failpoints.arm("unit.coop", "torn", times=1)
+        spec = failpoints.fire("unit.coop")
+        assert spec is not None and spec.kind == "torn"
+        assert failpoints.fire("unit.coop") is None
+
+    def test_disarm_single_site(self):
+        failpoints.arm("unit.a", "raise", times=0)
+        failpoints.arm("unit.b", "raise", times=0)
+        failpoints.disarm("unit.a")
+        assert failpoints.fire("unit.a") is None
+        with pytest.raises(InjectedFault):
+            failpoints.fire("unit.b")
+
+    def test_disarm_all_retires_registry(self):
+        failpoints.arm("unit.any", "raise", times=0)
+        assert failpoints.registry_dir() is not None
+        failpoints.disarm_all()
+        assert failpoints.registry_dir() is None
+        assert failpoints.fire("unit.any") is None
+
+    def test_registry_is_published_via_environment(self):
+        failpoints.arm("unit.env", "raise")
+        base = failpoints.registry_dir()
+        assert base == os.environ[failpoints.ENV_VAR]
+        assert os.path.exists(os.path.join(base, "unit.env.json"))
+
+
+# --------------------------------------------------------------------- #
+# Deadline
+# --------------------------------------------------------------------- #
+class TestDeadline:
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError):
+            Deadline(0)
+        with pytest.raises(ValueError):
+            Deadline(-1.5)
+
+    def test_fresh_deadline_is_not_expired(self):
+        deadline = Deadline(60.0)
+        assert not deadline.expired()
+        assert 0 < deadline.remaining() <= 60.0
+        deadline.check()  # must not raise
+
+    def test_check_raises_structured_error_with_progress(self):
+        deadline = Deadline(0.001)
+        deadline.progress["steps_completed"] = 3
+        while not deadline.expired():
+            pass
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            deadline.check()
+        error = excinfo.value
+        assert error.deadline_seconds == 0.001
+        assert error.elapsed >= 0.001
+        assert error.partial == {"steps_completed": 3}
+        assert deadline.remaining() == 0.0
+
+    def test_exceeded_merges_extra_context(self):
+        deadline = Deadline(5.0)
+        deadline.progress["rows"] = 7
+        error = deadline.exceeded(backend="process")
+        assert error.partial == {"rows": 7, "backend": "process"}
+
+    def test_tick_is_amortized(self):
+        deadline = Deadline(0.0001)
+        while not deadline.expired():
+            pass
+        # The first CHECK_EVERY - 1 ticks never consult the clock.
+        for _ in range(Deadline.CHECK_EVERY - 1):
+            deadline.tick()
+        with pytest.raises(DeadlineExceeded):
+            deadline.tick()
+
+    def test_deadline_exceeded_is_a_timeout_but_not_retryable(self):
+        error = Deadline(5.0).exceeded()
+        assert isinstance(error, TimeoutError)
+        assert isinstance(error, ReproError)
+        assert not is_retryable(error)
+
+
+# --------------------------------------------------------------------- #
+# RetryPolicy
+# --------------------------------------------------------------------- #
+class TestRetryPolicy:
+    def test_seeded_delays_are_deterministic(self):
+        first = list(RetryPolicy(retries=4, seed=42).delays())
+        second = list(RetryPolicy(retries=4, seed=42).delays())
+        assert first == second
+        assert len(first) == 4
+
+    def test_delays_without_jitter_are_capped_exponential(self):
+        policy = RetryPolicy(
+            retries=5, base_delay=0.1, max_delay=0.5, jitter=0.0
+        )
+        assert list(policy.delays()) == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(
+            retries=50, base_delay=0.1, max_delay=0.1, jitter=0.5, seed=7
+        )
+        for delay in policy.delays():
+            assert 0.05 <= delay <= 0.15
+
+    def test_retryable_matrix(self):
+        assert is_retryable(WorkerCrashError("worker crashed"))
+        assert is_retryable(InjectedFault("injected"))
+        assert is_retryable(OSError("pipe"))
+        assert not is_retryable(EvaluationError("semantic"))
+        assert not is_retryable(ValueError("bug"))
+
+    def test_budget_error_carries_attempt_records(self):
+        error = RetryBudgetExceeded(
+            "spent", attempts=({"backend": "process", "attempt": 1},)
+        )
+        assert error.attempts == ({"backend": "process", "attempt": 1},)
+        assert isinstance(error, EvaluationError)
+
+
+# --------------------------------------------------------------------- #
+# Delta WAL
+# --------------------------------------------------------------------- #
+class TestDeltaWAL:
+    def _batches(self, n=3):
+        return [
+            DeltaBatch(sequence=i).add_existence("a", 5, 6) for i in range(1, n + 1)
+        ]
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "deltas.wal"
+        with DeltaWAL(path) as wal:
+            for batch in self._batches(3):
+                wal.append(batch)
+            assert wal.last_seq == 3
+            assert wal.records == 3
+        scan = scan_wal(path)
+        assert not scan.torn_tail
+        assert [record.seq for record in scan.records] == [1, 2, 3]
+        assert scan.records[0].batch.sequence == 1
+        assert scan.last_seq == 3
+
+    def test_missing_file_scans_empty(self, tmp_path):
+        scan = scan_wal(tmp_path / "absent.wal")
+        assert scan.records == () and not scan.torn_tail
+
+    def test_append_to_closed_wal_raises(self, tmp_path):
+        wal = DeltaWAL(tmp_path / "w.wal")
+        wal.close()
+        with pytest.raises(WALError, match="closed"):
+            wal.append(DeltaBatch())
+
+    def _tear_tail(self, path):
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - len(raw.splitlines()[-1]) // 2 - 1])
+
+    def test_torn_tail_is_tolerated_and_repaired_on_open(self, tmp_path):
+        path = tmp_path / "deltas.wal"
+        with DeltaWAL(path) as wal:
+            for batch in self._batches(3):
+                wal.append(batch)
+        self._tear_tail(path)
+        scan = scan_wal(path)
+        assert scan.torn_tail
+        assert scan.last_seq == 2
+        # Re-opening repairs: the half-line is truncated, appends resume.
+        with DeltaWAL(path) as wal:
+            assert wal.last_seq == 2
+            assert wal.append(DeltaBatch(sequence=9)) == 3
+        healed = scan_wal(path)
+        assert not healed.torn_tail
+        assert [record.seq for record in healed.records] == [1, 2, 3]
+
+    def test_corruption_before_tail_is_rejected(self, tmp_path):
+        path = tmp_path / "deltas.wal"
+        with DeltaWAL(path) as wal:
+            for batch in self._batches(3):
+                wal.append(batch)
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[1] = lines[1][: len(lines[1]) // 2].rstrip(b"\n") + b"\n"
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(WALCorruptError, match="before the tail") as excinfo:
+            scan_wal(path)
+        assert excinfo.value.line == 2
+
+    def test_checksum_mismatch_mid_file_is_rejected(self, tmp_path):
+        path = tmp_path / "deltas.wal"
+        with DeltaWAL(path) as wal:
+            for batch in self._batches(2):
+                wal.append(batch)
+        lines = path.read_text().splitlines()
+        envelope = json.loads(lines[0])
+        envelope["crc"] = (envelope["crc"] + 1) % (2**32)
+        lines[0] = json.dumps(envelope)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(WALCorruptError):
+            scan_wal(path)
+
+    def test_out_of_order_sequence_is_corruption(self, tmp_path):
+        path = tmp_path / "deltas.wal"
+        with DeltaWAL(path) as wal:
+            for batch in self._batches(2):
+                wal.append(batch)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join([lines[1], lines[0]]) + "\n")
+        with pytest.raises(WALCorruptError, match="not greater"):
+            scan_wal(path)
+
+    def test_torn_append_failpoint_leaves_recoverable_prefix(self, tmp_path):
+        path = tmp_path / "deltas.wal"
+        wal = DeltaWAL(path)
+        wal.append(DeltaBatch(sequence=1))
+        failpoints.arm("wal.append", "torn", times=1)
+        with pytest.raises(InjectedFault):
+            wal.append(DeltaBatch(sequence=2))
+        wal.close()
+        scan = scan_wal(path)
+        assert scan.torn_tail
+        assert scan.last_seq == 1
+
+
+# --------------------------------------------------------------------- #
+# Snapshots + recover
+# --------------------------------------------------------------------- #
+class TestSnapshotRecovery:
+    def _session(self):
+        session = StreamingEngine(small_graph())
+        session.register(QUERY, name="people")
+        return session
+
+    def test_snapshot_roundtrip(self, tmp_path):
+        path = tmp_path / "state.snap"
+        meta = write_snapshot(self._session(), path)
+        assert meta["queries"] == [{"name": "people", "text": QUERY}]
+        document = load_snapshot(path)
+        assert document["wal_seq"] == 0
+        assert from_json_dict(document["graph"]).domain == Interval(0, 9)
+
+    def test_load_rejects_foreign_documents(self, tmp_path):
+        path = tmp_path / "not-a-snapshot.json"
+        path.write_text(json.dumps({"format": "something/else"}))
+        with pytest.raises(WALError, match="not a streaming snapshot"):
+            load_snapshot(path)
+
+    def test_snapshot_requires_query_text(self, tmp_path):
+        from dataclasses import replace
+
+        from repro.datagen.random_graphs import random_match_query
+
+        session = StreamingEngine(small_graph())
+        session.register(replace(random_match_query(38), text=None), name="opaque")
+        with pytest.raises(WALError, match="MATCH text is unknown"):
+            write_snapshot(session, tmp_path / "state.snap")
+
+    def test_recover_replays_only_the_wal_tail(self, tmp_path):
+        wal_path = tmp_path / "deltas.wal"
+        snap_path = tmp_path / "state.snap"
+        session = self._session()
+        session.attach_wal(str(wal_path))
+        session.apply(DeltaBatch(sequence=1).add_existence("a", 5, 7))
+        write_snapshot(session, snap_path)  # captures WAL position 1
+        session.apply(
+            DeltaBatch(sequence=2)
+            .extend_domain(14)
+            .add_node("c", "Person", [(10, 12)])
+        )
+        session.wal.close()
+        recovered, report = recover(snap_path, wal_path)
+        assert report.skipped == 1 and report.replayed == 1
+        assert not report.torn_tail
+        assert report.queries == ("people",)
+        assert recovered.wal_seq == 2
+        assert recovered.graph.domain == Interval(0, 14)
+        assert recovered.table("people").as_set() == session.table("people").as_set()
+        assert "1 WAL record(s) replayed" in report.summary()
+
+    def test_recover_without_wal_is_snapshot_only(self, tmp_path):
+        snap_path = tmp_path / "state.snap"
+        write_snapshot(self._session(), snap_path)
+        recovered, report = recover(snap_path)
+        assert report.replayed == 0 and report.wal_path is None
+        assert recovered.table("people").as_set()
+
+    def test_recovered_session_resumes_durably(self, tmp_path):
+        """Recovery → reattach WAL → new appends land after the old tail."""
+        wal_path = tmp_path / "deltas.wal"
+        snap_path = tmp_path / "state.snap"
+        session = self._session()
+        session.attach_wal(str(wal_path))
+        session.apply(DeltaBatch(sequence=1).add_existence("a", 5, 7))
+        write_snapshot(session, snap_path)
+        session.wal.close()
+        recovered, _report = recover(snap_path, wal_path)
+        recovered.attach_wal(str(wal_path))
+        recovered.apply(DeltaBatch(sequence=2).add_existence("b", 0, 1))
+        recovered.wal.close()
+        assert [record.seq for record in scan_wal(wal_path).records] == [1, 2]
+
+    def test_report_to_dict_is_json_serializable(self, tmp_path):
+        snap_path = tmp_path / "state.snap"
+        write_snapshot(self._session(), snap_path)
+        _, report = recover(snap_path)
+        assert json.loads(json.dumps(report.to_dict()))["queries"] == ["people"]
+
+
+# --------------------------------------------------------------------- #
+# Structured stream reading
+# --------------------------------------------------------------------- #
+class TestStreamReader:
+    def test_invalid_json_carries_position(self):
+        with pytest.raises(StreamFormatError) as excinfo:
+            parse_stream_line("{not json", path="d.jsonl", number=4)
+        error = excinfo.value
+        assert error.path == "d.jsonl" and error.line == 4
+        assert "d.jsonl:4: invalid JSON" in str(error)
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(StreamFormatError, match="expected a JSON object"):
+            parse_stream_line("[1, 2]", path="d.jsonl", number=1)
+
+    def test_non_integer_sequence_rejected(self):
+        with pytest.raises(StreamFormatError, match="sequence must be an"):
+            parse_stream_line('{"sequence": "seven"}', path="d.jsonl", number=2)
+
+    def test_malformed_batch_carries_sequence(self):
+        line = json.dumps({"sequence": 7, "nodes": [{"bogus": True}]})
+        with pytest.raises(StreamFormatError) as excinfo:
+            parse_stream_line(line, path="d.jsonl", number=3)
+        assert excinfo.value.sequence == 7
+
+    def test_reader_skips_blanks_and_comments(self, tmp_path):
+        path = tmp_path / "deltas.jsonl"
+        path.write_text(
+            "# header comment\n\n"
+            + json.dumps(DeltaBatch(sequence=1).to_json_dict())
+            + "\n"
+        )
+        records = list(read_delta_stream(path))
+        assert len(records) == 1
+        number, batch = records[0]
+        assert number == 3 and batch.sequence == 1
+
+    def test_malformed_line_leaves_engine_state_untouched(self, tmp_path):
+        session = StreamingEngine(small_graph())
+        session.register(QUERY, name="people")
+        before = session.table("people").as_set()
+        with pytest.raises(StreamFormatError):
+            parse_stream_line("{broken", path="d.jsonl", number=1)
+        assert session.table("people").as_set() == before
+        assert session.last_sequence is None
+
+
+# --------------------------------------------------------------------- #
+# Pool lifecycle
+# --------------------------------------------------------------------- #
+class TestPoolLifecycle:
+    def test_worker_pool_is_a_context_manager(self):
+        with WorkerPool(workers=1) as pool:
+            assert pool.workers == 1
+        # Closed pools must not leak into the shared registry.
+        shutdown_pools()
+
+    def test_shutdown_all_is_exported_alias(self):
+        assert shutdown_all is shutdown_pools
+        shutdown_all()  # idempotent on an empty registry
+
+
+# --------------------------------------------------------------------- #
+# CLI surface
+# --------------------------------------------------------------------- #
+class TestCliResilience:
+    def _graph(self, tmp_path):
+        path = tmp_path / "graph.json"
+        save_json(small_graph(), path)
+        return str(path)
+
+    def test_wal_requires_stream(self, tmp_path, capsys):
+        code = cli_main(
+            ["query", QUERY, "--graph", self._graph(tmp_path), "--wal", "w.wal"]
+        )
+        assert code == 2
+        assert "--wal and --snapshot require --stream" in capsys.readouterr().err
+
+    def test_snapshot_every_requires_snapshot(self, tmp_path, capsys):
+        code = cli_main(
+            ["query", QUERY, "--graph", self._graph(tmp_path), "--snapshot-every", "3"]
+        )
+        assert code == 2
+        assert "--snapshot-every requires --snapshot" in capsys.readouterr().err
+
+    def test_snapshot_every_must_be_positive(self, tmp_path, capsys):
+        code = cli_main(
+            [
+                "query", QUERY, "--graph", self._graph(tmp_path),
+                "--stream", "d.jsonl", "--snapshot", "s.snap",
+                "--snapshot-every", "0",
+            ]
+        )
+        assert code == 2
+        assert "--snapshot-every must be >= 1" in capsys.readouterr().err
+
+    def test_deadline_requires_dataflow_engine(self, tmp_path, capsys):
+        code = cli_main(
+            [
+                "query", QUERY, "--graph", self._graph(tmp_path),
+                "--engine", "reference", "--deadline", "5",
+            ]
+        )
+        assert code == 2
+        assert "apply to the dataflow engine only" in capsys.readouterr().err
+
+    def test_deadline_flag_cancels_query(self, tmp_path, capsys):
+        failpoints.arm("engine.step", "sleep", seconds=0.2, times=0)
+        code = cli_main(
+            [
+                "query", QUERY, "--graph", self._graph(tmp_path),
+                "--deadline", "0.05",
+            ]
+        )
+        assert code == 2
+        assert "deadline" in capsys.readouterr().err
+
+    def test_stream_wal_snapshot_then_recover_verb(self, tmp_path, capsys):
+        graph = self._graph(tmp_path)
+        deltas = tmp_path / "deltas.jsonl"
+        deltas.write_text(
+            "\n".join(
+                json.dumps(batch.to_json_dict())
+                for batch in (
+                    DeltaBatch(sequence=1).add_existence("a", 5, 7),
+                    DeltaBatch(sequence=2)
+                    .extend_domain(14)
+                    .add_node("c", "Person", [(10, 12)]),
+                )
+            )
+            + "\n"
+        )
+        wal = tmp_path / "deltas.wal"
+        snap = tmp_path / "state.snap"
+        code = cli_main(
+            [
+                "query", QUERY, "--graph", graph,
+                "--stream", str(deltas),
+                "--wal", str(wal), "--snapshot", str(snap),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"wal {wal}" in out and "snapshots" in out
+        assert wal.exists() and snap.exists()
+
+        recovered_graph = tmp_path / "recovered.json"
+        code = cli_main(
+            [
+                "recover", "--snapshot", str(snap), "--wal", str(wal),
+                "--match", QUERY, "--limit", "2",
+                "--output", str(recovered_graph),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovered from" in out
+        assert "output size" in out
+        assert recovered_graph.exists()
+        assert from_json_dict(
+            json.loads(recovered_graph.read_text())
+        ).domain == Interval(0, 14)
+
+    def test_recover_missing_snapshot_is_a_clean_error(self, tmp_path, capsys):
+        code = cli_main(["recover", "--snapshot", str(tmp_path / "absent.snap")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------- #
+# Engine integration: explain() exposes the resilience configuration
+# --------------------------------------------------------------------- #
+class TestEngineExplain:
+    def test_explain_reports_deadline_and_retry(self):
+        engine = DataflowEngine(
+            small_graph(),
+            deadline_seconds=30.0,
+            retry=RetryPolicy(retries=3, degrade=False),
+        )
+        plan = engine.explain(QUERY)
+        assert plan["deadline_seconds"] == 30.0
+        assert plan["retry"]["retries"] == 3
+        assert plan["retry"]["degrade"] is False
+        assert plan["last_degradation"] is None
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ValueError, match="deadline"):
+            DataflowEngine(small_graph(), deadline_seconds=-1.0)

@@ -31,6 +31,7 @@ window, so the CI fuzz matrix exercises disjoint cases.
 from __future__ import annotations
 
 import os
+import tempfile
 
 import pytest
 
@@ -95,6 +96,45 @@ def check_intervals(name, engine, query, variables, cold_rows, context) -> None:
     )
 
 
+def check_durability(payload, query, batches, cold_rows, context, tmpdir) -> None:
+    """The WAL + snapshot differential: restart-from-disk == continuous.
+
+    A durable session (delta WAL + a snapshot every second batch) applies
+    the same stream; the state recovered from its snapshot + WAL tail —
+    a cold process that never saw the live stream — must answer exactly
+    like the continuous run (= the cold oracle).
+    """
+    from repro.resilience import recover
+    from repro.streaming import DeltaBatch
+
+    wal_path = os.path.join(tmpdir, "deltas.wal")
+    snap_path = os.path.join(tmpdir, "state.snap")
+    durable = DataflowEngine(from_json_dict(payload), incremental=True)
+    name = durable.streaming_session().register(query)
+    session = durable.streaming_session()
+    session.attach_wal(wal_path)
+    session.configure_snapshots(snap_path, every=2)
+    for batch in batches:
+        durable.apply_delta(DeltaBatch.from_json_dict(batch.to_json_dict()))
+    session.wal.close()
+    assert os.path.exists(snap_path), f"no snapshot written ({context})"
+    # ``queries=`` because the fuzzed MatchQuery objects carry no
+    # parseable text for recovery to re-register from.
+    recovered, report = recover(snap_path, wal_path, queries={name: query})
+    assert not report.torn_tail, f"clean WAL reported torn ({context})"
+    assert report.skipped + report.replayed == len(batches), (
+        f"recovery covered {report.skipped}+{report.replayed} WAL records, "
+        f"expected {len(batches)} ({context})"
+    )
+    recovered_rows = recovered.table(name).as_set()
+    assert recovered_rows == cold_rows, (
+        f"snapshot+WAL recovery diverged from the continuous run ({context}): "
+        f"{len(recovered_rows)} vs {len(cold_rows)} rows; "
+        f"extra={sorted(recovered_rows - cold_rows, key=repr)[:5]}, "
+        f"missing={sorted(cold_rows - recovered_rows, key=repr)[:5]}"
+    )
+
+
 def run_streaming_case(seed: int) -> None:
     """One streaming differential case; raises AssertionError on divergence.
 
@@ -146,6 +186,13 @@ def run_streaming_case(seed: int) -> None:
                     f"{ref_name} disagreed with the cold dataflow engine "
                     f"({context})"
                 )
+    # Durability oracle (PR 6): a session restarted from its snapshot +
+    # WAL must answer exactly like the continuous run.  ``cold_rows``
+    # here is the final-state cold table from the last loop iteration.
+    with tempfile.TemporaryDirectory(prefix="repro-durable-") as tmpdir:
+        check_durability(
+            payload, query, batches, cold_rows, f"seed={seed}, final", tmpdir
+        )
 
 
 @pytest.mark.parametrize("batch", range(BATCHES))
@@ -156,3 +203,57 @@ def test_streaming_differential_batch(batch: int) -> None:
 
 def test_sweep_size_meets_charter() -> None:
     assert BATCHES * BATCH_SIZE >= 200
+
+
+def test_recovery_with_torn_final_wal_record_matches_prefix_run() -> None:
+    """A crash mid-append loses exactly the torn record, nothing else.
+
+    The WAL's last line is cut in half (what an interrupted write leaves
+    behind); recovery must drop it, report the tear, and land on the
+    state of the stream *prefix* — identical to a continuous run that
+    never saw the final batch.
+    """
+    from repro.resilience import recover
+    from repro.streaming import DeltaBatch
+
+    seed = 1
+    base = random_itpg(seed)
+    query = random_match_query(seed * 31 + 7)
+    batches = random_delta_batches(base, seed * 17 + 3)
+    payload = to_json_dict(base)
+    with tempfile.TemporaryDirectory(prefix="repro-torn-") as tmpdir:
+        wal_path = os.path.join(tmpdir, "deltas.wal")
+        snap_path = os.path.join(tmpdir, "state.snap")
+        durable = DataflowEngine(from_json_dict(payload), incremental=True)
+        session = durable.streaming_session()
+        name = session.register(query)
+        session.attach_wal(wal_path)
+        session.snapshot(snap_path)  # snapshot of the pre-stream state
+        for batch in batches:
+            durable.apply_delta(DeltaBatch.from_json_dict(batch.to_json_dict()))
+        session.wal.close()
+
+        # Tear the final record the way a power cut would.
+        with open(wal_path, "rb") as handle:
+            raw = handle.read()
+        lines = raw.rstrip(b"\n").split(b"\n")
+        torn = b"\n".join(lines[:-1])
+        if torn:
+            torn += b"\n"
+        torn += lines[-1][: len(lines[-1]) // 2]
+        with open(wal_path, "wb") as handle:
+            handle.write(torn)
+
+        recovered, report = recover(snap_path, wal_path, queries={name: query})
+        assert report.torn_tail
+        assert report.replayed == len(batches) - 1
+
+        # The continuous prefix run: same stream minus the lost batch.
+        prefix = DataflowEngine(from_json_dict(payload), incremental=True)
+        prefix_name = prefix.streaming_session().register(query)
+        for batch in batches[:-1]:
+            prefix.apply_delta(DeltaBatch.from_json_dict(batch.to_json_dict()))
+        assert (
+            recovered.table(name).as_set()
+            == prefix.streaming_session().table(prefix_name).as_set()
+        )

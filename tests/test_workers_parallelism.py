@@ -29,12 +29,13 @@ from repro.datagen import (
 from repro.datagen.random_graphs import random_itpg, random_match_query
 from repro.dataflow import DataflowEngine, PAPER_QUERIES, row_signature
 from repro.dataflow.executor import _ChainStats, _split
-from repro.errors import EvaluationError, ReproError
+from repro.errors import EvaluationError, ReproError, RetryBudgetExceeded
 from repro.eval import ReferenceEngine
 from repro.lang.translate import compile_match
 from repro.parallel import plan_for, weighted_chunks
 from repro.parallel import pool as pool_module
 from repro.parallel.pool import shared_pool, shutdown_pools
+from repro.resilience import RetryPolicy, failpoints
 from repro.temporal.coalesce import is_coalesced
 
 
@@ -360,4 +361,118 @@ class TestProcessBackendFaults:
         )
         engine = self._engine(contact_graph)
         with pytest.raises(ReproError):
+            engine.match(PAPER_QUERIES["Q1"].text)
+
+
+#: The start-method matrix the crash-recovery tests must survive.
+START_METHODS = [
+    pytest.param(
+        "fork",
+        marks=pytest.mark.skipif(not _fork_available(), reason="fork not available"),
+    ),
+    "spawn",
+]
+
+
+class TestFailpointCrashRecovery:
+    """PR 6: a SIGKILLed worker must not change the answer.
+
+    The ``worker.chunk`` / ``worker.install`` failpoints (armed through
+    the cross-process registry, so spawn-started workers see them too)
+    kill or fault real pool workers mid-query.  With a
+    :class:`RetryPolicy` the engine must either recover in place within
+    the retry budget or demote the backend — and in every case produce
+    output identical to the serial run.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _clean_failpoints(self, fresh_pools):
+        failpoints.disarm_all()
+        yield
+        failpoints.disarm_all()
+
+    @staticmethod
+    def _policy(**overrides):
+        defaults = dict(retries=2, base_delay=0.01, max_delay=0.05, seed=11)
+        defaults.update(overrides)
+        return RetryPolicy(**defaults)
+
+    def _resilient_engine(self, graph, start_method, **overrides):
+        return DataflowEngine(
+            graph,
+            workers=2,
+            parallel_backend="process",
+            start_method=start_method,
+            retry=self._policy(**overrides),
+        )
+
+    @pytest.mark.parametrize("start_method", START_METHODS)
+    def test_sigkill_recovers_within_retry_budget(self, contact_graph, start_method):
+        query = PAPER_QUERIES["Q1"].text
+        serial = DataflowEngine(contact_graph).match(query).as_set()
+        engine = self._resilient_engine(contact_graph, start_method)
+        failpoints.arm("worker.chunk", "kill", times=1, exit_code=9)
+        result = engine.match_with_stats(query)
+        assert failpoints.hits("worker.chunk") >= 1, "failpoint never fired"
+        assert result.table.as_set() == serial
+        report = engine.last_degradation
+        assert report is not None
+        assert report.final_backend == "process"  # recovered in place
+        assert not report.degraded
+        assert any(
+            record.error_type == "WorkerCrashError" for record in report.failures
+        )
+        assert result.degradation == report.to_dict()
+
+    @pytest.mark.parametrize("start_method", START_METHODS)
+    def test_persistent_kills_degrade_with_identical_output(
+        self, contact_graph, start_method
+    ):
+        query = PAPER_QUERIES["Q5"].text
+        serial = DataflowEngine(contact_graph).match(query).as_set()
+        engine = self._resilient_engine(contact_graph, start_method, retries=1)
+        failpoints.arm("worker.chunk", "kill", times=0)  # every worker, forever
+        result = engine.match_with_stats(query)
+        assert result.table.as_set() == serial
+        report = engine.last_degradation
+        assert report is not None and report.degraded
+        # The thread/serial rungs never enter a worker process, so the
+        # armed kill cannot touch them.
+        assert report.final_backend in ("thread", "serial")
+        assert len(report.failures) == 2  # initial attempt + 1 retry
+        assert engine.explain(query)["last_degradation"]["degraded"]
+
+    @pytest.mark.skipif(not _fork_available(), reason="fork keeps this test fast")
+    def test_exhausted_budget_without_degradation_raises(self, contact_graph):
+        engine = DataflowEngine(
+            contact_graph,
+            workers=2,
+            parallel_backend="process",
+            start_method="fork",
+            retry=self._policy(retries=1, degrade=False),
+        )
+        failpoints.arm("worker.chunk", "kill", times=0)
+        with pytest.raises(RetryBudgetExceeded) as excinfo:
+            engine.match(PAPER_QUERIES["Q1"].text)
+        attempts = excinfo.value.attempts
+        assert len(attempts) == 2
+        assert all(record["error_type"] == "WorkerCrashError" for record in attempts)
+
+    @pytest.mark.skipif(not _fork_available(), reason="fork keeps this test fast")
+    def test_plan_install_fault_is_retried(self, contact_graph):
+        query = PAPER_QUERIES["Q11"].text
+        serial = DataflowEngine(contact_graph).match(query).as_set()
+        engine = self._resilient_engine(contact_graph, "fork")
+        failpoints.arm("worker.install", "raise", times=1, message="install blew up")
+        assert engine.match(query).as_set() == serial
+        assert failpoints.hits("worker.install") >= 1
+
+    @pytest.mark.skipif(not _fork_available(), reason="fork keeps this test fast")
+    def test_without_retry_policy_crash_still_fails_fast(self, contact_graph):
+        """``retry=None`` (the default) keeps the PR-4 fail-fast contract."""
+        engine = DataflowEngine(
+            contact_graph, workers=2, parallel_backend="process", start_method="fork"
+        )
+        failpoints.arm("worker.chunk", "kill", times=0)
+        with pytest.raises(EvaluationError, match="worker crashed"):
             engine.match(PAPER_QUERIES["Q1"].text)
