@@ -1,0 +1,345 @@
+"""Always-on query service: warm resident latency vs cold one-shot (PR-7 harness).
+
+The ``repro.server`` service keeps a graph, its compiled
+:class:`~repro.perf.graph_index.GraphIndex` and a plan cache resident
+across requests.  This harness measures what residency buys over the
+pre-PR-7 workflow — one ``repro query`` style cold shot per question —
+on the Table-II query mix:
+
+* **cold one-shot** — per query: ``load_json`` the graph from disk, build
+  a fresh :class:`DataflowEngine` (which recompiles the index), parse and
+  evaluate.  That is exactly what every CLI invocation paid before the
+  service existed;
+* **warm service** — a :class:`~repro.server.service.BackgroundServer`
+  holds the graph resident; after one warm-up pass (plan-cache misses,
+  index build) the same mix is replayed over TCP and per-request
+  latencies recorded (p50/p99), plus a concurrent-clients pass for
+  throughput.
+
+Every warm answer is cross-checked against the cold engine's wire form —
+any divergence makes the process exit non-zero (the same contract as the
+other harnesses).  The headline number is ``warm_speedup_p50`` (cold p50
+over warm p50), which must stay above ``--min-speedup`` (default 5x: the
+acceptance floor for the plan cache + warm index actually paying off).
+
+Measurements land in ``BENCH_PR7.json`` keyed by scale factor::
+
+    PYTHONPATH=src python benchmarks/bench_server.py                 # REPRO_SCALE or S4
+    PYTHONPATH=src python benchmarks/bench_server.py --smoke \\
+        --out bench_smoke_pr7.json --check-against BENCH_PR7.json \\
+        --tolerance 0.25                                             # CI gate
+
+The ratio is core-count independent — both sides evaluate sequentially
+(the service runs ``workers=1``); residency removes load/compile/parse
+work rather than parallelizing evaluation — so the gate engages on any
+host.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.datagen.contact_tracing import generate_contact_tracing_graph
+from repro.datagen.scale import SCALE_FACTORS, default_scale_name
+from repro.dataflow import DataflowEngine, PAPER_QUERIES
+from repro.model.io import load_json, save_json
+from repro.eval.bindings import IntervalBindingTable
+from repro.server import BackgroundServer, ServerClient, ServerState, normalize_query
+from repro.server.protocol import families_to_wire, rows_to_wire
+
+#: The Table-II mix: every paper query the engines answer.
+MIX = tuple(PAPER_QUERIES)
+#: Smoke mode trims the mix to the shapes that dominate service traffic
+#: (full scans + the join) so the CI gate stays in the seconds range.
+SMOKE_MIX = ("Q1", "Q2", "Q5", "Q9")
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def wire_form(table) -> tuple:
+    """An answer table in the protocol's wire form, tagged by kind."""
+    if isinstance(table, IntervalBindingTable):
+        return ("families", families_to_wire(table.families))
+    return ("rows", rows_to_wire(table.rows))
+
+
+def warm_wire_form(result: dict) -> tuple:
+    return (result["kind"], result[result["kind"]])
+
+
+def cold_wire_answer(graph_path: Path, name: str) -> tuple:
+    """What a from-scratch engine answers, in the protocol's wire form."""
+    engine = DataflowEngine(load_json(graph_path))
+    return wire_form(engine.match(normalize_query(name)))
+
+
+def bench_cold(graph_path: Path, mix, rounds: int) -> dict:
+    """One-shot cost per query: load graph, build engine, parse, evaluate."""
+    latencies: list[float] = []
+    per_query: dict[str, float] = {}
+    start_all = time.perf_counter()
+    for _ in range(rounds):
+        for name in mix:
+            start = time.perf_counter()
+            graph = load_json(graph_path)
+            engine = DataflowEngine(graph)
+            engine.match(normalize_query(name))
+            elapsed = time.perf_counter() - start
+            latencies.append(elapsed)
+            per_query[name] = min(per_query.get(name, elapsed), elapsed)
+    total = time.perf_counter() - start_all
+    return {
+        "requests": len(latencies),
+        "p50_ms": round(percentile(latencies, 0.50) * 1e3, 3),
+        "p99_ms": round(percentile(latencies, 0.99) * 1e3, 3),
+        "total_seconds": round(total, 6),
+        "per_query_best_ms": {
+            name: round(seconds * 1e3, 3) for name, seconds in per_query.items()
+        },
+        "_latencies": latencies,
+    }
+
+
+def bench_warm(graph_path: Path, mix, rounds: int, clients: int) -> dict:
+    """Replay the mix against a resident server; check answers vs cold."""
+    state = ServerState(workers=1, backend="thread", plan_capacity=64)
+    state.add_graph("bench", str(graph_path))
+    divergences = 0
+    with BackgroundServer(state, max_concurrency=max(2, clients), max_queue=64) as server:
+        with ServerClient(server.host, server.port) as client:
+            # Warm-up pass: index build + plan-cache misses land here, and
+            # every answer is cross-checked against the cold engine's.
+            for name in mix:
+                response = client.query(name, graph="bench")
+                if warm_wire_form(response["result"]) != cold_wire_answer(graph_path, name):
+                    print(f"DIVERGENCE: warm {name} != cold one-shot", file=sys.stderr)
+                    divergences += 1
+
+            # Sequential latency pass (comparable to the cold loop: one
+            # outstanding request, same mix, same rounds).
+            latencies: list[float] = []
+            hits_before = client.stats()["graphs"]["bench"]["plan_cache"]["hits"]
+            for _ in range(rounds):
+                for name in mix:
+                    start = time.perf_counter()
+                    client.query(name, graph="bench")
+                    latencies.append(time.perf_counter() - start)
+            plans = client.stats()["graphs"]["bench"]["plan_cache"]
+
+        # Concurrent throughput pass: `clients` connections replaying the
+        # mix in parallel against the shared resident graph.
+        def worker(errors: list) -> None:
+            try:
+                with ServerClient(server.host, server.port) as c:
+                    for _ in range(rounds):
+                        for name in mix:
+                            c.query(name, graph="bench")
+            except Exception as error:  # noqa: BLE001 — surfaced via `errors`
+                errors.append(error)
+
+        errors: list = []
+        threads = [
+            threading.Thread(target=worker, args=(errors,)) for _ in range(clients)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        concurrent_seconds = time.perf_counter() - start
+        if errors:
+            raise errors[0]
+    concurrent_requests = clients * rounds * len(mix)
+    return {
+        "requests": len(latencies),
+        "p50_ms": round(percentile(latencies, 0.50) * 1e3, 3),
+        "p99_ms": round(percentile(latencies, 0.99) * 1e3, 3),
+        "plan_hits": plans["hits"] - hits_before,
+        "plan_misses": plans["misses"],
+        "concurrent_clients": clients,
+        "concurrent_requests": concurrent_requests,
+        "concurrent_qps": round(concurrent_requests / max(concurrent_seconds, 1e-9), 2),
+        "divergences": divergences,
+        "_latencies": latencies,
+    }
+
+
+def bench_scale(scale_name: str, positivity: float, mix, rounds: int, clients: int) -> dict:
+    config = SCALE_FACTORS[scale_name].config(positivity_rate=positivity)
+    graph = generate_contact_tracing_graph(config)
+    with tempfile.TemporaryDirectory(prefix="bench_server_") as tmp:
+        graph_path = Path(tmp) / f"{scale_name}.json"
+        save_json(graph, graph_path)
+        cold = bench_cold(graph_path, mix, rounds)
+        warm = bench_warm(graph_path, mix, rounds, clients)
+    cold_latencies = cold.pop("_latencies")
+    warm_latencies = warm.pop("_latencies")
+    speedup_p50 = statistics.median(cold_latencies) / max(
+        statistics.median(warm_latencies), 1e-9
+    )
+    return {
+        "scale": scale_name,
+        "positivity_rate": positivity,
+        "cpu_count": os.cpu_count(),
+        "queries": list(mix),
+        "rounds": rounds,
+        "cold": cold,
+        "warm": warm,
+        "warm_speedup_p50": round(speedup_p50, 3),
+        "divergences": warm["divergences"],
+    }
+
+
+def check_against(baseline_path: Path, measured: dict, tolerance: float) -> int:
+    """Gate the warm-vs-cold p50 speedup against the committed baseline."""
+    if not baseline_path.exists():
+        print(f"WARNING: baseline {baseline_path} not found; skipping check")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    scale = measured["scale"]
+    reference = baseline.get("results", {}).get(scale)
+    if reference is None:
+        print(
+            f"WARNING: baseline {baseline_path} has no {scale} section; "
+            "skipping regression check"
+        )
+        return 0
+    expected = reference["warm_speedup_p50"]
+    floor = expected * (1.0 - tolerance)
+    got = measured["warm_speedup_p50"]
+    print(
+        f"regression check at {scale}: warm-vs-cold p50 speedup {got:.2f}x, "
+        f"baseline {expected:.2f}x, floor {floor:.2f}x"
+    )
+    if got < floor:
+        print(
+            f"ERROR: resident-service speedup regressed more than "
+            f"{tolerance:.0%} vs {baseline_path}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        default=None,
+        choices=sorted(SCALE_FACTORS),
+        help="scale factor (default: REPRO_SCALE or S4; --smoke forces S1)",
+    )
+    parser.add_argument("--positivity", type=float, default=0.05)
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=5,
+        help="passes over the query mix per side (default 5; smoke: 3)",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        help="concurrent connections in the throughput pass (default 4)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="absolute floor for the warm-vs-cold p50 speedup (default 5.0)",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR7.json"),
+        help="JSON report path; existing per-scale sections are preserved",
+    )
+    parser.add_argument(
+        "--check-against",
+        default=None,
+        help="baseline BENCH_PR7.json to compare the p50 speedup against",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative regression of the gate speedup (default 25%%)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: smallest scale, trimmed mix, fewer rounds",
+    )
+    args = parser.parse_args(argv)
+
+    scale = args.scale or ("S1" if args.smoke else default_scale_name())
+    mix = SMOKE_MIX if args.smoke else MIX
+    rounds = min(args.rounds, 3) if args.smoke else args.rounds
+
+    measured = bench_scale(scale, args.positivity, mix, rounds, args.clients)
+
+    out_path = Path(args.out)
+    report = {"benchmark": "bench_server", "results": {}}
+    if out_path.exists():
+        try:
+            report = json.loads(out_path.read_text())
+        except json.JSONDecodeError:
+            pass
+    report["benchmark"] = "bench_server"
+    report["python"] = platform.python_version()
+    report.setdefault("results", {})[scale] = measured
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    cold, warm = measured["cold"], measured["warm"]
+    print(f"=== Resident service vs cold one-shot at {scale} "
+          f"(mix {', '.join(mix)}) ===")
+    header = f"{'side':>6}{'requests':>10}{'p50 (ms)':>11}{'p99 (ms)':>11}"
+    print(header)
+    print("-" * len(header))
+    print(f"{'cold':>6}{cold['requests']:>10}{cold['p50_ms']:>11.3f}{cold['p99_ms']:>11.3f}")
+    print(f"{'warm':>6}{warm['requests']:>10}{warm['p50_ms']:>11.3f}{warm['p99_ms']:>11.3f}")
+    print(
+        f"warm speedup p50 {measured['warm_speedup_p50']:.2f}x | plan cache "
+        f"{warm['plan_hits']} hits / {warm['plan_misses']} misses | "
+        f"{warm['concurrent_clients']} clients {warm['concurrent_qps']} req/s"
+    )
+    print(f"wrote {out_path}")
+
+    failures = 0
+    if measured["divergences"]:
+        print(
+            f"ERROR: {measured['divergences']} warm answers diverged from the "
+            "cold engine",
+            file=sys.stderr,
+        )
+        failures += 1
+    if measured["warm_speedup_p50"] < args.min_speedup:
+        print(
+            f"ERROR: warm p50 speedup {measured['warm_speedup_p50']:.2f}x is "
+            f"below the {args.min_speedup:.1f}x floor",
+            file=sys.stderr,
+        )
+        failures += 1
+    if args.check_against:
+        failures += check_against(Path(args.check_against), measured, args.tolerance)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,9 @@ The CLI exposes the most common workflows without writing Python:
   (or over the built-in Figure-1 running example) and print the binding
   table; with ``--stream deltas.jsonl`` the query is kept incrementally
   answered while delta batches are applied, re-reporting after each;
+* ``python -m repro serve`` — run the always-on query service: graphs
+  and their compiled indexes stay resident, execution plans are cached,
+  and clients speak JSON lines over TCP (see RELIABILITY.md);
 * ``python -m repro example`` — dump the Figure-1 running example as
   JSON, as a starting point for experimentation.
 
@@ -29,6 +32,39 @@ from repro.eval import ReferenceEngine
 from repro.eval.bindings import IntervalBindingTable
 from repro.model import contact_tracing_example, graph_statistics
 from repro.model.io import load_json, save_json
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a strictly positive float (``--deadline``)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    """argparse type: an integer >= 0 (``--retries``, ``--workers``)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1 (``--snapshot-every``)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -85,16 +121,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument(
         "--workers",
-        type=int,
+        type=_nonnegative_int,
         default=1,
         help="dataflow workers (0 = one per CPU core)",
     )
     query.add_argument(
         "--backend",
-        choices=DataflowEngine.BACKENDS,
+        choices=("serial",) + DataflowEngine.BACKENDS,
         default="thread",
-        help="dataflow parallel backend: 'thread' (GIL-bound, cheap for small "
-        "frontiers) or 'process' (worker-process pool that scales with cores)",
+        help="dataflow parallel backend: 'serial' (single-threaded, rejects "
+        "--workers > 1), 'thread' (GIL-bound, cheap for small frontiers) or "
+        "'process' (worker-process pool that scales with cores)",
     )
     query.add_argument("--limit", type=int, default=25, help="rows to print (0 = all)")
     query.add_argument("--stats", action="store_true", help="print timing and output size")
@@ -125,7 +162,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument(
         "--deadline",
-        type=float,
+        type=_positive_float,
         default=None,
         metavar="SECONDS",
         help="per-query wall-clock budget; on expiry the query is cancelled "
@@ -133,7 +170,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument(
         "--retries",
-        type=int,
+        type=_nonnegative_int,
         default=None,
         metavar="N",
         help="retry crash-shaped process-backend failures up to N times with "
@@ -156,8 +193,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument(
         "--snapshot-every",
-        type=int,
-        default=1,
+        type=_positive_int,
+        default=None,
         metavar="N",
         help="snapshot after every N applied batches (default 1; "
         "requires --snapshot)",
@@ -189,6 +226,94 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="save the recovered graph as JSON",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the always-on query service (JSON lines over TCP)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="listen address")
+    serve.add_argument(
+        "--port",
+        type=_nonnegative_int,
+        default=0,
+        help="listen port (0 = pick a free port; the bound port is printed)",
+    )
+    serve.add_argument(
+        "--graph",
+        default=None,
+        metavar="PATH",
+        help="graph JSON to keep resident as 'default' (default: the "
+        "Figure-1 running example)",
+    )
+    serve.add_argument(
+        "--name",
+        default="default",
+        help="name the resident graph is addressed by (default: 'default')",
+    )
+    serve.add_argument(
+        "--workers",
+        type=_nonnegative_int,
+        default=1,
+        help="dataflow workers per query (0 = one per CPU core)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=("serial",) + DataflowEngine.BACKENDS,
+        default="thread",
+        help="dataflow parallel backend for resident engines ('serial' "
+        "rejects --workers > 1)",
+    )
+    serve.add_argument(
+        "--max-concurrency",
+        type=_positive_int,
+        default=4,
+        help="heavy requests executing at once (default 4)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=_nonnegative_int,
+        default=16,
+        help="heavy requests allowed to wait before Overloaded rejection "
+        "(default 16; 0 = reject as soon as all slots are busy)",
+    )
+    serve.add_argument(
+        "--plan-cache",
+        type=_positive_int,
+        default=128,
+        metavar="N",
+        help="compiled-plan cache capacity per graph (default 128)",
+    )
+    serve.add_argument(
+        "--wal",
+        default=None,
+        metavar="PATH",
+        help="append applied delta batches to a checksummed WAL; on "
+        "restart the WAL tail is replayed so the resident graph catches up",
+    )
+    serve.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="PATH",
+        help="periodically write an atomic session snapshot; on restart "
+        "an existing snapshot (plus the WAL tail) is recovered instead of "
+        "re-loading --graph",
+    )
+    serve.add_argument(
+        "--snapshot-every",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="snapshot after every N applied batches (default 1; "
+        "requires --snapshot)",
+    )
+    serve.add_argument(
+        "--register",
+        action="append",
+        default=None,
+        metavar="QUERY",
+        help="register a continuously-answered query at startup (repeatable; "
+        "a MATCH clause or a paper-query name Q1..Q12)",
     )
 
     example = sub.add_parser("example", help="write the Figure-1 running example as JSON")
@@ -386,12 +511,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    if args.snapshot_every != 1 and not args.snapshot:
+    if args.snapshot_every is not None and not args.snapshot:
         print("error: --snapshot-every requires --snapshot", file=sys.stderr)
         return 2
-    if args.snapshot_every < 1:
+    if args.backend == "serial" and args.workers > 1:
         print(
-            f"error: --snapshot-every must be >= 1 (got {args.snapshot_every})",
+            f"error: --backend serial is single-threaded and contradicts "
+            f"--workers {args.workers} (drop one of the two)",
             file=sys.stderr,
         )
         return 2
@@ -404,11 +530,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
             from repro.resilience import RetryPolicy
 
             retry = RetryPolicy(retries=args.retries)
+        serial = args.backend == "serial"
         engine = DataflowEngine(
             graph,
-            workers=args.workers,
+            workers=1 if serial else args.workers,
             use_coalesced=not args.legacy_frontier,
-            parallel_backend=args.backend,
+            parallel_backend="thread" if serial else args.backend,
             incremental=args.stream is not None,
             deadline_seconds=args.deadline,
             retry=retry,
@@ -423,7 +550,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
                     args.stream,
                     wal=args.wal,
                     snapshot=args.snapshot,
-                    snapshot_every=args.snapshot_every,
+                    snapshot_every=args.snapshot_every or 1,
                 )
             except ValueError as error:
                 print(f"error: {error}", file=sys.stderr)
@@ -508,6 +635,64 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the always-on query service until a shutdown request."""
+    # The same flag contract as 'query': contradictory combinations are
+    # rejected up front with an actionable message.
+    if args.backend == "serial" and args.workers > 1:
+        print(
+            f"error: --backend serial is single-threaded and contradicts "
+            f"--workers {args.workers} (drop one of the two)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.snapshot_every is not None and not args.snapshot:
+        print("error: --snapshot-every requires --snapshot", file=sys.stderr)
+        return 2
+    from repro.server import ServerState
+    from repro.server.service import serve as run_service
+
+    state = ServerState(
+        workers=args.workers,
+        backend=args.backend,
+        plan_capacity=args.plan_cache,
+    )
+    recovery = state.add_graph(
+        args.name,
+        args.graph,
+        wal=args.wal,
+        snapshot=args.snapshot,
+        snapshot_every=args.snapshot_every or 1,
+    )
+    if recovery is not None:
+        print(
+            f"# recovered {args.name!r} from {args.snapshot}: "
+            f"{recovery['replayed']} WAL record(s) replayed, "
+            f"{recovery['skipped']} skipped",
+            flush=True,
+        )
+    host = state.host(args.name)
+    for text in args.register or ():
+        registered = host.register(text)
+        print(f"# registered {registered['result']['name']!r}", flush=True)
+
+    def on_listening(server) -> None:
+        # Subprocess harnesses (tests, benchmarks) parse this line to
+        # learn the bound port, so keep its shape stable and flush it.
+        print(f"listening on {server.host}:{server.port}", flush=True)
+
+    run_service(
+        state,
+        host=args.host,
+        port=args.port,
+        max_concurrency=args.max_concurrency,
+        max_queue=args.max_queue,
+        on_listening=on_listening,
+    )
+    print("# server stopped", flush=True)
+    return 0
+
+
 def _cmd_example(args: argparse.Namespace) -> int:
     save_json(contact_tracing_example(), args.output)
     print(f"wrote the Figure-1 running example to {args.output}")
@@ -519,6 +704,7 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "query": _cmd_query,
     "recover": _cmd_recover,
+    "serve": _cmd_serve,
     "example": _cmd_example,
 }
 

@@ -143,6 +143,30 @@ class _ChainStats:
         self.rows_merged = 0
 
 
+@dataclass(frozen=True)
+class QueryPlan:
+    """A compiled, immediately-executable plan for one query on one engine.
+
+    Produced by :meth:`DataflowEngine.prepare` and accepted anywhere a
+    query is (:meth:`match`, :meth:`match_with_stats`,
+    :meth:`match_intervals`), skipping parse + translate + chain
+    compilation on every reuse.  The chain is fused against the engine's
+    :class:`~repro.perf.graph_index.GraphIndex`, so a plan is only valid
+    for the graph (state) it was prepared on — the server keys its plan
+    cache by ``(normalized query text, graph token)`` and drops entries
+    when a delta rotates the token.
+    """
+
+    text: str | None
+    compiled: CompiledMatch
+    chain: tuple[ChainStep, ...]
+    mode: str
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        return self.compiled.variables
+
+
 class DataflowEngine:
     """Interval-based dataflow evaluation of MATCH queries (Section VI)."""
 
@@ -414,7 +438,7 @@ class DataflowEngine:
     # Public API
     # ------------------------------------------------------------------ #
     def match(
-        self, query: TypingUnion[str, MatchQuery, CompiledMatch]
+        self, query: TypingUnion[str, MatchQuery, CompiledMatch, QueryPlan]
     ) -> TypingUnion[BindingTable, IntervalBindingTable]:
         """Evaluate a MATCH clause and return its binding table.
 
@@ -424,10 +448,33 @@ class DataflowEngine:
         """
         return self.match_with_stats(query).table
 
+    def prepare(
+        self, query: TypingUnion[str, MatchQuery, CompiledMatch]
+    ) -> QueryPlan:
+        """Compile ``query`` into a reusable :class:`QueryPlan`.
+
+        The expensive front half of a match call — parse, translate,
+        chain compilation, hop fusion against the index — done once; the
+        plan replays through :meth:`match_with_stats` /
+        :meth:`match_intervals` until the graph changes.
+        """
+        compiled = query if isinstance(query, CompiledMatch) else compile_match(query)
+        chain = self._compile(compiled)
+        if isinstance(query, str):
+            text: str | None = query
+        else:
+            text = getattr(query, "text", None)
+        return QueryPlan(
+            text=text, compiled=compiled, chain=chain, mode=self._output_mode(chain)
+        )
+
     def match_with_stats(
         self,
-        query: TypingUnion[str, MatchQuery, CompiledMatch],
+        query: TypingUnion[str, MatchQuery, CompiledMatch, QueryPlan],
         expand_output: bool = False,
+        *,
+        deadline_seconds: float | None = None,
+        retry: RetryPolicy | None = None,
     ) -> MatchResult:
         """Evaluate a MATCH clause and return the table plus timing breakdown.
 
@@ -437,14 +484,37 @@ class DataflowEngine:
         point materialization) regardless of the output representation —
         the paper-reproduction harnesses pass this; the default leaves
         single-group outputs interval-native.
+
+        ``deadline_seconds`` / ``retry`` override the engine-level
+        resilience configuration for this one call — the server maps
+        per-request ``deadline`` / ``retries`` envelope fields through
+        them.  The override is scoped to the call (restored on exit) and
+        assumes calls on one engine are serialized, which the server's
+        per-graph lock guarantees.
         """
+        if deadline_seconds is not None or retry is not None:
+            if deadline_seconds is not None and deadline_seconds <= 0:
+                raise ValueError(
+                    f"deadline_seconds must be positive, got {deadline_seconds!r}"
+                )
+            saved = (self._deadline_seconds, self._retry)
+            if deadline_seconds is not None:
+                self._deadline_seconds = deadline_seconds
+            if retry is not None:
+                self._retry = retry
+            try:
+                return self.match_with_stats(query, expand_output)
+            finally:
+                self._deadline_seconds, self._retry = saved
         if self._incremental:
             # Streaming mode: the session's per-seed cache answers reads;
             # the timing below measures the cache read (the evaluation
             # cost was paid at registration / by apply_delta).
             session = self.streaming_session()
             start = time.perf_counter()
-            name = session.register(query)
+            name = session.register(
+                query.compiled if isinstance(query, QueryPlan) else query
+            )
             table = session.table(name)
             if expand_output:
                 _ = table.rows
@@ -456,8 +526,11 @@ class DataflowEngine:
                 output_size=len(table),
                 frontier_rows=len(session._state(name).contributions),
             )
-        compiled = query if isinstance(query, CompiledMatch) else compile_match(query)
-        chain = self._compile(compiled)
+        if isinstance(query, QueryPlan):
+            compiled, chain = query.compiled, query.chain
+        else:
+            compiled = query if isinstance(query, CompiledMatch) else compile_match(query)
+            chain = self._compile(compiled)
         stats = _ChainStats()
         degradation: dict | None = None
 
@@ -500,7 +573,7 @@ class DataflowEngine:
         )
 
     def match_intervals(
-        self, query: TypingUnion[str, MatchQuery, CompiledMatch]
+        self, query: TypingUnion[str, MatchQuery, CompiledMatch, QueryPlan]
     ) -> list[IntervalFamily]:
         """Coalesced (interval) output: one entry per binding tuple.
 
@@ -517,9 +590,16 @@ class DataflowEngine:
         """
         if self._incremental:
             session = self.streaming_session()
-            return session.results(session.register(query))
-        compiled = query if isinstance(query, CompiledMatch) else compile_match(query)
-        chain = self._compile(compiled)
+            return session.results(
+                session.register(
+                    query.compiled if isinstance(query, QueryPlan) else query
+                )
+            )
+        if isinstance(query, QueryPlan):
+            compiled, chain = query.compiled, query.chain
+        else:
+            compiled = query if isinstance(query, CompiledMatch) else compile_match(query)
+            chain = self._compile(compiled)
         stats = _ChainStats()
         if not self._use_coalesced:
             # Seed behaviour: interval output only without temporal

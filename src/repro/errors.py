@@ -137,3 +137,29 @@ class InjectedFault(ReproError, RuntimeError):
     tell injected failures apart from real ones, while the retry policy
     still treats it as retryable.
     """
+
+
+class ServerError(ReproError, RuntimeError):
+    """A query-service request failed on the server side.
+
+    Raised client-side (:mod:`repro.server.client`) when a response
+    envelope carries ``ok: false``; ``kind`` is the server-reported error
+    type (e.g. ``"QuerySyntaxError"``, ``"DeadlineExceeded"``,
+    ``"Overloaded"``) so callers can branch without string matching.
+    """
+
+    def __init__(self, message: str, *, kind: str = "ServerError") -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
+class Overloaded(ServerError):
+    """The service rejected a request under backpressure.
+
+    The queue of admitted-but-unfinished requests was at ``max_queue``;
+    the client should back off and retry — the request was never
+    started, so retrying is always safe.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, kind="Overloaded")

@@ -105,6 +105,31 @@ def graph_token(graph: IntervalTPG) -> str:
     return token
 
 
+def invalidate_plans(graph: IntervalTPG) -> bool:
+    """Drop ``graph``'s execution plans *and* rotate its token.
+
+    Called whenever the graph is mutated in place (the delta commit path
+    of :func:`repro.streaming.delta.apply_delta`).  Both halves matter:
+
+    * the memoized plans hold a pickled payload of the *pre-mutation*
+      graph, so the next dispatch must re-serialize;
+    * worker processes cache rebuilt graphs/engines/indexes **by
+      token**, so a surviving token would keep answering from the stale
+      worker-side graph even with a fresh payload — rotating the token
+      makes the post-delta graph a new identity that ships anew and ages
+      the stale entries out of the bounded worker caches.
+
+    Returns ``True`` when there was anything to invalidate.
+    """
+    had = hasattr(graph, _PLANS_ATTR) or hasattr(graph, _TOKEN_ATTR)
+    for attr in (_PLANS_ATTR, _TOKEN_ATTR):
+        try:
+            delattr(graph, attr)
+        except AttributeError:
+            pass
+    return had
+
+
 def plan_for(graph: IntervalTPG, use_index: bool, use_coalesced: bool) -> ExecutionPlan:
     """The shared :class:`ExecutionPlan` for one graph + engine configuration."""
     plans: dict[tuple[bool, bool] | str, object] | None = getattr(

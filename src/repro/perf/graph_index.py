@@ -126,6 +126,13 @@ class GraphIndex:
         self._hop_cache: dict[
             tuple, dict[ObjectId, tuple[tuple[ObjectId, IntervalSet], ...]]
         ] = {}
+        #: Maintenance counter: +1 per :meth:`apply_delta` (server stats).
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """How many delta batches this index has been maintained through."""
+        return self._epoch
 
     # ------------------------------------------------------------------ #
     # Basic accessors
@@ -376,8 +383,23 @@ class GraphIndex:
         Advancing the horizon invalidates every memoized family instead:
         condition satisfaction (``¬φ``, label tests, ``time < c``) is
         clamped to the domain, so no per-object surgery is sound there.
+
+        Soundness of the repair radius: a condition table entry is a
+        function of one object's own families (object-local — repairing
+        the dirty objects suffices), and a hop table entry reads objects
+        at most two structural moves from its source *through the
+        source's and mids' adjacency*; any adjacency change is itself a
+        new edge, which puts the edge in the dirty set and every
+        affected hop source inside ``structural_closure(dirty, 2)``.
+        ``tests/test_streaming.py`` pins this with a randomized
+        incremental-vs-cold-rebuild differential, and the stale caches
+        that *do* outlive an in-place mutation — the pickled parallel
+        plan payload and the worker-side graphs keyed by its token — are
+        invalidated at delta-commit time by
+        :func:`repro.parallel.plan.invalidate_plans`.
         """
         dirty = set(effects.dirty)
+        self._epoch += 1
         if effects.horizon_advanced:
             self._domain = self._graph.domain
             self._full = IntervalSet((self._domain,))

@@ -22,8 +22,10 @@ order.  A torn final WAL record — the signature of a crash mid-append —
 is tolerated and reported; corruption before the tail refuses recovery
 (:class:`~repro.errors.WALCorruptError`).
 
-Snapshots are written atomically (temp file + ``os.replace``), so a
-crash during a snapshot leaves the previous one intact.
+Snapshots are written atomically (temp file + ``os.replace``) and
+durably (the temp file is fsync'd before the rename, the containing
+directory after it), so a crash during a snapshot — process death *or*
+power loss — leaves the previous snapshot intact and readable.
 """
 
 from __future__ import annotations
@@ -36,7 +38,7 @@ from typing import TYPE_CHECKING, Optional, Union
 
 from repro.errors import WALError
 from repro.model.io import from_json_dict, to_json_dict
-from repro.resilience.wal import scan_wal
+from repro.resilience.wal import fsync_dir, scan_wal
 
 if TYPE_CHECKING:  # import cycle: streaming.engine reaches back here
     from repro.streaming.engine import StreamingEngine
@@ -114,6 +116,10 @@ def write_snapshot(session: StreamingEngine, path: PathLike) -> dict:
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
+    # The rename is atomic but not durable until the directory entry
+    # reaches the disk: without this a power cut can resurrect the old
+    # snapshot — or leave none at all if it was the first.
+    fsync_dir(path)
     return {key: value for key, value in document.items() if key != "graph"}
 
 

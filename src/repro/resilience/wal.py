@@ -42,6 +42,26 @@ from repro.streaming.delta import DeltaBatch
 PathLike = Union[str, Path]
 
 
+def fsync_dir(path: PathLike) -> None:
+    """fsync the directory containing ``path`` (durability of renames/creates).
+
+    An fsync'd file whose *directory entry* never reached the disk is
+    still lost on power cut; POSIX requires syncing the parent directory
+    to persist a create, truncate or ``os.replace``.  Platforms without
+    directory file descriptors (Windows) silently skip — there the
+    rename itself is the strongest primitive available.
+    """
+    parent = os.path.dirname(os.path.abspath(str(path)))
+    try:
+        fd = os.open(parent, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 def _encode_batch(payload: dict) -> str:
     """The canonical encoding the CRC is computed over."""
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -152,19 +172,35 @@ def _verify_line(
 
 
 class DeltaWAL:
-    """An append-only, checksummed log of applied delta batches."""
+    """An append-only, checksummed log of applied delta batches.
 
-    def __init__(self, path: PathLike, *, fsync: bool = False) -> None:
+    ``fsync=True`` (the default) makes every append durable against
+    power loss: the record is flushed *and* fsync'd before :meth:`append`
+    returns, and the directory entry of a freshly created log is synced
+    too.  ``fsync=False`` trades that for throughput — appends still
+    survive process death (the OS holds the flushed bytes) but a machine
+    crash may lose the unsynced suffix; :meth:`sync` forces the flush
+    points by hand (batch-style durability).
+    """
+
+    def __init__(self, path: PathLike, *, fsync: bool = True) -> None:
         self._path = str(path)
         self._fsync = bool(fsync)
         scan = scan_wal(self._path)
+        existed = os.path.exists(self._path)
         if scan.torn_tail:
             # Repair: drop the half-written tail so appends start clean.
             with open(self._path, "rb+") as handle:
                 handle.truncate(scan.good_bytes)
+                if self._fsync:
+                    os.fsync(handle.fileno())
         self._last_seq = scan.last_seq
         self._records = len(scan.records)
         self._handle = open(self._path, "a", encoding="utf-8")
+        if self._fsync and not existed:
+            # The log file itself must survive a power cut, not just its
+            # records: persist the directory entry of a fresh WAL.
+            fsync_dir(self._path)
 
     @property
     def path(self) -> str:

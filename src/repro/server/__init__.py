@@ -1,0 +1,29 @@
+"""The always-on query service: resident graphs, compiled-plan cache.
+
+Public surface::
+
+    from repro.server import ServerState, QueryServer, BackgroundServer, serve
+    from repro.server import ServerClient, PlanCache
+
+See PERFORMANCE.md (Serving) for why residency pays, and RELIABILITY.md
+for the wire protocol and operational semantics.
+"""
+
+from repro.server.client import ServerClient
+from repro.server.plans import PlanCache
+from repro.server.protocol import OPS, PROTOCOL_VERSION, normalize_query
+from repro.server.service import BackgroundServer, QueryServer, serve
+from repro.server.state import GraphHost, ServerState
+
+__all__ = [
+    "BackgroundServer",
+    "GraphHost",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "PlanCache",
+    "QueryServer",
+    "ServerClient",
+    "ServerState",
+    "normalize_query",
+    "serve",
+]

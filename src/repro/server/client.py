@@ -1,0 +1,109 @@
+"""A small blocking client for the always-on query service.
+
+Speaks the JSON-lines protocol of :mod:`repro.server.protocol` over one
+TCP connection.  Failed requests raise: ``Overloaded`` responses map to
+:class:`repro.errors.Overloaded` (back off and retry), everything else
+to :class:`repro.errors.ServerError` carrying the server-reported
+``kind``.  The client is intentionally not thread-safe — requests on
+one connection are strictly in-order; use one client per thread.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Optional
+
+from repro.errors import Overloaded, ServerError
+from repro.server.protocol import decode, encode
+
+
+class ServerClient:
+    """One connection to a :class:`~repro.server.service.QueryServer`."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 60.0) -> None:
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._socket.makefile("rb")
+
+    # ------------------------------------------------------------------ #
+    # Core request/response
+    # ------------------------------------------------------------------ #
+    def request(self, op: str, **fields: Any) -> dict:
+        """Send one request, wait for its response line, unwrap errors."""
+        payload = {"op": op}
+        payload.update({k: v for k, v in fields.items() if v is not None})
+        self._socket.sendall(encode(payload))
+        line = self._reader.readline()
+        if not line:
+            raise ServerError("server closed the connection", kind="ConnectionClosed")
+        response = decode(line)
+        if response.get("ok"):
+            return response
+        error = response.get("error", {})
+        kind = error.get("type", "ServerError")
+        message = error.get("message", "request failed")
+        if kind == "Overloaded":
+            raise Overloaded(message)
+        raise ServerError(message, kind=kind)
+
+    # ------------------------------------------------------------------ #
+    # Convenience ops
+    # ------------------------------------------------------------------ #
+    def ping(self) -> dict:
+        return self.request("ping")["result"]
+
+    def graphs(self) -> list:
+        return self.request("graphs")["result"]
+
+    def stats(self) -> dict:
+        return self.request("stats")["result"]
+
+    def query(
+        self,
+        text: str,
+        *,
+        graph: str = "default",
+        deadline: Optional[float] = None,
+        retries: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> dict:
+        """Evaluate ``text`` (a MATCH clause or paper-query name).
+
+        Returns the full response envelope — ``response["result"]``
+        holds the answer, ``response["server"]`` the epoch / plan-cache
+        outcome / timing.
+        """
+        return self.request(
+            "query",
+            graph=graph,
+            query=text,
+            deadline=deadline,
+            retries=retries,
+            limit=limit,
+        )
+
+    def register(self, text: str, *, graph: str = "default", name: Optional[str] = None) -> dict:
+        return self.request("register", graph=graph, query=text, name=name)
+
+    def table(self, name: str, *, graph: str = "default", limit: Optional[int] = None) -> dict:
+        return self.request("table", graph=graph, name=name, limit=limit)
+
+    def apply_delta(self, batch: dict, *, graph: str = "default") -> dict:
+        return self.request("apply_delta", graph=graph, batch=batch)
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")["result"]
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

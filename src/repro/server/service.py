@@ -1,0 +1,338 @@
+"""The always-on query service: asyncio TCP front, warm engines behind.
+
+Architecture
+------------
+
+One asyncio event loop accepts connections and frames requests (JSON
+lines, see :mod:`repro.server.protocol`).  Cheap control ops (``ping``,
+``graphs``, ``stats``, ``shutdown``) answer inline on the loop.  Heavy
+ops (``query``, ``register``, ``table``, ``apply_delta``) are pushed to
+a thread-pool executor sized to ``max_concurrency`` — the engines are
+synchronous and (under ``backend="process"``) dispatch onto the shared
+warm :class:`~repro.parallel.pool.WorkerPool`, so the loop itself never
+blocks on evaluation.
+
+Backpressure is admission control, not queueing: when
+``max_concurrency`` requests are executing and ``max_queue`` more are
+waiting, further heavy requests are rejected *immediately* with an
+``Overloaded`` error rather than admitted to an unbounded queue.
+Clients see the rejection in bounded time and can back off; latency for
+admitted requests stays predictable.
+
+Consistency: requests on one graph serialize on the host lock (see
+:mod:`repro.server.state`), so concurrent clients interleaved with
+delta writers always observe a clean pre- or post-batch state, and every
+answer carries the epoch it was computed at.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+from repro.errors import Overloaded, ServerError
+from repro.server.protocol import (
+    OPS,
+    PROTOCOL_VERSION,
+    decode,
+    encode,
+    error_response,
+    ok_response,
+)
+from repro.server.state import ServerState
+
+#: Ops answered inline on the event loop (no executor round-trip).
+_CHEAP_OPS = frozenset({"ping", "graphs", "stats", "shutdown"})
+
+#: The longest request line the server will frame (64 MiB) — a delta
+#: batch for a large graph fits comfortably; anything bigger is a
+#: malformed or hostile client.
+_LINE_LIMIT = 64 * 1024 * 1024
+
+
+class QueryServer:
+    """The asyncio service wrapping one :class:`ServerState`."""
+
+    def __init__(
+        self,
+        state: ServerState,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_concurrency: int = 4,
+        max_queue: int = 16,
+    ) -> None:
+        if max_concurrency < 1:
+            raise ServerError(f"max_concurrency must be >= 1, got {max_concurrency}")
+        if max_queue < 0:
+            raise ServerError(f"max_queue must be >= 0, got {max_queue}")
+        self.state = state
+        self.host = host
+        self.port = port  # rewritten with the bound port once serving
+        self.max_concurrency = max_concurrency
+        self.max_queue = max_queue
+        self._semaphore = asyncio.Semaphore(max_concurrency)
+        self._waiting = 0
+        self._rejected = 0
+        self._requests = 0
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_concurrency, thread_name_prefix="repro-server"
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown = asyncio.Event()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, limit=_LINE_LIMIT
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until a ``shutdown`` request (or :meth:`request_shutdown`)."""
+        if self._server is None:
+            await self.start()
+        await self._shutdown.wait()
+        await self._close()
+
+    def request_shutdown(self) -> None:
+        self._shutdown.set()
+
+    async def _close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._executor.shutdown(wait=True)
+        self.state.close()
+        # Drain the warm worker pools so a clean shutdown leaves no
+        # orphaned processes behind.
+        from repro.parallel.pool import shutdown_all
+
+        shutdown_all()
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(
+                        encode(error_response("request line too long", kind="ProtocolError"))
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._respond(line)
+                writer.write(encode(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                # Server teardown cancels connection tasks mid-close; a
+                # cancelled close is a closed connection, not an error.
+                pass
+
+    async def _respond(self, line: bytes) -> dict:
+        try:
+            request = decode(line)
+        except ValueError as error:
+            return error_response(error, kind="ProtocolError")
+        try:
+            return await self._dispatch(request)
+        except Exception as error:  # noqa: BLE001 — every failure answers the client
+            return error_response(error, request=request)
+
+    async def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        if op not in OPS:
+            raise ServerError(
+                f"unknown op {op!r} (expected one of: {', '.join(OPS)})",
+                kind="ProtocolError",
+            )
+        self._requests += 1
+        if op in _CHEAP_OPS:
+            return self._control(op, request)
+        # Admission control: reject before joining the wait queue.
+        if self._semaphore.locked() and self._waiting >= self.max_queue:
+            self._rejected += 1
+            raise Overloaded(
+                f"server at capacity ({self.max_concurrency} executing, "
+                f"{self._waiting} queued, max_queue={self.max_queue}); retry later"
+            )
+        self._waiting += 1
+        try:
+            await self._semaphore.acquire()
+        finally:
+            self._waiting -= 1
+        try:
+            loop = asyncio.get_running_loop()
+            result = await loop.run_in_executor(
+                self._executor, self._execute, op, request
+            )
+        finally:
+            self._semaphore.release()
+        return ok_response(
+            result["result"], request=request, server=result.get("server")
+        )
+
+    # ------------------------------------------------------------------ #
+    # Request execution
+    # ------------------------------------------------------------------ #
+    def _control(self, op: str, request: dict) -> dict:
+        if op == "ping":
+            return ok_response(
+                {"protocol": PROTOCOL_VERSION, "graphs": sorted(self.state.hosts)},
+                request=request,
+            )
+        if op == "graphs":
+            return ok_response(sorted(self.state.hosts), request=request)
+        if op == "stats":
+            stats = self.state.stats()
+            stats["service"] = {
+                "requests": self._requests,
+                "rejected": self._rejected,
+                "max_concurrency": self.max_concurrency,
+                "max_queue": self.max_queue,
+            }
+            return ok_response(stats, request=request)
+        # op == "shutdown"
+        self.request_shutdown()
+        return ok_response({"stopping": True}, request=request)
+
+    def _execute(self, op: str, request: dict) -> dict:
+        """Run one heavy op on an executor thread (blocking is fine here)."""
+        host = self.state.host(request.get("graph", "default"))
+        if op == "query":
+            text = request.get("query")
+            if not isinstance(text, str) or not text.strip():
+                raise ServerError("query op requires a non-empty 'query' string")
+            deadline = request.get("deadline")
+            if deadline is not None and float(deadline) <= 0:
+                raise ServerError(f"deadline must be positive, got {deadline}")
+            retries = request.get("retries")
+            if retries is not None and int(retries) < 0:
+                raise ServerError(f"retries must be >= 0, got {retries}")
+            return host.query(
+                text,
+                deadline=None if deadline is None else float(deadline),
+                retries=None if retries is None else int(retries),
+                limit=request.get("limit"),
+            )
+        if op == "register":
+            text = request.get("query")
+            if not isinstance(text, str) or not text.strip():
+                raise ServerError("register op requires a non-empty 'query' string")
+            return host.register(text, name=request.get("name"))
+        if op == "table":
+            name = request.get("name")
+            if not isinstance(name, str):
+                raise ServerError("table op requires a 'name' string")
+            return host.table(name, limit=request.get("limit"))
+        # op == "apply_delta"
+        batch = request.get("batch")
+        if not isinstance(batch, dict):
+            raise ServerError("apply_delta op requires a 'batch' object")
+        return host.apply_delta(batch)
+
+
+def serve(
+    state: ServerState,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_concurrency: int = 4,
+    max_queue: int = 16,
+    on_listening=None,
+) -> None:
+    """Run the service on a fresh event loop until shutdown (blocking)."""
+
+    async def _run() -> None:
+        server = QueryServer(
+            state,
+            host=host,
+            port=port,
+            max_concurrency=max_concurrency,
+            max_queue=max_queue,
+        )
+        await server.start()
+        if on_listening is not None:
+            on_listening(server)
+        await server.serve_until_shutdown()
+
+    asyncio.run(_run())
+
+
+class BackgroundServer:
+    """The in-process harness tests and benchmarks drive the service with.
+
+    Runs :func:`serve` on a daemon thread and exposes the bound address
+    once listening::
+
+        with BackgroundServer(state) as server:
+            client = ServerClient(server.host, server.port)
+            ...
+    """
+
+    def __init__(self, state: ServerState, **options) -> None:
+        self._state = state
+        self._options = options
+        self._ready = threading.Event()
+        self._server: Optional[QueryServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        def listening(server: QueryServer) -> None:
+            self._server = server
+            self._loop = asyncio.get_running_loop()
+            self._ready.set()
+
+        try:
+            serve(self._state, on_listening=listening, **self._options)
+        finally:
+            self._ready.set()  # unblock start() even if binding failed
+
+    def start(self) -> "BackgroundServer":
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._server is None:
+            raise ServerError("background server failed to start")
+        return self
+
+    @property
+    def host(self) -> str:
+        assert self._server is not None
+        return self._server.host
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None
+        return self._server.port
+
+    def stop(self, timeout: float = 30) -> None:
+        if self._server is not None and self._loop is not None:
+            self._loop.call_soon_threadsafe(self._server.request_shutdown)
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,344 @@
+"""Resident server state: graphs, compiled indexes, sessions, plan cache.
+
+A :class:`GraphHost` is everything the service keeps warm for one named
+graph:
+
+* the graph itself and its compiled
+  :class:`~repro.perf.graph_index.GraphIndex` (shared via
+  :func:`~repro.perf.graph_index.graph_index_for`, so condition/hop
+  tables amortize across the whole query mix);
+* one :class:`~repro.dataflow.executor.DataflowEngine` configured with
+  the server's workers/backend — under ``backend="process"`` its
+  dispatches land on the warm shared
+  :class:`~repro.parallel.pool.WorkerPool`;
+* a :class:`~repro.streaming.engine.StreamingEngine` session driving the
+  same engine: it applies deltas, keeps registered queries continuously
+  answered, and (with an attached WAL / snapshot path) makes the
+  resident state recoverable across restarts.
+
+Consistency model: the session's reentrant lock serializes *everything*
+on one host — ad-hoc queries, registered-table reads, delta
+application.  Requests therefore see either the state before a batch or
+after it, never a torn half-applied one, and every answer is labelled
+with the session ``epoch`` it was computed at.  Hosts are independent:
+requests against different graphs run concurrently.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional
+
+from repro.dataflow.executor import DataflowEngine, MatchResult
+from repro.errors import EvaluationError, ServerError
+from repro.eval.bindings import IntervalBindingTable
+from repro.model import contact_tracing_example, graph_statistics
+from repro.model.io import load_json
+from repro.parallel.plan import graph_token
+from repro.resilience.retry import RetryPolicy
+from repro.server.plans import PlanCache
+from repro.server.protocol import families_to_wire, normalize_query, rows_to_wire
+from repro.streaming.delta import DeltaBatch
+from repro.streaming.engine import StreamingEngine
+
+
+class GraphHost:
+    """One resident graph with its warm engine, session and durability."""
+
+    def __init__(
+        self,
+        name: str,
+        graph,
+        *,
+        workers: int = 1,
+        backend: str = "thread",
+        plans: Optional[PlanCache] = None,
+        wal: Optional[str] = None,
+        snapshot: Optional[str] = None,
+        snapshot_every: int = 1,
+        wal_fsync: bool = True,
+    ) -> None:
+        self.name = name
+        self.engine = DataflowEngine(graph, workers=workers, parallel_backend=backend)
+        self.graph = self.engine.graph
+        self.index = self.engine.index
+        self.session = StreamingEngine(engine=self.engine)
+        self.plans = plans if plans is not None else PlanCache()
+        #: The session lock doubles as the host lock (see module docstring).
+        self.lock = self.session.lock
+        if wal is not None:
+            self.session.attach_wal(wal, fsync=wal_fsync)
+        if snapshot is not None:
+            self.session.configure_snapshots(snapshot, every=snapshot_every)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_files(
+        cls,
+        name: str,
+        graph_path: Optional[str],
+        *,
+        wal: Optional[str] = None,
+        snapshot: Optional[str] = None,
+        snapshot_every: int = 1,
+        **config,
+    ) -> tuple["GraphHost", Optional[dict]]:
+        """Build a host, recovering from ``snapshot`` + ``wal`` when present.
+
+        Recovery-on-restart semantics: an existing snapshot wins over
+        ``graph_path`` — the snapshot graph plus the WAL tail *is* the
+        state the previous process durably reached, and the recovered
+        queries are re-registered so continuous answers resume where
+        they left off.  Returns ``(host, recovery_report_dict | None)``.
+        """
+        if snapshot is not None and os.path.exists(snapshot):
+            from repro.resilience.snapshot import recover
+
+            session, report = recover(snapshot, wal)
+            host = cls(
+                name,
+                session.graph,
+                wal=wal,
+                snapshot=snapshot,
+                snapshot_every=snapshot_every,
+                **config,
+            )
+            for query_name in report.queries:
+                text = session.query_text(query_name)
+                if text is not None:
+                    host.session.register(text, name=query_name)
+            host.session.restore_positions(
+                last_sequence=session.last_sequence, wal_seq=session.wal_seq
+            )
+            return host, report.to_dict()
+        graph = contact_tracing_example() if graph_path is None else load_json(graph_path)
+        host = cls(name, graph, **config)
+        if wal is not None and os.path.exists(wal):
+            # No snapshot, but the WAL holds a previous run's applied
+            # batches: replay them (before attaching the WAL, so the
+            # replays are not appended a second time).
+            from repro.resilience.wal import scan_wal
+
+            for record in scan_wal(wal).records:
+                host.session.apply(record.batch)
+                host.session.restore_positions(wal_seq=record.seq)
+        if wal is not None:
+            host.session.attach_wal(wal)
+        if snapshot is not None:
+            host.session.configure_snapshots(snapshot, every=snapshot_every)
+        return host, None
+
+    # ------------------------------------------------------------------ #
+    # Request execution (all under the host lock)
+    # ------------------------------------------------------------------ #
+    def query(
+        self,
+        text: str,
+        *,
+        deadline: Optional[float] = None,
+        retries: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> dict:
+        """Evaluate one ad-hoc query through the compiled-plan cache."""
+        normalized = normalize_query(text)
+        retry = None if retries is None else RetryPolicy(retries=retries)
+        start = time.perf_counter()
+        with self.lock:
+            token = graph_token(self.graph)
+            key = (normalized, token)
+            plan = self.plans.get(key)
+            outcome = "hit" if plan is not None else "miss"
+            if plan is None:
+                plan = self.engine.prepare(normalized)
+                self.plans.put(key, plan)
+            result: MatchResult = self.engine.match_with_stats(
+                plan, deadline_seconds=deadline, retry=retry
+            )
+            epoch = self.session.epoch
+        payload = self._table_payload(result.table, limit)
+        payload["interval_seconds"] = result.interval_seconds
+        payload["total_seconds"] = result.total_seconds
+        payload["degradation"] = result.degradation
+        return {
+            "result": payload,
+            "server": {
+                "graph": self.name,
+                "epoch": epoch,
+                "plan": outcome,
+                "seconds": time.perf_counter() - start,
+            },
+        }
+
+    def register(self, text: str, name: Optional[str] = None) -> dict:
+        """Register a continuously-answered query on the resident session."""
+        if name is None:
+            from repro.dataflow import PAPER_QUERIES
+
+            # "register Q5" should be readable back as table("Q5"), not
+            # under the spelled-out MATCH text the alias resolves to.
+            if text in PAPER_QUERIES:
+                name = text
+        with self.lock:
+            registered = self.session.register(normalize_query(text), name=name)
+            epoch = self.session.epoch
+        return {
+            "result": {"name": registered, "queries": list(self.session.query_names())},
+            "server": {"graph": self.name, "epoch": epoch},
+        }
+
+    def table(self, name: str, *, limit: Optional[int] = None) -> dict:
+        """Read a registered query's continuously-maintained answer."""
+        with self.lock:
+            table = self.session.table(name)
+            epoch = self.session.epoch
+        payload = self._table_payload(table, limit)
+        return {
+            "result": payload,
+            "server": {"graph": self.name, "epoch": epoch},
+        }
+
+    def apply_delta(self, payload: dict) -> dict:
+        """Apply one delta batch; compiled plans for the old state drop."""
+        batch = DeltaBatch.from_json_dict(payload)
+        with self.lock:
+            old_token = graph_token(self.graph)
+            applied = self.session.apply(batch)
+            # apply_delta rotated the graph token, so cached plans keyed
+            # by the old one are unreachable — drop them eagerly.
+            invalidated = self.plans.invalidate_token(old_token)
+            epoch = self.session.epoch
+        return {
+            "result": {
+                "sequence": applied.sequence,
+                "new_nodes": applied.new_nodes,
+                "new_edges": applied.new_edges,
+                "touched": applied.touched_objects,
+                "horizon_advanced": applied.horizon_advanced,
+                "queries": {
+                    update.name: {
+                        "affected_seeds": update.affected_seeds,
+                        "total_seeds": update.total_seeds,
+                        "recomputed_all": update.recomputed_all,
+                    }
+                    for update in applied.queries
+                },
+                "plans_invalidated": invalidated,
+                "seconds": applied.seconds,
+            },
+            "server": {"graph": self.name, "epoch": epoch},
+        }
+
+    def stats(self) -> dict:
+        with self.lock:
+            stats = graph_statistics(self.graph).as_row()
+            return {
+                "graph": dict(stats),
+                "epoch": self.session.epoch,
+                "index_epoch": None if self.index is None else self.index.epoch,
+                "queries": list(self.session.query_names()),
+                "plan_cache": self.plans.stats(),
+                "workers": self.engine.workers,
+                "backend": self.engine.parallel_backend,
+                "wal": None if self.session.wal is None else self.session.wal.path,
+            }
+
+    def close(self) -> None:
+        wal = self.session.wal
+        if wal is not None:
+            wal.close()
+
+    @staticmethod
+    def _table_payload(table, limit: Optional[int]) -> dict:
+        """The wire form of an answer table (canonical ordering)."""
+        if isinstance(table, IntervalBindingTable):
+            families = families_to_wire(table.families)
+            total = len(families)
+            if limit is not None:
+                families = families[:limit]
+            return {
+                "kind": "families",
+                "families": families,
+                "num_families": total,
+                "output_size": len(table),
+            }
+        rows = rows_to_wire(table.rows)
+        total = len(rows)
+        if limit is not None:
+            rows = rows[:limit]
+        return {
+            "kind": "rows",
+            "rows": rows,
+            "num_rows": total,
+            "output_size": len(table),
+        }
+
+
+class ServerState:
+    """The named-graph registry plus server-wide configuration."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        backend: str = "thread",
+        plan_capacity: int = 128,
+    ) -> None:
+        if backend == "serial":
+            # The service maps "serial" to a one-worker thread engine,
+            # mirroring the CLI's --backend serial semantics.
+            backend, workers = "thread", 1
+        self.workers = workers
+        self.backend = backend
+        self.plan_capacity = plan_capacity
+        self.hosts: dict[str, GraphHost] = {}
+        self.started = time.time()
+
+    def add_graph(
+        self,
+        name: str,
+        graph_path: Optional[str] = None,
+        *,
+        wal: Optional[str] = None,
+        snapshot: Optional[str] = None,
+        snapshot_every: int = 1,
+    ) -> Optional[dict]:
+        """Load (or recover) a graph under ``name``; returns the recovery
+        report when a snapshot/WAL restart path was taken."""
+        if name in self.hosts:
+            raise ServerError(f"graph {name!r} is already resident", kind="ServerError")
+        host, recovery = GraphHost.from_files(
+            name,
+            graph_path,
+            wal=wal,
+            snapshot=snapshot,
+            snapshot_every=snapshot_every,
+            workers=self.workers,
+            backend=self.backend,
+            plans=PlanCache(self.plan_capacity),
+        )
+        self.hosts[name] = host
+        return recovery
+
+    def host(self, name: str) -> GraphHost:
+        found = self.hosts.get(name)
+        if found is None:
+            raise EvaluationError(
+                f"graph {name!r} is not resident (loaded: "
+                f"{', '.join(sorted(self.hosts)) or 'none'})"
+            )
+        return found
+
+    def stats(self) -> dict:
+        return {
+            "uptime_seconds": time.time() - self.started,
+            "workers": self.workers,
+            "backend": self.backend,
+            "graphs": {name: host.stats() for name, host in self.hosts.items()},
+        }
+
+    def close(self) -> None:
+        for host in self.hosts.values():
+            host.close()

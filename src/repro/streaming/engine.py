@@ -36,6 +36,7 @@ copy of the materialized graph, across the fuzz-oracle engine configs.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Hashable, Optional, Union as TypingUnion
@@ -146,6 +147,15 @@ class StreamingEngine:
         self._graph: IntervalTPG = engine.graph
         self._queries: dict[str, _QueryState] = {}
         self._last_sequence: Optional[int] = None
+        #: Serializes delta application against reads: concurrent callers
+        #: (the server's per-graph request threads) either see the state
+        #: before a batch or after it, never a half-applied one.  Reentrant
+        #: so registration inside a locked read path stays legal.
+        self._lock = threading.RLock()
+        #: Monotone state counter: +1 per successfully applied batch.
+        #: Readers capture it under the lock to label which graph state
+        #: an answer belongs to.
+        self._epoch = 0
         #: Durability state (attached via :meth:`attach_wal` /
         #: :meth:`configure_snapshots`, or restored by recovery).
         self._wal = None
@@ -167,6 +177,16 @@ class StreamingEngine:
         return self._last_sequence
 
     @property
+    def lock(self) -> threading.RLock:
+        """The session's apply/read lock (see :meth:`apply`)."""
+        return self._lock
+
+    @property
+    def epoch(self) -> int:
+        """Number of successfully applied batches (graph-state counter)."""
+        return self._epoch
+
+    @property
     def wal_seq(self) -> int:
         """WAL sequence number of the last batch this session applied."""
         return self._wal_seq
@@ -185,19 +205,22 @@ class StreamingEngine:
     # ------------------------------------------------------------------ #
     # Durability (repro.resilience)
     # ------------------------------------------------------------------ #
-    def attach_wal(self, wal) -> None:
+    def attach_wal(self, wal, *, fsync: bool = True) -> None:
         """Log every subsequently applied batch to ``wal`` (path or DeltaWAL).
 
         The WAL records batches *after* they apply successfully, so the
         log is always exactly the applied prefix of the stream; a
         rejected batch never reaches it.  Attaching a WAL with existing
         records positions the session after them (the normal resume
-        case: recovery replayed them already).
+        case: recovery replayed them already).  ``fsync`` (paths only —
+        a ready-made :class:`DeltaWAL` keeps its own setting) controls
+        per-append power-loss durability; see
+        :class:`repro.resilience.wal.DeltaWAL`.
         """
         if isinstance(wal, (str, os.PathLike)):
             from repro.resilience.wal import DeltaWAL
 
-            wal = DeltaWAL(wal)
+            wal = DeltaWAL(wal, fsync=fsync)
         self._wal = wal
         self._wal_seq = max(self._wal_seq, wal.last_seq)
 
@@ -242,42 +265,45 @@ class StreamingEngine:
         """
         if name is None:
             name = query.text if isinstance(query, (MatchQuery, CompiledMatch)) else str(query)
-        existing = self._queries.get(name)
-        if existing is not None:
+        with self._lock:
+            existing = self._queries.get(name)
+            if existing is not None:
+                return name
+            compiled = query if isinstance(query, CompiledMatch) else compile_match(query)
+            chain = self._engine._compile(compiled)
+            if isinstance(query, str):
+                text: Optional[str] = query
+            else:
+                text = getattr(query, "text", None)
+            state = _QueryState(
+                name=name,
+                chain=chain,
+                variables=compiled.variables,
+                mode=self._engine._output_mode(chain),
+                struct_radius=chain_structural_radius(chain),
+                temporal_radius=chain_temporal_radius(chain),
+                text=text,
+            )
+            seed_map, state.rest = self._seed_table(state)
+            self._recompute_seeds(state, seed_map, only=None)
+            self._queries[name] = state
             return name
-        compiled = query if isinstance(query, CompiledMatch) else compile_match(query)
-        chain = self._engine._compile(compiled)
-        if isinstance(query, str):
-            text: Optional[str] = query
-        else:
-            text = getattr(query, "text", None)
-        state = _QueryState(
-            name=name,
-            chain=chain,
-            variables=compiled.variables,
-            mode=self._engine._output_mode(chain),
-            struct_radius=chain_structural_radius(chain),
-            temporal_radius=chain_temporal_radius(chain),
-            text=text,
-        )
-        seed_map, state.rest = self._seed_table(state)
-        self._recompute_seeds(state, seed_map, only=None)
-        self._queries[name] = state
-        return name
 
     def results(self, name: str):
         """The merged coalesced families of a registered ``families`` query."""
-        state = self._state(name)
-        if state.mode != "families":
-            raise EvaluationError(
-                "interval (coalesced) output is only defined when every "
-                "variable is bound within a single temporal group"
-            )
-        return list(self._merged(state).families)
+        with self._lock:
+            state = self._state(name)
+            if state.mode != "families":
+                raise EvaluationError(
+                    "interval (coalesced) output is only defined when every "
+                    "variable is bound within a single temporal group"
+                )
+            return list(self._merged(state).families)
 
     def table(self, name: str) -> TypingUnion[BindingTable, IntervalBindingTable]:
         """The merged binding table of a registered query."""
-        return self._merged(self._state(name))
+        with self._lock:
+            return self._merged(self._state(name))
 
     def _state(self, name: str) -> _QueryState:
         state = self._queries.get(name)
@@ -301,50 +327,53 @@ class StreamingEngine:
         leave both the graph and the stream position untouched.
         """
         start = time.perf_counter()
-        if batch.sequence is not None and self._last_sequence is not None:
-            if batch.sequence <= self._last_sequence:
-                raise EvaluationError(
-                    f"delta batch applied out of order: sequence {batch.sequence} "
-                    f"after {self._last_sequence}; batches must arrive in strictly "
-                    "increasing sequence order"
+        with self._lock:
+            if batch.sequence is not None and self._last_sequence is not None:
+                if batch.sequence <= self._last_sequence:
+                    raise EvaluationError(
+                        f"delta batch applied out of order: sequence {batch.sequence} "
+                        f"after {self._last_sequence}; batches must arrive in strictly "
+                        "increasing sequence order"
+                    )
+            if batch.is_empty():
+                if batch.sequence is not None:
+                    self._last_sequence = batch.sequence
+                self._log_applied(batch)
+                self._epoch += 1
+                return ApplyResult(
+                    sequence=batch.sequence,
+                    new_nodes=0,
+                    new_edges=0,
+                    touched_objects=0,
+                    horizon_advanced=False,
+                    queries=tuple(
+                        QueryUpdate(state.name, 0, len(state.seed_times), False)
+                        for state in self._queries.values()
+                    ),
+                    seconds=time.perf_counter() - start,
                 )
-        if batch.is_empty():
+            effects = apply_delta(self._graph, batch)
             if batch.sequence is not None:
                 self._last_sequence = batch.sequence
+            index = self._engine.index
+            if index is not None:
+                index.apply_delta(effects)
+            if effects.horizon_advanced:
+                self._engine._refresh_domain()
+            updates = tuple(
+                self._update_query(state, effects) for state in self._queries.values()
+            )
             self._log_applied(batch)
+            self._epoch += 1
             return ApplyResult(
                 sequence=batch.sequence,
-                new_nodes=0,
-                new_edges=0,
-                touched_objects=0,
-                horizon_advanced=False,
-                queries=tuple(
-                    QueryUpdate(state.name, 0, len(state.seed_times), False)
-                    for state in self._queries.values()
-                ),
+                new_nodes=len(effects.new_nodes),
+                new_edges=len(effects.new_edges),
+                touched_objects=len(effects.touched),
+                horizon_advanced=effects.horizon_advanced,
+                queries=updates,
                 seconds=time.perf_counter() - start,
             )
-        effects = apply_delta(self._graph, batch)
-        if batch.sequence is not None:
-            self._last_sequence = batch.sequence
-        index = self._engine.index
-        if index is not None:
-            index.apply_delta(effects)
-        if effects.horizon_advanced:
-            self._engine._refresh_domain()
-        updates = tuple(
-            self._update_query(state, effects) for state in self._queries.values()
-        )
-        self._log_applied(batch)
-        return ApplyResult(
-            sequence=batch.sequence,
-            new_nodes=len(effects.new_nodes),
-            new_edges=len(effects.new_edges),
-            touched_objects=len(effects.touched),
-            horizon_advanced=effects.horizon_advanced,
-            queries=updates,
-            seconds=time.perf_counter() - start,
-        )
 
     # ------------------------------------------------------------------ #
     # Internals

@@ -20,6 +20,70 @@ class TestParser:
         args = build_parser().parse_args(["query", "Q1"])
         assert args.engine == "dataflow" and args.graph is None
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1" and args.port == 0
+        assert args.backend == "thread" and args.max_concurrency == 4
+
+    def test_negative_deadline_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            build_parser().parse_args(["query", "Q1", "--deadline", "-1"])
+        assert exit_info.value.code == 2
+        assert "must be positive" in capsys.readouterr().err
+
+    def test_zero_deadline_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            build_parser().parse_args(["query", "Q1", "--deadline", "0"])
+        assert exit_info.value.code == 2
+        assert "must be positive" in capsys.readouterr().err
+
+    def test_negative_retries_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            build_parser().parse_args(["query", "Q1", "--retries", "-2"])
+        assert exit_info.value.code == 2
+        assert "must be >= 0" in capsys.readouterr().err
+
+    def test_negative_workers_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            build_parser().parse_args(["query", "Q1", "--workers", "-1"])
+        assert exit_info.value.code == 2
+
+    def test_snapshot_every_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            build_parser().parse_args(["query", "Q1", "--snapshot-every", "0"])
+        assert exit_info.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_non_numeric_deadline_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "Q1", "--deadline", "soon"])
+        assert "not a number" in capsys.readouterr().err
+
+
+class TestFlagContradictions:
+    """Contradictory flag combinations fail fast with actionable errors."""
+
+    def test_serial_backend_rejects_multiple_workers(self, capsys):
+        assert main(["query", "Q1", "--backend", "serial", "--workers", "4"]) == 2
+        err = capsys.readouterr().err
+        assert "serial" in err and "--workers 4" in err
+
+    def test_serial_backend_with_one_worker_is_fine(self, capsys):
+        assert main(["query", "Q1", "--backend", "serial"]) == 0
+        assert "n1" in capsys.readouterr().out
+
+    def test_snapshot_every_requires_snapshot(self, capsys):
+        assert main(["query", "Q1", "--stream", "x.jsonl", "--snapshot-every", "3"]) == 2
+        assert "--snapshot-every requires --snapshot" in capsys.readouterr().err
+
+    def test_serve_serial_backend_rejects_multiple_workers(self, capsys):
+        assert main(["serve", "--backend", "serial", "--workers", "4"]) == 2
+        assert "contradicts" in capsys.readouterr().err
+
+    def test_serve_snapshot_every_requires_snapshot(self, capsys):
+        assert main(["serve", "--snapshot-every", "3"]) == 2
+        assert "--snapshot-every requires --snapshot" in capsys.readouterr().err
+
 
 class TestExampleAndStats:
     def test_example_roundtrip(self, tmp_path, capsys):

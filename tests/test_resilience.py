@@ -319,6 +319,94 @@ class TestDeltaWAL:
 # --------------------------------------------------------------------- #
 # Snapshots + recover
 # --------------------------------------------------------------------- #
+class TestDurableWrites:
+    """fsync discipline: records, fresh files, and renamed snapshots.
+
+    An atomic rename (or an appended record) that never reaches the disk
+    is not durable — a power cut resurrects the old state or loses the
+    file entirely.  These tests pin the fsync calls with a counting
+    monkeypatch instead of pulling the plug.
+    """
+
+    def _count_fsyncs(self, monkeypatch):
+        calls = []
+        real = os.fsync
+        monkeypatch.setattr(os, "fsync", lambda fd: (calls.append(fd), real(fd))[1])
+        return calls
+
+    def test_wal_append_fsyncs_by_default(self, tmp_path, monkeypatch):
+        wal = DeltaWAL(str(tmp_path / "d.wal"))
+        calls = self._count_fsyncs(monkeypatch)
+        wal.append(DeltaBatch(sequence=1).add_existence("a", 5, 6))
+        wal.append(DeltaBatch(sequence=2).add_existence("a", 7, 8))
+        wal.close()
+        assert len(calls) >= 2  # one per appended record
+
+    def test_wal_fsync_opt_out_defers_to_sync(self, tmp_path, monkeypatch):
+        wal = DeltaWAL(str(tmp_path / "d.wal"), fsync=False)
+        calls = self._count_fsyncs(monkeypatch)
+        wal.append(DeltaBatch(sequence=1).add_existence("a", 5, 6))
+        assert calls == []  # batch style: appends only flush
+        wal.sync()
+        assert len(calls) == 1
+        wal.close()
+
+    def test_fresh_wal_persists_its_directory_entry(self, tmp_path, monkeypatch):
+        from repro.resilience import wal as wal_module
+
+        synced = []
+        monkeypatch.setattr(
+            wal_module, "fsync_dir", lambda path: synced.append(str(path))
+        )
+        DeltaWAL(str(tmp_path / "fresh.wal")).close()
+        assert synced == [str(tmp_path / "fresh.wal")]
+        # Re-opening an existing WAL does not need the directory sync.
+        synced.clear()
+        DeltaWAL(str(tmp_path / "fresh.wal")).close()
+        assert synced == []
+
+    def test_snapshot_fsyncs_file_then_directory(self, tmp_path, monkeypatch):
+        from repro.resilience import snapshot as snapshot_module
+
+        events = []
+        real_fsync = os.fsync
+        real_replace = os.replace
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (events.append("fsync-file"), real_fsync(fd))[1]
+        )
+        monkeypatch.setattr(
+            os,
+            "replace",
+            lambda a, b: (events.append("replace"), real_replace(a, b))[1],
+        )
+        monkeypatch.setattr(
+            snapshot_module, "fsync_dir", lambda path: events.append("fsync-dir")
+        )
+        session = StreamingEngine(small_graph())
+        session.register(QUERY, name="people")
+        write_snapshot(session, tmp_path / "state.snap")
+        assert events == ["fsync-file", "replace", "fsync-dir"]
+
+    def test_fsync_dir_syncs_the_parent_directory(self, tmp_path, monkeypatch):
+        from repro.resilience.wal import fsync_dir
+
+        target = tmp_path / "some.file"
+        target.write_text("x")
+        fds = self._count_fsyncs(monkeypatch)
+        fsync_dir(target)
+        assert len(fds) == 1
+
+    def test_attach_wal_fsync_passthrough(self, tmp_path, monkeypatch):
+        session = StreamingEngine(small_graph())
+        session.attach_wal(str(tmp_path / "d.wal"), fsync=False)
+        calls = self._count_fsyncs(monkeypatch)
+        session.apply(DeltaBatch(sequence=1).add_existence("a", 5, 7))
+        assert calls == []  # opted out: the batch was only flushed
+        session.wal.sync()
+        assert len(calls) == 1
+        session.wal.close()
+
+
 class TestSnapshotRecovery:
     def _session(self):
         session = StreamingEngine(small_graph())
@@ -486,15 +574,17 @@ class TestCliResilience:
         assert "--snapshot-every requires --snapshot" in capsys.readouterr().err
 
     def test_snapshot_every_must_be_positive(self, tmp_path, capsys):
-        code = cli_main(
-            [
-                "query", QUERY, "--graph", self._graph(tmp_path),
-                "--stream", "d.jsonl", "--snapshot", "s.snap",
-                "--snapshot-every", "0",
-            ]
-        )
-        assert code == 2
-        assert "--snapshot-every must be >= 1" in capsys.readouterr().err
+        # Validated by argparse itself now, before any file is touched.
+        with pytest.raises(SystemExit) as exit_info:
+            cli_main(
+                [
+                    "query", QUERY, "--graph", self._graph(tmp_path),
+                    "--stream", "d.jsonl", "--snapshot", "s.snap",
+                    "--snapshot-every", "0",
+                ]
+            )
+        assert exit_info.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
 
     def test_deadline_requires_dataflow_engine(self, tmp_path, capsys):
         code = cli_main(

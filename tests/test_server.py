@@ -1,0 +1,451 @@
+"""The always-on query service: protocol, plan cache, concurrency, durability.
+
+What this module pins:
+
+* the compiled-plan cache is keyed by ``(normalized text, graph token)``
+  — lexical variants of one query share a plan, and applying a delta
+  invalidates every plan compiled against the pre-delta graph (a stale
+  plan would be a wrong-answer bug, not a perf bug);
+* requests interleaved with delta application are serial-identical:
+  every answer matches the serial reference for the epoch it is
+  labelled with, never a torn in-between state;
+* backpressure is admission control: at capacity the service rejects
+  with ``Overloaded`` instead of queueing without bound;
+* the ``repro serve`` subprocess answers a mixed paper-query burst with
+  zero divergence from the one-shot engine, and shuts down cleanly;
+* a restart with the same WAL (or snapshot) resumes at the state the
+  previous process durably reached.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.dataflow import DataflowEngine
+from repro.errors import Overloaded, ReproError, ServerError
+from repro.model import contact_tracing_example
+from repro.model.io import save_json
+from repro.server import (
+    BackgroundServer,
+    PlanCache,
+    ServerClient,
+    ServerState,
+    normalize_query,
+)
+from repro.server.protocol import decode, encode, families_to_wire
+from repro.streaming.delta import DeltaBatch
+
+
+def subprocess_env() -> dict:
+    """Environment for ``python -m repro`` children: src on the path."""
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def example_batch(sequence: int, suffix: str = "x") -> DeltaBatch:
+    """A delta over the Figure-1 example that changes Q1 and Q5 answers."""
+    batch = DeltaBatch(sequence=sequence)
+    node = f"n_{suffix}{sequence}"
+    edge = f"e_{suffix}{sequence}"
+    batch.add_node(node, "Person", [(2, 8)])
+    batch.set_property(node, "name", f"P{sequence}", 2, 8)
+    batch.set_property(node, "risk", "high", 2, 8)
+    batch.add_edge(edge, "meets", "n1", node, [(3, 6)])
+    return batch
+
+
+def serial_wire_answer(graph, text: str) -> list:
+    """The canonical wire form of a one-shot serial evaluation."""
+    return families_to_wire(
+        DataflowEngine(graph).match_intervals(normalize_query(text))
+    )
+
+
+# --------------------------------------------------------------------- #
+# Protocol primitives
+# --------------------------------------------------------------------- #
+class TestProtocol:
+    def test_normalize_collapses_whitespace_and_resolves_names(self):
+        spelled = normalize_query("MATCH   (x:Person)\n  ON contact_tracing")
+        assert spelled == "MATCH (x:Person) ON contact_tracing"
+        assert normalize_query("Q1") == spelled
+
+    def test_encode_decode_roundtrip(self):
+        message = {"op": "query", "id": 7, "query": "Q1"}
+        assert decode(encode(message).rstrip(b"\n")) == message
+
+    def test_decode_rejects_non_objects(self):
+        with pytest.raises(ValueError):
+            decode(b"[1, 2, 3]")
+
+
+class TestPlanCache:
+    def test_lru_eviction_and_counters(self):
+        cache = PlanCache(capacity=2)
+        cache.put(("a", "t"), "plan-a")
+        cache.put(("b", "t"), "plan-b")
+        assert cache.get(("a", "t")) == "plan-a"  # refreshes a
+        cache.put(("c", "t"), "plan-c")  # evicts b (LRU)
+        assert cache.get(("b", "t")) is None
+        assert cache.get(("a", "t")) == "plan-a"
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["hits"] == 2 and stats["misses"] == 1
+
+    def test_invalidate_token_drops_only_that_token(self):
+        cache = PlanCache()
+        cache.put(("q1", "old"), 1)
+        cache.put(("q2", "old"), 2)
+        cache.put(("q1", "new"), 3)
+        assert cache.invalidate_token("old") == 2
+        assert len(cache) == 1
+        assert cache.get(("q1", "new")) == 3
+
+    def test_rejects_degenerate_capacity(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+
+# --------------------------------------------------------------------- #
+# Resident state (no sockets)
+# --------------------------------------------------------------------- #
+class TestGraphHost:
+    def test_plan_cache_hit_on_lexical_variants(self):
+        state = ServerState()
+        state.add_graph("default")
+        host = state.host("default")
+        first = host.query("Q1")
+        again = host.query("MATCH  (x:Person)  ON   contact_tracing")
+        assert first["server"]["plan"] == "miss"
+        assert again["server"]["plan"] == "hit"
+        assert again["result"]["families"] == first["result"]["families"]
+
+    def test_delta_invalidates_plans_and_advances_epoch(self):
+        state = ServerState()
+        state.add_graph("default")
+        host = state.host("default")
+        host.query("Q1")
+        host.query("Q5")
+        before = host.query("Q5")["result"]["families"]
+        applied = host.apply_delta(example_batch(1).to_json_dict())
+        assert applied["result"]["plans_invalidated"] == 2
+        assert applied["server"]["epoch"] == 1
+        after = host.query("Q5")
+        assert after["server"]["plan"] == "miss"
+        assert after["server"]["epoch"] == 1
+        assert after["result"]["families"] != before
+        # The served answer equals a cold one-shot over the mutated graph.
+        assert after["result"]["families"] == serial_wire_answer(host.graph, "Q5")
+
+    def test_registered_table_tracks_deltas(self):
+        state = ServerState()
+        state.add_graph("default")
+        host = state.host("default")
+        host.register("Q5", name="q5")
+        before = host.table("q5")["result"]["families"]
+        host.apply_delta(example_batch(1).to_json_dict())
+        after = host.table("q5")["result"]["families"]
+        assert after != before
+        assert after == serial_wire_answer(host.graph, "Q5")
+
+    def test_unknown_graph_is_a_repro_error(self):
+        state = ServerState()
+        with pytest.raises(ReproError, match="not resident"):
+            state.host("nope")
+
+    def test_duplicate_graph_name_rejected(self):
+        state = ServerState()
+        state.add_graph("default")
+        with pytest.raises(ServerError, match="already resident"):
+            state.add_graph("default")
+
+
+# --------------------------------------------------------------------- #
+# The TCP service end to end
+# --------------------------------------------------------------------- #
+class TestService:
+    def test_mixed_burst_matches_one_shot_engine(self):
+        state = ServerState(workers=2)
+        state.add_graph("default")
+        reference = {
+            name: serial_wire_answer(contact_tracing_example(), name)
+            for name in ("Q1", "Q5", "Q10")
+        }
+        with BackgroundServer(state) as server:
+            with ServerClient(server.host, server.port) as client:
+                assert client.ping()["protocol"].startswith("repro-server/")
+                for _ in range(3):
+                    for name in ("Q1", "Q5", "Q10"):
+                        response = client.query(name)
+                        assert response["result"]["families"] == reference[name]
+                stats = client.stats()["graphs"]["default"]["plan_cache"]
+                # 3 plans compiled once each, then reused across the burst.
+                assert stats["misses"] == 3
+                assert stats["hits"] == 6
+
+    def test_request_id_is_echoed(self):
+        state = ServerState()
+        state.add_graph("default")
+        with BackgroundServer(state) as server:
+            with ServerClient(server.host, server.port) as client:
+                response = client.request("query", id=42, graph="default", query="Q1")
+                assert response["id"] == 42
+
+    def test_per_request_deadline_maps_to_structured_error(self):
+        state = ServerState()
+        state.add_graph("default")
+        with BackgroundServer(state) as server:
+            with ServerClient(server.host, server.port) as client:
+                with pytest.raises(ServerError) as err:
+                    client.query("Q10", deadline=1e-9)
+                assert err.value.kind == "DeadlineExceeded"
+                # The session is still healthy afterwards.
+                assert client.query("Q1")["result"]["num_families"] > 0
+
+    def test_malformed_requests_answer_instead_of_disconnecting(self):
+        state = ServerState()
+        state.add_graph("default")
+        with BackgroundServer(state) as server:
+            with ServerClient(server.host, server.port) as client:
+                with pytest.raises(ServerError):
+                    client.request("no_such_op")
+                with pytest.raises(ServerError):
+                    client.request("query", graph="default", query="   ")
+                with pytest.raises(ServerError):
+                    client.request("query", graph="default", query="Q1", deadline=-1)
+                with pytest.raises(ServerError):
+                    client.request("apply_delta", graph="default", batch="not-a-dict")
+                # The connection survived all four rejections.
+                assert client.query("Q1")["result"]["num_families"] > 0
+
+    def test_overloaded_rejection_at_capacity(self):
+        state = ServerState()
+        state.add_graph("default")
+        host = state.host("default")
+        with BackgroundServer(state, max_concurrency=1, max_queue=0) as server:
+            blocked = ServerClient(server.host, server.port)
+            probe = ServerClient(server.host, server.port)
+            try:
+                # Hold the host lock so the admitted request occupies the
+                # single execution slot without completing.
+                with host.lock:
+                    done = threading.Event()
+                    outcome = {}
+
+                    def slow_query():
+                        try:
+                            outcome["response"] = blocked.query("Q1")
+                        except Exception as error:  # pragma: no cover
+                            outcome["error"] = error
+                        done.set()
+
+                    thread = threading.Thread(target=slow_query, daemon=True)
+                    thread.start()
+                    deadline = time.time() + 10
+                    while time.time() < deadline:
+                        if server._server._semaphore.locked():
+                            break
+                        time.sleep(0.01)
+                    with pytest.raises(Overloaded):
+                        probe.query("Q1")
+                done.wait(timeout=30)
+                assert outcome.get("response") is not None
+                rejected = probe.stats()["service"]["rejected"]
+                assert rejected == 1
+            finally:
+                blocked.close()
+                probe.close()
+
+    def test_concurrent_queries_with_delta_writer_are_serial_identical(self):
+        """Satellite 4: readers racing a delta writer see per-epoch answers."""
+        state = ServerState(workers=2)
+        state.add_graph("default")
+        num_batches = 4
+        # Reference answers per epoch, each computed on a fresh twin graph
+        # (a fresh graph gets a fresh shared index — the raw apply_delta
+        # deliberately leaves index maintenance to the streaming session).
+        from repro.streaming.delta import apply_delta
+
+        reference = {}
+        for epoch in range(num_batches + 1):
+            twin = contact_tracing_example()
+            for seq in range(1, epoch + 1):
+                apply_delta(twin, example_batch(seq))
+            reference[epoch] = {q: serial_wire_answer(twin, q) for q in ("Q1", "Q5")}
+
+        errors = []
+        observations = []
+
+        def reader(text: str, stop: threading.Event) -> None:
+            try:
+                with ServerClient(server.host, server.port) as client:
+                    while not stop.is_set():
+                        response = client.query(text)
+                        observations.append(
+                            (text, response["server"]["epoch"], response["result"]["families"])
+                        )
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        with BackgroundServer(state, max_concurrency=4) as server:
+            stop = threading.Event()
+            readers = [
+                threading.Thread(target=reader, args=("Q1", stop), daemon=True),
+                threading.Thread(target=reader, args=("Q5", stop), daemon=True),
+            ]
+            for thread in readers:
+                thread.start()
+            with ServerClient(server.host, server.port) as writer:
+                for seq in range(1, num_batches + 1):
+                    writer.apply_delta(example_batch(seq).to_json_dict())
+                    time.sleep(0.05)  # let readers observe this epoch
+            stop.set()
+            for thread in readers:
+                thread.join(timeout=30)
+        assert not errors
+        assert observations
+        seen_epochs = set()
+        for text, epoch, families in observations:
+            assert families == reference[epoch][text], (
+                f"{text} at epoch {epoch} diverged from the serial reference"
+            )
+            seen_epochs.add(epoch)
+        # The race actually spanned multiple epochs (not all pre/post).
+        assert len(seen_epochs) > 1
+
+    def test_shutdown_op_stops_the_server(self):
+        state = ServerState()
+        state.add_graph("default")
+        server = BackgroundServer(state).start()
+        with ServerClient(server.host, server.port) as client:
+            assert client.shutdown() == {"stopping": True}
+        server._thread.join(timeout=30)
+        assert not server._thread.is_alive()
+
+
+# --------------------------------------------------------------------- #
+# Durability: restart resumes where the previous process stopped
+# --------------------------------------------------------------------- #
+class TestServerDurability:
+    def test_wal_restart_replays_applied_batches(self, tmp_path):
+        wal = str(tmp_path / "server.wal")
+        first = ServerState()
+        first.add_graph("default", wal=wal)
+        host = first.host("default")
+        host.apply_delta(example_batch(1).to_json_dict())
+        host.apply_delta(example_batch(2).to_json_dict())
+        answer = host.query("Q5")["result"]["families"]
+        first.close()
+
+        second = ServerState()
+        recovery = second.add_graph("default", wal=wal)
+        assert recovery is None  # WAL-only catch-up, not snapshot recovery
+        resumed = second.host("default")
+        assert resumed.query("Q5")["result"]["families"] == answer
+        # The resumed session appends after the replayed tail, not over it.
+        applied = resumed.apply_delta(example_batch(3).to_json_dict())
+        assert applied["result"]["sequence"] == 3
+        second.close()
+
+    def test_snapshot_restart_recovers_session_and_queries(self, tmp_path):
+        wal = str(tmp_path / "server.wal")
+        snapshot = str(tmp_path / "server.snapshot")
+        first = ServerState()
+        first.add_graph("default", wal=wal, snapshot=snapshot)
+        host = first.host("default")
+        host.register("Q5", name="q5")
+        host.apply_delta(example_batch(1).to_json_dict())
+        answer = host.table("q5")["result"]["families"]
+        first.close()
+
+        second = ServerState()
+        recovery = second.add_graph("default", wal=wal, snapshot=snapshot)
+        assert recovery is not None
+        resumed = second.host("default")
+        assert "q5" in resumed.session.query_names()
+        assert resumed.table("q5")["result"]["families"] == answer
+        second.close()
+
+
+# --------------------------------------------------------------------- #
+# The `repro serve` subprocess (the real deployment shape)
+# --------------------------------------------------------------------- #
+class TestServeSubprocess:
+    def test_smoke_burst_and_clean_shutdown(self, tmp_path):
+        graph_path = str(tmp_path / "graph.json")
+        save_json(contact_tracing_example(), graph_path)
+        reference = {
+            name: serial_wire_answer(contact_tracing_example(), name)
+            for name in ("Q1", "Q5", "Q10")
+        }
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--graph",
+                graph_path,
+                "--port",
+                "0",
+                "--register",
+                "Q1",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=subprocess_env(),
+        )
+        try:
+            port = None
+            deadline = time.time() + 60
+            while time.time() < deadline:
+                line = proc.stdout.readline()
+                if not line:
+                    break
+                match = re.match(r"listening on [\d.]+:(\d+)", line)
+                if match:
+                    port = int(match.group(1))
+                    break
+            assert port is not None, "server never printed its listening line"
+            with ServerClient("127.0.0.1", port, timeout=60) as client:
+                for _ in range(2):
+                    for name in ("Q1", "Q5", "Q10"):
+                        response = client.query(name)
+                        assert response["result"]["families"] == reference[name]
+                assert client.table("Q1")["result"]["families"] == reference["Q1"]
+                client.shutdown()
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+
+    def test_serve_flag_validation(self):
+        env_cmd = [sys.executable, "-m", "repro", "serve"]
+        serial = subprocess.run(
+            env_cmd + ["--backend", "serial", "--workers", "4"],
+            capture_output=True,
+            text=True,
+            env=subprocess_env(),
+        )
+        assert serial.returncode == 2
+        assert "contradicts" in serial.stderr
+        snap = subprocess.run(
+            env_cmd + ["--snapshot-every", "3"],
+            capture_output=True,
+            text=True,
+            env=subprocess_env(),
+        )
+        assert snap.returncode == 2
+        assert "--snapshot" in snap.stderr

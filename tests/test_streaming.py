@@ -297,6 +297,80 @@ class TestIndexMaintenance:
         assert index.structural_closure({"a"}, 2) == {"a", "e0", "v0", "b", "r"}
         assert index.structural_closure({"missing"}, 3) == set()
 
+    def test_index_epoch_counts_maintained_batches(self):
+        graph = small_graph()
+        index = graph_index_for(graph)
+        assert index.epoch == 0
+        apply_delta_and_maintain(graph, DeltaBatch().add_existence("a", 5, 6))
+        apply_delta_and_maintain(graph, DeltaBatch().add_existence("a", 7, 8))
+        assert index.epoch == 2
+
+    def test_property_mutation_reaches_warm_process_workers(self):
+        """Regression (stale condition tables in warm workers).
+
+        A resident condition table over ``test = 'pos'`` is repaired in
+        place by the incremental index maintenance — that path was
+        audited sound.  The variant that *did* serve stale rows is the
+        warm worker-process cache: before the plan-invalidation fix, a
+        property set by a delta never reached the workers' resident
+        graphs, so a condition the cached table depends on kept
+        answering from the pre-delta property family.  Incremental must
+        equal a cold rebuild over a fresh copy of the mutated graph.
+        """
+        config = ContactTracingConfig(
+            trajectory=TrajectoryConfig(
+                num_persons=30, num_locations=10, num_rooms=5, num_windows=16, seed=7
+            ),
+            positivity_rate=0.2,
+            seed=7,
+        )
+        from repro.datagen import generate_contact_tracing_graph
+
+        graph = generate_contact_tracing_graph(config)
+        # The {test = 'pos'} condition sits on the hop *target*, so it is
+        # evaluated inside the worker processes — a leading condition
+        # would be absorbed into the parent-side frontier and never
+        # exercise the worker caches.
+        query = "MATCH (x:Person)-[z:meets]->(y {test = 'pos'}) ON contact_tracing"
+        engine = DataflowEngine(graph, workers=2, parallel_backend="process")
+        stale = engine.match_intervals(query)
+        # Find an untested person someone meets, and hand them a positive
+        # test over exactly that meeting's span.
+        target = span = None
+        for node in graph.nodes():
+            if graph.label(node) != "Person":
+                continue
+            if len(graph.property_family(node, "test")) > 0:
+                continue
+            for edge in graph.in_edges(node):
+                if graph.label(edge) == "meets":
+                    target = node
+                    span = next(iter(graph.existence(edge)))
+                    break
+            if target is not None:
+                break
+        assert target is not None, "no untested met person in the contact graph"
+        apply_delta_and_maintain(
+            graph,
+            DeltaBatch().set_property(target, "test", "pos", span.start, span.end),
+        )
+        incremental = engine.match_intervals(query)
+        cold = DataflowEngine(from_json_dict(to_json_dict(graph)))
+        rebuilt = cold.match_intervals(query)
+
+        def canonical(families):
+            return sorted(
+                (tuple(bindings), tuple((iv.start, iv.end) for iv in times))
+                for bindings, times in families
+            )
+
+        assert canonical(incremental) != canonical(stale)
+        assert canonical(incremental) == canonical(rebuilt)
+        # Every gained family binds the newly-positive person as target.
+        gained = set(canonical(incremental)) - set(canonical(stale))
+        assert gained
+        assert all(dict(bindings)["y"] == target for bindings, _times in gained)
+
 
 # --------------------------------------------------------------------- #
 # StreamingEngine behaviour
@@ -535,6 +609,41 @@ class TestCliStream:
         ]) == 0
         out = capsys.readouterr().out
         assert "x=zz @ [0,3]" in out
+
+    def test_stream_line_numbers_are_1_based_and_physical(self, tmp_path):
+        """Line numbers count physical lines from 1, across reader paths."""
+        from repro.errors import StreamFormatError
+        from repro.streaming.reader import parse_stream_line, read_delta_stream
+
+        path = tmp_path / "d.jsonl"
+        good = json.dumps(DeltaBatch(sequence=1).add_existence("a", 5, 6).to_json_dict())
+        # Record sits on physical line 3 (after a comment and a blank);
+        # the malformed record is physical line 5.
+        path.write_text(f"# header\n\n{good}\n\nnot json\n")
+        stream = read_delta_stream(str(path))
+        number, batch = next(stream)
+        assert number == 3
+        assert batch.sequence == 1
+        with pytest.raises(StreamFormatError) as err:
+            next(stream)
+        assert err.value.line == 5
+        assert ":5:" in str(err.value)
+        # The single-line parser reports the number it was given, 1-based.
+        with pytest.raises(StreamFormatError) as err:
+            parse_stream_line("not json", path=str(path), number=1)
+        assert err.value.line == 1
+        assert ":1:" in str(err.value)
+
+    def test_wal_records_carry_1_based_line_numbers(self, tmp_path):
+        from repro.resilience.wal import DeltaWAL, scan_wal
+
+        path = tmp_path / "d.wal"
+        wal = DeltaWAL(str(path))
+        wal.append(DeltaBatch(sequence=1).add_existence("a", 5, 6))
+        wal.append(DeltaBatch(sequence=2).add_existence("a", 7, 8))
+        wal.close()
+        records = scan_wal(str(path)).records
+        assert [record.line for record in records] == [1, 2]
 
     def test_stream_bad_json_reports_line(self, tmp_path, capsys):
         graph_path = tmp_path / "g.json"

@@ -315,6 +315,90 @@ class TestProcessBackend:
             )
 
 
+class TestDeltaPlanInvalidation:
+    """Regression: an in-place delta must rotate the cached execution plan.
+
+    ``plan_for`` memoizes the pickled graph payload and a stable token
+    on the graph object, and warm worker processes key their resident
+    graphs by that token.  Before the fix, ``apply_delta`` mutated the
+    graph without touching either, so every later process-backend query
+    was answered from the *pre-delta* graph held by the warm workers —
+    batch-new endpoints were simply invisible (or crashed the worker
+    with a ``KeyError`` on a new object id).  ``apply_delta`` now drops
+    the memoized plans and rotates the token at commit time; these tests
+    fail on the pre-fix code.
+    """
+
+    QUERY = PAPER_QUERIES["Q5"].text
+
+    def _mutable_contact_graph(self):
+        """A private copy of the contact graph (these tests mutate it)."""
+        config = ContactTracingConfig(
+            trajectory=TrajectoryConfig(
+                num_persons=30, num_locations=10, num_rooms=5, num_windows=16, seed=7
+            ),
+            positivity_rate=0.2,
+            seed=7,
+        )
+        return generate_contact_tracing_graph(config)
+
+    def _divergence_batch(self, graph):
+        """A delta adding a new Q5 match: low-risk person meets a new node."""
+        from repro.streaming import DeltaBatch
+
+        source = interval = None
+        for node in graph.nodes():
+            if graph.label(node) != "Person":
+                continue
+            for entry in graph.property_family(node, "risk"):
+                if entry.value == "low" and len(entry.interval) >= 2:
+                    source, interval = node, entry.interval
+                    break
+            if source is not None:
+                break
+        assert source is not None, "contact graph lost its low-risk persons"
+        span = [(interval.start, interval.end)]
+        batch = DeltaBatch(sequence=1)
+        batch.add_node("zz_new", "Person", span)
+        batch.set_property("zz_new", "risk", "high", interval.start, interval.end)
+        batch.add_edge("zz_edge", "meets", source, "zz_new", span)
+        return batch
+
+    def test_invalidate_plans_rotates_the_token(self):
+        from repro.parallel.plan import graph_token, invalidate_plans
+
+        graph = self._mutable_contact_graph()
+        token = graph_token(graph)
+        plan = plan_for(graph, True, True)
+        assert plan.token == token
+        assert invalidate_plans(graph) is True
+        assert graph_token(graph) != token
+        assert plan_for(graph, True, True) is not plan
+        # A graph with nothing cached reports no-op.
+        assert invalidate_plans(self._mutable_contact_graph()) is False
+
+    def test_process_backend_sees_in_place_delta(self):
+        from repro.model.io import from_json_dict, to_json_dict
+        from repro.parallel.plan import graph_token
+        from repro.streaming import apply_delta
+
+        graph = self._mutable_contact_graph()
+        engine = DataflowEngine(graph, workers=2, parallel_backend="process")
+        stale = canonical_families(engine, self.QUERY)  # warms plan + workers
+        token_before = graph_token(graph)
+        batch = self._divergence_batch(graph)
+        effects = apply_delta(graph, batch)
+        engine.index.apply_delta(effects)
+        assert graph_token(graph) != token_before
+        # Ground truth: a cold engine over a fresh copy of the mutated graph.
+        cold = DataflowEngine(from_json_dict(to_json_dict(graph)))
+        fresh = canonical_families(cold, self.QUERY)
+        assert fresh != stale, "the delta must change the Q5 answer"
+        assert canonical_families(engine, self.QUERY) == fresh
+        # The serial view over the maintained shared index agrees too.
+        assert canonical_families(DataflowEngine(graph), self.QUERY) == fresh
+
+
 @pytest.mark.skipif(not _fork_available(), reason="fault injection relies on fork")
 class TestProcessBackendFaults:
     """Worker failures must surface, and the next query must recover."""
