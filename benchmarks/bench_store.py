@@ -1,0 +1,339 @@
+"""Persistent compiled-graph store: attach vs recompile (PR-8).
+
+Every cold process used to pay the full index compilation — server
+restarts recompiled from JSON, every process-backend worker rebuilt its
+own graph + index from a pickled payload.  The store
+(:mod:`repro.store`) replaces that with a compile-once, mmap-attach
+artifact.  This harness measures the two claims the subsystem makes on
+the contact-tracing graph:
+
+* **attach latency** — median seconds to ``attach()`` the compiled
+  artifact (warm page cache) vs the worker/restart path it replaces:
+  unpickling the graph payload and compiling a fresh
+  :class:`~repro.perf.graph_index.GraphIndex`.  The gated ratio is
+  ``recompile / attach`` with an absolute floor (default 5x at any
+  scale, per the subsystem's acceptance bar at S4).
+* **per-worker RSS** — a spawned child process reports its ``VmRSS``
+  after making the graph query-ready by each route (attach vs
+  payload-rebuild).  Attached workers read index sections through the
+  shared page cache instead of holding private decoded copies, so their
+  unique footprint must not exceed the rebuild path's; the
+  rebuild/attach ratio is tracked against the committed baseline.
+
+Every run also cross-checks the attached engine's answers against an
+in-memory engine on the paper-query mix (plus one sharded-store
+attach); any divergence exits non-zero — the same contract as every
+other harness.
+
+Measurements land in ``BENCH_PR8.json`` keyed by scale factor::
+
+    PYTHONPATH=src python benchmarks/bench_store.py                 # REPRO_SCALE or S4
+    PYTHONPATH=src python benchmarks/bench_store.py --smoke \\
+        --out bench_smoke_pr8.json --check-against BENCH_PR8.json \\
+        --tolerance 0.25                                            # CI gate
+
+Both sides of the gated ratio run sequentially in one process, so the
+gate is core-count independent and engages on any host.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import pickle
+import platform
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.datagen import generate_contact_tracing_graph
+from repro.datagen.scale import SCALE_FACTORS, default_scale_name
+from repro.dataflow import DataflowEngine, PAPER_QUERIES
+from repro.perf.graph_index import GraphIndex
+from repro.store import attach, compile_graph
+
+#: The cross-checked mix: full scans plus the meets-join (the same
+#: spread of shapes the streaming/server harnesses use).
+CHECK_QUERIES = ("Q1", "Q2", "Q5")
+REPEATS = 7
+SMOKE_REPEATS = 5
+SHARDS = 4
+
+
+def _vm_rss_kib() -> int:
+    """This process's resident set size in KiB (no psutil in the image)."""
+    with open("/proc/self/status", "r", encoding="ascii") as handle:
+        for line in handle:
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1])
+    return 0
+
+
+def _child_attach(path: str, queue) -> None:
+    """Worker route A: mmap-attach the artifact, run one query, report RSS."""
+    attachment = attach(path)
+    engine = DataflowEngine(attachment.graph)
+    engine.match(PAPER_QUERIES["Q1"].text)
+    queue.put(_vm_rss_kib())
+
+
+def _child_rebuild(payload_path: str, queue) -> None:
+    """Worker route B: unpickle the payload, compile the index, report RSS."""
+    with open(payload_path, "rb") as handle:
+        graph = pickle.loads(handle.read())
+    engine = DataflowEngine(graph)
+    engine.match(PAPER_QUERIES["Q1"].text)
+    queue.put(_vm_rss_kib())
+
+
+def _worker_rss(target, argument: str) -> int:
+    """Spawn one clean child (no inherited pages) and read its VmRSS."""
+    context = multiprocessing.get_context("spawn")
+    queue = context.Queue()
+    process = context.Process(target=target, args=(argument, queue))
+    process.start()
+    rss = queue.get(timeout=300)
+    process.join(timeout=60)
+    return rss
+
+
+def bench_scale(scale_name: str, positivity: float, repeats: int) -> dict:
+    config = SCALE_FACTORS[scale_name].config(positivity_rate=positivity)
+    graph = generate_contact_tracing_graph(config)
+    payload = pickle.dumps(graph, protocol=pickle.HIGHEST_PROTOCOL)
+
+    divergences = 0
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as tmpdir:
+        artifact_path = os.path.join(tmpdir, "graph.rix")
+        compile_start = time.perf_counter()
+        report = compile_graph(graph, artifact_path)
+        compile_seconds = time.perf_counter() - compile_start
+
+        # The restart/worker path the store replaces: unpickle the
+        # payload, compile the index.  Median over repeats (first
+        # iterations warm allocator and page cache for both sides).
+        rebuild_runs = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            rebuilt = pickle.loads(payload)
+            GraphIndex(rebuilt)
+            rebuild_runs.append(time.perf_counter() - start)
+
+        attach_runs = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            attachment = attach(artifact_path)
+            attach_runs.append(time.perf_counter() - start)
+            attachment.close()
+
+        rebuild_median = statistics.median(rebuild_runs)
+        attach_median = statistics.median(attach_runs)
+
+        # Zero-divergence cross-check: attached vs in-memory answers on
+        # the paper mix, plus one sharded-store attach on the same graph.
+        attachment = attach(artifact_path)
+        baseline_engine = DataflowEngine(graph)
+        attached_engine = DataflowEngine(attachment.graph)
+        for name in CHECK_QUERIES:
+            text = PAPER_QUERIES[name].text
+            if baseline_engine.match(text).as_set() != attached_engine.match(text).as_set():
+                print(f"DIVERGENCE: attached store answer differs on {name}", file=sys.stderr)
+                divergences += 1
+        attachment.close()
+
+        manifest_path = os.path.join(tmpdir, "graph.manifest.json")
+        compile_graph(graph, manifest_path, shards=SHARDS)
+        sharded = attach(manifest_path)
+        sharded_engine = DataflowEngine(sharded.graph)
+        text = PAPER_QUERIES[CHECK_QUERIES[0]].text
+        if baseline_engine.match(text).as_set() != sharded_engine.match(text).as_set():
+            print("DIVERGENCE: sharded store answer differs on Q1", file=sys.stderr)
+            divergences += 1
+        sharded.close()
+
+        # Per-worker RSS by route, in clean spawn children.
+        payload_path = os.path.join(tmpdir, "graph.pkl")
+        with open(payload_path, "wb") as handle:
+            handle.write(payload)
+        attach_rss = _worker_rss(_child_attach, artifact_path)
+        rebuild_rss = _worker_rss(_child_rebuild, payload_path)
+
+        artifact_bytes = os.path.getsize(artifact_path)
+
+    return {
+        "scale": scale_name,
+        "positivity_rate": positivity,
+        "cpu_count": os.cpu_count(),
+        "queries": list(CHECK_QUERIES),
+        "objects": report["objects"],
+        "nodes": report["nodes"],
+        "artifact_bytes": artifact_bytes,
+        "payload_bytes": len(payload),
+        "compile_seconds": round(compile_seconds, 6),
+        "rebuild_seconds_median": round(rebuild_median, 6),
+        "attach_seconds_median": round(attach_median, 6),
+        "repeats": repeats,
+        "attach_speedup": round(rebuild_median / max(attach_median, 1e-9), 3),
+        "worker_rss_attach_kib": attach_rss,
+        "worker_rss_rebuild_kib": rebuild_rss,
+        "worker_rss_ratio": round(rebuild_rss / max(attach_rss, 1), 3),
+        "divergences": divergences,
+    }
+
+
+def check_against(baseline_path: Path, measured: dict, tolerance: float) -> int:
+    """Gate attach speedup (and track the RSS ratio) against the baseline."""
+    if not baseline_path.exists():
+        print(f"WARNING: baseline {baseline_path} not found; skipping check")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    scale = measured["scale"]
+    reference = baseline.get("results", {}).get(scale)
+    if reference is None:
+        print(
+            f"WARNING: baseline {baseline_path} has no {scale} section; "
+            "skipping regression check"
+        )
+        return 0
+    status = 0
+    expected = reference["attach_speedup"]
+    floor = expected * (1.0 - tolerance)
+    got = measured["attach_speedup"]
+    print(
+        f"regression check at {scale}: attach speedup {got:.2f}x, "
+        f"baseline {expected:.2f}x, floor {floor:.2f}x"
+    )
+    if got < floor:
+        print(
+            f"ERROR: store attach regressed more than {tolerance:.0%} vs "
+            f"{baseline_path}",
+            file=sys.stderr,
+        )
+        status = 1
+    expected_rss = reference.get("worker_rss_ratio")
+    if expected_rss:
+        rss_floor = expected_rss * (1.0 - tolerance)
+        rss_got = measured["worker_rss_ratio"]
+        print(
+            f"regression check at {scale}: worker RSS ratio "
+            f"(rebuild/attach) {rss_got:.2f}, baseline {expected_rss:.2f}, "
+            f"floor {rss_floor:.2f}"
+        )
+        if rss_got < rss_floor:
+            print(
+                f"ERROR: attached-worker RSS regressed more than "
+                f"{tolerance:.0%} vs {baseline_path}",
+                file=sys.stderr,
+            )
+            status = 1
+    return status
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        default=None,
+        choices=sorted(SCALE_FACTORS),
+        help="scale factor (default: REPRO_SCALE or S4; --smoke forces S1)",
+    )
+    parser.add_argument("--positivity", type=float, default=0.05)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=5.0,
+        help="absolute floor for the attach-vs-recompile ratio (default 5.0)",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR8.json"),
+        help="JSON report path; existing per-scale sections are preserved",
+    )
+    parser.add_argument(
+        "--check-against",
+        default=None,
+        help="baseline BENCH_PR8.json to compare the attach speedup against",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative regression of the gate ratio (default 25%%)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: smallest scale, fewer repeats",
+    )
+    args = parser.parse_args(argv)
+
+    scale = args.scale or ("S1" if args.smoke else default_scale_name())
+    repeats = SMOKE_REPEATS if args.smoke else REPEATS
+
+    measured = bench_scale(scale, args.positivity, repeats)
+
+    out_path = Path(args.out)
+    report = {"benchmark": "bench_store", "results": {}}
+    if out_path.exists():
+        try:
+            report = json.loads(out_path.read_text())
+        except json.JSONDecodeError:
+            pass
+    report["benchmark"] = "bench_store"
+    report["python"] = platform.python_version()
+    report.setdefault("results", {})[scale] = measured
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(
+        f"=== Persistent store attach vs recompile at {scale} "
+        f"({measured['objects']} objects) ==="
+    )
+    print(
+        f"artifact {measured['artifact_bytes']} bytes "
+        f"(payload {measured['payload_bytes']} bytes), compile "
+        f"{measured['compile_seconds']:.4f}s once"
+    )
+    print(
+        f"rebuild (unpickle + index) {measured['rebuild_seconds_median']:.4f}s "
+        f"| attach {measured['attach_seconds_median']:.4f}s "
+        f"(medians of {measured['repeats']})"
+    )
+    print(f"attach speedup over recompile: {measured['attach_speedup']:.2f}x")
+    print(
+        f"worker RSS: attach {measured['worker_rss_attach_kib']} KiB vs "
+        f"rebuild {measured['worker_rss_rebuild_kib']} KiB "
+        f"(ratio {measured['worker_rss_ratio']:.2f})"
+    )
+    print(f"report written to {out_path}")
+
+    status = 0
+    if measured["attach_speedup"] < args.min_speedup:
+        print(
+            f"ERROR: attach speedup {measured['attach_speedup']:.2f}x is "
+            f"below the {args.min_speedup:.1f}x floor",
+            file=sys.stderr,
+        )
+        status = 1
+    if args.check_against:
+        status = max(
+            status, check_against(Path(args.check_against), measured, args.tolerance)
+        )
+    if measured["divergences"]:
+        print(
+            "ERROR: attached-store answers diverged from the in-memory engine",
+            file=sys.stderr,
+        )
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,10 +12,15 @@ The CLI exposes the most common workflows without writing Python:
 * ``python -m repro serve`` — run the always-on query service: graphs
   and their compiled indexes stay resident, execution plans are cached,
   and clients speak JSON lines over TCP (see RELIABILITY.md);
+* ``python -m repro compile`` — compile a graph's index into a
+  persistent ``repro-index`` artifact (optionally sharded behind a
+  manifest); ``query --store`` and ``serve --store`` then attach it in
+  O(1) instead of loading JSON and recompiling;
 * ``python -m repro example`` — dump the Figure-1 running example as
   JSON, as a starting point for experimentation.
 
-Every command reads/writes the JSON format of :mod:`repro.model.io`.
+Every command reads/writes the JSON format of :mod:`repro.model.io`;
+``compile`` writes the binary artifact format of :mod:`repro.store`.
 """
 
 from __future__ import annotations
@@ -112,6 +117,14 @@ def build_parser() -> argparse.ArgumentParser:
     query = sub.add_parser("query", help="evaluate a MATCH clause over a graph")
     query.add_argument("match", help="a MATCH clause, or the name of a paper query (Q1..Q12)")
     query.add_argument("--graph", help="path to a graph JSON file (default: Figure-1 example)")
+    query.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="attach a compiled repro-index artifact (or sharded-store "
+        "manifest) written by 'repro compile' instead of loading a JSON "
+        "graph (dataflow engine only; mutually exclusive with --graph)",
+    )
     query.add_argument(
         "--engine",
         choices=("dataflow", "reference", "reference-intervals"),
@@ -247,6 +260,14 @@ def build_parser() -> argparse.ArgumentParser:
         "Figure-1 running example)",
     )
     serve.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="attach a compiled repro-index artifact as the resident graph "
+        "instead of loading --graph; restarts skip index compilation "
+        "(an existing --snapshot still wins)",
+    )
+    serve.add_argument(
         "--name",
         default="default",
         help="name the resident graph is addressed by (default: 'default')",
@@ -314,6 +335,34 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="QUERY",
         help="register a continuously-answered query at startup (repeatable; "
         "a MATCH clause or a paper-query name Q1..Q12)",
+    )
+
+    compile_cmd = sub.add_parser(
+        "compile",
+        help="compile a graph's index into a persistent repro-index artifact",
+    )
+    compile_cmd.add_argument(
+        "--graph",
+        default=None,
+        metavar="PATH",
+        help="graph JSON to compile (default: the Figure-1 running example)",
+    )
+    compile_cmd.add_argument(
+        "--output", "-o", required=True, help="artifact (or manifest) output path"
+    )
+    compile_cmd.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="write a sharded store: a manifest at --output plus a head "
+        "artifact and N degree-balanced shard artifacts next to it",
+    )
+    compile_cmd.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-attach the written store and checksum every section "
+        "before reporting success",
     )
 
     example = sub.add_parser("example", help="write the Figure-1 running example as JSON")
@@ -497,10 +546,18 @@ def _cmd_query(args: argparse.Namespace) -> int:
         or args.stream
         or args.deadline is not None
         or args.retries is not None
+        or args.store is not None
     ):
         print(
-            "error: --backend, --explain, --stream, --deadline and --retries "
-            f"apply to the dataflow engine only (got --engine {args.engine})",
+            "error: --backend, --explain, --stream, --deadline, --retries and "
+            f"--store apply to the dataflow engine only (got --engine {args.engine})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.store is not None and args.graph is not None:
+        print(
+            "error: --store and --graph are mutually exclusive (the artifact "
+            "already contains the graph)",
             file=sys.stderr,
         )
         return 2
@@ -521,7 +578,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    graph = _load_graph(args.graph)
+    if args.store is not None:
+        from repro.store import attach
+
+        graph = attach(args.store).graph
+    else:
+        graph = _load_graph(args.graph)
     text = _resolve_query(args.match)
     limit = None if args.limit == 0 else args.limit
     if args.engine == "dataflow":
@@ -649,6 +711,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.snapshot_every is not None and not args.snapshot:
         print("error: --snapshot-every requires --snapshot", file=sys.stderr)
         return 2
+    if args.store is not None and args.graph is not None:
+        print(
+            "error: --store and --graph are mutually exclusive (the artifact "
+            "already contains the graph)",
+            file=sys.stderr,
+        )
+        return 2
     from repro.server import ServerState
     from repro.server.service import serve as run_service
 
@@ -663,6 +732,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         wal=args.wal,
         snapshot=args.snapshot,
         snapshot_every=args.snapshot_every or 1,
+        store=args.store,
     )
     if recovery is not None:
         print(
@@ -693,6 +763,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compile(args: argparse.Namespace) -> int:
+    """Compile a graph's index into a persistent artifact (or sharded store)."""
+    from repro.store import attach, compile_graph
+
+    graph = _load_graph(args.graph)
+    report = compile_graph(graph, args.output, shards=args.shards)
+    shape = (
+        f"{report['shard_count']} shard(s) + head behind manifest"
+        if report["sharded"]
+        else "single artifact"
+    )
+    print(
+        f"wrote {args.output}: {shape}, {report['objects']} objects "
+        f"({report['nodes']} nodes), {report['bytes']} bytes, "
+        f"token {report['token']}"
+    )
+    if args.verify:
+        attachment = attach(args.output)
+        try:
+            attachment.verify()
+        finally:
+            attachment.close()
+        print("# verify: every section passed its checksum")
+    return 0
+
+
 def _cmd_example(args: argparse.Namespace) -> int:
     save_json(contact_tracing_example(), args.output)
     print(f"wrote the Figure-1 running example to {args.output}")
@@ -705,6 +801,7 @@ _COMMANDS = {
     "query": _cmd_query,
     "recover": _cmd_recover,
     "serve": _cmd_serve,
+    "compile": _cmd_compile,
     "example": _cmd_example,
 }
 

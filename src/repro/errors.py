@@ -139,6 +139,51 @@ class InjectedFault(ReproError, RuntimeError):
     """
 
 
+class StoreError(ReproError, RuntimeError):
+    """A persistent compiled-index artifact could not be written or attached."""
+
+
+class StoreFormatError(StoreError):
+    """A file is not a ``repro-index`` artifact (bad magic or malformed header).
+
+    ``path`` names the offending file so multi-shard attach failures can
+    point at the exact member.
+    """
+
+    def __init__(self, message: str, *, path: str = "") -> None:
+        super().__init__(message)
+        self.path = path
+
+
+class StoreVersionError(StoreFormatError):
+    """An artifact was written by an incompatible format version.
+
+    Carries the ``found`` and ``expected`` version numbers so callers
+    can report an actionable recompile message without parsing text.
+    """
+
+    def __init__(
+        self, message: str, *, path: str = "", found: int = 0, expected: int = 0
+    ) -> None:
+        super().__init__(message, path=path)
+        self.found = found
+        self.expected = expected
+
+
+class StoreCorruptError(StoreError):
+    """An artifact failed a checksum or is truncated mid-section.
+
+    ``section`` names the flat section whose CRC failed (empty when the
+    damage is structural — e.g. a section table pointing past the end of
+    the file).
+    """
+
+    def __init__(self, message: str, *, path: str = "", section: str = "") -> None:
+        super().__init__(message)
+        self.path = path
+        self.section = section
+
+
 class ServerError(ReproError, RuntimeError):
     """A query-service request failed on the server side.
 

@@ -14,6 +14,15 @@ Plans are memoized on the graph object itself (the same pattern as
 attribute that :meth:`IntervalTPG.__getstate__` strips — payloads never
 nest payloads.
 
+Graphs attached from a persistent compiled-index artifact
+(:func:`repro.store.attach`) carry a :class:`StoreRef` instead: a tiny
+``(path, token)`` pair the workers use to mmap-attach the *same*
+artifact rather than unpickling a private copy — every worker then
+shares the parent's page-cache pages.  The ref is bound to the graph
+alongside the token and travels on every plan; the pickled payload
+remains as the self-healing fallback when a worker cannot attach (file
+moved, corrupted, token mismatch after recompile).
+
 The per-query parts of a dispatch (compiled chain, seed chunk) are small
 and travel with each task; seeds use the compact ``(object, endpoint
 pairs)`` form of :mod:`repro.eval.bindings` rather than pickled
@@ -24,7 +33,8 @@ from __future__ import annotations
 
 import pickle
 import uuid
-from typing import Hashable, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Optional, Sequence
 
 from repro.dataflow.frontier import Group, Row
 from repro.eval.bindings import pack_interval_set, unpack_interval_set
@@ -36,6 +46,46 @@ PackedSeed = tuple[ObjectId, tuple[tuple[int, int], ...]]
 
 _TOKEN_ATTR = "_repro_parallel_token"
 _PLANS_ATTR = "_repro_parallel_plans"
+_STORE_ATTR = "_repro_store_ref"
+
+
+@dataclass(frozen=True)
+class StoreRef:
+    """Where workers can attach a graph's compiled artifact themselves.
+
+    ``token`` is the artifact's compile-time identity (persisted in its
+    header metadata); it doubles as the graph's parallel-execution token
+    so worker-side caches key attached and shipped graphs uniformly.  A
+    ref whose token no longer matches the graph's current token is stale
+    (the graph mutated since attach) and is never dispatched.
+    """
+
+    path: str
+    token: str
+
+
+def bind_store(graph: IntervalTPG, ref: StoreRef) -> None:
+    """Adopt the artifact's identity for ``graph``'s parallel execution.
+
+    Called by :func:`repro.store.attach`: the graph's token becomes the
+    artifact token (every attacher of one artifact shares it) and the
+    ref rides on subsequent plans so workers attach instead of receiving
+    a pickled payload.
+    """
+    setattr(graph, _TOKEN_ATTR, ref.token)
+    setattr(graph, _STORE_ATTR, ref)
+
+
+def store_ref(graph: IntervalTPG) -> Optional[StoreRef]:
+    """The live :class:`StoreRef` of ``graph``, or ``None``.
+
+    A ref left over from before an in-place mutation (token rotated by
+    :func:`invalidate_plans`) is treated as absent.
+    """
+    ref = getattr(graph, _STORE_ATTR, None)
+    if ref is not None and ref.token != getattr(graph, _TOKEN_ATTR, None):
+        return None
+    return ref
 
 
 class _PayloadCell:
@@ -50,7 +100,7 @@ class _PayloadCell:
 class ExecutionPlan:
     """What a worker needs to replicate the parent engine for one graph."""
 
-    __slots__ = ("token", "use_index", "use_coalesced", "_graph", "_cell")
+    __slots__ = ("token", "use_index", "use_coalesced", "store", "_graph", "_cell")
 
     def __init__(
         self,
@@ -59,10 +109,15 @@ class ExecutionPlan:
         use_index: bool,
         use_coalesced: bool,
         cell: _PayloadCell,
+        store: Optional[StoreRef] = None,
     ) -> None:
         self.token = token
         self.use_index = use_index
         self.use_coalesced = use_coalesced
+        #: Set for store-attached graphs: workers mmap the artifact at
+        #: this ref instead of unpickling ``payload`` (which stays
+        #: available as the fallback when attaching fails worker-side).
+        self.store = store
         self._graph = graph
         self._cell = cell
 
@@ -122,7 +177,7 @@ def invalidate_plans(graph: IntervalTPG) -> bool:
     Returns ``True`` when there was anything to invalidate.
     """
     had = hasattr(graph, _PLANS_ATTR) or hasattr(graph, _TOKEN_ATTR)
-    for attr in (_PLANS_ATTR, _TOKEN_ATTR):
+    for attr in (_PLANS_ATTR, _TOKEN_ATTR, _STORE_ATTR):
         try:
             delattr(graph, attr)
         except AttributeError:
@@ -142,7 +197,12 @@ def plan_for(graph: IntervalTPG, use_index: bool, use_coalesced: bool) -> Execut
     plan = plans.get(key)
     if plan is None:
         plan = plans[key] = ExecutionPlan(
-            graph_token(graph), graph, use_index, use_coalesced, plans["cell"]
+            graph_token(graph),
+            graph,
+            use_index,
+            use_coalesced,
+            plans["cell"],
+            store=store_ref(graph),
         )
     return plan
 

@@ -10,15 +10,23 @@ actually scales with cores.  A :class:`WorkerPool` wraps a
   acknowledged the token (the cold-start query); afterwards tasks carry
   the token alone — repeated queries on the same graph pay **zero
   re-transfer**, with late-spawning workers covered by the retry below.
-* A worker that receives a bare token it has not installed raises
-  :class:`PlanNotInstalledError`; the parent retries that one chunk with
-  the payload attached.  This makes the protocol self-healing without a
-  broadcast barrier.
-* Workers rebuild the graph **once per process**, memoize it (and the
-  :class:`~repro.perf.graph_index.GraphIndex` compiled from it, via
-  :func:`~repro.perf.graph_index.worker_index_for`) keyed by token, and
-  then run ordinary chunk-level chain execution + interval
-  materialization, returning compact packed families or point tuples.
+* Store-attached graphs (:func:`repro.store.attach`) skip the payload
+  entirely: every task carries the plan's tiny
+  :class:`~repro.parallel.plan.StoreRef` and a cold worker mmap-attaches
+  the same artifact by path, sharing the parent's page-cache pages
+  instead of unpickling a private copy.
+* A worker that receives a bare token it has not installed — or a store
+  ref it cannot attach (file moved, corrupted, token mismatch after a
+  recompile) — raises :class:`PlanNotInstalledError`; the parent retries
+  that one chunk with the pickled payload attached.  This makes the
+  protocol self-healing without a broadcast barrier, and makes payload
+  shipping the universal fallback for store failures.
+* Workers rebuild the graph **once per process** and memoize it in the
+  consolidated per-token cache (:mod:`repro.parallel.registry`; the
+  compiled :class:`~repro.perf.graph_index.GraphIndex` rides on the
+  graph object, engines per configuration ride in the entry), then run
+  ordinary chunk-level chain execution + interval materialization,
+  returning compact packed families or point tuples.
 
 Pools are shared process-wide through :func:`shared_pool`, keyed by
 ``(start method, worker count)``, so every engine and every query on
@@ -45,11 +53,9 @@ from repro.errors import (
     ReproError,
     WorkerCrashError,
 )
-from repro.parallel.plan import ExecutionPlan, PackedSeed, unpack_seeds
+from repro.parallel import registry
+from repro.parallel.plan import ExecutionPlan, PackedSeed, StoreRef, unpack_seeds
 from repro.resilience import failpoints
-
-#: Worker-side cap on cached graphs: oldest-installed evicted first.
-_WORKER_GRAPH_LIMIT = 8
 
 
 class PlanNotInstalledError(ReproError):
@@ -118,17 +124,23 @@ class WorkerPool:
         deadline=None,
     ) -> list[dict]:
         token = plan.token
-        # Attach the payload only while *no* worker has acknowledged the
-        # graph (the cold-start query).  Afterwards tasks ship the bare
+        # Store-attached graphs always travel as their tiny (path, token)
+        # ref — cold workers mmap the artifact themselves.  Otherwise the
+        # payload is attached only while *no* worker has acknowledged the
+        # graph (the cold-start query); afterwards tasks ship the bare
         # token: a not-yet-warm worker picking one up triggers the
         # self-healing resend below, which converges without ever
         # re-shipping the payload to the whole pool per query.
-        payload = plan.payload if self._needs_payload(token) else None
+        store = plan.store
+        payload = (
+            plan.payload if store is None and self._needs_payload(token) else None
+        )
         futures = [
             self._executor.submit(
                 _execute_chunk,
                 token,
                 payload,
+                store,
                 plan.use_index,
                 plan.use_coalesced,
                 chain,
@@ -153,15 +165,18 @@ class WorkerPool:
         if errors:
             raise errors[0]
         if retries:
-            # Self-healing resend: the payload travels with every retry,
-            # so a second PlanNotInstalledError is impossible.  All
-            # retries are submitted before any is awaited — the retry
-            # round stays parallel.
+            # Self-healing resend: the pickled payload travels with every
+            # retry (even for store plans — a worker that could not
+            # attach the artifact must not be asked to try again), so a
+            # second PlanNotInstalledError is impossible.  All retries
+            # are submitted before any is awaited — the retry round
+            # stays parallel.
             retry_futures = [
                 self._executor.submit(
                     _execute_chunk,
                     token,
                     plan.payload,
+                    None,
                     plan.use_index,
                     plan.use_coalesced,
                     chain,
@@ -256,58 +271,87 @@ atexit.register(shutdown_pools)
 # --------------------------------------------------------------------- #
 # Worker side
 # --------------------------------------------------------------------- #
-#: token -> rebuilt graph, insertion-ordered for LRU-ish eviction.
-_WORKER_GRAPHS: dict[str, object] = {}
-#: (token, use_index, use_coalesced) -> ready DataflowEngine.
-_WORKER_ENGINES: dict[tuple[str, bool, bool], object] = {}
+def _worker_graph(
+    token: str, payload: Optional[bytes], store: Optional[StoreRef]
+) -> object:
+    """Install (or fetch) the worker's graph for ``token``.
+
+    Preference order: the consolidated LRU cache, then a store attach
+    (zero-copy, page-cache shared), then the pickled payload.  *Any*
+    attach failure — missing or corrupted artifact, or an artifact whose
+    token no longer matches the plan (recompiled since dispatch) — is
+    reported as :class:`PlanNotInstalledError` so the parent retries the
+    chunk with the payload: the store path degrades, never fails.
+    """
+    import pickle
+
+    entry = registry.cached(token)
+    if entry is not None:
+        return entry.graph
+    if store is not None:
+        from repro.errors import StoreError
+        from repro.store import attach
+
+        try:
+            attachment = attach(store.path)
+        except (StoreError, OSError) as exc:
+            raise PlanNotInstalledError(
+                f"worker {os.getpid()} could not attach the store at "
+                f"{store.path!r} for token {token!r}: {exc}"
+            ) from exc
+        if attachment.token != token:
+            attachment.close()
+            raise PlanNotInstalledError(
+                f"worker {os.getpid()} attached {store.path!r} but its token "
+                f"{attachment.token!r} does not match the plan ({token!r}); "
+                "the artifact was recompiled since dispatch"
+            )
+        return registry.install(token, attachment.graph).graph
+    if payload is None:
+        raise PlanNotInstalledError(
+            f"worker {os.getpid()} has no cached graph for token {token!r}"
+        )
+    return registry.install(token, pickle.loads(payload)).graph
 
 
 def _worker_engine(
-    token: str, payload: Optional[bytes], use_index: bool, use_coalesced: bool
+    token: str,
+    payload: Optional[bytes],
+    store: Optional[StoreRef],
+    use_index: bool,
+    use_coalesced: bool,
 ):
     """The memoized worker-side engine for one graph + configuration."""
-    key = (token, use_index, use_coalesced)
-    engine = _WORKER_ENGINES.get(key)
+    entry = registry.cached(token)
+    engine = entry.engines.get((use_index, use_coalesced)) if entry else None
     if engine is not None:
         return engine
     # Chaos hook: fault the cold-start install path (kind "raise" models
     # an OOM/deserialization failure; "kill" a crash while rebuilding).
     failpoints.fire("worker.install")
-    import pickle
-
     from repro.dataflow.executor import DataflowEngine
-    from repro.perf.graph_index import worker_index_for
+    from repro.perf.graph_index import graph_index_for
 
-    graph = _WORKER_GRAPHS.get(token)
-    if graph is None:
-        if payload is None:
-            raise PlanNotInstalledError(
-                f"worker {os.getpid()} has no cached graph for token {token!r}"
-            )
-        graph = pickle.loads(payload)
-        _WORKER_GRAPHS[token] = graph
-        while len(_WORKER_GRAPHS) > _WORKER_GRAPH_LIMIT:
-            evicted = next(iter(_WORKER_GRAPHS))
-            del _WORKER_GRAPHS[evicted]
-            for engine_key in [k for k in _WORKER_ENGINES if k[0] == evicted]:
-                del _WORKER_ENGINES[engine_key]
-            from repro.perf.graph_index import _WORKER_INDEXES
-
-            _WORKER_INDEXES.pop(evicted, None)
+    graph = _worker_graph(token, payload, store)
     if use_index:
-        # Compile (or reuse) the worker's own index before the engine
-        # asks for it, keeping the token registry authoritative.
-        worker_index_for(token, graph)
+        # Compile (or adopt the attached) index before the engine asks
+        # for it; it rides on the graph object, so eviction of the
+        # registry entry releases graph, index and engines together.
+        graph_index_for(graph)
     engine = DataflowEngine(
         graph, workers=1, use_index=use_index, use_coalesced=use_coalesced
     )
-    _WORKER_ENGINES[key] = engine
+    entry = registry.cached(token)
+    if entry is None:  # pragma: no cover - install always precedes this
+        entry = registry.install(token, graph)
+    entry.engines[(use_index, use_coalesced)] = engine
     return engine
 
 
 def _run_chunk(
     token: str,
     payload: Optional[bytes],
+    store: Optional[StoreRef],
     use_index: bool,
     use_coalesced: bool,
     chain: tuple,
@@ -322,7 +366,7 @@ def _run_chunk(
     from repro.dataflow.executor import _ChainStats, legacy_families
     from repro.eval.bindings import pack_families
 
-    engine = _worker_engine(token, payload, use_index, use_coalesced)
+    engine = _worker_engine(token, payload, store, use_index, use_coalesced)
     seeds = unpack_seeds(packed_seeds)
     stats = _ChainStats()
     start = time.perf_counter()

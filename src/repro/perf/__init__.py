@@ -18,11 +18,12 @@ the test suite; see PERFORMANCE.md for the architecture and the measured
 speedups.
 """
 
-from repro.perf.graph_index import GraphIndex, graph_index_for
+from repro.perf.graph_index import CompiledCore, GraphIndex, graph_index_for
 from repro.perf.interval_relation import IntervalRelation
 from repro.perf.interval_eval import IntervalBottomUpEvaluator
 
 __all__ = [
+    "CompiledCore",
     "GraphIndex",
     "graph_index_for",
     "IntervalRelation",

@@ -51,74 +51,145 @@ TemporalGraph = TypingUnion[TemporalPropertyGraph, IntervalTPG]
 PathTestResolver = Callable[[PathTest], dict[ObjectId, IntervalSet]]
 
 
-class GraphIndex:
-    """Compiled, immutable-by-convention indexes over one :class:`IntervalTPG`.
+class CompiledCore:
+    """The immutable compiled tables of one graph (the flat half of the index).
 
-    Build via :func:`graph_index_for` so the compilation cost is paid
-    once per graph; the memoized condition tables then accumulate across
-    every query and engine that shares the instance.
+    A core is everything :class:`GraphIndex` derives from a graph that
+    never changes *in place*: the dense-id object table, per-object
+    existence/adjacency/property families, endpoint maps and the
+    label / property candidate buckets.  It comes from one of two
+    builders with the same attribute surface:
+
+    * :meth:`from_graph` — the eager in-memory build (this class);
+    * :class:`repro.store.artifact.AttachedCore` — the same attributes
+      as mmap-backed lazy sections, attached zero-copy from a persistent
+      ``repro-index/1`` artifact.
+
+    :class:`GraphIndex` binds these attributes once and then treats them
+    as its mutable working set: delta maintenance rebinds or writes
+    through them (attached cores route writes to a per-map overlay, so
+    the read-only artifact is never touched).
     """
 
-    def __init__(self, graph: IntervalTPG) -> None:
-        self._graph = graph
-        self._domain = graph.domain
-        self._full = IntervalSet((graph.domain,))
-        self._empty = IntervalSet.empty()
+    __slots__ = (
+        "domain",
+        "nodes",
+        "edges",
+        "objects",
+        "object_id",
+        "labels",
+        "existence",
+        "out_adjacency",
+        "in_adjacency",
+        "edge_source",
+        "edge_target",
+        "node_label_buckets",
+        "edge_label_buckets",
+        "prop_value_buckets",
+        "properties",
+    )
 
-        self._nodes: frozenset[ObjectId] = frozenset(graph.nodes())
-        self._edges: frozenset[ObjectId] = frozenset(graph.edges())
-        self.objects: tuple[ObjectId, ...] = tuple(graph.objects())
+    @classmethod
+    def from_graph(cls, graph: IntervalTPG) -> "CompiledCore":
+        """Compile a core from an in-memory graph (one pass per object)."""
+        core = cls()
+        core.domain = graph.domain
+        core.nodes = frozenset(graph.nodes())
+        core.edges = frozenset(graph.edges())
+        core.objects = tuple(graph.objects())
         #: Dense per-object integers in deterministic enumeration order.
         #: The coalescing frontier keys its rows by binding signature; the
         #: compact ids keep those signature tuples small and cheap to hash
         #: compared to the raw (often string) object identifiers.
-        self.object_id: dict[ObjectId, int] = {
-            obj: position for position, obj in enumerate(self.objects)
-        }
+        core.object_id = {obj: position for position, obj in enumerate(core.objects)}
 
-        self.labels: dict[ObjectId, str] = {}
-        self.existence: dict[ObjectId, IntervalSet] = {}
-        self.out_adjacency: dict[ObjectId, tuple[ObjectId, ...]] = {}
-        self.in_adjacency: dict[ObjectId, tuple[ObjectId, ...]] = {}
-        self.edge_source: dict[ObjectId, ObjectId] = {}
-        self.edge_target: dict[ObjectId, ObjectId] = {}
+        core.labels = {}
+        core.existence = {}
+        core.out_adjacency = {}
+        core.in_adjacency = {}
+        core.edge_source = {}
+        core.edge_target = {}
 
         node_buckets: dict[str, list[ObjectId]] = {}
         edge_buckets: dict[str, list[ObjectId]] = {}
         prop_buckets: dict[tuple[str, Hashable], list[ObjectId]] = {}
-        self._properties: dict[ObjectId, dict[str, ValuedIntervalSet]] = {}
+        core.properties = {}
 
         for node in graph.nodes():
-            self.labels[node] = graph.label(node)
-            self.existence[node] = graph.existence(node)
-            self.out_adjacency[node] = tuple(graph.out_edges(node))
-            self.in_adjacency[node] = tuple(graph.in_edges(node))
+            core.labels[node] = graph.label(node)
+            core.existence[node] = graph.existence(node)
+            core.out_adjacency[node] = tuple(graph.out_edges(node))
+            core.in_adjacency[node] = tuple(graph.in_edges(node))
             node_buckets.setdefault(graph.label(node), []).append(node)
         for edge in graph.edges():
-            self.labels[edge] = graph.label(edge)
-            self.existence[edge] = graph.existence(edge)
+            core.labels[edge] = graph.label(edge)
+            core.existence[edge] = graph.existence(edge)
             src, tgt = graph.endpoints(edge)
-            self.edge_source[edge] = src
-            self.edge_target[edge] = tgt
+            core.edge_source[edge] = src
+            core.edge_target[edge] = tgt
             edge_buckets.setdefault(graph.label(edge), []).append(edge)
-        for obj in self.objects:
+        for obj in core.objects:
             families = graph.properties(obj)
-            self._properties[obj] = families
+            core.properties[obj] = families
             for name, family in families.items():
                 for entry in family:
                     bucket = prop_buckets.setdefault((name, entry.value), [])
                     if not bucket or bucket[-1] is not obj:
                         bucket.append(obj)
 
-        self.node_label_buckets: dict[str, tuple[ObjectId, ...]] = {
+        core.node_label_buckets = {
             label: tuple(members) for label, members in node_buckets.items()
         }
-        self.edge_label_buckets: dict[str, tuple[ObjectId, ...]] = {
+        core.edge_label_buckets = {
             label: tuple(members) for label, members in edge_buckets.items()
         }
-        self.prop_value_buckets: dict[tuple[str, Hashable], tuple[ObjectId, ...]] = {
+        core.prop_value_buckets = {
             key: tuple(members) for key, members in prop_buckets.items()
         }
+        return core
+
+
+class GraphIndex:
+    """Compiled, immutable-by-convention indexes over one :class:`IntervalTPG`.
+
+    Build via :func:`graph_index_for` so the compilation cost is paid
+    once per graph; the memoized condition tables then accumulate across
+    every query and engine that shares the instance.  The flat compiled
+    tables live in a :class:`CompiledCore` — either built eagerly from
+    the graph here, or passed in pre-attached from a persistent artifact
+    (:func:`repro.store.attach`); on top of the core the index keeps the
+    mutable overlay state delta maintenance writes to, plus the memoized
+    condition / hop tables.
+    """
+
+    def __init__(self, graph: IntervalTPG, core: CompiledCore | None = None) -> None:
+        self._graph = graph
+        if core is None:
+            core = CompiledCore.from_graph(graph)
+        self._core = core
+        self._domain = core.domain
+        self._full = IntervalSet((core.domain,))
+        self._empty = IntervalSet.empty()
+
+        # The core's tables become the index's working set.  For the
+        # in-memory build the core is exclusively owned, so writing its
+        # plain dicts in place *is* the overlay; attached cores hand out
+        # lazy maps whose writes land in a per-map overlay instead of
+        # the mmapped artifact.
+        self._nodes: frozenset[ObjectId] = core.nodes
+        self._edges: frozenset[ObjectId] = core.edges
+        self.objects: tuple[ObjectId, ...] = core.objects
+        self.object_id: dict[ObjectId, int] = core.object_id
+        self.labels = core.labels
+        self.existence = core.existence
+        self.out_adjacency = core.out_adjacency
+        self.in_adjacency = core.in_adjacency
+        self.edge_source = core.edge_source
+        self.edge_target = core.edge_target
+        self.node_label_buckets = core.node_label_buckets
+        self.edge_label_buckets = core.edge_label_buckets
+        self.prop_value_buckets = core.prop_value_buckets
+        self._properties = core.properties
 
         self._times_cache: dict[tuple[Test, ObjectId], IntervalSet] = {}
         self._table_cache: dict[Test, dict[ObjectId, IntervalSet]] = {}
@@ -133,6 +204,11 @@ class GraphIndex:
     def epoch(self) -> int:
         """How many delta batches this index has been maintained through."""
         return self._epoch
+
+    @property
+    def core(self) -> CompiledCore:
+        """The compiled core the index was built from (or attached to)."""
+        return self._core
 
     # ------------------------------------------------------------------ #
     # Basic accessors
@@ -470,6 +546,44 @@ class GraphIndex:
                     for obj in stale_sources:
                         per_source.pop(obj, None)
 
+    def snapshot_core(self) -> CompiledCore:
+        """A plain-dict snapshot of the compiled tables *as maintained now*.
+
+        The store writer serializes this rather than :attr:`core` because
+        delta maintenance mutates the index's working maps, not the core
+        it was built from — a snapshot therefore reflects every applied
+        batch.  Per-object entries are pulled through the live maps, so
+        an attached (lazily decoded) index snapshots correctly too.
+        """
+        core = CompiledCore()
+        core.domain = self._domain
+        core.nodes = self._nodes
+        core.edges = self._edges
+        core.objects = self.objects
+        core.object_id = dict(self.object_id)
+        core.labels = {obj: self.labels[obj] for obj in self.objects}
+        core.existence = {obj: self.existence[obj] for obj in self.objects}
+        core.out_adjacency = {
+            obj: self.out_adjacency[obj] for obj in self.objects if obj in self._nodes
+        }
+        core.in_adjacency = {
+            obj: self.in_adjacency[obj] for obj in self.objects if obj in self._nodes
+        }
+        core.edge_source = {
+            obj: self.edge_source[obj] for obj in self.objects if obj in self._edges
+        }
+        core.edge_target = {
+            obj: self.edge_target[obj] for obj in self.objects if obj in self._edges
+        }
+        core.properties = {obj: dict(self._properties[obj]) for obj in self.objects}
+        # Copy via .items(): plain dict(m) on a dict subclass reads the
+        # C-level storage directly, which would skip an attached core's
+        # lazy section fill.
+        core.node_label_buckets = {k: v for k, v in self.node_label_buckets.items()}
+        core.edge_label_buckets = {k: v for k, v in self.edge_label_buckets.items()}
+        core.prop_value_buckets = {k: v for k, v in self.prop_value_buckets.items()}
+        return core
+
     def structural_closure(
         self, objects: Iterable[ObjectId], radius: int
     ) -> set[ObjectId]:
@@ -591,26 +705,21 @@ def graph_index_for(graph: TemporalGraph) -> GraphIndex:
     return index
 
 
-# --------------------------------------------------------------------- #
-# Worker-side index registry (process-parallel backend)
-# --------------------------------------------------------------------- #
-#: Per-process registry keyed by execution-plan token.  Worker processes
-#: receive a graph payload at most once per (graph, pid); every index
-#: built from it is memoized here so repeated queries on the same graph
-#: reuse the compiled structures and their accumulated condition tables.
-_WORKER_INDEXES: dict[str, GraphIndex] = {}
+def install_index(graph: TemporalGraph, index: GraphIndex) -> None:
+    """Pre-bind a compiled ``index`` as ``graph``'s shared index.
 
-
-def worker_index_for(token: str, graph: IntervalTPG) -> GraphIndex:
-    """Build (once per process) the :class:`GraphIndex` of a shipped graph.
-
-    ``token`` is the execution plan's stable graph identity — unlike
-    ``id(graph)`` it survives pickling, so a worker that receives the
-    same graph through different tasks still compiles exactly one
-    index.  Delegates to :func:`graph_index_for`, keeping the on-graph
-    attribute cache coherent with the token registry.
+    The store attach path builds the index from an artifact core rather
+    than from the graph; installing it here makes every subsequent
+    :func:`graph_index_for` call return the attached index instead of
+    recompiling.
     """
-    index = _WORKER_INDEXES.get(token)
-    if index is None:
-        index = _WORKER_INDEXES[token] = graph_index_for(graph)
-    return index
+    setattr(graph, _CACHE_ATTR, index)
+
+
+# The former worker-side ``_WORKER_INDEXES`` registry lived here, keyed
+# by execution-plan token next to the graph/engine caches in
+# :mod:`repro.parallel.pool` — three caches with two eviction paths.
+# All worker-side per-token state is now consolidated in
+# :mod:`repro.parallel.registry`; the index itself rides on the cached
+# graph through :func:`graph_index_for`'s on-graph attribute, so
+# evicting the registry entry releases the index with it.

@@ -84,15 +84,22 @@ class GraphHost:
         wal: Optional[str] = None,
         snapshot: Optional[str] = None,
         snapshot_every: int = 1,
+        store: Optional[str] = None,
         **config,
     ) -> tuple["GraphHost", Optional[dict]]:
         """Build a host, recovering from ``snapshot`` + ``wal`` when present.
 
         Recovery-on-restart semantics: an existing snapshot wins over
-        ``graph_path`` — the snapshot graph plus the WAL tail *is* the
-        state the previous process durably reached, and the recovered
-        queries are re-registered so continuous answers resume where
-        they left off.  Returns ``(host, recovery_report_dict | None)``.
+        both ``store`` and ``graph_path`` — the snapshot graph plus the
+        WAL tail *is* the state the previous process durably reached,
+        and the recovered queries are re-registered so continuous
+        answers resume where they left off.  Otherwise a ``store``
+        (compiled ``repro-index`` artifact, see :func:`repro.store.attach`)
+        is attached in O(1) instead of loading + recompiling
+        ``graph_path`` — the restart skips index compilation entirely,
+        and a WAL tail still replays on top (materializing the attached
+        graph and maintaining the index incrementally).  Returns
+        ``(host, recovery_report_dict | None)``.
         """
         if snapshot is not None and os.path.exists(snapshot):
             from repro.resilience.snapshot import recover
@@ -114,7 +121,14 @@ class GraphHost:
                 last_sequence=session.last_sequence, wal_seq=session.wal_seq
             )
             return host, report.to_dict()
-        graph = contact_tracing_example() if graph_path is None else load_json(graph_path)
+        if store is not None:
+            from repro.store import attach
+
+            graph = attach(store).graph
+        elif graph_path is None:
+            graph = contact_tracing_example()
+        else:
+            graph = load_json(graph_path)
         host = cls(name, graph, **config)
         if wal is not None and os.path.exists(wal):
             # No snapshot, but the WAL holds a previous run's applied
@@ -304,9 +318,11 @@ class ServerState:
         wal: Optional[str] = None,
         snapshot: Optional[str] = None,
         snapshot_every: int = 1,
+        store: Optional[str] = None,
     ) -> Optional[dict]:
         """Load (or recover) a graph under ``name``; returns the recovery
-        report when a snapshot/WAL restart path was taken."""
+        report when a snapshot/WAL restart path was taken.  ``store``
+        attaches a compiled artifact instead of loading ``graph_path``."""
         if name in self.hosts:
             raise ServerError(f"graph {name!r} is already resident", kind="ServerError")
         host, recovery = GraphHost.from_files(
@@ -315,6 +331,7 @@ class ServerState:
             wal=wal,
             snapshot=snapshot,
             snapshot_every=snapshot_every,
+            store=store,
             workers=self.workers,
             backend=self.backend,
             plans=PlanCache(self.plan_capacity),

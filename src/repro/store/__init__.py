@@ -1,0 +1,54 @@
+"""Persistent compiled-graph store: ``repro-index/1`` artifacts.
+
+Compiling a graph's index is the dominant startup cost of every cold
+process — server restarts recompile, every worker of the process
+backend rebuilds its own copy from a pickled payload.  This package
+makes the compiled index a *persistent, shareable* artifact instead:
+
+* :func:`compile_graph` writes the index's flat tables (dense-id object
+  table, adjacency, existence and property interval families, candidate
+  buckets) into a checksummed single file — or a sharded store behind a
+  manifest — atomically (:mod:`repro.store.format`,
+  :mod:`repro.store.shards`);
+* :func:`attach` mmaps an artifact read-only in O(1) and returns a
+  ready graph + :class:`~repro.perf.graph_index.GraphIndex` whose
+  tables decode lazily from the map, so attaching processes share page
+  cache instead of holding private copies
+  (:mod:`repro.store.artifact`);
+* the parallel backend ships a tiny ``(path, token)``
+  :class:`~repro.parallel.plan.StoreRef` for attached graphs, so
+  workers attach the same artifact themselves — with the pickled
+  payload kept as the self-healing fallback;
+* :func:`repro.server.state.GraphHost.from_files` accepts a store and
+  attaches on restart instead of recompiling.
+
+Structured failure modes: :class:`~repro.errors.StoreFormatError` (not
+an artifact / malformed), :class:`~repro.errors.StoreVersionError`
+(incompatible format version), :class:`~repro.errors.StoreCorruptError`
+(checksum or truncation).  See PERFORMANCE.md § "Persistent
+compiled-graph store" and RELIABILITY.md for the integrity discipline.
+"""
+
+from repro.store.artifact import (
+    AttachedCore,
+    AttachedGraph,
+    Attachment,
+    attach,
+    compile_graph,
+)
+from repro.store.format import FORMAT, VERSION, Artifact, write_artifact
+from repro.store.shards import MANIFEST_FORMAT, plan_shards
+
+__all__ = [
+    "Artifact",
+    "AttachedCore",
+    "AttachedGraph",
+    "Attachment",
+    "FORMAT",
+    "MANIFEST_FORMAT",
+    "VERSION",
+    "attach",
+    "compile_graph",
+    "plan_shards",
+    "write_artifact",
+]

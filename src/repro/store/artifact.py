@@ -1,0 +1,885 @@
+"""Compiling graphs to persistent artifacts and attaching them in O(1).
+
+The writer (:func:`compile_graph`) serializes a graph's compiled index
+— the same tables :class:`~repro.perf.graph_index.CompiledCore` builds
+in memory — into the flat-section container of
+:mod:`repro.store.format`, either as one self-contained artifact or as
+a sharded store behind a manifest (:mod:`repro.store.shards`).
+
+The reader (:func:`attach`) is the point of the exercise: it maps the
+artifact read-only and returns a ready graph + index **without decoding
+the body**.  Attach cost is the header check plus one unpickle of the
+object table; every other table is a :class:`_LazyMap` that decodes
+records straight out of the mmap on first touch, so a worker that runs
+one query over one neighbourhood faults in only those pages — and every
+process attaching the same artifact shares them through the OS page
+cache instead of each holding a private unpickled copy.
+
+Layout of the per-object data sections: for each of ``exist`` /
+``adj`` / ``props`` there is an ``.idx`` section of ``len(members)+1``
+little-endian u64 byte offsets and a ``.dat`` section holding the
+records back to back (record ``i`` spans ``idx[i]..idx[i+1]``):
+
+* ``exist`` records are packed ``<qq`` (start, end) pairs of the
+  already-coalesced existence family — decoded zero-validation via
+  :meth:`IntervalSet._from_coalesced`;
+* ``adj`` records are a u32 out-degree followed by the out- then
+  in-edge dense ids as u32 (edges get an empty record);
+* ``props`` records are the pickled property mapping (empty record for
+  objects without properties).
+
+Dense ids (``objects`` positions) are the on-disk vocabulary; the
+``objects`` section maps them back to user-facing identifiers.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import uuid
+from bisect import bisect_left
+from typing import Any, Callable, Hashable, Iterator, Optional
+
+from repro.errors import StoreCorruptError, StoreFormatError, UnknownObjectError
+from repro.model.itpg import IntervalTPG
+from repro.parallel.plan import StoreRef, bind_store
+from repro.perf.graph_index import CompiledCore, GraphIndex, graph_index_for, install_index
+from repro.store.format import MAGIC, Artifact, write_artifact
+from repro.store.shards import plan_shards, read_manifest, write_manifest
+from repro.temporal.interval import Interval
+from repro.temporal.intervalset import IntervalSet
+from repro.temporal.valued import ValuedIntervalSet
+
+ObjectId = Hashable
+
+_U32 = struct.Struct("<I")
+_PAIR = struct.Struct("<qq")
+
+
+# --------------------------------------------------------------------- #
+# Section packing
+# --------------------------------------------------------------------- #
+def _pack_records(records: list[bytes]) -> tuple[bytes, bytes]:
+    """``(idx, dat)`` sections: u64 offsets (with end sentinel) + payload."""
+    offsets = [0]
+    for record in records:
+        offsets.append(offsets[-1] + len(record))
+    idx = struct.pack(f"<{len(offsets)}Q", *offsets)
+    return idx, b"".join(records)
+
+
+def _exist_record(family: IntervalSet) -> bytes:
+    return b"".join(_PAIR.pack(iv.start, iv.end) for iv in family)
+
+
+def _adj_record(out_ids: list[int], in_ids: list[int]) -> bytes:
+    ids = out_ids + in_ids
+    return struct.pack(f"<I{len(ids)}I", len(out_ids), *ids)
+
+
+def _props_record(families: dict) -> bytes:
+    live = {name: family for name, family in families.items() if family}
+    if not live:
+        return b""
+    return pickle.dumps(live, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _head_sections(core: CompiledCore, graph: object) -> dict[str, bytes]:
+    """The graph-wide tables: object vocabulary, labels, endpoints, buckets."""
+    dumps = lambda obj: pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)  # noqa: E731
+    node_positions = [
+        core.object_id[obj] for obj in core.objects if obj in core.nodes
+    ]
+    edges_in_order = [obj for obj in core.objects if obj in core.edges]
+    return {
+        "objects": dumps(core.objects),
+        "nodekind": struct.pack(f"<{len(node_positions)}I", *node_positions),
+        "labels": dumps(tuple(core.labels[obj] for obj in core.objects)),
+        "endpoints": dumps(
+            tuple(
+                (core.edge_source[edge], core.edge_target[edge])
+                for edge in edges_in_order
+            )
+        ),
+        "buckets": dumps(
+            (
+                dict(core.node_label_buckets),
+                dict(core.edge_label_buckets),
+                dict(core.prop_value_buckets),
+            )
+        ),
+        "graph": dumps(graph),
+    }
+
+
+def _data_sections(core: CompiledCore, members: list[int]) -> dict[str, bytes]:
+    """Per-object records for the objects at dense positions ``members``."""
+    exist_records: list[bytes] = []
+    adj_records: list[bytes] = []
+    props_records: list[bytes] = []
+    for position in members:
+        obj = core.objects[position]
+        exist_records.append(_exist_record(core.existence[obj]))
+        if obj in core.nodes:
+            adj_records.append(
+                _adj_record(
+                    [core.object_id[e] for e in core.out_adjacency[obj]],
+                    [core.object_id[e] for e in core.in_adjacency[obj]],
+                )
+            )
+        else:
+            adj_records.append(b"")
+        props_records.append(_props_record(core.properties[obj]))
+    sections: dict[str, bytes] = {}
+    for name, records in (
+        ("exist", exist_records),
+        ("adj", adj_records),
+        ("props", props_records),
+    ):
+        idx, dat = _pack_records(records)
+        sections[f"{name}.idx"] = idx
+        sections[f"{name}.dat"] = dat
+    return sections
+
+
+# --------------------------------------------------------------------- #
+# Compile
+# --------------------------------------------------------------------- #
+def compile_graph(
+    graph: IntervalTPG, path: str, *, shards: Optional[int] = None
+) -> dict:
+    """Write ``graph``'s compiled index to ``path``; returns a report.
+
+    With ``shards=None`` the result is one self-contained artifact.
+    With ``shards=N`` ``path`` is the *manifest* and the head/shard
+    artifacts are written next to it (``<stem>.head.rix``,
+    ``<stem>.shard<i>.rix``).  The snapshot reflects every delta batch
+    already applied to the graph — compiling is always safe after
+    streaming maintenance.
+    """
+    index = graph_index_for(graph)
+    core = index.snapshot_core()
+    source = index.graph  # the IntervalTPG (post tpg conversion / materialization)
+    token = uuid.uuid4().hex
+    meta = {
+        "token": token,
+        "domain": [core.domain.start, core.domain.end],
+        "num_objects": len(core.objects),
+        "num_nodes": len(core.nodes),
+    }
+    head = _head_sections(core, source)
+    if shards is None:
+        sections = dict(head)
+        sections.update(_data_sections(core, list(range(len(core.objects)))))
+        report = write_artifact(path, sections, {**meta, "kind": "index"})
+        return {
+            "path": path,
+            "token": token,
+            "sharded": False,
+            "objects": len(core.objects),
+            "nodes": len(core.nodes),
+            "bytes": report["bytes"],
+            "files": [report],
+        }
+
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    stem = os.path.splitext(os.path.basename(path))[0]
+    member_lists = plan_shards(
+        core.objects, core.nodes, core.out_adjacency, core.object_id, shards
+    )
+    files = []
+    head_name = f"{stem}.head.rix"
+    files.append(
+        write_artifact(
+            os.path.join(directory, head_name), head, {**meta, "kind": "head"}
+        )
+    )
+    shard_entries = []
+    for number, members in enumerate(member_lists):
+        shard_name = f"{stem}.shard{number}.rix"
+        sections = {"members": struct.pack(f"<{len(members)}I", *members)}
+        sections.update(_data_sections(core, members))
+        files.append(
+            write_artifact(
+                os.path.join(directory, shard_name),
+                sections,
+                {**meta, "kind": "shard", "shard": number},
+            )
+        )
+        shard_entries.append(
+            {
+                "path": shard_name,
+                "objects": len(members),
+                "weight": sum(
+                    1 + len(core.out_adjacency[core.objects[p]])
+                    for p in members
+                    if core.objects[p] in core.nodes
+                ),
+            }
+        )
+    write_manifest(
+        path,
+        {
+            "format": "repro-index-manifest/1",
+            "token": token,
+            "domain": meta["domain"],
+            "num_objects": meta["num_objects"],
+            "num_nodes": meta["num_nodes"],
+            "head": head_name,
+            "shards": shard_entries,
+        },
+    )
+    return {
+        "path": path,
+        "token": token,
+        "sharded": True,
+        "shard_count": len(member_lists),
+        "objects": len(core.objects),
+        "nodes": len(core.nodes),
+        "bytes": sum(f["bytes"] for f in files),
+        "files": files,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Lazy maps
+# --------------------------------------------------------------------- #
+class _LazyMap(dict):
+    """A dict whose misses decode from the artifact; writes are the overlay.
+
+    Two loading styles:
+
+    * ``load`` — per-key: a miss decodes exactly one record from the
+      mmap and memoizes it (existence, adjacency, properties);
+    * ``fill`` — whole-section: the first miss (or any enumeration)
+      decodes the section once via ``setdefault`` so entries written
+      earlier by delta maintenance are never clobbered (labels,
+      endpoints, candidate buckets).
+
+    Plain ``dict`` assignment *is* the mutable overlay
+    :meth:`GraphIndex.apply_delta` writes to — stored keys always win
+    over the artifact, so maintained entries shadow their stale on-disk
+    records without the artifact ever being touched.
+    """
+
+    __slots__ = ("_load", "_fill", "_filled")
+
+    def __init__(
+        self,
+        load: Optional[Callable[[Any], Any]] = None,
+        fill: Optional[Callable[["_LazyMap"], None]] = None,
+    ) -> None:
+        super().__init__()
+        self._load = load
+        self._fill = fill
+        self._filled = fill is None
+
+    def _ensure_filled(self) -> None:
+        if not self._filled:
+            self._filled = True
+            self._fill(self)
+
+    def __missing__(self, key: Any) -> Any:
+        if not self._filled:
+            self._ensure_filled()
+            if dict.__contains__(self, key):
+                return dict.__getitem__(self, key)
+            raise KeyError(key)
+        if self._load is None:
+            raise KeyError(key)
+        value = self._load(key)
+        dict.__setitem__(self, key, value)
+        return value
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def __contains__(self, key: Any) -> bool:
+        if dict.__contains__(self, key):
+            return True
+        try:
+            self[key]
+        except KeyError:
+            return False
+        return True
+
+    # Enumeration is only meaningful for fill-style maps; per-key maps
+    # enumerate their materialized overlay, which callers never rely on
+    # (the object table is the authoritative enumeration).
+    def __iter__(self) -> Iterator:
+        self._ensure_filled()
+        return dict.__iter__(self)
+
+    def __len__(self) -> int:
+        self._ensure_filled()
+        return dict.__len__(self)
+
+    def keys(self):
+        self._ensure_filled()
+        return dict.keys(self)
+
+    def values(self):
+        self._ensure_filled()
+        return dict.values(self)
+
+    def items(self):
+        self._ensure_filled()
+        return dict.items(self)
+
+
+# --------------------------------------------------------------------- #
+# Attached parts and core
+# --------------------------------------------------------------------- #
+class _Part:
+    """One data-bearing member of a store (the whole artifact, or a shard).
+
+    Shard parts open lazily: a worker whose seeds all live in shard 0
+    never opens shard 1's file.  Section views and cast index arrays
+    are memoized per part, so record access after the first touch is a
+    bounds-checked slice of the mmap.
+    """
+
+    __slots__ = ("path", "_token", "_artifact", "_members", "_sections")
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        artifact: Optional[Artifact] = None,
+        token: str = "",
+    ) -> None:
+        self.path = path if path is not None else (artifact.path if artifact else "")
+        self._token = token
+        self._artifact = artifact
+        self._members: Optional[memoryview] = None
+        self._sections: dict[str, memoryview] = {}
+
+    @property
+    def artifact(self) -> Artifact:
+        if self._artifact is None:
+            artifact = Artifact(self.path)
+            kind = artifact.meta.get("kind")
+            if kind != "shard":
+                raise StoreFormatError(
+                    f"{self.path}: expected a shard artifact, found kind {kind!r}",
+                    path=self.path,
+                )
+            if self._token and artifact.meta.get("token") != self._token:
+                raise StoreCorruptError(
+                    f"{self.path}: shard token {artifact.meta.get('token')!r} does "
+                    f"not match its manifest ({self._token!r}) — the store mixes "
+                    "artifacts from different compilations",
+                    path=self.path,
+                )
+            self._artifact = artifact
+        return self._artifact
+
+    def section(self, name: str) -> memoryview:
+        view = self._sections.get(name)
+        if view is None:
+            view = self._sections[name] = self.artifact.section(name)
+        return view
+
+    def members(self) -> Optional[memoryview]:
+        """Sorted global dense positions as a u32 view, or ``None`` when
+        this part covers the identity range (single-file store)."""
+        if self._members is None and self.artifact.has("members"):
+            self._members = self.section("members").cast("I")
+        return self._members
+
+    def release_views(self) -> None:
+        """Drop memoized views so the backing mmap can close cleanly."""
+        self._sections.clear()
+        self._members = None
+
+    def record(self, name: str, local: int) -> memoryview:
+        idx = self.section(f"{name}.idx").cast("Q")
+        start, stop = idx[local], idx[local + 1]
+        if start == stop:
+            return memoryview(b"")
+        return self.section(f"{name}.dat")[start:stop]
+
+    def close(self) -> None:
+        self.release_views()
+        if self._artifact is not None:
+            self._artifact.close()
+            self._artifact = None
+
+
+class AttachedCore:
+    """:class:`CompiledCore`'s attribute surface, decoded lazily from a store.
+
+    Eager work at attach: the header checks, one unpickle of the object
+    table, and the dense-id/node-kind tables derived from it — a few
+    C-speed passes over ``objects``.  Everything per-object stays on
+    disk until first touched.
+    """
+
+    def __init__(self, head: Artifact, parts: list[_Part]) -> None:
+        meta = head.meta
+        try:
+            self.token: str = meta["token"]
+            domain = meta["domain"]
+            declared = int(meta["num_objects"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StoreCorruptError(
+                f"{head.path}: artifact metadata is missing required keys",
+                path=head.path,
+            ) from exc
+        self.domain = Interval(int(domain[0]), int(domain[1]))
+        self.objects: tuple[ObjectId, ...] = pickle.loads(head.section("objects"))
+        if len(self.objects) != declared:
+            raise StoreCorruptError(
+                f"{head.path}: object table holds {len(self.objects)} entries, "
+                f"header declares {declared}",
+                path=head.path,
+                section="objects",
+            )
+        self.object_id: dict[ObjectId, int] = {
+            obj: position for position, obj in enumerate(self.objects)
+        }
+        node_positions = head.section("nodekind").cast("I")
+        self._node_tuple: tuple[ObjectId, ...] = tuple(
+            self.objects[position] for position in node_positions
+        )
+        self.nodes: frozenset = frozenset(self._node_tuple)
+        self._edge_tuple: tuple[ObjectId, ...] = tuple(
+            obj for obj in self.objects if obj not in self.nodes
+        )
+        self.edges: frozenset = frozenset(self._edge_tuple)
+
+        self._head = head
+        self._parts = parts
+        self._endpoint_cache: Optional[tuple] = None
+        self._bucket_cache: Optional[tuple] = None
+
+        self.labels = _LazyMap(fill=self._fill_labels)
+        self.existence = _LazyMap(load=self._load_existence)
+        self.out_adjacency = _LazyMap(load=self._load_out_adjacency)
+        self.in_adjacency = _LazyMap(load=self._load_in_adjacency)
+        self.edge_source = _LazyMap(fill=self._fill_edge_source)
+        self.edge_target = _LazyMap(fill=self._fill_edge_target)
+        self.node_label_buckets = _LazyMap(fill=self._fill_node_buckets)
+        self.edge_label_buckets = _LazyMap(fill=self._fill_edge_buckets)
+        self.prop_value_buckets = _LazyMap(fill=self._fill_prop_buckets)
+        self.properties = _LazyMap(load=self._load_properties)
+
+    # -- record location ------------------------------------------------ #
+    def _locate(self, position: int) -> tuple[_Part, int]:
+        for part in self._parts:
+            members = part.members()
+            if members is None:
+                return part, position
+            local = bisect_left(members, position)
+            if local < len(members) and members[local] == position:
+                return part, local
+        raise StoreCorruptError(
+            f"{self._head.path}: dense position {position} is covered by no "
+            "shard of the store",
+            path=self._head.path,
+        )
+
+    # -- per-key loaders ------------------------------------------------ #
+    def _load_existence(self, key: ObjectId) -> IntervalSet:
+        part, local = self._locate(self.object_id[key])
+        record = part.record("exist", local)
+        return IntervalSet._from_coalesced(
+            Interval(start, end) for start, end in _PAIR.iter_unpack(record)
+        )
+
+    def _adjacency(self, key: ObjectId) -> tuple[tuple, tuple]:
+        if key not in self.nodes:
+            raise KeyError(key)
+        part, local = self._locate(self.object_id[key])
+        record = part.record("adj", local)
+        (out_count,) = _U32.unpack_from(record, 0)
+        ids = record[4:].cast("I")
+        out_ids = tuple(self.objects[i] for i in ids[:out_count])
+        in_ids = tuple(self.objects[i] for i in ids[out_count:])
+        return out_ids, in_ids
+
+    def _load_out_adjacency(self, key: ObjectId) -> tuple:
+        out_ids, in_ids = self._adjacency(key)
+        dict.__setitem__(self.in_adjacency, key, in_ids)
+        return out_ids
+
+    def _load_in_adjacency(self, key: ObjectId) -> tuple:
+        out_ids, in_ids = self._adjacency(key)
+        dict.__setitem__(self.out_adjacency, key, out_ids)
+        return in_ids
+
+    def _load_properties(self, key: ObjectId) -> dict:
+        part, local = self._locate(self.object_id[key])
+        record = part.record("props", local)
+        if len(record) == 0:
+            return {}
+        return pickle.loads(record)
+
+    # -- whole-section fills -------------------------------------------- #
+    def _fill_labels(self, target: _LazyMap) -> None:
+        labels = pickle.loads(self._head.section("labels"))
+        for obj, label in zip(self.objects, labels):
+            target.setdefault(obj, label)
+
+    def _endpoints(self) -> tuple:
+        if self._endpoint_cache is None:
+            self._endpoint_cache = pickle.loads(self._head.section("endpoints"))
+        return self._endpoint_cache
+
+    def _fill_edge_source(self, target: _LazyMap) -> None:
+        for edge, (source, _tgt) in zip(self._edge_tuple, self._endpoints()):
+            target.setdefault(edge, source)
+
+    def _fill_edge_target(self, target: _LazyMap) -> None:
+        for edge, (_src, tgt) in zip(self._edge_tuple, self._endpoints()):
+            target.setdefault(edge, tgt)
+
+    def _buckets(self) -> tuple:
+        if self._bucket_cache is None:
+            self._bucket_cache = pickle.loads(self._head.section("buckets"))
+        return self._bucket_cache
+
+    def _fill_node_buckets(self, target: _LazyMap) -> None:
+        for label, bucket in self._buckets()[0].items():
+            target.setdefault(label, bucket)
+
+    def _fill_edge_buckets(self, target: _LazyMap) -> None:
+        for label, bucket in self._buckets()[1].items():
+            target.setdefault(label, bucket)
+
+    def _fill_prop_buckets(self, target: _LazyMap) -> None:
+        for key, bucket in self._buckets()[2].items():
+            target.setdefault(key, bucket)
+
+    # -- housekeeping --------------------------------------------------- #
+    def node_enumeration(self) -> tuple[ObjectId, ...]:
+        return self._node_tuple
+
+    def edge_enumeration(self) -> tuple[ObjectId, ...]:
+        return self._edge_tuple
+
+    def graph_bytes(self) -> memoryview:
+        return self._head.section("graph")
+
+    def verify(self) -> None:
+        """CRC-check every section of every member (opens all shards)."""
+        self._head.verify()
+        for part in self._parts:
+            if part._artifact is not self._head:
+                part.artifact.verify()
+
+    def close(self) -> None:
+        # Views memoized on the parts must be released before the mmaps
+        # close (an exported buffer makes mmap.close raise BufferError).
+        for part in self._parts:
+            if part._artifact is self._head:
+                part.release_views()
+            else:
+                part.close()
+        self._head.close()
+
+
+# --------------------------------------------------------------------- #
+# The attached graph proxy
+# --------------------------------------------------------------------- #
+def _identity(graph: IntervalTPG) -> IntervalTPG:
+    return graph
+
+
+class AttachedGraph:
+    """An :class:`IntervalTPG` look-alike backed by an attached core.
+
+    Read accessors answer from the core's lazy maps, so a query that
+    never leaves its neighbourhood never materializes the full graph.
+    The first *mutation* (or any other attribute the proxy does not
+    implement) unpickles the embedded graph section once and the proxy
+    becomes a thin delegate to that real graph — reads included, so
+    post-delta state is always coherent.
+
+    Underscore attributes never materialize: the perf and parallel
+    layers probe ``_repro_``-prefixed cache slots with ``getattr``
+    defaults, and those probes must stay free.
+    """
+
+    def __init__(self, core: AttachedCore) -> None:
+        self._core = core
+        self._real: Optional[IntervalTPG] = None
+
+    # -- materialization ------------------------------------------------ #
+    def _materialize(self) -> IntervalTPG:
+        if self._real is None:
+            self._real = pickle.loads(self._core.graph_bytes())
+        return self._real
+
+    @property
+    def materialized(self) -> bool:
+        return self._real is not None
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self._materialize(), name)
+
+    def __reduce__(self):
+        # Pickling the proxy (the parallel backend's payload fallback)
+        # yields the real graph: workers must receive something whose
+        # caches IntervalTPG.__getstate__ knows how to strip.
+        return (_identity, (self._materialize(),))
+
+    def __repr__(self) -> str:
+        state = "materialized" if self._real is not None else "attached"
+        return (
+            f"AttachedGraph({state}, objects={len(self._core.objects)}, "
+            f"domain={self._core.domain})"
+        )
+
+    # -- read surface ---------------------------------------------------- #
+    @property
+    def domain(self) -> Interval:
+        if self._real is not None:
+            return self._real.domain
+        return self._core.domain
+
+    def time_points(self) -> range:
+        return self.domain.points()
+
+    def nodes(self) -> Iterator[ObjectId]:
+        if self._real is not None:
+            return self._real.nodes()
+        return iter(self._core.node_enumeration())
+
+    def edges(self) -> Iterator[ObjectId]:
+        if self._real is not None:
+            return self._real.edges()
+        return iter(self._core.edge_enumeration())
+
+    def objects(self) -> Iterator[ObjectId]:
+        if self._real is not None:
+            return self._real.objects()
+        return iter(self._core.objects)
+
+    def is_node(self, object_id: ObjectId) -> bool:
+        if self._real is not None:
+            return self._real.is_node(object_id)
+        return object_id in self._core.nodes
+
+    def is_edge(self, object_id: ObjectId) -> bool:
+        if self._real is not None:
+            return self._real.is_edge(object_id)
+        return object_id in self._core.edges
+
+    def has_object(self, object_id: ObjectId) -> bool:
+        if self._real is not None:
+            return self._real.has_object(object_id)
+        return object_id in self._core.object_id
+
+    def label(self, object_id: ObjectId) -> str:
+        if self._real is not None:
+            return self._real.label(object_id)
+        try:
+            return self._core.labels[object_id]
+        except KeyError as exc:
+            raise UnknownObjectError(f"unknown object {object_id!r}") from exc
+
+    def endpoints(self, edge_id: ObjectId) -> tuple[ObjectId, ObjectId]:
+        if self._real is not None:
+            return self._real.endpoints(edge_id)
+        try:
+            return (
+                self._core.edge_source[edge_id],
+                self._core.edge_target[edge_id],
+            )
+        except KeyError as exc:
+            raise UnknownObjectError(f"unknown edge {edge_id!r}") from exc
+
+    def source(self, edge_id: ObjectId) -> ObjectId:
+        return self.endpoints(edge_id)[0]
+
+    def target(self, edge_id: ObjectId) -> ObjectId:
+        return self.endpoints(edge_id)[1]
+
+    def existence(self, object_id: ObjectId) -> IntervalSet:
+        if self._real is not None:
+            return self._real.existence(object_id)
+        try:
+            return self._core.existence[object_id]
+        except KeyError as exc:
+            raise UnknownObjectError(f"unknown object {object_id!r}") from exc
+
+    def exists(self, object_id: ObjectId, t: int) -> bool:
+        return self.existence(object_id).contains_point(t)
+
+    def properties(self, object_id: ObjectId) -> dict:
+        if self._real is not None:
+            return self._real.properties(object_id)
+        try:
+            return dict(self._core.properties[object_id])
+        except KeyError as exc:
+            raise UnknownObjectError(f"unknown object {object_id!r}") from exc
+
+    def property_family(self, object_id: ObjectId, name: str) -> ValuedIntervalSet:
+        if self._real is not None:
+            return self._real.property_family(object_id, name)
+        try:
+            families = self._core.properties[object_id]
+        except KeyError as exc:
+            raise UnknownObjectError(f"unknown object {object_id!r}") from exc
+        return families.get(name, ValuedIntervalSet.empty())
+
+    def property_value(self, object_id: ObjectId, name: str, t: int):
+        return self.property_family(object_id, name).value_at(t)
+
+    def property_names(self, object_id: ObjectId) -> frozenset:
+        if self._real is not None:
+            return self._real.property_names(object_id)
+        try:
+            families = self._core.properties[object_id]
+        except KeyError as exc:
+            raise UnknownObjectError(f"unknown object {object_id!r}") from exc
+        return frozenset(name for name, family in families.items() if family)
+
+    def out_edges(self, node_id: ObjectId) -> frozenset:
+        if self._real is not None:
+            return self._real.out_edges(node_id)
+        try:
+            return frozenset(self._core.out_adjacency[node_id])
+        except KeyError as exc:
+            raise UnknownObjectError(f"unknown node {node_id!r}") from exc
+
+    def in_edges(self, node_id: ObjectId) -> frozenset:
+        if self._real is not None:
+            return self._real.in_edges(node_id)
+        try:
+            return frozenset(self._core.in_adjacency[node_id])
+        except KeyError as exc:
+            raise UnknownObjectError(f"unknown node {node_id!r}") from exc
+
+    def num_nodes(self) -> int:
+        if self._real is not None:
+            return self._real.num_nodes()
+        return len(self._core.nodes)
+
+    def num_edges(self) -> int:
+        if self._real is not None:
+            return self._real.num_edges()
+        return len(self._core.edges)
+
+
+# --------------------------------------------------------------------- #
+# Attach
+# --------------------------------------------------------------------- #
+class Attachment:
+    """One attached store: the proxy graph, its index, and the handles."""
+
+    __slots__ = ("graph", "index", "core", "token", "path", "sharded")
+
+    def __init__(
+        self,
+        graph: AttachedGraph,
+        index: GraphIndex,
+        core: AttachedCore,
+        path: str,
+        sharded: bool,
+    ) -> None:
+        self.graph = graph
+        self.index = index
+        self.core = core
+        self.token = core.token
+        self.path = path
+        self.sharded = sharded
+
+    def verify(self) -> None:
+        self.core.verify()
+
+    def close(self) -> None:
+        self.core.close()
+
+
+def attach(path: str) -> Attachment:
+    """Attach a compiled store (single artifact or sharded manifest).
+
+    O(1) in the graph size up to the object-table unpickle: no data
+    section is decoded here.  The returned graph is ready for every
+    engine — its compiled index is pre-installed
+    (:func:`graph_index_for` returns it instead of recompiling) and its
+    parallel identity is the artifact's persistent token, so worker
+    processes attach the same file by reference instead of receiving a
+    pickled copy.
+    """
+    try:
+        with open(path, "rb") as handle:
+            prefix = handle.read(len(MAGIC))
+    except OSError as exc:
+        raise StoreFormatError(f"{path}: {exc}", path=path) from exc
+
+    if prefix == MAGIC:
+        head = Artifact(path)
+        kind = head.meta.get("kind")
+        if kind == "head":
+            head.close()
+            raise StoreFormatError(
+                f"{path}: this is the head artifact of a sharded store; "
+                "attach its manifest instead",
+                path=path,
+            )
+        if kind == "shard":
+            head.close()
+            raise StoreFormatError(
+                f"{path}: this is one shard of a sharded store; attach its "
+                "manifest instead",
+                path=path,
+            )
+        if kind != "index":
+            head.close()
+            raise StoreFormatError(
+                f"{path}: unexpected artifact kind {kind!r}", path=path
+            )
+        parts = [_Part(artifact=head)]
+        core = AttachedCore(head, parts)
+        sharded = False
+    else:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except (OSError, UnicodeDecodeError) as exc:
+            raise StoreFormatError(
+                f"{path}: neither a repro-index artifact nor a readable "
+                "manifest",
+                path=path,
+            ) from exc
+        manifest = read_manifest(path, text)
+        base = os.path.dirname(os.path.abspath(path))
+        token = manifest["token"]
+        head = Artifact(os.path.join(base, manifest["head"]))
+        if head.meta.get("kind") != "head":
+            kind = head.meta.get("kind")
+            head.close()
+            raise StoreFormatError(
+                f"{manifest['head']}: manifest head member has kind {kind!r}, "
+                "expected 'head'",
+                path=path,
+            )
+        if head.meta.get("token") != token:
+            found = head.meta.get("token")
+            head.close()
+            raise StoreCorruptError(
+                f"{manifest['head']}: head token {found!r} does not match its "
+                f"manifest ({token!r}) — the store mixes artifacts from "
+                "different compilations",
+                path=path,
+            )
+        parts = [
+            _Part(path=os.path.join(base, entry["path"]), token=token)
+            for entry in manifest["shards"]
+        ]
+        core = AttachedCore(head, parts)
+        sharded = True
+
+    graph = AttachedGraph(core)
+    index = GraphIndex(graph, core=core)
+    install_index(graph, index)
+    bind_store(graph, StoreRef(path=os.path.abspath(path), token=core.token))
+    return Attachment(graph, index, core, path, sharded)

@@ -1,0 +1,135 @@
+"""Sharded compiled-graph stores: the manifest format and shard planning.
+
+A sharded store is a JSON *manifest* plus ``1 + N`` artifacts: one
+*head* artifact holding the graph-wide tables (object table, labels,
+endpoints, candidate buckets, the pickled graph) and ``N`` *shard*
+artifacts each holding the per-object data sections (existence,
+adjacency, properties) of one partition.  Shard boundaries come from
+the same degree-weighted LPT partitioner the parallel backend uses for
+seed chunks (:func:`repro.parallel.partition.weighted_chunks`), so a
+worker that attaches only the shards its seeds live in touches a
+balanced share of the data; parent-side result combination reuses
+:mod:`repro.parallel.merge` unchanged — shard-local result chunks are
+ordinary chunk results.
+
+The manifest is tiny and human-readable::
+
+    {"format": "repro-index-manifest/1",
+     "token": "<compile-time identity, shared by every member>",
+     "domain": [start, end], "num_objects": m, "num_nodes": n,
+     "head": "graph.head.rix",
+     "shards": [{"path": "graph.shard0.rix", "objects": k, "weight": w}, ...]}
+
+Member paths are relative to the manifest's directory, so a store
+directory can be moved or mounted elsewhere as a unit.  The manifest is
+written atomically with the same tmp-file + rename + directory-fsync
+discipline as the artifacts themselves, and every member records the
+manifest's ``token`` in its own checksummed header — attach rejects a
+mixed-generation store (a stale shard next to a fresh manifest) instead
+of silently serving inconsistent data.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Mapping, Sequence
+
+from repro.errors import StoreFormatError, StoreVersionError
+from repro.parallel.partition import weighted_chunks
+from repro.store.format import _fsync_dir
+
+MANIFEST_FORMAT = "repro-index-manifest/1"
+MANIFEST_VERSION = 1
+
+
+def plan_shards(
+    objects: Sequence[Any],
+    nodes: frozenset,
+    out_adjacency: Mapping[Any, tuple],
+    object_id: Mapping[Any, int],
+    count: int,
+) -> list[list[int]]:
+    """Partition the object table into ``count`` member-position lists.
+
+    Nodes are spread by the degree-weighted LPT heuristic (weight
+    ``1 + out_degree`` — the same :func:`GraphIndex.seed_weight` shape
+    the dispatcher balances seed chunks with); each edge is co-located
+    with its source node, so one shard can answer a forward hop without
+    touching its neighbours.  Every returned list is sorted ascending by
+    dense position, ready to serve as a shard's ``members`` section.
+    """
+    count = max(1, int(count))
+    node_list = [obj for obj in objects if obj in nodes]
+    chunks = weighted_chunks(
+        node_list, count, lambda node: 1 + len(out_adjacency[node])
+    )
+    members: list[list[int]] = []
+    for chunk in chunks:
+        positions = []
+        for node in chunk:
+            positions.append(object_id[node])
+            for edge in out_adjacency[node]:
+                positions.append(object_id[edge])
+        positions.sort()
+        members.append(positions)
+    return [chunk for chunk in members if chunk] or [[]]
+
+
+def write_manifest(path: str, manifest: Mapping[str, Any]) -> None:
+    """Atomically write the manifest JSON (tmp + rename + dir fsync)."""
+    payload = json.dumps(dict(manifest), indent=2, sort_keys=True) + "\n"
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    _fsync_dir(os.path.dirname(os.path.abspath(path)))
+
+
+def read_manifest(path: str, text: str) -> dict:
+    """Parse and validate manifest ``text`` (already read from ``path``)."""
+    try:
+        manifest = json.loads(text)
+    except ValueError as exc:
+        raise StoreFormatError(
+            f"{path}: neither a repro-index artifact nor a readable manifest",
+            path=path,
+        ) from exc
+    if not isinstance(manifest, dict):
+        raise StoreFormatError(
+            f"{path}: manifest must be a JSON object", path=path
+        )
+    fmt = manifest.get("format", "")
+    if fmt != MANIFEST_FORMAT:
+        if isinstance(fmt, str) and fmt.startswith("repro-index-manifest/"):
+            try:
+                found = int(fmt.rsplit("/", 1)[1])
+            except ValueError:
+                found = 0
+            raise StoreVersionError(
+                f"{path}: manifest format version {found} is not supported "
+                f"(expected {MANIFEST_VERSION}); recompile with 'repro compile'",
+                path=path,
+                found=found,
+                expected=MANIFEST_VERSION,
+            )
+        raise StoreFormatError(
+            f"{path}: unexpected manifest format {fmt!r} "
+            f"(expected {MANIFEST_FORMAT!r})",
+            path=path,
+        )
+    for key in ("token", "head", "shards"):
+        if key not in manifest:
+            raise StoreFormatError(
+                f"{path}: manifest is missing required key {key!r}", path=path
+            )
+    return manifest

@@ -1,0 +1,370 @@
+"""Persistent compiled-graph store: artifacts, shards, attach, CLI, server.
+
+Covers the PR-8 store subsystem end to end:
+
+* compile → attach round trips reproduce the full index surface
+  (objects, labels, endpoints, existence, properties, adjacency,
+  candidate buckets) for single-file artifacts and sharded stores;
+* the on-disk format rejects damage *structurally*: bad magic and
+  foreign files raise :class:`~repro.errors.StoreFormatError`, version
+  bumps raise :class:`~repro.errors.StoreVersionError` carrying
+  ``found``/``expected``, truncation and flipped bytes raise
+  :class:`~repro.errors.StoreCorruptError` naming the section — never a
+  wrong answer or an unstructured crash;
+* writes are atomic (no temp debris, no partially-written artifact ever
+  visible under the final name);
+* deltas applied after attach keep answers correct and rotate the
+  graph's :class:`~repro.parallel.plan.StoreRef` out of circulation;
+* the CLI ``compile`` / ``query --store`` surface and the server's
+  ``from_files(store=...)`` restart path produce the same answers as
+  the in-memory route.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.datagen.random_graphs import random_itpg, random_match_query
+from repro.dataflow import DataflowEngine, PAPER_QUERIES
+from repro.errors import StoreCorruptError, StoreFormatError, StoreVersionError
+from repro.model import contact_tracing_example
+from repro.parallel.plan import store_ref
+from repro.server.state import GraphHost
+from repro.store import Artifact, VERSION, attach, compile_graph
+from repro.store.format import MAGIC
+from repro.streaming.delta import DeltaBatch, apply_delta
+from repro.streaming.engine import StreamingEngine
+
+
+def _compile(tmp_path, graph, name="graph.rix", **kwargs):
+    path = str(tmp_path / name)
+    report = compile_graph(graph, path, **kwargs)
+    return path, report
+
+
+class TestRoundTrip:
+    """Attach reproduces the full index surface of the compiled graph."""
+
+    def test_graph_surface_matches(self, tmp_path):
+        graph = random_itpg(11, num_nodes=9, num_edges=14)
+        path, report = _compile(tmp_path, graph)
+        attachment = attach(path)
+        try:
+            got = attachment.graph
+            assert list(got.nodes()) == list(graph.nodes())
+            assert list(got.edges()) == list(graph.edges())
+            assert list(got.objects()) == list(graph.objects())
+            assert (got.domain.start, got.domain.end) == (
+                graph.domain.start,
+                graph.domain.end,
+            )
+            for obj in graph.objects():
+                assert got.label(obj) == graph.label(obj)
+                assert got.existence(obj).intervals == graph.existence(obj).intervals
+                assert got.property_names(obj) == graph.property_names(obj)
+                for name in graph.property_names(obj):
+                    assert got.property_family(obj, name) == graph.property_family(
+                        obj, name
+                    )
+            for edge in graph.edges():
+                assert got.source(edge) == graph.source(edge)
+                assert got.target(edge) == graph.target(edge)
+            for node in graph.nodes():
+                assert sorted(got.out_edges(node)) == sorted(graph.out_edges(node))
+                assert sorted(got.in_edges(node)) == sorted(graph.in_edges(node))
+        finally:
+            attachment.close()
+        assert report["objects"] == len(list(graph.objects()))
+
+    def test_engine_answers_match(self, tmp_path):
+        graph = contact_tracing_example()
+        path, _ = _compile(tmp_path, graph)
+        attachment = attach(path)
+        try:
+            for name in ("Q1", "Q2", "Q5"):
+                text = PAPER_QUERIES[name].text
+                expected = DataflowEngine(graph).match(text).as_set()
+                assert DataflowEngine(attachment.graph).match(text).as_set() == expected
+        finally:
+            attachment.close()
+
+    def test_attach_is_lazy(self, tmp_path):
+        """Queries run off the map; the pickled graph is never loaded."""
+        graph = contact_tracing_example()
+        path, _ = _compile(tmp_path, graph)
+        attachment = attach(path)
+        try:
+            DataflowEngine(attachment.graph).match(PAPER_QUERIES["Q1"].text)
+            assert attachment.graph.materialized is False
+        finally:
+            attachment.close()
+
+    def test_token_is_per_compile_and_stable_per_artifact(self, tmp_path):
+        graph = contact_tracing_example()
+        path_a, report_a = _compile(tmp_path, graph, name="a.rix")
+        path_b, report_b = _compile(tmp_path, graph, name="b.rix")
+        assert report_a["token"] != report_b["token"]
+        first, second = attach(path_a), attach(path_a)
+        try:
+            assert first.token == second.token == report_a["token"]
+            ref = store_ref(first.graph)
+            assert ref is not None and ref.token == report_a["token"]
+        finally:
+            first.close()
+            second.close()
+
+    def test_verify_passes_on_intact_artifact(self, tmp_path):
+        path, _ = _compile(tmp_path, contact_tracing_example())
+        attachment = attach(path)
+        try:
+            attachment.verify()
+        finally:
+            attachment.close()
+
+
+class TestAtomicWrite:
+    def test_no_temp_debris(self, tmp_path):
+        _compile(tmp_path, contact_tracing_example())
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["graph.rix"]
+
+    def test_sharded_writes_manifest_head_and_shards_only(self, tmp_path):
+        path, report = _compile(
+            tmp_path, contact_tracing_example(), name="store.json", shards=3
+        )
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == [
+            "store.head.rix",
+            "store.json",
+            "store.shard0.rix",
+            "store.shard1.rix",
+            "store.shard2.rix",
+        ]
+        assert report["sharded"] and report["shard_count"] == 3
+
+
+class TestRejection:
+    """Damage is rejected with structured errors, never a wrong answer."""
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "not-an-artifact.rix"
+        path.write_bytes(b"definitely not a repro-index artifact, long enough")
+        with pytest.raises(StoreFormatError) as info:
+            attach(str(path))
+        assert info.value.path == str(path)
+
+    def test_too_short(self, tmp_path):
+        path = tmp_path / "stub.rix"
+        path.write_bytes(MAGIC)
+        with pytest.raises(StoreFormatError):
+            attach(str(path))
+
+    def test_version_bump(self, tmp_path):
+        path, _ = _compile(tmp_path, contact_tracing_example())
+        raw = bytearray(open(path, "rb").read())
+        # The u32 format version sits right after the 8-byte magic.
+        struct.pack_into("<I", raw, len(MAGIC), VERSION + 1)
+        open(path, "wb").write(bytes(raw))
+        with pytest.raises(StoreVersionError) as info:
+            attach(path)
+        assert info.value.found == VERSION + 1
+        assert info.value.expected == VERSION
+        assert "recompile" in str(info.value)
+
+    def test_truncation_caught_at_attach(self, tmp_path):
+        path, _ = _compile(tmp_path, contact_tracing_example())
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - size // 4)
+        with pytest.raises(StoreCorruptError):
+            attach(path)
+
+    def test_header_tamper_fails_checksum(self, tmp_path):
+        path, _ = _compile(tmp_path, contact_tracing_example())
+        raw = bytearray(open(path, "rb").read())
+        # Flip one byte inside the header JSON (fixed header is
+        # magic + u32 + u64 + sha256 = 52 bytes).
+        raw[60] ^= 0xFF
+        open(path, "wb").write(bytes(raw))
+        with pytest.raises(StoreCorruptError) as info:
+            attach(path)
+        assert info.value.path == path
+
+    def test_section_bitflip_fails_crc(self, tmp_path):
+        path, _ = _compile(tmp_path, contact_tracing_example())
+        probe = Artifact(path)
+        offset, length, _crc = probe._table["exist.dat"]
+        body = probe._body_start
+        probe.close()
+        raw = bytearray(open(path, "rb").read())
+        raw[body + offset + length // 2] ^= 0xFF
+        open(path, "wb").write(bytes(raw))
+        attachment = attach(path)  # head sections are intact
+        try:
+            with pytest.raises(StoreCorruptError) as info:
+                attachment.verify()
+            assert info.value.section == "exist.dat"
+        finally:
+            attachment.close()
+
+    def test_head_or_shard_artifact_rejected_as_single(self, tmp_path):
+        path, _ = _compile(
+            tmp_path, contact_tracing_example(), name="store.json", shards=2
+        )
+        with pytest.raises(StoreFormatError) as info:
+            attach(str(tmp_path / "store.head.rix"))
+        assert "manifest" in str(info.value)
+
+    def test_manifest_version_mismatch(self, tmp_path):
+        path, _ = _compile(
+            tmp_path, contact_tracing_example(), name="store.json", shards=2
+        )
+        manifest = json.loads(open(path).read())
+        manifest["format"] = "repro-index-manifest/99"
+        open(path, "w").write(json.dumps(manifest))
+        with pytest.raises(StoreVersionError):
+            attach(path)
+
+    def test_mixed_generation_shards_rejected(self, tmp_path):
+        graph = contact_tracing_example()
+        path, _ = _compile(tmp_path, graph, name="store.json", shards=2)
+        other = tmp_path / "other"
+        other.mkdir()
+        other_path, _ = _compile(other, graph, name="store.json", shards=2)
+        # Swap in a shard from the other compile: same graph, same
+        # layout, different generation token.
+        (tmp_path / "store.shard1.rix").write_bytes(
+            (other / "store.shard1.rix").read_bytes()
+        )
+        attachment = attach(path)
+        try:
+            with pytest.raises(StoreCorruptError) as info:
+                attachment.verify()
+            assert "token" in str(info.value)
+        finally:
+            attachment.close()
+
+
+class TestSharded:
+    def test_sharded_answers_match_single(self, tmp_path):
+        graph = random_itpg(23, num_nodes=10, num_edges=16)
+        query = random_match_query(23 * 31 + 7)
+        single_path, _ = _compile(tmp_path, graph, name="single.rix")
+        manifest_path, _ = _compile(tmp_path, graph, name="store.json", shards=3)
+        expected = DataflowEngine(graph).match(query).as_set()
+        single, sharded = attach(single_path), attach(manifest_path)
+        try:
+            assert sharded.sharded is True and single.sharded is False
+            assert DataflowEngine(single.graph).match(query).as_set() == expected
+            assert DataflowEngine(sharded.graph).match(query).as_set() == expected
+        finally:
+            single.close()
+            sharded.close()
+
+    def test_more_shards_than_nodes(self, tmp_path):
+        graph = random_itpg(5, num_nodes=3, num_edges=4)
+        path, report = _compile(tmp_path, graph, name="store.json", shards=16)
+        attachment = attach(path)
+        try:
+            assert list(attachment.graph.objects()) == list(graph.objects())
+            attachment.verify()
+        finally:
+            attachment.close()
+
+
+class TestDeltasAfterAttach:
+    def test_delta_parity_and_store_ref_rotation(self, tmp_path):
+        baseline = contact_tracing_example()
+        path, _ = _compile(tmp_path, contact_tracing_example())
+        attachment = attach(path)
+        try:
+            attached = attachment.graph
+            assert store_ref(attached) is not None
+            batch = (
+                DeltaBatch()
+                .add_node("zara", "Person", [(2, 9)])
+                .add_edge("cZ", "ContactWith", "zara", "n1", [(3, 5)])
+            )
+            session = StreamingEngine(engine=DataflowEngine(attached))
+            session.register(PAPER_QUERIES["Q1"].text, name="Q1")
+            session.apply(batch)
+            apply_delta(baseline, batch)
+            expected = DataflowEngine(baseline).match(PAPER_QUERIES["Q1"].text).as_set()
+            assert session.table("Q1").as_set() == expected
+            assert DataflowEngine(attached).match(PAPER_QUERIES["Q1"].text).as_set() == expected
+            # The artifact on disk no longer describes this graph: its
+            # store ref must not survive the mutation.
+            assert store_ref(attached) is None
+        finally:
+            attachment.close()
+
+
+class TestCliStore:
+    def test_compile_verify_and_query_store(self, tmp_path, capsys):
+        artifact = str(tmp_path / "figure1.rix")
+        assert cli_main(["compile", "-o", artifact, "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and "# verify: every section passed its checksum" in out
+
+        assert cli_main(["query", "Q1"]) == 0
+        baseline = capsys.readouterr().out
+        assert cli_main(["query", "Q1", "--store", artifact]) == 0
+        assert capsys.readouterr().out == baseline
+
+    def test_compile_sharded(self, tmp_path, capsys):
+        manifest = str(tmp_path / "figure1.json")
+        assert cli_main(["compile", "-o", manifest, "--shards", "2", "--verify"]) == 0
+        assert "2 shard(s)" in capsys.readouterr().out
+        assert cli_main(["query", "Q1"]) == 0
+        baseline = capsys.readouterr().out
+        assert cli_main(["query", "Q1", "--store", manifest]) == 0
+        assert capsys.readouterr().out == baseline
+
+    def test_store_and_graph_are_mutually_exclusive(self, tmp_path, capsys):
+        assert cli_main(["query", "Q1", "--store", "a.rix", "--graph", "b.json"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_store_requires_dataflow_engine(self, capsys):
+        assert cli_main(["query", "Q1", "--engine", "reference", "--store", "a.rix"]) == 2
+        assert "dataflow engine only" in capsys.readouterr().err
+
+    def test_query_missing_store_reports_structured_error(self, tmp_path, capsys):
+        missing = str(tmp_path / "gone.rix")
+        assert cli_main(["query", "Q1", "--store", missing]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServerStore:
+    def test_from_files_attaches_store(self, tmp_path):
+        graph = contact_tracing_example()
+        path, _ = _compile(tmp_path, graph)
+        host, recovery = GraphHost.from_files("g", None, store=path)
+        assert recovery is None
+        expected = DataflowEngine(graph).match(PAPER_QUERIES["Q1"].text).as_set()
+        response = host.query("Q1")
+        assert response["server"]["graph"] == "g"
+        direct = DataflowEngine(host.graph).match(PAPER_QUERIES["Q1"].text).as_set()
+        assert direct == expected
+        host.close()
+
+    def test_snapshot_still_wins_over_store(self, tmp_path):
+        """Recovery semantics: durable state beats the compiled artifact."""
+        from repro.resilience import write_snapshot
+
+        graph = contact_tracing_example()
+        batch = DeltaBatch().add_node("Zara", "Person", [(2, 9)])
+        session = StreamingEngine(engine=DataflowEngine(graph))
+        session.apply(batch)
+        snapshot = str(tmp_path / "snap.pkl")
+        write_snapshot(session, snapshot)
+
+        stale = contact_tracing_example()
+        path, _ = _compile(tmp_path, stale)
+        host, recovery = GraphHost.from_files("g", None, store=path, snapshot=snapshot)
+        assert recovery is not None
+        assert host.graph.has_object("Zara")
+        host.close()
