@@ -1,0 +1,423 @@
+"""Replicated serving: promotion time and client outage under primary death.
+
+The PR-9 replication layer (:mod:`repro.server.replication`) exists to
+bound one number: how long clients are without service when the primary
+process dies.  This harness measures it end to end with real processes
+and real sockets:
+
+* a **primary** ``repro serve`` (WAL attached, Q5 registered) and a
+  **standby** (``--standby-of``) run as subprocesses with a fast
+  failover window (heartbeat 0.2s, failover-after 1.0s);
+* a writer applies a stream of delta batches and waits until the
+  standby has acknowledged every record (lag 0);
+* the primary is **SIGKILLed** — no drain, no close frame, the worst
+  case — and three clocks start:
+
+  - ``promotion_seconds`` — kill until the standby's ``health`` op
+    reports ``role=primary, status=ready`` (the gate metric; its floor
+    is the configured failover window, so the gate bounds the detection
+    and promotion machinery stacked on top);
+  - ``read_outage_seconds`` — kill until a failover
+    :class:`~repro.server.client.ServerClient` (primary + standby
+    endpoints) completes a read: standby reads work *before* promotion,
+    so this stays well under the promotion time;
+  - ``write_outage_seconds`` — kill until the same client completes a
+    write, which requires the promotion plus the client's
+    ``NotPrimary``-driven primary re-resolution.
+
+Correctness is enforced the same way as every other harness: the
+promoted standby's Q5 answer (and its epoch) must be identical to a
+never-crashed single-process run over the same delta sequence — any
+divergence exits non-zero regardless of the timing gate.
+
+Measurements land in ``BENCH_PR9.json`` keyed by scale factor::
+
+    PYTHONPATH=src python benchmarks/bench_failover.py               # REPRO_SCALE or S3
+    PYTHONPATH=src python benchmarks/bench_failover.py --smoke \\
+        --out bench_smoke_pr9.json --check-against BENCH_PR9.json \\
+        --tolerance 0.5                                              # CI gate
+
+Promotion time is core-count independent (it is dominated by the
+configured failover window, not by evaluation), so the gate engages on
+any host.  Lower is better: the check fails when the measured promotion
+exceeds the baseline by more than the tolerance (plus a 0.5s additive
+slack for scheduler noise at ~1s absolute values).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.datagen.contact_tracing import generate_contact_tracing_graph
+from repro.datagen.scale import SCALE_FACTORS, default_scale_name
+from repro.errors import ConnectionClosed, ReproError
+from repro.model.io import save_json
+from repro.resilience.retry import RetryPolicy
+from repro.server import ServerClient, ServerState
+from repro.streaming.delta import DeltaBatch
+
+HEARTBEAT = 0.2
+FAILOVER_AFTER = 1.0
+
+
+def delta_batch(sequence: int) -> dict:
+    """One delta of the sustained write stream.
+
+    Self-contained (valid against any base graph) and guaranteed to
+    change Q5's answer: a low-risk person meeting a high-risk one.
+    """
+    batch = DeltaBatch(sequence=sequence)
+    low, high = f"bench_lo{sequence}", f"bench_hi{sequence}"
+    batch.add_node(low, "Person", [(2, 8)])
+    batch.set_property(low, "name", f"L{sequence}", 2, 8)
+    batch.set_property(low, "risk", "low", 2, 8)
+    batch.add_node(high, "Person", [(2, 8)])
+    batch.set_property(high, "name", f"H{sequence}", 2, 8)
+    batch.set_property(high, "risk", "high", 2, 8)
+    batch.add_edge(f"bench_e{sequence}", "meets", low, high, [(3, 6)])
+    return batch.to_json_dict()
+
+
+def spawn_serve(args: list, env: dict) -> tuple:
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"] + args,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    deadline = time.time() + 120
+    while time.time() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        match = re.match(r"listening on [\d.]+:(\d+)", line)
+        if match:
+            return proc, int(match.group(1))
+    proc.kill()
+    raise RuntimeError("serve subprocess never printed its listening line")
+
+
+def health(port: int):
+    try:
+        with ServerClient(
+            "127.0.0.1", port, retry=RetryPolicy(retries=0)
+        ) as probe:
+            return probe.health()
+    except (ReproError, OSError):
+        return None
+
+
+def wait_for(predicate, *, timeout: float, interval: float = 0.01):
+    deadline = time.time() + timeout
+    last = None
+    while time.time() < deadline:
+        last = predicate()
+        if last:
+            return last
+        time.sleep(interval)
+    raise RuntimeError(f"condition not reached within {timeout}s (last: {last!r})")
+
+
+def reference_run(graph_path: Path, batches: int) -> tuple:
+    """The never-crashed run: one process, same deltas, no failover."""
+    state = ServerState()
+    state.add_graph("default", str(graph_path))
+    host = state.host("default")
+    host.register("Q5")
+    for seq in range(1, batches + 1):
+        host.apply_delta(delta_batch(seq))
+    answer = host.query("Q5")
+    state.close()
+    return answer["result"]["families"], answer["server"]["epoch"]
+
+
+def subprocess_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def bench_failover(graph_path: Path, batches: int) -> dict:
+    fast = [
+        "--heartbeat-interval", str(HEARTBEAT),
+        "--failover-after", str(FAILOVER_AFTER),
+        "--graph", str(graph_path),
+    ]
+    divergences = 0
+    with tempfile.TemporaryDirectory(prefix="bench_failover_") as tmp:
+        primary_proc, primary_port = spawn_serve(
+            ["--wal", str(Path(tmp) / "primary.wal"), "--register", "Q5"] + fast,
+            subprocess_env(),
+        )
+        standby_proc = standby_port = None
+        try:
+            standby_proc, standby_port = spawn_serve(
+                ["--standby-of", f"127.0.0.1:{primary_port}"] + fast,
+                subprocess_env(),
+            )
+            endpoints = [
+                ("127.0.0.1", primary_port),
+                ("127.0.0.1", standby_port),
+            ]
+            writer = ServerClient(
+                list(endpoints),
+                retry=RetryPolicy(retries=40, base_delay=0.05, max_delay=0.5),
+            )
+            reader = ServerClient(
+                list(endpoints),
+                retry=RetryPolicy(retries=40, base_delay=0.05, max_delay=0.5),
+            )
+
+            # Sustained write stream; the standby follows record by record.
+            ship_start = time.perf_counter()
+            for seq in range(1, batches + 1):
+                writer.apply_delta(delta_batch(seq))
+            wait_for(
+                lambda: (h := health(standby_port))
+                and h["status"] == "standby"
+                and h["replication"]["default"]["applied_seq"] == batches,
+                timeout=60,
+            )
+            replication_seconds = time.perf_counter() - ship_start
+            reader.query("Q5")  # warm connection + plan on the primary
+
+            shipped = health(standby_port)["replication"]["default"]
+
+            # The worst case: SIGKILL, no drain, no close frame.
+            kill_at = time.perf_counter()
+            primary_proc.send_signal(signal.SIGKILL)
+            primary_proc.wait(timeout=60)
+
+            # Reads fail over to the (not yet promoted) standby.
+            reader.query("Q5")
+            read_outage = time.perf_counter() - kill_at
+
+            promoted = wait_for(
+                lambda: (h := health(standby_port))
+                and h["role"] == "primary"
+                and h["status"] == "ready"
+                and h,
+                timeout=FAILOVER_AFTER * 20,
+            )
+            promotion = time.perf_counter() - kill_at
+
+            # Writes need the promotion plus primary re-resolution.  The
+            # client surfaces ConnectionClosed on writes (never blind
+            # re-send); re-issuing here is the application-level retry —
+            # safe because the dead primary cannot have applied it.
+            def write_through() -> None:
+                deadline = time.time() + FAILOVER_AFTER * 20
+                while True:
+                    try:
+                        writer.apply_delta(delta_batch(batches + 1))
+                        return
+                    except ConnectionClosed:
+                        if time.time() > deadline:
+                            raise
+                        time.sleep(0.05)
+
+            write_through()
+            write_outage = time.perf_counter() - kill_at
+
+            # Epoch identity: the promoted standby vs the never-crashed
+            # run over the same delta sequence (incl. the post-failover
+            # write), checked on answer content AND epoch label.
+            expected, expected_epoch = reference_run(graph_path, batches + 1)
+            answer = reader.query("Q5")
+            if answer["result"]["families"] != expected:
+                print(
+                    "DIVERGENCE: promoted standby's Q5 answer differs from "
+                    "the never-crashed run",
+                    file=sys.stderr,
+                )
+                divergences += 1
+            if answer["server"]["epoch"] != expected_epoch:
+                print(
+                    f"DIVERGENCE: promoted standby at epoch "
+                    f"{answer['server']['epoch']}, never-crashed run at "
+                    f"{expected_epoch}",
+                    file=sys.stderr,
+                )
+                divergences += 1
+            fence = promoted.get("fence", {})
+            try:
+                writer.shutdown()
+            except (ConnectionClosed, ReproError):
+                pass
+            writer.close()
+            reader.close()
+            standby_proc.wait(timeout=60)
+        finally:
+            for proc in (primary_proc, standby_proc):
+                if proc is not None and proc.poll() is None:
+                    proc.kill()
+                    proc.wait(timeout=30)
+    return {
+        "batches": batches,
+        "failover_after_seconds": FAILOVER_AFTER,
+        "heartbeat_seconds": HEARTBEAT,
+        "replication_seconds": round(replication_seconds, 4),
+        "final_lag": shipped["lag"],
+        "applied_seq": shipped["applied_seq"],
+        "promotion_seconds": round(promotion, 4),
+        "read_outage_seconds": round(read_outage, 4),
+        "write_outage_seconds": round(write_outage, 4),
+        "fence": fence,
+        "divergences": divergences,
+    }
+
+
+def check_against(baseline_path: Path, measured: dict, tolerance: float) -> int:
+    """Gate promotion time against the committed baseline (lower wins)."""
+    if not baseline_path.exists():
+        print(f"WARNING: baseline {baseline_path} not found; skipping check")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    scale = measured["scale"]
+    reference = baseline.get("results", {}).get(scale)
+    if reference is None:
+        print(
+            f"WARNING: baseline {baseline_path} has no {scale} section; "
+            "skipping regression check"
+        )
+        return 0
+    expected = reference["promotion_seconds"]
+    # Additive 0.5s slack: at ~1s absolute values a scheduler hiccup is
+    # a large relative error but not a regression.
+    ceiling = expected * (1.0 + tolerance) + 0.5
+    got = measured["promotion_seconds"]
+    print(
+        f"regression check at {scale}: promotion {got:.2f}s, baseline "
+        f"{expected:.2f}s, ceiling {ceiling:.2f}s"
+    )
+    if got > ceiling:
+        print(
+            f"ERROR: failover promotion regressed more than {tolerance:.0%} "
+            f"(+0.5s slack) vs {baseline_path}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        default=None,
+        choices=sorted(SCALE_FACTORS),
+        help="scale factor (default: REPRO_SCALE or S3; --smoke forces S1)",
+    )
+    parser.add_argument("--positivity", type=float, default=0.05)
+    parser.add_argument(
+        "--batches",
+        type=int,
+        default=8,
+        help="delta batches shipped before the kill (default 8; smoke: 4)",
+    )
+    parser.add_argument(
+        "--max-promotion",
+        type=float,
+        default=10.0,
+        help="absolute ceiling on promotion seconds (default 10.0)",
+    )
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR9.json"),
+        help="JSON report path; existing per-scale sections are preserved",
+    )
+    parser.add_argument(
+        "--check-against",
+        default=None,
+        help="baseline BENCH_PR9.json to compare promotion time against",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="allowed relative regression of promotion time (default 50%%)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: smallest scale, fewer batches",
+    )
+    args = parser.parse_args(argv)
+
+    scale = args.scale or (
+        "S1" if args.smoke else (os.environ.get("REPRO_SCALE") or "S3")
+    )
+    if scale not in SCALE_FACTORS:
+        scale = default_scale_name()
+    batches = min(args.batches, 4) if args.smoke else args.batches
+
+    config = SCALE_FACTORS[scale].config(positivity_rate=args.positivity)
+    graph = generate_contact_tracing_graph(config)
+    with tempfile.TemporaryDirectory(prefix="bench_failover_graph_") as tmp:
+        graph_path = Path(tmp) / f"{scale}.json"
+        save_json(graph, graph_path)
+        measured = bench_failover(graph_path, batches)
+    measured["scale"] = scale
+    measured["cpu_count"] = os.cpu_count()
+
+    out_path = Path(args.out)
+    report = {"benchmark": "bench_failover", "results": {}}
+    if out_path.exists():
+        try:
+            report = json.loads(out_path.read_text())
+        except json.JSONDecodeError:
+            pass
+    report["benchmark"] = "bench_failover"
+    report["python"] = platform.python_version()
+    report.setdefault("results", {})[scale] = measured
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"=== Failover at {scale}: {batches} batches, SIGKILL primary ===")
+    print(
+        f"replication {measured['replication_seconds']:.2f}s (final lag "
+        f"{measured['final_lag']}) | promotion {measured['promotion_seconds']:.2f}s "
+        f"(window {FAILOVER_AFTER:.1f}s) | read outage "
+        f"{measured['read_outage_seconds']:.2f}s | write outage "
+        f"{measured['write_outage_seconds']:.2f}s"
+    )
+    print(f"wrote {out_path}")
+
+    failures = 0
+    if measured["divergences"]:
+        print(
+            f"ERROR: {measured['divergences']} divergences from the "
+            "never-crashed run",
+            file=sys.stderr,
+        )
+        failures += 1
+    if measured["promotion_seconds"] > args.max_promotion:
+        print(
+            f"ERROR: promotion took {measured['promotion_seconds']:.2f}s, "
+            f"above the absolute {args.max_promotion:.1f}s ceiling",
+            file=sys.stderr,
+        )
+        failures += 1
+    if args.check_against:
+        failures += check_against(
+            Path(args.check_against), measured, args.tolerance
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

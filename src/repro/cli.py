@@ -336,6 +336,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="register a continuously-answered query at startup (repeatable; "
         "a MATCH clause or a paper-query name Q1..Q12)",
     )
+    serve.add_argument(
+        "--standby-of",
+        default=None,
+        metavar="HOST:PORT",
+        help="run as a read-only hot standby of the primary at HOST:PORT: "
+        "subscribe to its WAL stream, apply shipped deltas, refuse writes "
+        "with NotPrimary, and promote on sustained loss of the primary",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=_positive_float,
+        default=10.0,
+        metavar="SECONDS",
+        help="graceful-shutdown budget: in-flight requests get this long to "
+        "finish and answer before sockets close (default 10)",
+    )
+    serve.add_argument(
+        "--idle-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="close client connections idle for this long, answering a "
+        "ProtocolError close frame first (default: never)",
+    )
+    serve.add_argument(
+        "--heartbeat-interval",
+        type=_positive_float,
+        default=1.0,
+        metavar="SECONDS",
+        help="replication heartbeat cadence on idle subscriptions (default 1)",
+    )
+    serve.add_argument(
+        "--failover-after",
+        type=_positive_float,
+        default=5.0,
+        metavar="SECONDS",
+        help="a standby promotes itself after this long without contact "
+        "with the primary (default 5)",
+    )
 
     compile_cmd = sub.add_parser(
         "compile",
@@ -718,6 +757,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    standby_of = None
+    if args.standby_of is not None:
+        host_part, sep, port_part = args.standby_of.rpartition(":")
+        try:
+            standby_of = (host_part, int(port_part))
+        except ValueError:
+            sep = ""
+        if not sep or not host_part:
+            print(
+                f"error: --standby-of expects HOST:PORT, got {args.standby_of!r}",
+                file=sys.stderr,
+            )
+            return 2
+        if args.failover_after <= args.heartbeat_interval:
+            print(
+                f"error: --failover-after ({args.failover_after:g}s) must exceed "
+                f"--heartbeat-interval ({args.heartbeat_interval:g}s), or every "
+                "quiet heartbeat gap would trigger a promotion",
+                file=sys.stderr,
+            )
+            return 2
     from repro.server import ServerState
     from repro.server.service import serve as run_service
 
@@ -750,6 +810,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # Subprocess harnesses (tests, benchmarks) parse this line to
         # learn the bound port, so keep its shape stable and flush it.
         print(f"listening on {server.host}:{server.port}", flush=True)
+        if server.standby_of is not None:
+            print(f"# standby of {server.primary_address}", flush=True)
 
     run_service(
         state,
@@ -757,6 +819,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         port=args.port,
         max_concurrency=args.max_concurrency,
         max_queue=args.max_queue,
+        standby_of=standby_of,
+        drain_timeout=args.drain_timeout,
+        idle_timeout=args.idle_timeout,
+        heartbeat_interval=args.heartbeat_interval,
+        failover_after=args.failover_after,
         on_listening=on_listening,
     )
     print("# server stopped", flush=True)

@@ -184,6 +184,19 @@ class StoreCorruptError(StoreError):
         self.section = section
 
 
+class ConnectionClosed(ReproError, ConnectionError):
+    """The server closed (or lost) the connection mid-request.
+
+    Raised client-side when a response line is empty or truncated —
+    the signature of a server that died, drained, or dropped the socket
+    between request and response.  Subclasses :class:`ConnectionError`
+    so generic socket handling keeps working, and :class:`ReproError` so
+    one ``except`` clause covers the library.  Idempotent requests are
+    safe to retry on another endpoint; the failover client does exactly
+    that.
+    """
+
+
 class ServerError(ReproError, RuntimeError):
     """A query-service request failed on the server side.
 
@@ -208,3 +221,18 @@ class Overloaded(ServerError):
 
     def __init__(self, message: str) -> None:
         super().__init__(message, kind="Overloaded")
+
+
+class NotPrimary(ServerError):
+    """A write op was sent to a standby replica.
+
+    Standbys serve read-only traffic; writes (``apply_delta``,
+    ``register``) must go to the primary.  ``primary`` carries the
+    primary's advertised ``host:port`` when the standby knows it, so
+    clients can re-route without an extra discovery round trip — the
+    failover client does exactly that.
+    """
+
+    def __init__(self, message: str, *, primary: str | None = None) -> None:
+        super().__init__(message, kind="NotPrimary")
+        self.primary = primary

@@ -45,7 +45,14 @@ from repro.resilience.snapshot import (
     recover,
     write_snapshot,
 )
-from repro.resilience.wal import DeltaWAL, WALRecord, WALScan, scan_wal
+from repro.resilience.wal import (
+    DeltaWAL,
+    WALRecord,
+    WALScan,
+    record_frame,
+    scan_wal,
+    verify_frame,
+)
 
 __all__ = [
     "AttemptRecord",
@@ -66,7 +73,9 @@ __all__ = [
     "hits",
     "is_retryable",
     "load_snapshot",
+    "record_frame",
     "recover",
     "scan_wal",
+    "verify_frame",
     "write_snapshot",
 ]

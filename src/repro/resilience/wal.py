@@ -71,6 +71,42 @@ def _checksum(encoded: str) -> int:
     return zlib.crc32(encoded.encode("utf-8")) & 0xFFFFFFFF
 
 
+def record_frame(seq: int, payload: dict) -> dict:
+    """The wire/WAL frame of one applied batch: ``{seq, crc, batch}``.
+
+    This is byte-for-byte the envelope :meth:`DeltaWAL.append` writes, so
+    WAL shipping (:mod:`repro.server.replication`) and the on-disk log
+    share one format — a standby can verify a shipped frame exactly the
+    way recovery verifies a stored record.
+    """
+    return {"seq": int(seq), "crc": _checksum(_encode_batch(payload)), "batch": payload}
+
+
+def verify_frame(frame: dict) -> DeltaBatch:
+    """Decode + checksum one shipped frame; raises :class:`WALCorruptError`.
+
+    The replication-apply twin of :func:`scan_wal`'s per-line check: a
+    frame whose CRC does not match its canonical batch encoding was
+    corrupted in flight and must not be applied.
+    """
+    try:
+        seq = int(frame["seq"])
+        crc = int(frame["crc"])
+        payload = frame["batch"]
+    except (KeyError, TypeError, ValueError):
+        raise WALCorruptError("malformed replication frame (missing seq/crc/batch)")
+    if _checksum(_encode_batch(payload)) != crc:
+        raise WALCorruptError(
+            f"replication frame seq {seq} failed its checksum; refusing to apply"
+        )
+    try:
+        return DeltaBatch.from_json_dict(payload)
+    except Exception as error:
+        raise WALCorruptError(
+            f"replication frame seq {seq} does not decode to a delta batch: {error}"
+        )
+
+
 @dataclass(frozen=True)
 class WALRecord:
     """One verified WAL record."""

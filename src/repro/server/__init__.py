@@ -9,21 +9,26 @@ See PERFORMANCE.md (Serving) for why residency pays, and RELIABILITY.md
 for the wire protocol and operational semantics.
 """
 
-from repro.server.client import ServerClient
+from repro.server.client import IDEMPOTENT_OPS, ServerClient
 from repro.server.plans import PlanCache
-from repro.server.protocol import OPS, PROTOCOL_VERSION, normalize_query
+from repro.server.protocol import OPS, PROTOCOL_VERSION, WRITE_OPS, normalize_query
+from repro.server.replication import ReplicationHub, StandbyRunner
 from repro.server.service import BackgroundServer, QueryServer, serve
 from repro.server.state import GraphHost, ServerState
 
 __all__ = [
     "BackgroundServer",
     "GraphHost",
+    "IDEMPOTENT_OPS",
     "OPS",
     "PROTOCOL_VERSION",
     "PlanCache",
     "QueryServer",
+    "ReplicationHub",
     "ServerClient",
     "ServerState",
+    "StandbyRunner",
+    "WRITE_OPS",
     "normalize_query",
     "serve",
 ]

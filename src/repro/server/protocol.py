@@ -36,12 +36,19 @@ OPS = (
     "ping",
     "graphs",
     "stats",
+    "health",
     "query",
     "register",
     "table",
     "apply_delta",
     "shutdown",
+    "replicate.subscribe",
+    "replicate.ack",
 )
+
+#: Ops that mutate resident state — a standby refuses these with
+#: ``NotPrimary`` (reads and control ops stay available everywhere).
+WRITE_OPS = frozenset({"apply_delta", "register"})
 
 _WHITESPACE = re.compile(r"\s+")
 
@@ -103,12 +110,18 @@ def error_response(
     unexpected exceptions are reported by type alone so internal state
     never leaks onto the wire.
     """
+    data: Optional[dict] = None
     if isinstance(error, BaseException):
         error_type = kind or type(error).__name__
         if isinstance(error, (ReproError, ValueError, KeyError, TypeError)):
             message = str(error)
         else:
             message = f"internal error ({type(error).__name__})"
+        # Structured redirect context: a NotPrimary rejection names the
+        # primary so clients re-route without a discovery round trip.
+        primary = getattr(error, "primary", None)
+        if primary is not None:
+            data = {"primary": primary}
     else:
         error_type = kind or "ServerError"
         message = str(error)
@@ -116,6 +129,8 @@ def error_response(
         "ok": False,
         "error": {"type": error_type, "message": message},
     }
+    if data:
+        response["error"]["data"] = data
     if request is not None and "id" in request:
         response["id"] = request["id"]
     return response

@@ -67,6 +67,14 @@ class GraphHost:
         self.plans = plans if plans is not None else PlanCache()
         #: The session lock doubles as the host lock (see module docstring).
         self.lock = self.session.lock
+        #: Replication taps: callables invoked (under the host lock, so
+        #: frames observe apply order) with each applied WAL frame
+        #: ``{seq, crc, batch}`` — the hub ships these to standbys.
+        self.on_applied: list = []
+        #: Registration taps: callables invoked with ``(name, text)``
+        #: when a continuously-answered query is registered, so standbys
+        #: mirror the registered set (registrations are not WAL records).
+        self.on_registered: list = []
         if wal is not None:
             self.session.attach_wal(wal, fsync=wal_fsync)
         if snapshot is not None:
@@ -196,8 +204,11 @@ class GraphHost:
             if text in PAPER_QUERIES:
                 name = text
         with self.lock:
-            registered = self.session.register(normalize_query(text), name=name)
+            normalized = normalize_query(text)
+            registered = self.session.register(normalized, name=name)
             epoch = self.session.epoch
+            for callback in tuple(self.on_registered):
+                callback(registered, normalized)
         return {
             "result": {"name": registered, "queries": list(self.session.query_names())},
             "server": {"graph": self.name, "epoch": epoch},
@@ -224,6 +235,16 @@ class GraphHost:
             # by the old one are unreachable — drop them eagerly.
             invalidated = self.plans.invalidate_token(old_token)
             epoch = self.session.epoch
+            if self.on_applied and self.session.wal is not None:
+                # Rebuild the exact frame the WAL just recorded (same
+                # canonical encoding, same CRC) and hand it to the
+                # replication taps while still holding the lock, so
+                # standbys receive frames in apply order.
+                from repro.resilience.wal import record_frame
+
+                self._notify_applied(
+                    record_frame(self.session.wal_seq, batch.to_json_dict())
+                )
         return {
             "result": {
                 "sequence": applied.sequence,
@@ -245,6 +266,48 @@ class GraphHost:
             "server": {"graph": self.name, "epoch": epoch},
         }
 
+    def apply_frame(self, frame: dict) -> dict:
+        """Apply one shipped WAL frame (the standby's apply path).
+
+        The frame is checksum-verified exactly like a stored WAL record,
+        then applied through the normal :meth:`apply_delta` machinery —
+        plan-cache rotation, epoch labelling and registered-query
+        maintenance all work unchanged, which is what makes a promoted
+        standby answer epoch-identically to a never-crashed primary.
+        When the standby logs to its own WAL the applied record lands
+        there with the same sequence; without one the session's WAL
+        position is advanced to the shipped ``seq`` so lag accounting
+        and a later promotion still line up.
+        """
+        from repro.resilience.wal import record_frame, verify_frame
+
+        batch = verify_frame(frame)
+        seq = int(frame["seq"])
+        with self.lock:
+            old_token = graph_token(self.graph)
+            self.session.apply(batch)
+            invalidated = self.plans.invalidate_token(old_token)
+            if self.session.wal is None:
+                self.session.restore_positions(wal_seq=seq)
+            epoch = self.session.epoch
+            if self.on_applied:
+                # Chained standbys (and post-promotion subscribers) see
+                # the same frame flow regardless of who applied it.
+                self._notify_applied(record_frame(seq, batch.to_json_dict()))
+        return {"seq": seq, "epoch": epoch, "plans_invalidated": invalidated}
+
+    def _notify_applied(self, frame: dict) -> None:
+        for callback in tuple(self.on_applied):
+            callback(frame)
+
+    def registered_queries(self) -> dict:
+        """``{name: query text}`` of the continuously-answered queries."""
+        with self.lock:
+            return {
+                name: self.session.query_text(name)
+                for name in self.session.query_names()
+            }
+
     def stats(self) -> dict:
         with self.lock:
             stats = graph_statistics(self.graph).as_row()
@@ -257,6 +320,8 @@ class GraphHost:
                 "workers": self.engine.workers,
                 "backend": self.engine.parallel_backend,
                 "wal": None if self.session.wal is None else self.session.wal.path,
+                "wal_seq": self.session.wal_seq,
+                "last_sequence": self.session.last_sequence,
             }
 
     def close(self) -> None:

@@ -268,3 +268,244 @@ class TestMalformedDeltaViaCli:
         assert code == 0
         out = capsys.readouterr().out
         assert "# batch 2 (seq 2):" in out
+
+
+# --------------------------------------------------------------------- #
+# Replicated serving under chaos: SIGKILL the primary mid-stream, pin
+# that the promoted standby answers epoch-identically to a never-crashed
+# run up to the last acknowledged record (PR-9 acceptance).
+# --------------------------------------------------------------------- #
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+
+def _subprocess_env(**extra) -> dict:
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop(failpoints.ENV_VAR, None)  # no inherited failpoints by default
+    env.update(extra)
+    return env
+
+
+def _chaos_batch(sequence: int) -> dict:
+    """A delta over the Figure-1 example that changes Q1/Q5 answers."""
+    batch = DeltaBatch(sequence=sequence)
+    node = f"n_chaos{sequence}"
+    batch.add_node(node, "Person", [(2, 8)])
+    batch.set_property(node, "name", f"C{sequence}", 2, 8)
+    batch.set_property(node, "risk", "high", 2, 8)
+    batch.add_edge(f"e_chaos{sequence}", "meets", "n1", node, [(3, 6)])
+    return batch.to_json_dict()
+
+
+def _spawn_serve(args: list, env: dict) -> tuple:
+    """Start ``repro serve`` and return ``(process, bound_port)``."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"] + args,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    deadline = time.time() + 60
+    while time.time() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        match = re.match(r"listening on [\d.]+:(\d+)", line)
+        if match:
+            return proc, int(match.group(1))
+    proc.kill()
+    raise AssertionError("serve subprocess never printed its listening line")
+
+
+def _wait_until(predicate, *, timeout: float = 30.0, interval: float = 0.05):
+    deadline = time.time() + timeout
+    last = None
+    while time.time() < deadline:
+        last = predicate()
+        if last:
+            return last
+        time.sleep(interval)
+    raise AssertionError(f"condition not reached within {timeout}s (last: {last!r})")
+
+
+def _health(port: int):
+    from repro.resilience.retry import RetryPolicy
+    from repro.server import ServerClient
+
+    try:
+        with ServerClient("127.0.0.1", port, retry=RetryPolicy(retries=0)) as probe:
+            return probe.health()
+    except Exception:
+        return None
+
+
+class TestReplicatedServingChaos:
+    FAST = [
+        "--heartbeat-interval", "0.2",
+        "--failover-after", "1.0",
+    ]
+
+    def _reference_after(self, batches: int):
+        """The never-crashed run: same deltas, one process, no failover."""
+        from repro.server import ServerState
+
+        state = ServerState()
+        state.add_graph("default")
+        host = state.host("default")
+        host.register("Q5")
+        for seq in range(1, batches + 1):
+            host.apply_delta(_chaos_batch(seq))
+        answer = host.query("Q5")
+        return answer["result"]["families"], answer["server"]["epoch"]
+
+    def test_sigkill_primary_standby_promotes_epoch_identical(self, tmp_path):
+        from repro.server import ServerClient
+
+        primary_proc, primary_port = _spawn_serve(
+            ["--wal", str(tmp_path / "primary.wal"), "--register", "Q5"]
+            + self.FAST,
+            _subprocess_env(),
+        )
+        standby_proc = None
+        try:
+            standby_proc, standby_port = _spawn_serve(
+                ["--standby-of", f"127.0.0.1:{primary_port}"] + self.FAST,
+                _subprocess_env(),
+            )
+            pc = ServerClient("127.0.0.1", primary_port)
+            pc.apply_delta(_chaos_batch(1))
+            pc.apply_delta(_chaos_batch(2))
+            _wait_until(
+                lambda: (h := _health(standby_port))
+                and h["status"] == "standby"
+                and h["epochs"]["default"] == 2
+            )
+            pc.close()
+            primary_proc.kill()  # SIGKILL: no drain, no close frame
+            primary_proc.wait(timeout=30)
+            health = _wait_until(
+                lambda: (h := _health(standby_port))
+                and h["role"] == "primary"
+                and h
+            )
+            assert health["status"] == "ready"
+            assert health["fence"]["previous_primary"] == f"127.0.0.1:{primary_port}"
+            assert health["fence"]["fence_seq"] == {"default": 2}
+
+            expected, epoch = self._reference_after(2)
+            with ServerClient("127.0.0.1", standby_port) as sc:
+                answer = sc.query("Q5")
+                assert answer["result"]["families"] == expected
+                assert answer["server"]["epoch"] == epoch
+                # The registered query replicated and is epoch-identical.
+                assert sc.table("Q5")["result"]["families"] == expected
+                # The promoted standby accepts writes.
+                applied = sc.apply_delta(_chaos_batch(3))
+                assert applied["server"]["epoch"] == epoch + 1
+        finally:
+            for proc in (primary_proc, standby_proc):
+                if proc is not None and proc.poll() is None:
+                    proc.kill()
+                    proc.wait(timeout=30)
+
+    def test_primary_killed_mid_ship_promotes_at_last_acked(self, tmp_path):
+        """The `replicate.ship` failpoint kills the primary between the
+        local apply (record 3 reaches its WAL) and the ship, so the
+        standby promotes at the last *acked* record — exactly seq 2."""
+        from repro.errors import ConnectionClosed
+        from repro.server import ServerClient
+
+        fp_dir = str(tmp_path / "failpoints")
+        primary_proc, primary_port = _spawn_serve(
+            ["--wal", str(tmp_path / "primary.wal"), "--register", "Q5"]
+            + self.FAST,
+            _subprocess_env(**{failpoints.ENV_VAR: fp_dir}),
+        )
+        standby_proc = None
+        try:
+            standby_proc, standby_port = _spawn_serve(
+                ["--standby-of", f"127.0.0.1:{primary_port}"] + self.FAST,
+                _subprocess_env(),
+            )
+            pc = ServerClient("127.0.0.1", primary_port)
+            pc.apply_delta(_chaos_batch(1))
+            pc.apply_delta(_chaos_batch(2))
+            _wait_until(
+                lambda: (h := _health(standby_port))
+                and h["status"] == "standby"
+                and h["epochs"]["default"] == 2
+            )
+            # Arm NOW (records 1-2 already shipped): the very next ship
+            # attempt — record 3 — dies mid-stream with no cleanup.
+            failpoints.arm(
+                "replicate.ship", "kill", times=0, directory=fp_dir
+            )
+            try:
+                pc.apply_delta(_chaos_batch(3))
+            except (ConnectionClosed, OSError):
+                pass  # the primary died racing the response write
+            pc.close()
+            assert primary_proc.wait(timeout=30) != 0
+            health = _wait_until(
+                lambda: (h := _health(standby_port))
+                and h["role"] == "primary"
+                and h
+            )
+            # Record 3 existed only on the dead primary: the fence and
+            # the promoted answers stop at the last acked record.
+            assert health["fence"]["fence_seq"] == {"default": 2}
+            expected, epoch = self._reference_after(2)
+            with ServerClient("127.0.0.1", standby_port) as sc:
+                answer = sc.query("Q5")
+                assert answer["result"]["families"] == expected
+                assert answer["server"]["epoch"] == epoch
+        finally:
+            for proc in (primary_proc, standby_proc):
+                if proc is not None and proc.poll() is None:
+                    proc.kill()
+                    proc.wait(timeout=30)
+
+    def test_sigterm_drains_finishes_in_flight_and_snapshots(self, tmp_path):
+        """Satellite 1+5: SIGTERM triggers the graceful drain — the
+        in-flight request answers, the final snapshot lands on disk, and
+        the exit code is 0."""
+        from repro.server import ServerClient
+
+        snapshot = tmp_path / "drain.snapshot"
+        proc, port = _spawn_serve(
+            [
+                "--wal", str(tmp_path / "drain.wal"),
+                "--snapshot", str(snapshot),
+                # Periodic snapshots never fire: only the drain writes one.
+                "--snapshot-every", "100",
+                "--drain-timeout", "15",
+            ],
+            _subprocess_env(),
+        )
+        try:
+            with ServerClient("127.0.0.1", port) as client:
+                client.apply_delta(_chaos_batch(1))
+                assert not snapshot.exists()  # pre-drain: nothing periodic
+                proc.send_signal(signal.SIGTERM)
+                # The draining server still answers the request already
+                # on the wire (satellite 5 at the process level): either
+                # this response or a clean close, never a hang.
+                deadline = time.time() + 30
+                while time.time() < deadline and proc.poll() is None:
+                    time.sleep(0.05)
+            assert proc.wait(timeout=30) == 0
+            assert snapshot.exists(), "drain did not write the final snapshot"
+            output = proc.stdout.read()
+            assert "# server stopped" in output
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)

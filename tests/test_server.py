@@ -30,9 +30,11 @@ from pathlib import Path
 import pytest
 
 from repro.dataflow import DataflowEngine
-from repro.errors import Overloaded, ReproError, ServerError
+from repro.errors import ConnectionClosed, NotPrimary, Overloaded, ReproError, ServerError
 from repro.model import contact_tracing_example
 from repro.model.io import save_json
+from repro.resilience import failpoints
+from repro.resilience.retry import RetryPolicy
 from repro.server import (
     BackgroundServer,
     PlanCache,
@@ -69,6 +71,18 @@ def serial_wire_answer(graph, text: str) -> list:
     return families_to_wire(
         DataflowEngine(graph).match_intervals(normalize_query(text))
     )
+
+
+def wait_until(predicate, *, timeout: float = 20.0, interval: float = 0.02):
+    """Poll ``predicate`` until it returns something truthy (and return it)."""
+    deadline = time.time() + timeout
+    last = None
+    while time.time() < deadline:
+        last = predicate()
+        if last:
+            return last
+        time.sleep(interval)
+    raise AssertionError(f"condition not reached within {timeout}s (last: {last!r})")
 
 
 # --------------------------------------------------------------------- #
@@ -449,3 +463,307 @@ class TestServeSubprocess:
         )
         assert snap.returncode == 2
         assert "--snapshot" in snap.stderr
+        standby = subprocess.run(
+            env_cmd + ["--standby-of", "not-an-endpoint"],
+            capture_output=True,
+            text=True,
+            env=subprocess_env(),
+        )
+        assert standby.returncode == 2
+        assert "HOST:PORT" in standby.stderr
+        window = subprocess.run(
+            env_cmd
+            + ["--standby-of", "127.0.0.1:1", "--failover-after", "0.5",
+               "--heartbeat-interval", "1.0"],
+            capture_output=True,
+            text=True,
+            env=subprocess_env(),
+        )
+        assert window.returncode == 2
+        assert "--failover-after" in window.stderr
+
+
+# --------------------------------------------------------------------- #
+# Lifecycle: health states, graceful drain, idle reaper, structured
+# connection loss
+# --------------------------------------------------------------------- #
+class TestLifecycle:
+    def test_health_reports_ready_primary(self):
+        state = ServerState()
+        state.add_graph("default")
+        with BackgroundServer(state) as server:
+            with ServerClient(server.host, server.port) as client:
+                health = client.health()
+        assert health["status"] == "ready"
+        assert health["role"] == "primary"
+        assert health["epochs"] == {"default": 0}
+        # A primary is its own write target.
+        assert health["primary"] == health["address"]
+
+    def test_idle_timeout_answers_close_frame_then_disconnects(self):
+        """Satellite 2+4: the idle reaper explains itself, then hangs up."""
+        import socket as socket_module
+
+        state = ServerState()
+        state.add_graph("default")
+        with BackgroundServer(state, idle_timeout=0.3) as server:
+            with socket_module.create_connection(
+                (server.host, server.port), timeout=30
+            ) as idle:
+                reader = idle.makefile("rb")
+                line = reader.readline()  # blocks until the reaper answers
+                assert line, "server hung up without the close frame"
+                frame = decode(line)
+                assert frame["ok"] is False
+                assert frame["error"]["type"] == "ProtocolError"
+                assert "idle" in frame["error"]["message"]
+                assert reader.readline() == b""  # then the socket closes
+            with ServerClient(server.host, server.port) as probe:
+                assert probe.stats()["service"]["idle_closed"] >= 1
+
+    def test_dead_server_raises_structured_connection_closed(self):
+        """Satellite 3: connection loss is ConnectionClosed, not JSON noise."""
+        state = ServerState()
+        state.add_graph("default")
+        server = BackgroundServer(state).start()
+        host, port = server.host, server.port
+        server.stop()
+        client = ServerClient(
+            host, port, retry=RetryPolicy(retries=1, base_delay=0.01)
+        )
+        with pytest.raises(ConnectionClosed) as excinfo:
+            client.query("Q1")
+        # Catchable both as a library error and as a plain socket error.
+        assert isinstance(excinfo.value, ReproError)
+        assert isinstance(excinfo.value, ConnectionError)
+        with pytest.raises(ConnectionClosed):
+            client.apply_delta(example_batch(1).to_json_dict())
+
+    def test_shutdown_while_in_flight_completes_and_answers(self):
+        """Satellite 5: drain lets the admitted request answer first."""
+        graph = contact_tracing_example()
+        reference = serial_wire_answer(graph, "Q1")
+        state = ServerState()
+        state.add_graph("default")
+        server = BackgroundServer(state, max_concurrency=2).start()
+        slow = ServerClient(
+            server.host, server.port, retry=RetryPolicy(retries=0)
+        )
+        control = ServerClient(server.host, server.port)
+        outcome = {}
+        done = threading.Event()
+
+        def in_flight_query():
+            try:
+                outcome["response"] = slow.query("Q1")
+            except Exception as error:  # pragma: no cover - the assertion below
+                outcome["error"] = error
+            done.set()
+
+        try:
+            # Every engine step stalls 0.15s, so the query is reliably
+            # still executing when the drain begins.
+            failpoints.arm("engine.step", "sleep", seconds=0.15, times=0)
+            thread = threading.Thread(target=in_flight_query, daemon=True)
+            thread.start()
+            wait_until(lambda: server.server._inflight > 0)
+            control.shutdown()
+            done.wait(timeout=30)
+            assert "error" not in outcome, outcome.get("error")
+            assert outcome["response"]["result"]["families"] == reference
+        finally:
+            failpoints.disarm_all()
+            slow.close()
+            control.close()
+            server.stop()
+        wait_until(lambda: not server._thread.is_alive())
+        assert control.request  # the drain answered before sockets closed
+
+    def test_stats_surfaces_drain_and_replication_counters(self):
+        state = ServerState()
+        state.add_graph("default")
+        server = BackgroundServer(state).start()
+        try:
+            with ServerClient(server.host, server.port) as client:
+                stats = client.stats()
+                service = stats["service"]
+                assert service["status"] == "ready"
+                assert service["role"] == "primary"
+                assert service["drains"] == 0
+                assert service["inflight"] >= 0
+                assert stats["replication"] == {"shipped": 0, "graphs": {}}
+        finally:
+            server.stop()
+
+
+# --------------------------------------------------------------------- #
+# Replication: WAL shipping, standby reads, promotion, client failover
+# --------------------------------------------------------------------- #
+class TestReplication:
+    @staticmethod
+    def _primary(tmp_path, **options) -> BackgroundServer:
+        state = ServerState()
+        state.add_graph("default", wal=str(tmp_path / "primary.wal"))
+        return BackgroundServer(
+            state, heartbeat_interval=0.1, failover_after=1.0, **options
+        ).start()
+
+    @staticmethod
+    def _standby(primary: BackgroundServer, **options) -> BackgroundServer:
+        state = ServerState()
+        state.add_graph("default")
+        return BackgroundServer(
+            state,
+            standby_of=(primary.host, primary.port),
+            heartbeat_interval=0.1,
+            failover_after=1.0,
+            **options,
+        ).start()
+
+    def test_standby_catches_up_and_follows_with_lag_labels(self, tmp_path):
+        primary = self._primary(tmp_path)
+        pc = ServerClient(primary.host, primary.port)
+        pc.register("Q5", name="q5")
+        # Batch 1 lands BEFORE the standby exists: the WAL catch-up path.
+        pc.apply_delta(example_batch(1).to_json_dict())
+        standby = self._standby(primary)
+        sc = ServerClient(standby.host, standby.port)
+        try:
+            wait_until(lambda: sc.health()["status"] == "standby")
+            # Batch 2 lands on a live subscription: the shipping path.
+            pc.apply_delta(example_batch(2).to_json_dict())
+            wait_until(lambda: sc.health()["epochs"]["default"] == 2)
+
+            reference = contact_tracing_example()
+            session_reference = ServerState()
+            session_reference.add_graph("default")
+            ref_host = session_reference.host("default")
+            ref_host.apply_delta(example_batch(1).to_json_dict())
+            ref_host.apply_delta(example_batch(2).to_json_dict())
+            expected = ref_host.query("Q5")["result"]["families"]
+
+            answer = sc.query("Q5")
+            assert answer["result"]["families"] == expected
+            assert answer["server"]["epoch"] == 2
+            assert answer["server"]["role"] == "standby"
+            assert answer["server"]["replication"]["lag"] == 0
+            assert answer["server"]["replication"]["applied_seq"] == 2
+            # The primary's stats see the acked standby.
+            standbys = pc.stats()["replication"]["graphs"]["default"]["standbys"]
+            assert len(standbys) == 1
+            wait_until(lambda: pc.stats()["replication"]["graphs"]["default"][
+                "standbys"][0]["acked_seq"] == 2)
+        finally:
+            pc.close()
+            sc.close()
+            standby.stop()
+            primary.stop()
+
+    def test_standby_refuses_writes_with_structured_not_primary(self, tmp_path):
+        import socket as socket_module
+
+        primary = self._primary(tmp_path)
+        standby = self._standby(primary)
+        try:
+            sc = ServerClient(standby.host, standby.port)
+            wait_until(lambda: sc.health()["status"] == "standby")
+            sc.close()
+            # Raw socket: no failover client in the way, so the raw
+            # NotPrimary envelope (with its redirect data) is visible.
+            with socket_module.create_connection(
+                (standby.host, standby.port), timeout=30
+            ) as raw:
+                raw.sendall(
+                    encode(
+                        {
+                            "op": "apply_delta",
+                            "graph": "default",
+                            "batch": example_batch(1).to_json_dict(),
+                        }
+                    )
+                )
+                response = decode(raw.makefile("rb").readline())
+            assert response["ok"] is False
+            assert response["error"]["type"] == "NotPrimary"
+            assert response["error"]["data"]["primary"] == (
+                f"{primary.host}:{primary.port}"
+            )
+            # The failover client turns that rejection into a re-route:
+            # the same write through the standby endpoint lands on the
+            # primary and succeeds.
+            with ServerClient(standby.host, standby.port) as routed:
+                applied = routed.apply_delta(example_batch(1).to_json_dict())
+            assert applied["server"]["role"] == "primary"
+            assert applied["server"]["epoch"] == 1
+        finally:
+            standby.stop()
+            primary.stop()
+
+    def test_graceful_drain_promotes_standby_epoch_identical(self, tmp_path):
+        primary = self._primary(tmp_path)
+        pc = ServerClient(primary.host, primary.port)
+        pc.register("Q5", name="q5")
+        pc.apply_delta(example_batch(1).to_json_dict())
+        standby = self._standby(primary)
+        sc = ServerClient(standby.host, standby.port)
+        try:
+            wait_until(lambda: sc.health()["epochs"]["default"] == 1)
+            pc.apply_delta(example_batch(2).to_json_dict())
+            wait_until(lambda: sc.health()["epochs"]["default"] == 2)
+            pc.shutdown()
+            # The close frame promotes the standby immediately (no
+            # failover window): role flips, writes open up.
+            health = wait_until(
+                lambda: (h := sc.health())["role"] == "primary" and h
+            )
+            assert health["status"] == "ready"
+            assert health["fence"]["previous_primary"] == (
+                f"{primary.host}:{primary.port}"
+            )
+            assert health["fence"]["fence_seq"] == {"default": 2}
+
+            reference = ServerState()
+            reference.add_graph("default")
+            ref_host = reference.host("default")
+            ref_host.apply_delta(example_batch(1).to_json_dict())
+            ref_host.apply_delta(example_batch(2).to_json_dict())
+            expected = ref_host.query("Q5")["result"]["families"]
+            answer = sc.query("Q5")
+            assert answer["result"]["families"] == expected
+            assert answer["server"]["epoch"] == 2
+            # The registered query replicated too and tracked both deltas.
+            table = sc.table("q5")
+            assert table["result"]["families"] == expected
+            # Writes now succeed on the promoted standby.
+            applied = sc.apply_delta(example_batch(3).to_json_dict())
+            assert applied["server"]["epoch"] == 3
+            assert applied["server"]["role"] == "primary"
+        finally:
+            pc.close()
+            sc.close()
+            standby.stop()
+            primary.stop()
+
+    def test_failover_client_retries_reads_across_endpoints(self, tmp_path):
+        primary = self._primary(tmp_path)
+        standby = self._standby(primary)
+        client = ServerClient(
+            [(primary.host, primary.port), (standby.host, standby.port)],
+            retry=RetryPolicy(retries=8, base_delay=0.05, max_delay=0.5),
+        )
+        try:
+            probe = ServerClient(standby.host, standby.port)
+            wait_until(lambda: probe.health()["status"] == "standby")
+            probe.close()
+            reference = serial_wire_answer(contact_tracing_example(), "Q1")
+            assert client.query("Q1")["result"]["families"] == reference
+            assert client.connected_to == (primary.host, primary.port)
+            primary.stop()  # the endpoint the client is attached to dies
+            # The retry loop rotates to the standby transparently.
+            answer = client.query("Q1")
+            assert answer["result"]["families"] == reference
+            assert client.connected_to == (standby.host, standby.port)
+        finally:
+            client.close()
+            standby.stop()
+            primary.stop()
