@@ -146,6 +146,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers > 1), 'thread' (GIL-bound, cheap for small frontiers) or "
         "'process' (worker-process pool that scales with cores)",
     )
+    query.add_argument(
+        "--kernel",
+        choices=DataflowEngine.KERNELS,
+        default="interpreted",
+        help="dataflow evaluation kernel: 'interpreted' (per-row Python chain "
+        "walk) or 'columnar' (vectorized NumPy sweeps over flat interval "
+        "arrays; falls back to interpreted for uncovered step shapes — see "
+        "--explain)",
+    )
     query.add_argument("--limit", type=int, default=25, help="rows to print (0 = all)")
     query.add_argument("--stats", action="store_true", help="print timing and output size")
     query.add_argument(
@@ -503,6 +512,13 @@ def _print_explain(plan: dict) -> None:
         f"(effective: {plan['effective_backend']}), workers={plan['workers']}, "
         f"output={plan['output_mode']}"
     )
+    kernel_line = (
+        f"# plan: kernel={plan['kernel']} "
+        f"(effective: {plan['effective_kernel']})"
+    )
+    if plan["kernel_fallback"]:
+        kernel_line += f" — fallback: {plan['kernel_fallback']}"
+    print(kernel_line)
     print(
         f"# plan: {plan['seed_rows']} seed rows, {plan['chain_steps']} chain steps, "
         f"{len(plan['chunks'])} chunk(s)"
@@ -581,6 +597,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     # Pure argument validation comes first, before any graph loading.
     if args.engine != "dataflow" and (
         args.backend != "thread"
+        or args.kernel != "interpreted"
         or args.explain
         or args.stream
         or args.deadline is not None
@@ -588,8 +605,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
         or args.store is not None
     ):
         print(
-            "error: --backend, --explain, --stream, --deadline, --retries and "
-            f"--store apply to the dataflow engine only (got --engine {args.engine})",
+            "error: --backend, --kernel, --explain, --stream, --deadline, "
+            "--retries and --store apply to the dataflow engine only "
+            f"(got --engine {args.engine})",
             file=sys.stderr,
         )
         return 2
@@ -640,6 +658,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             incremental=args.stream is not None,
             deadline_seconds=args.deadline,
             retry=retry,
+            kernel=args.kernel,
         )
         if args.explain:
             _print_explain(engine.explain(text))

@@ -76,6 +76,7 @@ from repro.model.convert import tpg_to_itpg
 from repro.model.itpg import IntervalTPG
 from repro.model.tpg import TemporalPropertyGraph
 from repro.parallel.partition import chunk_weight, weighted_chunks
+from repro.perf import columnar as columnar_kernel
 from repro.perf.graph_index import GraphIndex, graph_index_for
 from repro.resilience import failpoints
 from repro.resilience.deadline import Deadline
@@ -172,6 +173,12 @@ class DataflowEngine:
 
     #: Valid values of ``parallel_backend``.
     BACKENDS = ("thread", "process")
+    #: Valid values of ``kernel``.  ``"interpreted"`` is the per-row
+    #: Python chain walk below (and the differential-fuzz oracle);
+    #: ``"columnar"`` compiles supported chains into vectorized sweeps
+    #: (:mod:`repro.perf.columnar`) and falls back to interpreted —
+    #: with the reason recorded in :meth:`explain` — everywhere else.
+    KERNELS = ("interpreted", "columnar")
 
     def __init__(
         self,
@@ -184,6 +191,7 @@ class DataflowEngine:
         incremental: bool = False,
         deadline_seconds: float | None = None,
         retry: RetryPolicy | None = None,
+        kernel: str = "interpreted",
     ) -> None:
         # The compiled index is shared per graph across engines and queries
         # (index first, so a point-based graph is converted exactly once and
@@ -202,6 +210,11 @@ class DataflowEngine:
             raise ValueError(
                 f"unknown start method {start_method!r}: this platform supports "
                 f"{', '.join(multiprocessing.get_all_start_methods())}"
+            )
+        if kernel not in self.KERNELS:
+            raise ValueError(
+                f"unknown kernel {kernel!r}: expected one of "
+                f"{', '.join(repr(k) for k in self.KERNELS)}"
             )
         self._index: GraphIndex | None = graph_index_for(graph) if use_index else None
         if self._index is not None:
@@ -236,6 +249,25 @@ class DataflowEngine:
         self._retry = retry
         #: How the most recent resilient run actually executed.
         self._last_degradation: DegradationReport | None = None
+        self._kernel = kernel
+        #: Configuration-level reason the columnar kernel can never run
+        #: on this engine (``None`` when it can; per-query step-shape
+        #: fallbacks are decided later, in :meth:`_columnar_plan`).
+        self._kernel_unavailable: str | None = None
+        if kernel == "columnar":
+            if not columnar_kernel.available():
+                self._kernel_unavailable = "numpy is not installed"
+            elif not self._use_coalesced:
+                self._kernel_unavailable = (
+                    "columnar kernel requires the coalescing frontier"
+                )
+            elif self._index is None:
+                self._kernel_unavailable = (
+                    "columnar kernel requires the compiled graph index"
+                )
+        #: Cached :class:`~repro.perf.columnar.ColumnarContext`, keyed by
+        #: the index's maintenance epoch (deltas invalidate it wholesale).
+        self._columnar_ctx = None
 
     @property
     def graph(self) -> IntervalTPG:
@@ -256,6 +288,10 @@ class DataflowEngine:
     @property
     def use_coalesced(self) -> bool:
         return self._use_coalesced
+
+    @property
+    def kernel(self) -> str:
+        return self._kernel
 
     @property
     def incremental(self) -> bool:
@@ -420,6 +456,13 @@ class DataflowEngine:
         if backend == "process":
             return self._process_run(chain, seeds, variables, mode, stats)
         start = time.perf_counter()
+        if mode == "families":
+            # Columnar kernel over the already-built seed rows (no-op
+            # unless kernel="columnar" and the chain shape is covered).
+            attempt = self._columnar_rows_attempt(chain, seeds, variables, stats)
+            if attempt is not None:
+                data, frontier_rows = attempt
+                return data, frontier_rows, time.perf_counter() - start
         if backend == "thread":
             frontier = self._run_chain_chunks(seeds, chain, stats)
         else:
@@ -433,6 +476,77 @@ class DataflowEngine:
         else:
             data = self._materialize_rows(frontier, variables)
         return data, len(frontier), chain_seconds
+
+    # ------------------------------------------------------------------ #
+    # Columnar kernel dispatch (kernel="columnar")
+    # ------------------------------------------------------------------ #
+    def _columnar_context(self):
+        """The engine's array image of the current index epoch."""
+        index = self._index
+        ctx = self._columnar_ctx
+        if ctx is None or ctx.epoch != index.epoch:
+            ctx = self._columnar_ctx = columnar_kernel.ColumnarContext(index)
+        return ctx
+
+    def _columnar_fallback_reason(self, chain: tuple[ChainStep, ...]) -> str | None:
+        """Why this chain would run interpreted despite ``kernel="columnar"``.
+
+        ``None`` means the columnar kernel covers the full query.  The
+        reasons surface verbatim in :meth:`explain` under
+        ``kernel_fallback``.
+        """
+        if self._kernel_unavailable is not None:
+            return self._kernel_unavailable
+        if self._output_mode(chain) != "families":
+            return "output spans temporal groups (point mode)"
+        _plan, reason = columnar_kernel.plan_query(chain)
+        return reason
+
+    def _columnar_plan(self, chain: tuple[ChainStep, ...]):
+        """The full-query columnar plan, or ``None`` on any fallback."""
+        if self._kernel != "columnar" or self._columnar_fallback_reason(chain):
+            return None
+        plan, _reason = columnar_kernel.plan_query(chain)
+        return plan
+
+    def _columnar_process_engages(self, ctx, plan) -> bool:
+        """Process-pool engagement for a columnar plan, decided from the
+        context's seed count without materializing Row seeds — the same
+        predicate :meth:`_process_engages` applies to built frontiers."""
+        return (
+            self._backend == "process"
+            and self._workers > 1
+            and ctx.seed_count(plan) >= 2 * self._workers
+        )
+
+    def _columnar_rows_attempt(
+        self,
+        chain: Sequence[ChainStep],
+        seeds: list[Row],
+        variables: tuple[str, ...],
+        stats: _ChainStats,
+    ) -> tuple[list, int] | None:
+        """Columnar evaluation over pre-built seed rows.
+
+        The rows-in/families-out twin of the full-query path, used by
+        the thread/serial backend rungs, the worker-pool chunks and the
+        streaming engine's per-seed re-derivations.  ``None`` means the
+        chain or the rows don't fit the kernel; the caller falls back to
+        the interpreted chain walk.
+        """
+        if self._kernel != "columnar" or self._kernel_unavailable is not None:
+            return None
+        ops, _reason = columnar_kernel.ops_for(tuple(chain))
+        if ops is None:
+            return None
+        result = columnar_kernel.run_rows(
+            self._columnar_context(), ops, seeds, variables, self._deadline
+        )
+        if result is None:
+            return None
+        data, frontier_rows, merged = result
+        stats.rows_merged += merged
+        return data, frontier_rows
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -537,26 +651,45 @@ class DataflowEngine:
         self._arm_deadline()
         try:
             start = time.perf_counter()
-            seeds, rest = self._initial_frontier(chain)
-            if self._process_engages(seeds):
-                mode = self._output_mode(chain)
-                data, frontier_rows, chain_seconds = self._run_resilient(
-                    rest, seeds, compiled.variables, mode, stats
+            cplan = self._columnar_plan(chain)
+            if cplan is not None and not self._columnar_process_engages(
+                self._columnar_context(), cplan
+            ):
+                # Full-query columnar run: seeds come straight from the
+                # context's condition CSR, never materializing Row
+                # objects (the win on cheap full-scan queries).  When
+                # the process pool engages, Row seeds are built below
+                # and the workers run the columnar ops per chunk.
+                data, frontier_rows, merged = columnar_kernel.run_query(
+                    self._columnar_context(),
+                    cplan,
+                    compiled.variables,
+                    self._deadline,
                 )
-                if self._last_degradation is not None:
-                    degradation = self._last_degradation.to_dict()
-                if mode == "families":
-                    table: TypingUnion[BindingTable, IntervalBindingTable] = (
-                        IntervalBindingTable(compiled.variables, data)
-                    )
-                else:
-                    table = BindingTable.build(compiled.variables, data)
-                interval_seconds = chain_seconds
-            else:
-                frontier = self._run_chain_chunks(seeds, rest, stats)
+                stats.rows_merged += merged
+                table: TypingUnion[BindingTable, IntervalBindingTable] = (
+                    IntervalBindingTable(compiled.variables, data)
+                )
                 interval_seconds = time.perf_counter() - start
-                table = self._build_table(chain, frontier, compiled.variables)
-                frontier_rows = len(frontier)
+            else:
+                seeds, rest = self._initial_frontier(chain)
+                if self._process_engages(seeds):
+                    mode = self._output_mode(chain)
+                    data, frontier_rows, chain_seconds = self._run_resilient(
+                        rest, seeds, compiled.variables, mode, stats
+                    )
+                    if self._last_degradation is not None:
+                        degradation = self._last_degradation.to_dict()
+                    if mode == "families":
+                        table = IntervalBindingTable(compiled.variables, data)
+                    else:
+                        table = BindingTable.build(compiled.variables, data)
+                    interval_seconds = chain_seconds
+                else:
+                    frontier = self._run_chain_chunks(seeds, rest, stats)
+                    interval_seconds = time.perf_counter() - start
+                    table = self._build_table(chain, frontier, compiled.variables)
+                    frontier_rows = len(frontier)
             if expand_output:
                 _ = table.rows
             total_seconds = time.perf_counter() - start
@@ -621,6 +754,18 @@ class DataflowEngine:
                 )
         self._arm_deadline()
         try:
+            cplan = self._columnar_plan(chain)
+            if cplan is not None and not self._columnar_process_engages(
+                self._columnar_context(), cplan
+            ):
+                families, _rows, merged = columnar_kernel.run_query(
+                    self._columnar_context(),
+                    cplan,
+                    compiled.variables,
+                    self._deadline,
+                )
+                stats.rows_merged += merged
+                return families
             seeds, rest = self._initial_frontier(chain)
             if self._process_engages(seeds):
                 families, _rows, _seconds = self._run_resilient(
@@ -651,11 +796,25 @@ class DataflowEngine:
             chunks = weighted_chunks(seeds, self._workers, self._seed_weight)
         else:
             chunks = [seeds]
+        if self._kernel == "columnar":
+            kernel_fallback = self._columnar_fallback_reason(chain)
+        else:
+            kernel_fallback = None
+        effective_kernel = (
+            "columnar"
+            if self._kernel == "columnar" and kernel_fallback is None
+            else "interpreted"
+        )
         return {
             "backend": self._backend,
             "effective_backend": self._backend if engages else "sequential",
             "workers": self._workers,
             "start_method": self._start_method,
+            "kernel": self._kernel,
+            "effective_kernel": effective_kernel,
+            # Why a columnar engine would run this query interpreted
+            # (None = no fallback, or the kernel isn't configured).
+            "kernel_fallback": kernel_fallback,
             "seed_rows": len(seeds),
             "chain_steps": len(rest),
             "output_mode": self._output_mode(chain),
@@ -796,7 +955,20 @@ class DataflowEngine:
         from repro.parallel.plan import pack_seeds, plan_for
         from repro.parallel.pool import shared_pool
 
-        plan = plan_for(self._graph, self._index is not None, self._use_coalesced)
+        # Workers replicate the effective kernel: columnar only when the
+        # parent's configuration can actually run it (per-chain shape
+        # fallbacks are re-decided worker-side from the same ops).
+        effective_kernel = (
+            "columnar"
+            if self._kernel == "columnar" and self._kernel_unavailable is None
+            else "interpreted"
+        )
+        plan = plan_for(
+            self._graph,
+            self._index is not None,
+            self._use_coalesced,
+            effective_kernel,
+        )
         pool = shared_pool(self._workers, self._start_method)
         chunks = weighted_chunks(seeds, self._workers, self._seed_weight)
         packed = [pack_seeds(chunk) for chunk in chunks]

@@ -100,7 +100,15 @@ class _PayloadCell:
 class ExecutionPlan:
     """What a worker needs to replicate the parent engine for one graph."""
 
-    __slots__ = ("token", "use_index", "use_coalesced", "store", "_graph", "_cell")
+    __slots__ = (
+        "token",
+        "use_index",
+        "use_coalesced",
+        "kernel",
+        "store",
+        "_graph",
+        "_cell",
+    )
 
     def __init__(
         self,
@@ -110,10 +118,15 @@ class ExecutionPlan:
         use_coalesced: bool,
         cell: _PayloadCell,
         store: Optional[StoreRef] = None,
+        kernel: str = "interpreted",
     ) -> None:
         self.token = token
         self.use_index = use_index
         self.use_coalesced = use_coalesced
+        #: Evaluation kernel the workers should run ("interpreted" or
+        #: "columnar").  Workers missing NumPy self-heal to interpreted;
+        #: the answer is identical either way.
+        self.kernel = kernel
         #: Set for store-attached graphs: workers mmap the artifact at
         #: this ref instead of unpickling ``payload`` (which stays
         #: available as the fallback when attaching fails worker-side).
@@ -185,15 +198,20 @@ def invalidate_plans(graph: IntervalTPG) -> bool:
     return had
 
 
-def plan_for(graph: IntervalTPG, use_index: bool, use_coalesced: bool) -> ExecutionPlan:
+def plan_for(
+    graph: IntervalTPG,
+    use_index: bool,
+    use_coalesced: bool,
+    kernel: str = "interpreted",
+) -> ExecutionPlan:
     """The shared :class:`ExecutionPlan` for one graph + engine configuration."""
-    plans: dict[tuple[bool, bool] | str, object] | None = getattr(
+    plans: dict[tuple[bool, bool, str] | str, object] | None = getattr(
         graph, _PLANS_ATTR, None
     )
     if plans is None:
         plans = {"cell": _PayloadCell()}
         setattr(graph, _PLANS_ATTR, plans)
-    key = (use_index, use_coalesced)
+    key = (use_index, use_coalesced, kernel)
     plan = plans.get(key)
     if plan is None:
         plan = plans[key] = ExecutionPlan(
@@ -203,6 +221,7 @@ def plan_for(graph: IntervalTPG, use_index: bool, use_coalesced: bool) -> Execut
             use_coalesced,
             plans["cell"],
             store=store_ref(graph),
+            kernel=kernel,
         )
     return plan
 

@@ -147,6 +147,7 @@ class WorkerPool:
                 chunk,
                 mode,
                 variables,
+                plan.kernel,
             )
             for chunk in chunks
         ]
@@ -183,6 +184,7 @@ class WorkerPool:
                     chunks[i],
                     mode,
                     variables,
+                    plan.kernel,
                 )
                 for i in retries
             ]
@@ -320,10 +322,13 @@ def _worker_engine(
     store: Optional[StoreRef],
     use_index: bool,
     use_coalesced: bool,
+    kernel: str = "interpreted",
 ):
     """The memoized worker-side engine for one graph + configuration."""
     entry = registry.cached(token)
-    engine = entry.engines.get((use_index, use_coalesced)) if entry else None
+    engine = (
+        entry.engines.get((use_index, use_coalesced, kernel)) if entry else None
+    )
     if engine is not None:
         return engine
     # Chaos hook: fault the cold-start install path (kind "raise" models
@@ -339,12 +344,16 @@ def _worker_engine(
         # registry entry releases graph, index and engines together.
         graph_index_for(graph)
     engine = DataflowEngine(
-        graph, workers=1, use_index=use_index, use_coalesced=use_coalesced
+        graph,
+        workers=1,
+        use_index=use_index,
+        use_coalesced=use_coalesced,
+        kernel=kernel,
     )
     entry = registry.cached(token)
     if entry is None:  # pragma: no cover - install always precedes this
         entry = registry.install(token, graph)
-    entry.engines[(use_index, use_coalesced)] = engine
+    entry.engines[(use_index, use_coalesced, kernel)] = engine
     return engine
 
 
@@ -358,6 +367,7 @@ def _run_chunk(
     packed_seeds: Sequence[PackedSeed],
     mode: str,
     variables: tuple[str, ...],
+    kernel: str = "interpreted",
 ) -> dict:
     """Chunk-level Steps 1–3: run the chain, then materialize in-worker."""
     # Chaos hook: "kill" SIGKILLs this worker mid-chunk (breaking the
@@ -366,10 +376,26 @@ def _run_chunk(
     from repro.dataflow.executor import _ChainStats, legacy_families
     from repro.eval.bindings import pack_families
 
-    engine = _worker_engine(token, payload, store, use_index, use_coalesced)
+    engine = _worker_engine(token, payload, store, use_index, use_coalesced, kernel)
     seeds = unpack_seeds(packed_seeds)
     stats = _ChainStats()
     start = time.perf_counter()
+    if mode == "families":
+        # Columnar kernel over this chunk's rows when configured and the
+        # chain shape is covered (None -> interpreted chain walk below;
+        # a worker without NumPy self-heals the same way).
+        attempt = engine._columnar_rows_attempt(chain, seeds, variables, stats)
+        if attempt is not None:
+            families, frontier_rows = attempt
+            chain_seconds = time.perf_counter() - start
+            return {
+                "pid": os.getpid(),
+                "data": pack_families(families),
+                "frontier_rows": frontier_rows,
+                "rows_merged": stats.rows_merged,
+                "chain_seconds": chain_seconds,
+                "total_seconds": time.perf_counter() - start,
+            }
     frontier = engine._run_chain_on(seeds, chain, stats)
     chain_seconds = time.perf_counter() - start
     if mode == "families":

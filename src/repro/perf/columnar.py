@@ -1,0 +1,990 @@
+"""Columnar (vectorized) evaluation kernel for fused step chains.
+
+The interpreted engine in :mod:`repro.dataflow.executor` walks the
+frontier row by row in Python.  This module compiles the same fused
+chain into a sequence of *columnar ops* executed as NumPy sweeps over
+flat arrays:
+
+* the frontier is a struct-of-arrays: ``cur`` (dense object ids, one
+  per row), one int64 column per bound variable, and the per-row
+  validity families as three parallel int64 arrays ``(owner, start,
+  end)`` — ``owner`` is the row index, sorted ascending, and each
+  owner's intervals form a coalesced family (sorted, pairwise disjoint,
+  non-adjacent);
+* the graph image is a :class:`ColumnarContext`: CSR adjacency and
+  existence over the :class:`~repro.perf.graph_index.GraphIndex` dense
+  ids, per-condition CSR tables decoded from the index's memoized
+  condition tables, and — when the graph is attached from a
+  ``repro-index/1`` store at epoch 0 — existence/adjacency decoded
+  straight out of the artifact's struct-packed sections;
+* interval algebra happens on a *global axis*: an interval ``[s, e]``
+  of row ``r`` maps to ``r * stride + (s - domain.start)`` with
+  ``stride = domain span + 2``.  The two-point guard gap means
+  coalescing (which merges intervals with gap <= 1) can never fuse
+  intervals across rows, and the ±1 shifts of contiguous temporal
+  navigation stay inside a row's band.  Intersection of two coalesced
+  global families is a ``searchsorted`` expansion; coalescing is one
+  argsort plus ``maximum.reduceat``.
+
+The kernel covers chains of Test / Struct / fused-Hop / Bind /
+temporal-free Alt steps, optionally ending in one final TemporalStep,
+producing interval-native ``families`` output (every variable bound in
+temporal group 0) — the Q1–Q5 / Q9–Q12 shapes.  Everything else
+(mid-chain temporal navigation, temporal alternatives, point-mode
+output) reports a fallback reason and runs interpreted; the interpreted
+path stays authoritative and every columnar answer is differential-
+fuzzed against it.
+
+NumPy is an optional accelerator, not a dependency: when it is missing
+:func:`available` returns ``False`` and the engine falls back to the
+interpreted kernel with that reason recorded in ``explain()``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Hashable, Optional, Sequence
+
+from repro.dataflow.frontier import Row
+from repro.dataflow.steps import (
+    AltStep,
+    BindStep,
+    ChainStep,
+    HopStep,
+    StructStep,
+    TemporalStep,
+    TestStep,
+    chain_has_temporal_step,
+)
+from repro.errors import EvaluationError
+from repro.lang.ast import Test
+from repro.resilience import failpoints
+from repro.temporal.interval import Interval
+from repro.temporal.intervalset import IntervalSet
+
+try:
+    import numpy as np
+except ImportError:
+    np = None
+
+ObjectId = Hashable
+
+
+def available() -> bool:
+    """Whether the kernel can run in this interpreter (NumPy importable)."""
+    return np is not None
+
+
+# --------------------------------------------------------------------- #
+# Plan: chain -> columnar ops
+# --------------------------------------------------------------------- #
+class ColumnarPlan:
+    """A full-query columnar plan: seed spec + compiled op sequence."""
+
+    __slots__ = ("seed_condition", "ops")
+
+    def __init__(
+        self, seed_condition: Optional[Test], ops: tuple
+    ) -> None:
+        self.seed_condition = seed_condition
+        self.ops = ops
+
+
+def compile_ops(
+    chain: Sequence[ChainStep], *, inside_alt: bool = False
+) -> tuple[Optional[tuple], Optional[str]]:
+    """Compile a (sub)chain into columnar ops: ``(ops, None)`` or
+    ``(None, reason)`` when a step shape is not covered.
+
+    Fused hops decompose into struct/test passes (signature-merged after
+    each struct), which is relation-equal to the interpreted hop tables.
+    A TemporalStep is supported only as the final step of the outer
+    chain: the kernel fuses it with Step-3 materialization (the output
+    family of a two-group row whose bindings all live in group 0 is
+    ``T ∩ sources(targets(T) ∩ fused-conditions)``).
+    """
+    ops: list = []
+    last = len(chain) - 1
+    for position, step in enumerate(chain):
+        if isinstance(step, TestStep):
+            ops.append(("test", step.condition))
+        elif isinstance(step, StructStep):
+            ops.append(("struct", step.forward))
+        elif isinstance(step, HopStep):
+            ops.append(("struct", step.forward_in))
+            for condition in step.mid_conditions:
+                ops.append(("test", condition))
+            ops.append(("struct", step.forward_out))
+            for condition in step.target_conditions:
+                ops.append(("test", condition))
+        elif isinstance(step, BindStep):
+            if inside_alt:
+                return None, "variable binding inside alternation"
+            ops.append(("bind", step.variable))
+        elif isinstance(step, TemporalStep):
+            if inside_alt:
+                return None, "temporal navigation inside alternation"
+            if position != last:
+                return None, "temporal navigation before the end of the chain"
+            ops.append(("temporal", step))
+        elif isinstance(step, AltStep):
+            branches = []
+            for alternative in step.alternatives:
+                if chain_has_temporal_step(alternative):
+                    return None, "temporal navigation inside alternation"
+                sub, reason = compile_ops(alternative, inside_alt=True)
+                if sub is None:
+                    return None, reason
+                branches.append(sub)
+            ops.append(("alt", tuple(branches)))
+        else:
+            return None, f"unsupported step {type(step).__name__}"
+    return tuple(ops), None
+
+
+@lru_cache(maxsize=256)
+def ops_for(
+    chain: tuple[ChainStep, ...]
+) -> tuple[Optional[tuple], Optional[str]]:
+    """Memoized :func:`compile_ops` for row-seeded runs (no leading-test
+    absorption: the caller's seed rows already carry those times)."""
+    return compile_ops(chain)
+
+
+@lru_cache(maxsize=256)
+def plan_query(
+    chain: tuple[ChainStep, ...]
+) -> tuple[Optional[ColumnarPlan], Optional[str]]:
+    """Plan a full compiled chain, absorbing a leading TestStep as the
+    seed condition exactly like ``DataflowEngine._initial_frontier``
+    does against the index's memoized condition table."""
+    if chain and isinstance(chain[0], TestStep):
+        seed_condition: Optional[Test] = chain[0].condition
+        rest: Sequence[ChainStep] = chain[1:]
+    else:
+        seed_condition = None
+        rest = chain
+    ops, reason = compile_ops(rest)
+    if ops is None:
+        return None, reason
+    return ColumnarPlan(seed_condition, ops), None
+
+
+# --------------------------------------------------------------------- #
+# Context: one GraphIndex epoch as flat arrays
+# --------------------------------------------------------------------- #
+class ColumnarContext:
+    """Dense-array image of one :class:`GraphIndex` maintenance epoch.
+
+    Built once per ``(engine, index.epoch)`` and shared by every query:
+    adjacency and existence as int64 CSR over dense object ids, edge
+    endpoints as flat successor arrays, and per-condition CSR tables
+    materialized on first use from the index's memoized condition
+    tables.  Delta maintenance bumps the index epoch, which invalidates
+    the cached context wholesale — the arrays are immutable.
+    """
+
+    def __init__(self, index) -> None:
+        if np is None:
+            raise RuntimeError("the columnar kernel requires numpy")
+        self._index = index
+        self.epoch = index.epoch
+        domain = index.domain
+        self.domain_start = int(domain.start)
+        self.domain_end = int(domain.end)
+        #: Global-axis row stride: domain span plus a 2-wide guard gap so
+        #: coalescing (gap <= 1 merges) and ±1 contiguous-navigation
+        #: shifts can never cross row bands.
+        self.stride = self.domain_end - self.domain_start + 2
+
+        objects = index.objects
+        self.objects = objects
+        self.object_id = index.object_id
+        n = len(objects)
+        self.num_objects = n
+
+        nodes = index.nodes()
+        is_node = np.zeros(n, dtype=bool)
+        for position, obj in enumerate(objects):
+            if obj in nodes:
+                is_node[position] = True
+        self.is_node = is_node
+
+        decoded = self._decode_store_sections(index)
+        if decoded is not None:
+            (
+                self.ex_indptr,
+                self.ex_start,
+                self.ex_end,
+                self.out_indptr,
+                self.out_ids,
+                self.in_indptr,
+                self.in_ids,
+            ) = decoded
+        else:
+            self._build_existence(index, n, objects)
+            self._build_adjacency(index, n, objects, is_node)
+        self._build_endpoints(index, n, objects, is_node)
+
+        self._conditions: dict[Test, tuple] = {}
+
+    # -- graph tables ---------------------------------------------------- #
+    @staticmethod
+    def _decode_store_sections(index):
+        """Zero-copy-decode existence/adjacency from an attached store.
+
+        Only valid for a pristine single-artifact attachment (epoch 0,
+        identity record layout): after delta maintenance the lazy-map
+        overlays shadow the on-disk records, so the generic dict walk
+        below is the source of truth instead.
+        """
+        if index.epoch != 0:
+            return None
+        core = index.core
+        sections = getattr(core, "columnar_sections", None)
+        if sections is None:
+            return None
+        views = sections()
+        if views is None:
+            return None
+        exist_idx, exist_dat, adj_idx, adj_dat = views
+        # Copies, deliberately: frombuffer views would pin the store's
+        # mmap open (attachment.close() raises on exported buffers).
+        ex_offsets = np.frombuffer(exist_idx, dtype="<u8").astype(np.int64)
+        ex_pairs = np.frombuffer(exist_dat, dtype="<i8").astype(np.int64)
+        ex_indptr = ex_offsets // 16
+        ex_start = ex_pairs[0::2].copy()
+        ex_end = ex_pairs[1::2].copy()
+
+        offsets = np.frombuffer(adj_idx, dtype="<u8").astype(np.int64)
+        words = np.frombuffer(adj_dat, dtype="<u4").astype(np.int64)
+        rec_start = offsets[:-1] // 4
+        rec_len = (offsets[1:] - offsets[:-1]) // 4
+        filled = rec_len > 0
+        out_count = np.zeros(rec_len.size, dtype=np.int64)
+        out_count[filled] = words[rec_start[filled]]
+        in_count = np.where(filled, rec_len - 1 - out_count, 0)
+        out_indptr = np.concatenate(([0], np.cumsum(out_count)))
+        in_indptr = np.concatenate(([0], np.cumsum(in_count)))
+        out_ids = words[_ranges(rec_start + 1, out_count)]
+        in_ids = words[_ranges(rec_start + 1 + out_count, in_count)]
+        return ex_indptr, ex_start, ex_end, out_indptr, out_ids, in_indptr, in_ids
+
+    def _build_existence(self, index, n: int, objects) -> None:
+        counts = np.zeros(n + 1, dtype=np.int64)
+        starts: list[int] = []
+        ends: list[int] = []
+        existence = index.existence
+        for position, obj in enumerate(objects):
+            intervals = existence[obj].intervals
+            counts[position + 1] = len(intervals)
+            for interval in intervals:
+                starts.append(interval.start)
+                ends.append(interval.end)
+        self.ex_indptr = np.cumsum(counts)
+        self.ex_start = np.asarray(starts, dtype=np.int64)
+        self.ex_end = np.asarray(ends, dtype=np.int64)
+
+    def _build_adjacency(self, index, n: int, objects, is_node) -> None:
+        object_id = self.object_id
+        out_counts = np.zeros(n + 1, dtype=np.int64)
+        in_counts = np.zeros(n + 1, dtype=np.int64)
+        out_ids: list[int] = []
+        in_ids: list[int] = []
+        out_adjacency = index.out_adjacency
+        in_adjacency = index.in_adjacency
+        for position, obj in enumerate(objects):
+            if not is_node[position]:
+                continue
+            out_edges = out_adjacency[obj]
+            in_edges = in_adjacency[obj]
+            out_counts[position + 1] = len(out_edges)
+            in_counts[position + 1] = len(in_edges)
+            for edge in out_edges:
+                out_ids.append(object_id[edge])
+            for edge in in_edges:
+                in_ids.append(object_id[edge])
+        self.out_indptr = np.cumsum(out_counts)
+        self.in_indptr = np.cumsum(in_counts)
+        self.out_ids = np.asarray(out_ids, dtype=np.int64)
+        self.in_ids = np.asarray(in_ids, dtype=np.int64)
+
+    def _build_endpoints(self, index, n: int, objects, is_node) -> None:
+        object_id = self.object_id
+        succ_fwd = np.full(n, -1, dtype=np.int64)
+        succ_bwd = np.full(n, -1, dtype=np.int64)
+        edge_source = index.edge_source
+        edge_target = index.edge_target
+        for position, obj in enumerate(objects):
+            if is_node[position]:
+                continue
+            succ_fwd[position] = object_id[edge_target[obj]]
+            succ_bwd[position] = object_id[edge_source[obj]]
+        self.succ_fwd = succ_fwd
+        self.succ_bwd = succ_bwd
+
+    # -- condition tables ------------------------------------------------- #
+    def condition_arrays(self, condition: Test) -> tuple:
+        """``(indptr, starts, ends)`` CSR over dense ids for one condition.
+
+        Decoded once per condition from the index's memoized table
+        (objects absent from the table get an empty row, mirroring the
+        interpreted ``table.get(...) is None`` kill).
+        """
+        cached = self._conditions.get(condition)
+        if cached is not None:
+            return cached
+        table = self._index.condition_table(condition)
+        object_id = self.object_id
+        counts = np.zeros(self.num_objects + 1, dtype=np.int64)
+        for obj, family in table.items():
+            counts[object_id[obj] + 1] = len(family.intervals)
+        indptr = np.cumsum(counts)
+        starts = np.empty(int(indptr[-1]), dtype=np.int64)
+        ends = np.empty_like(starts)
+        for obj, family in table.items():
+            at = int(indptr[object_id[obj]])
+            for offset, interval in enumerate(family.intervals):
+                starts[at + offset] = interval.start
+                ends[at + offset] = interval.end
+        cached = (indptr, starts, ends)
+        self._conditions[condition] = cached
+        return cached
+
+    def seed_count(self, plan: ColumnarPlan) -> int:
+        """How many seed rows the plan starts from (for pool engagement)."""
+        if plan.seed_condition is None:
+            return self.num_objects
+        # The memoized table stores only objects with nonempty times, so
+        # its length is exactly the interpreted seed-row count.
+        return len(self._index.condition_table(plan.seed_condition))
+
+
+# --------------------------------------------------------------------- #
+# Array primitives
+# --------------------------------------------------------------------- #
+def _ranges(starts, counts):
+    """Concatenation of ``arange(starts[i], starts[i] + counts[i])``."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    first = np.repeat(starts - np.concatenate(([0], np.cumsum(counts)[:-1])), counts)
+    return np.arange(total, dtype=np.int64) + first
+
+
+def _pairs(a_gs, a_ge, b_gs, b_ge):
+    """Index pairs ``(i, j)`` with ``A_i`` overlapping ``B_j``.
+
+    Both sides are global-axis coalesced families sorted by start; the
+    expansion is two ``searchsorted`` passes plus a ragged gather.
+    """
+    if a_gs.size == 0 or b_gs.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    lo = np.searchsorted(b_ge, a_gs, side="left")
+    hi = np.searchsorted(b_gs, a_ge, side="right")
+    counts = np.maximum(hi - lo, 0)
+    a_idx = np.repeat(np.arange(a_gs.size, dtype=np.int64), counts)
+    b_idx = _ranges(lo, counts)
+    return a_idx, b_idx
+
+
+def _coalesce(stride, domain_start, owner, start, end):
+    """Sort + union-merge ``(owner, start, end)`` into canonical form.
+
+    Returns owner-sorted arrays where each owner's intervals are a
+    coalesced family.  The guard gap in ``stride`` guarantees the merge
+    sweep never unions intervals of different owners.
+    """
+    if owner.size <= 1:
+        return owner, start, end
+    gs = owner * stride + (start - domain_start)
+    ge = owner * stride + (end - domain_start)
+    order = np.argsort(gs, kind="stable")
+    gs = gs[order]
+    ge = ge[order]
+    run_end = np.maximum.accumulate(ge)
+    fresh = np.empty(gs.size, dtype=bool)
+    fresh[0] = True
+    fresh[1:] = gs[1:] > run_end[:-1] + 1
+    heads = np.flatnonzero(fresh)
+    out_gs = gs[heads]
+    out_ge = np.maximum.reduceat(ge, heads)
+    out_owner = out_gs // stride
+    base = out_owner * stride - domain_start
+    return out_owner, out_gs - base, out_ge - base
+
+
+def _intersect_global(a_gs, a_ge, b_gs, b_ge):
+    """Pairwise intersection of two sorted coalesced global families.
+
+    Returns ``(gs, ge, a_idx)``: the (still sorted, still coalesced)
+    intersection plus, per output interval, the index of the A-side
+    interval it came from (to recover owners without decoding).
+    """
+    a_idx, b_idx = _pairs(a_gs, a_ge, b_gs, b_ge)
+    if a_idx.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty
+    return (
+        np.maximum(a_gs[a_idx], b_gs[b_idx]),
+        np.minimum(a_ge[a_idx], b_ge[b_idx]),
+        a_idx,
+    )
+
+
+def _group_rows(keys: list, count: int):
+    """Group rows by the tuple of key columns, first-occurrence ordered.
+
+    Returns ``(group_of, reps)``: per-row group ids and, per group, the
+    index of its first member — the same representative the interpreted
+    coalescing frontier keeps when signature-equal rows merge.
+    """
+    if not keys:
+        return (
+            np.zeros(count, dtype=np.int64),
+            np.zeros(1 if count else 0, dtype=np.int64),
+        )
+    order = np.lexsort(tuple(keys))
+    fresh = np.zeros(count, dtype=bool)
+    fresh[0] = True
+    for key in keys:
+        sorted_key = key[order]
+        fresh[1:] |= sorted_key[1:] != sorted_key[:-1]
+    group_sorted = np.cumsum(fresh) - 1
+    group_of = np.empty(count, dtype=np.int64)
+    group_of[order] = group_sorted
+    # lexsort is stable, so the first entry of each sorted group is that
+    # group's earliest original row; reorder group ids by it.
+    reps_sorted = order[fresh]
+    perm = np.argsort(reps_sorted, kind="stable")
+    rank = np.empty(perm.size, dtype=np.int64)
+    rank[perm] = np.arange(perm.size, dtype=np.int64)
+    return rank[group_of], reps_sorted[perm]
+
+
+# --------------------------------------------------------------------- #
+# Frontier state
+# --------------------------------------------------------------------- #
+class _State:
+    """Struct-of-arrays frontier.
+
+    Invariants: ``owner`` ascending; per owner the ``(start, end)``
+    intervals form a coalesced family; every row owns >= 1 interval
+    (rows that run dry are compacted away, like interpreted rows whose
+    times empty out).
+    """
+
+    __slots__ = ("cur", "names", "cols", "owner", "start", "end")
+
+    def __init__(self, cur, names, cols, owner, start, end) -> None:
+        self.cur = cur
+        self.names = names
+        self.cols = cols
+        self.owner = owner
+        self.start = start
+        self.end = end
+
+    @property
+    def rows(self) -> int:
+        return int(self.cur.size)
+
+
+def _empty_state(names: tuple[str, ...]) -> _State:
+    empty = np.empty(0, dtype=np.int64)
+    return _State(empty, names, [empty] * len(names), empty, empty, empty)
+
+
+def _compact(state: _State, owner, start, end) -> _State:
+    """Re-pack after an op dropped intervals: owners renumber densely."""
+    rows = state.rows
+    alive = np.zeros(rows, dtype=bool)
+    alive[owner] = True
+    if alive.all():
+        return _State(state.cur, state.names, state.cols, owner, start, end)
+    remap = np.cumsum(alive) - 1
+    return _State(
+        state.cur[alive],
+        state.names,
+        [column[alive] for column in state.cols],
+        remap[owner],
+        start,
+        end,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Execution
+# --------------------------------------------------------------------- #
+class _Kernel:
+    """One columnar evaluation: ops over a context, deadline-aware."""
+
+    def __init__(self, ctx: ColumnarContext, deadline=None) -> None:
+        self.ctx = ctx
+        self.deadline = deadline
+        self.rows_merged = 0
+
+    # -- helpers --------------------------------------------------------- #
+    def _globals(self, owner, start, end):
+        ctx = self.ctx
+        gs = owner * ctx.stride + (start - ctx.domain_start)
+        return gs, gs + (end - start)
+
+    def _gather_condition(self, condition, cur):
+        """Per-row condition intervals on the global (row-keyed) axis."""
+        ctx = self.ctx
+        indptr, starts, ends = ctx.condition_arrays(condition)
+        lo = indptr[cur]
+        counts = indptr[cur + 1] - lo
+        row = np.repeat(np.arange(cur.size, dtype=np.int64), counts)
+        pos = _ranges(lo, counts)
+        return self._globals(row, starts[pos], ends[pos])
+
+    # -- ops ------------------------------------------------------------- #
+    def run(self, state: _State, ops: tuple) -> _State:
+        deadline = self.deadline
+        for completed, op in enumerate(ops):
+            if state.rows == 0:
+                break
+            # Same chaos hook + deadline cadence as the interpreted
+            # chain loop (one fire/check per columnar op).
+            failpoints.fire("engine.step")
+            if deadline is not None:
+                deadline.progress["steps_completed"] = completed
+                deadline.progress["frontier_rows"] = state.rows
+                deadline.check()
+            tag = op[0]
+            if tag == "test":
+                state = self._op_test(state, op[1])
+            elif tag == "struct":
+                state = self._op_struct(state, op[1])
+            elif tag == "bind":
+                state = _State(
+                    state.cur,
+                    state.names + (op[1],),
+                    state.cols + [state.cur],
+                    state.owner,
+                    state.start,
+                    state.end,
+                )
+            elif tag == "alt":
+                state = self._op_alt(state, op[1])
+            else:  # "temporal" — compile_ops guarantees it is final
+                state = self._op_temporal(state, op[1])
+        return state
+
+    def _op_test(self, state: _State, condition: Test) -> _State:
+        a_gs, a_ge = self._globals(state.owner, state.start, state.end)
+        b_gs, b_ge = self._gather_condition(condition, state.cur)
+        gs, ge, a_idx = _intersect_global(a_gs, a_ge, b_gs, b_ge)
+        if a_idx.size == 0:
+            return _empty_state(state.names)
+        owner = state.owner[a_idx]
+        base = owner * self.ctx.stride - self.ctx.domain_start
+        return _compact(state, owner, gs - base, ge - base)
+
+    def _op_struct(self, state: _State, forward: bool) -> _State:
+        ctx = self.ctx
+        cur = state.cur
+        rows = state.rows
+        indptr = ctx.out_indptr if forward else ctx.in_indptr
+        ids = ctx.out_ids if forward else ctx.in_ids
+        succ = ctx.succ_fwd if forward else ctx.succ_bwd
+        node = ctx.is_node[cur]
+        degree = np.where(node, indptr[cur + 1] - indptr[cur], 1)
+        offsets = np.concatenate(([0], np.cumsum(degree)))
+        total = int(offsets[-1])
+        if total == 0:
+            return _empty_state(state.names)
+        new_cur = np.empty(total, dtype=np.int64)
+        node_rows = np.flatnonzero(node)
+        if node_rows.size:
+            out_pos = _ranges(offsets[node_rows], degree[node_rows])
+            adj_pos = _ranges(indptr[cur[node_rows]], degree[node_rows])
+            new_cur[out_pos] = ids[adj_pos]
+        edge_rows = np.flatnonzero(~node)
+        if edge_rows.size:
+            new_cur[offsets[edge_rows]] = succ[cur[edge_rows]]
+        src_row = np.repeat(np.arange(rows, dtype=np.int64), degree)
+        # Replicate each source row's interval family to its fan-out.
+        ival_indptr = np.searchsorted(
+            state.owner, np.arange(rows + 1, dtype=np.int64), side="left"
+        )
+        ival_counts = ival_indptr[src_row + 1] - ival_indptr[src_row]
+        pos = _ranges(ival_indptr[src_row], ival_counts)
+        fanned = _State(
+            new_cur,
+            state.names,
+            [column[src_row] for column in state.cols],
+            np.repeat(np.arange(total, dtype=np.int64), ival_counts),
+            state.start[pos],
+            state.end[pos],
+        )
+        return self._merge(fanned)
+
+    def _op_alt(self, state: _State, branches: tuple) -> _State:
+        parts = [self.run(state, branch) for branch in branches]
+        parts = [part for part in parts if part.rows]
+        if not parts:
+            return _empty_state(state.names)
+        owners = []
+        offset = 0
+        for part in parts:
+            owners.append(part.owner + offset)
+            offset += part.rows
+        stacked = _State(
+            np.concatenate([part.cur for part in parts]),
+            state.names,
+            [
+                np.concatenate([part.cols[i] for part in parts])
+                for i in range(len(state.names))
+            ],
+            np.concatenate(owners),
+            np.concatenate([part.start for part in parts]),
+            np.concatenate([part.end for part in parts]),
+        )
+        return self._merge(stacked)
+
+    def _merge(self, state: _State) -> _State:
+        """Coalescing-frontier merge: union families of signature-equal rows."""
+        rows = state.rows
+        if rows <= 1:
+            return state
+        group_of, reps = _group_rows([*state.cols, state.cur], rows)
+        groups = reps.size
+        if groups == rows:
+            return state
+        self.rows_merged += rows - groups
+        ctx = self.ctx
+        owner, start, end = _coalesce(
+            ctx.stride, ctx.domain_start, group_of[state.owner], state.start, state.end
+        )
+        return _State(
+            state.cur[reps],
+            state.names,
+            [column[reps] for column in state.cols],
+            owner,
+            start,
+            end,
+        )
+
+    # -- final temporal step --------------------------------------------- #
+    def _op_temporal(self, state: _State, step: TemporalStep) -> _State:
+        """Fused final TemporalStep + Step-3 materialization.
+
+        Per row with validity ``T``: the output family is
+        ``T ∩ sources(targets(T) ∩ satisfied)``, the vectorized form of
+        ``_apply_temporal`` (reachable windows ∩ fused conditions)
+        followed by ``IntervalMaterializer.row_family`` on the two-group
+        row (``alive[0] = T ∩ link_sources(alive[1])``).  Rows whose
+        final family empties are dropped, exactly like ``families()``
+        skipping ``row_family() is None``.
+        """
+        ctx = self.ctx
+        d0, d1 = ctx.domain_start, ctx.domain_end
+        stride = ctx.stride
+        lower, upper = step.lower, step.upper
+        forward = step.forward
+
+        a_owner, a_s, a_e = state.owner, state.start, state.end
+        a_gs, a_ge = self._globals(a_owner, a_s, a_e)
+
+        run_row = run_s = run_e = run_gs = run_ge = None
+        if step.require_existence:
+            indptr = ctx.ex_indptr
+            lo = indptr[state.cur]
+            counts = indptr[state.cur + 1] - lo
+            run_row = np.repeat(np.arange(state.rows, dtype=np.int64), counts)
+            pos = _ranges(lo, counts)
+            run_s = ctx.ex_start[pos]
+            run_e = ctx.ex_end[pos]
+            run_gs, run_ge = self._globals(run_row, run_s, run_e)
+
+        # targets(T): the reachable windows, per row, coalesced.
+        if step.require_existence:
+            piece_owner: list = []
+            piece_s: list = []
+            piece_e: list = []
+            if lower == 0:
+                piece_owner.append(a_owner)
+                piece_s.append(a_s)
+                piece_e.append(a_e)
+            if upper is None or upper >= 1:
+                min_moves = max(lower, 1)
+                shift = -1 if forward else 1
+                ai, bi = _pairs(a_gs, a_ge, run_gs + shift, run_ge + shift)
+                if ai.size:
+                    anchor_s = np.maximum(a_s[ai], run_s[bi] + shift)
+                    anchor_e = np.minimum(a_e[ai], run_e[bi] + shift)
+                    if forward:
+                        t_lo = anchor_s + min_moves
+                        t_hi = (
+                            run_e[bi]
+                            if upper is None
+                            else np.minimum(run_e[bi], anchor_e + upper)
+                        )
+                    else:
+                        t_hi = anchor_e - min_moves
+                        t_lo = (
+                            run_s[bi]
+                            if upper is None
+                            else np.maximum(run_s[bi], anchor_s - upper)
+                        )
+                    keep = (t_lo <= t_hi) & (t_hi >= d0) & (t_lo <= d1)
+                    piece_owner.append(a_owner[ai][keep])
+                    piece_s.append(np.clip(t_lo[keep], d0, d1))
+                    piece_e.append(np.clip(t_hi[keep], d0, d1))
+            if piece_owner:
+                w_owner = np.concatenate(piece_owner)
+                w_s = np.concatenate(piece_s)
+                w_e = np.concatenate(piece_e)
+            else:
+                w_owner = w_s = w_e = np.empty(0, dtype=np.int64)
+        else:
+            if forward:
+                t_lo = a_s + lower
+                t_hi = np.full_like(a_e, d1) if upper is None else a_e + upper
+            else:
+                t_hi = a_e - lower
+                t_lo = np.full_like(a_s, d0) if upper is None else a_s - upper
+            keep = (t_lo <= t_hi) & (t_hi >= d0) & (t_lo <= d1)
+            w_owner = a_owner[keep]
+            w_s = np.clip(t_lo[keep], d0, d1)
+            w_e = np.clip(t_hi[keep], d0, d1)
+        w_owner, w_s, w_e = _coalesce(stride, d0, w_owner, w_s, w_e)
+
+        # ∩ fused target conditions (the step's absorbed static tests).
+        w_gs, w_ge = self._globals(w_owner, w_s, w_e)
+        for condition in step.target_conditions:
+            if w_owner.size == 0:
+                break
+            b_gs, b_ge = self._gather_condition(condition, state.cur)
+            w_gs, w_ge, w_idx = _intersect_global(w_gs, w_ge, b_gs, b_ge)
+            w_owner = w_owner[w_idx]
+        if w_owner.size == 0:
+            return _empty_state(state.names)
+        base = w_owner * stride - d0
+        r_owner, r_s, r_e = w_owner, w_gs - base, w_ge - base
+
+        # sources(reached): anchors that can reach the surviving windows.
+        if step.require_existence:
+            piece_owner = []
+            piece_s = []
+            piece_e = []
+            if lower == 0:
+                piece_owner.append(r_owner)
+                piece_s.append(r_s)
+                piece_e.append(r_e)
+            if upper is None or upper >= 1:
+                min_moves = max(lower, 1)
+                r_gs, r_ge = self._globals(r_owner, r_s, r_e)
+                ai, bi = _pairs(r_gs, r_ge, run_gs, run_ge)
+                if ai.size:
+                    pc_s = np.maximum(r_s[ai], run_s[bi])
+                    pc_e = np.minimum(r_e[ai], run_e[bi])
+                    if forward:
+                        s_lo = (
+                            run_s[bi] - 1
+                            if upper is None
+                            else np.maximum(run_s[bi] - 1, pc_s - upper)
+                        )
+                        s_hi = pc_e - min_moves
+                    else:
+                        s_lo = pc_s + min_moves
+                        s_hi = (
+                            run_e[bi] + 1
+                            if upper is None
+                            else np.minimum(run_e[bi] + 1, pc_e + upper)
+                        )
+                    keep = (s_lo <= s_hi) & (s_hi >= d0) & (s_lo <= d1)
+                    piece_owner.append(r_owner[ai][keep])
+                    piece_s.append(np.clip(s_lo[keep], d0, d1))
+                    piece_e.append(np.clip(s_hi[keep], d0, d1))
+            if piece_owner:
+                src_owner = np.concatenate(piece_owner)
+                src_s = np.concatenate(piece_s)
+                src_e = np.concatenate(piece_e)
+            else:
+                src_owner = src_s = src_e = np.empty(0, dtype=np.int64)
+        else:
+            if forward:
+                s_hi = r_e - lower
+                s_lo = np.full_like(r_s, d0) if upper is None else r_s - upper
+            else:
+                s_lo = r_s + lower
+                s_hi = np.full_like(r_e, d1) if upper is None else r_e + upper
+            keep = (s_lo <= s_hi) & (s_hi >= d0) & (s_lo <= d1)
+            src_owner = r_owner[keep]
+            src_s = np.clip(s_lo[keep], d0, d1)
+            src_e = np.clip(s_hi[keep], d0, d1)
+        src_owner, src_s, src_e = _coalesce(stride, d0, src_owner, src_s, src_e)
+
+        # Output family: T ∩ sources, per row; dry rows drop.
+        src_gs, src_ge = self._globals(src_owner, src_s, src_e)
+        out_gs, out_ge, a_idx = _intersect_global(a_gs, a_ge, src_gs, src_ge)
+        if a_idx.size == 0:
+            return _empty_state(state.names)
+        owner = a_owner[a_idx]
+        base = owner * stride - d0
+        return _compact(state, owner, out_gs - base, out_ge - base)
+
+    # -- output ----------------------------------------------------------- #
+    def project(
+        self, state: _State, variables: tuple[str, ...]
+    ) -> list[tuple[tuple, IntervalSet]]:
+        """Canonical ``(bindings, family)`` list, one entry per binding
+        tuple — the columnar twin of ``IntervalMaterializer.families``."""
+        rows = state.rows
+        if rows == 0:
+            return []
+        missing = [v for v in variables if v not in state.names]
+        if missing:
+            raise EvaluationError(f"variables {missing} were never bound")
+        column_for: dict[str, object] = {}
+        for name, column in zip(state.names, state.cols):
+            column_for[name] = column  # later binds win, like variable_positions
+        group_of, reps = _group_rows([column_for[v] for v in variables], rows)
+        groups = reps.size
+        ctx = self.ctx
+        owner, start, end = _coalesce(
+            ctx.stride, ctx.domain_start, group_of[state.owner], state.start, state.end
+        )
+        indptr = np.searchsorted(
+            owner, np.arange(groups + 1, dtype=np.int64), side="left"
+        )
+        objects = ctx.objects
+        families = []
+        for group in range(groups):
+            representative = int(reps[group])
+            bindings = tuple(
+                (v, objects[int(column_for[v][representative])]) for v in variables
+            )
+            lo, hi = int(indptr[group]), int(indptr[group + 1])
+            families.append(
+                (
+                    bindings,
+                    IntervalSet._from_coalesced(
+                        tuple(
+                            Interval(int(start[k]), int(end[k]))
+                            for k in range(lo, hi)
+                        )
+                    ),
+                )
+            )
+        return families
+
+
+# --------------------------------------------------------------------- #
+# Entry points
+# --------------------------------------------------------------------- #
+def run_query(
+    ctx: ColumnarContext,
+    plan: ColumnarPlan,
+    variables: tuple[str, ...],
+    deadline=None,
+) -> tuple[list, int, int]:
+    """Evaluate a planned full query: ``(families, frontier_rows, merged)``.
+
+    Seeds come straight from the context's condition CSR (or the full
+    object range under domain times), never materializing per-row
+    Python objects — this is where the kernel beats the interpreted
+    path even on cheap full-scan queries.
+    """
+    if plan.seed_condition is not None and all(op[0] == "bind" for op in plan.ops):
+        # Degenerate chain (Q1–Q4 shapes): the whole query is one
+        # absorbed condition plus binds, so the memoized condition table
+        # IS the answer — reuse its IntervalSet instances directly, no
+        # arrays, no per-row objects.
+        names = tuple(op[1] for op in plan.ops)
+        if variables and all(v in names for v in variables):
+            table = ctx._index.condition_table(plan.seed_condition)
+            families = [
+                (tuple((v, obj) for v in variables), times)
+                for obj, times in table.items()
+            ]
+            return families, len(families), 0
+    if plan.seed_condition is not None:
+        indptr, starts, ends = ctx.condition_arrays(plan.seed_condition)
+        counts = np.diff(indptr)
+        cur = np.flatnonzero(counts).astype(np.int64)
+        owner = np.repeat(np.arange(cur.size, dtype=np.int64), counts[cur])
+        pos = _ranges(indptr[cur], counts[cur])
+        state = _State(cur, (), [], owner, starts[pos], ends[pos])
+    else:
+        n = ctx.num_objects
+        ids = np.arange(n, dtype=np.int64)
+        state = _State(
+            ids,
+            (),
+            [],
+            ids.copy(),
+            np.full(n, ctx.domain_start, dtype=np.int64),
+            np.full(n, ctx.domain_end, dtype=np.int64),
+        )
+    kernel = _Kernel(ctx, deadline)
+    state = kernel.run(state, plan.ops)
+    return kernel.project(state, variables), state.rows, kernel.rows_merged
+
+
+def run_rows(
+    ctx: ColumnarContext,
+    ops: tuple,
+    rows: Sequence[Row],
+    variables: tuple[str, ...],
+    deadline=None,
+) -> Optional[tuple[list, int, int]]:
+    """Evaluate compiled ops over materialized seed rows.
+
+    The row-based entry the worker-pool chunks and the streaming
+    engine's per-seed re-derivations use.  Returns ``None`` when the
+    rows don't fit the kernel's frontier shape (multi-group rows,
+    non-uniform binding prefixes, empty families) — the caller falls
+    back to the interpreted chain.
+    """
+    count = len(rows)
+    if count == 0:
+        return [], 0, 0
+    object_id = ctx.object_id
+    names: Optional[tuple[str, ...]] = None
+    cur = np.empty(count, dtype=np.int64)
+    interval_counts = np.empty(count, dtype=np.int64)
+    binding_values: list[list[int]] = []
+    starts: list[int] = []
+    ends: list[int] = []
+    for position, row in enumerate(rows):
+        if len(row.groups) != 1:
+            return None
+        group = row.groups[0]
+        row_names = tuple(name for name, _obj in group.bindings)
+        if names is None:
+            names = row_names
+            binding_values = [[] for _ in row_names]
+        elif row_names != names:
+            return None
+        obj_position = object_id.get(group.current)
+        if obj_position is None:
+            return None
+        cur[position] = obj_position
+        for slot, (_name, obj) in enumerate(group.bindings):
+            bound = object_id.get(obj)
+            if bound is None:
+                return None
+            binding_values[slot].append(bound)
+        intervals = group.times.intervals
+        if not intervals:
+            return None
+        interval_counts[position] = len(intervals)
+        for interval in intervals:
+            starts.append(interval.start)
+            ends.append(interval.end)
+    state = _State(
+        cur,
+        names or (),
+        [np.asarray(values, dtype=np.int64) for values in binding_values],
+        np.repeat(np.arange(count, dtype=np.int64), interval_counts),
+        np.asarray(starts, dtype=np.int64),
+        np.asarray(ends, dtype=np.int64),
+    )
+    kernel = _Kernel(ctx, deadline)
+    state = kernel.run(state, ops)
+    return kernel.project(state, variables), state.rows, kernel.rows_merged

@@ -34,6 +34,26 @@ Design — one mechanism, reused end to end:
   ``close`` frame, which hands off immediately instead of waiting out
   the timeout.
 
+Protocol invariants, in one place (the chaos suite's checklist):
+
+1. **Frame identity** — a shipped frame is byte-identical to the
+   primary's on-disk WAL record for the same sequence; CRC verification
+   is the same code on both paths.
+2. **Sequences are dense and monotonic per graph**; a standby applies
+   frame *n+1* only after *n*, and duplicate sequences (catch-up racing
+   live publication) are dropped, never re-applied.
+3. **Acks trail applies** — ``replicate.ack`` is sent only after
+   :meth:`~repro.server.state.GraphHost.apply_frame` succeeds, so the
+   primary's per-subscriber ``lag`` (``last_seq - acked``) never
+   understates how far behind a standby really is.
+4. **Fencing bounds the promoted history** — a promoting standby
+   records the dead primary's address and the last sequence it
+   applied *before* accepting writes; answers it serves afterwards are
+   epoch-identical to the old primary's through that boundary.
+5. **Graceful beats the timeout** — a draining primary's ``close``
+   frame hands off immediately; the ``failover_after`` window exists
+   only for the crash case.
+
 Failpoints: ``replicate.ship`` fires before each record frame leaves the
 primary (a ``kill`` spec is the chaos suite's deterministic
 "primary dies mid-stream"), ``replicate.apply`` before a standby applies

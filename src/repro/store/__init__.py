@@ -22,11 +22,40 @@ makes the compiled index a *persistent, shareable* artifact instead:
 * :func:`repro.server.state.GraphHost.from_files` accepts a store and
   attaches on restart instead of recompiling.
 
-Structured failure modes: :class:`~repro.errors.StoreFormatError` (not
-an artifact / malformed), :class:`~repro.errors.StoreVersionError`
-(incompatible format version), :class:`~repro.errors.StoreCorruptError`
-(checksum or truncation).  See PERFORMANCE.md § "Persistent
-compiled-graph store" and RELIABILITY.md for the integrity discipline.
+Format invariants (``repro-index/1``) — the contract every reader and
+writer in this package maintains:
+
+* **Self-describing header.**  An artifact opens with a fixed magic +
+  format version + the SHA-256 of its header JSON; anything else is
+  rejected up front (:class:`~repro.errors.StoreFormatError` for
+  not-an-artifact/malformed, :class:`~repro.errors.StoreVersionError`
+  for an incompatible version).
+* **Checksummed sections.**  The body is named flat sections, each
+  carrying a CRC-32 verified lazily on first access (eagerly under
+  ``--verify``); interval data is struct-packed little-endian ``<qq``
+  pairs behind ``u64`` offset indexes, adjacency is dense-``u32`` id
+  lists (``out_count`` prefix, then out- then in-edge ids).  Any
+  checksum or truncation failure raises
+  :class:`~repro.errors.StoreCorruptError` — corruption is never
+  silently decoded.
+* **Atomic visibility.**  Writes go to a temp file, fsync, then
+  ``os.replace`` + directory fsync: a crashed compile never leaves a
+  partial artifact under the final name.
+* **Interval families are canonical on disk** — sorted, disjoint,
+  gap-coalesced — so readers (including the columnar kernel's
+  section-to-array decode, :meth:`AttachedCore.columnar_sections`)
+  consume them without re-normalizing.
+* **Sharded stores fail closed.**  Every member of a sharded manifest
+  records the manifest's generation token; a mixed-generation store
+  raises :class:`~repro.errors.StoreCorruptError` instead of serving a
+  franken-graph.
+* **Attachments are read-only.**  Mutation happens in the overlay dicts
+  *above* the mmap (the streaming delta path); consumers that decode
+  sections into private arrays must copy, because ``close()`` refuses
+  to unmap while exported buffers exist.
+
+See PERFORMANCE.md § "Persistent compiled-graph store" and
+RELIABILITY.md for the measurements and the operational discipline.
 """
 
 from repro.store.artifact import (

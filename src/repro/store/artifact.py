@@ -554,6 +554,31 @@ class AttachedCore:
         for key, bucket in self._buckets()[2].items():
             target.setdefault(key, bucket)
 
+    # -- bulk decode ----------------------------------------------------- #
+    def columnar_sections(self) -> Optional[tuple]:
+        """Raw ``(exist.idx, exist.dat, adj.idx, adj.dat)`` memoryviews.
+
+        The columnar kernel (:mod:`repro.perf.columnar`) decodes these
+        four struct-packed sections straight into flat NumPy arrays —
+        ``exist.idx`` is u64 byte offsets (16 bytes per ``<qq`` interval
+        pair), ``adj.idx``/``adj.dat`` the u32 ``out_count + ids``
+        records — skipping the per-record lazy-map walk entirely.  Only
+        valid for a single-part store with the identity record layout
+        (dense position == local record); sharded manifests return
+        ``None`` and the caller falls back to the dict surface.
+        Consumers must **copy** out of the views before the attachment
+        closes (an exported buffer makes ``mmap.close`` raise).
+        """
+        if len(self._parts) != 1 or self._parts[0].members() is not None:
+            return None
+        part = self._parts[0]
+        return (
+            part.section("exist.idx"),
+            part.section("exist.dat"),
+            part.section("adj.idx"),
+            part.section("adj.dat"),
+        )
+
     # -- housekeeping --------------------------------------------------- #
     def node_enumeration(self) -> tuple[ObjectId, ...]:
         return self._node_tuple

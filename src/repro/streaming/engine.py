@@ -527,7 +527,17 @@ class StreamingEngine:
         from repro.dataflow.executor import _ChainStats
 
         engine = self._engine
-        frontier = engine._run_chain_on([row], rest, _ChainStats())
+        stats = _ChainStats()
+        if state.mode == "families":
+            # Columnar kernel for the single-seed re-derivation (no-op
+            # unless the engine is kernel="columnar" and the chain shape
+            # is covered); the interpreted walk below stays the oracle.
+            attempt = engine._columnar_rows_attempt(
+                rest, [row], state.variables, stats
+            )
+            if attempt is not None:
+                return tuple(attempt[0])
+        frontier = engine._run_chain_on([row], rest, stats)
         if not frontier:
             return ()
         if state.mode == "families":

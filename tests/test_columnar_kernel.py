@@ -1,0 +1,338 @@
+"""Tests for the columnar evaluation kernel (``kernel="columnar"``).
+
+Three layers:
+
+* **Dispatch contract** — ``explain()`` reports ``kernel`` /
+  ``effective_kernel`` / ``kernel_fallback``, unknown kernels are
+  rejected at construction, and the NumPy-absent configuration degrades
+  to the interpreted path with identical output (the CI tests job runs
+  without NumPy, so this is the configuration most suites exercise).
+* **Fallback identity** — queries the kernel does not cover (point-mode
+  output, mid-chain temporal navigation) record a reason and produce
+  byte-identical answers through the interpreted path.
+* **Array primitives + store fast path** — the sweep building blocks
+  against hand-computed expectations, and attached-artifact parity
+  (exercising :meth:`AttachedCore.columnar_sections` decoding).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.random_graphs import random_itpg, random_match_query
+from repro.dataflow import PAPER_QUERIES, DataflowEngine
+from repro.errors import EvaluationError
+from repro.model import contact_tracing_example
+from repro.perf import columnar
+
+requires_numpy = pytest.mark.skipif(
+    not columnar.available(), reason="columnar kernel requires numpy"
+)
+
+
+def _example_engines(**kwargs):
+    graph = contact_tracing_example()
+    return (
+        DataflowEngine(graph, kernel="columnar", **kwargs),
+        DataflowEngine(graph, **kwargs),
+    )
+
+
+class TestKernelSelection:
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel 'simd'"):
+            DataflowEngine(contact_tracing_example(), kernel="simd")
+
+    def test_kernel_property_and_default(self):
+        graph = contact_tracing_example()
+        assert DataflowEngine(graph).kernel == "interpreted"
+        assert DataflowEngine(graph, kernel="columnar").kernel == "columnar"
+        assert DataflowEngine.KERNELS == ("interpreted", "columnar")
+
+    def test_interpreted_explain_reports_no_fallback(self):
+        engine = DataflowEngine(contact_tracing_example())
+        plan = engine.explain(PAPER_QUERIES["Q1"].text)
+        assert plan["kernel"] == "interpreted"
+        assert plan["effective_kernel"] == "interpreted"
+        assert plan["kernel_fallback"] is None
+
+
+class TestExplainReporting:
+    @requires_numpy
+    def test_covered_query_reports_columnar(self):
+        engine, _ = _example_engines()
+        plan = engine.explain(PAPER_QUERIES["Q1"].text)
+        assert plan["kernel"] == "columnar"
+        assert plan["effective_kernel"] == "columnar"
+        assert plan["kernel_fallback"] is None
+
+    @requires_numpy
+    def test_point_mode_query_reports_fallback(self):
+        # Q6 binds variables across temporal groups, so its output is
+        # point-mode rows — outside the kernel's family representation.
+        engine, _ = _example_engines()
+        plan = engine.explain(PAPER_QUERIES["Q6"].text)
+        assert plan["effective_kernel"] == "interpreted"
+        assert plan["kernel_fallback"] == (
+            "output spans temporal groups (point mode)"
+        )
+
+    @requires_numpy
+    def test_legacy_frontier_disables_kernel(self):
+        engine = DataflowEngine(
+            contact_tracing_example(), kernel="columnar", use_coalesced=False
+        )
+        plan = engine.explain(PAPER_QUERIES["Q1"].text)
+        assert plan["effective_kernel"] == "interpreted"
+        assert "coalescing frontier" in plan["kernel_fallback"]
+
+    @requires_numpy
+    def test_no_index_disables_kernel(self):
+        engine = DataflowEngine(
+            contact_tracing_example(), kernel="columnar", use_index=False
+        )
+        plan = engine.explain(PAPER_QUERIES["Q1"].text)
+        assert plan["effective_kernel"] == "interpreted"
+        assert "graph index" in plan["kernel_fallback"]
+
+    def test_numpy_absent_reports_and_matches_interpreted(self, monkeypatch):
+        monkeypatch.setattr(columnar, "np", None)
+        assert not columnar.available()
+        engine, oracle = _example_engines()
+        plan = engine.explain(PAPER_QUERIES["Q1"].text)
+        assert plan["kernel"] == "columnar"
+        assert plan["effective_kernel"] == "interpreted"
+        assert plan["kernel_fallback"] == "numpy is not installed"
+        for name, query in PAPER_QUERIES.items():
+            assert engine.match(query.text).as_set() == (
+                oracle.match(query.text).as_set()
+            ), f"{name} diverged with numpy absent"
+
+
+class TestFallbackIdentity:
+    """Unsupported shapes run interpreted with byte-identical output."""
+
+    @pytest.mark.parametrize("name", ["Q6", "Q7", "Q8"])
+    def test_point_mode_queries_identical(self, name):
+        engine, oracle = _example_engines()
+        query = PAPER_QUERIES[name].text
+        assert engine.match(query).as_set() == oracle.match(query).as_set()
+        # Both reject coalesced output for point-mode queries alike.
+        with pytest.raises(EvaluationError):
+            engine.match_intervals(query)
+        with pytest.raises(EvaluationError):
+            oracle.match_intervals(query)
+
+    @requires_numpy
+    def test_mid_chain_temporal_step_falls_back(self):
+        # N·P: a temporal step before the end of the chain is not a
+        # kernel shape; the plan reports why and the answer is identical.
+        from repro.lang import ast
+        from repro.lang.parser import MatchQuery, NodePattern, PathPattern
+
+        graph = random_itpg(3)
+        path = ast.concat(ast.P, ast.N)
+        # Anonymous target: every binding stays in temporal group 0, so
+        # the output is family-mode and the chain-shape check is what
+        # rejects the mid-chain temporal step.
+        query = MatchQuery(
+            elements=(NodePattern(variable="x"), NodePattern(variable=None)),
+            connectors=(PathPattern(path=path, source_text="<p-n>"),),
+            graph_name="g",
+            text="<p-n>",
+        )
+        engine = DataflowEngine(graph, kernel="columnar")
+        plan = engine.explain(query)
+        assert plan["effective_kernel"] == "interpreted"
+        assert plan["kernel_fallback"] == (
+            "temporal navigation before the end of the chain"
+        )
+        oracle = DataflowEngine(graph)
+        assert engine.match(query).as_set() == oracle.match(query).as_set()
+
+    @requires_numpy
+    @pytest.mark.parametrize("seed", range(1, 9))
+    def test_random_fuzz_cases_identical(self, seed):
+        graph = random_itpg(seed)
+        query = random_match_query(seed * 31 + 7)
+        engine = DataflowEngine(graph, kernel="columnar")
+        oracle = DataflowEngine(graph)
+        assert engine.match(query).as_set() == oracle.match(query).as_set()
+
+
+@requires_numpy
+class TestPaperQueryParity:
+    def test_all_paper_queries_identical(self):
+        engine, oracle = _example_engines()
+        for name, query in PAPER_QUERIES.items():
+            assert engine.match(query.text).as_set() == (
+                oracle.match(query.text).as_set()
+            ), f"{name} diverged on the built-in example"
+
+    def test_interval_families_identical(self):
+        engine, oracle = _example_engines()
+        for name, query in PAPER_QUERIES.items():
+            try:
+                expected = oracle.match_intervals(query.text)
+            except EvaluationError:
+                with pytest.raises(EvaluationError):
+                    engine.match_intervals(query.text)
+                continue
+            got = engine.match_intervals(query.text)
+            assert sorted(got, key=repr) == sorted(expected, key=repr), (
+                f"{name} interval families diverged"
+            )
+
+    def test_streaming_delta_invalidates_columnar_context(self):
+        # A delta bumps the index epoch; the cached context must be
+        # rebuilt, not silently reused with stale arrays.
+        from repro.model.io import from_json_dict, to_json_dict
+        from repro.streaming import DeltaBatch
+
+        payload = to_json_dict(contact_tracing_example())
+        engine = DataflowEngine(
+            from_json_dict(payload), kernel="columnar", incremental=True
+        )
+        oracle = DataflowEngine(from_json_dict(payload), incremental=True)
+        query = PAPER_QUERIES["Q1"].text
+        assert engine.match(query).as_set() == oracle.match(query).as_set()
+        batch = DeltaBatch()
+        batch.add_node("zz1", "Person", [(1, 5)])
+        for target in (engine, oracle):
+            target.apply_delta(DeltaBatch.from_json_dict(batch.to_json_dict()))
+        assert engine.match(query).as_set() == oracle.match(query).as_set()
+
+
+@requires_numpy
+class TestPrimitives:
+    def test_ranges_concatenates_aranges(self):
+        import numpy as np
+
+        starts = np.array([5, 10, 3], dtype=np.int64)
+        counts = np.array([3, 0, 2], dtype=np.int64)
+        assert columnar._ranges(starts, counts).tolist() == [5, 6, 7, 3, 4]
+        empty = columnar._ranges(
+            np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        assert empty.size == 0
+
+    def test_coalesce_merges_adjacent_and_overlapping(self):
+        import numpy as np
+
+        stride = 100
+        owner = np.array([0, 0, 0, 1], dtype=np.int64)
+        start = np.array([5, 1, 9, 1], dtype=np.int64)
+        end = np.array([7, 4, 9, 2], dtype=np.int64)
+        o, s, e = columnar._coalesce(stride, 0, owner, start, end)
+        # [1,4] and [5,7] are adjacent (gap 1) so they merge; [9,9] stays.
+        assert o.tolist() == [0, 0, 1]
+        assert s.tolist() == [1, 9, 1]
+        assert e.tolist() == [7, 9, 2]
+
+    def test_coalesce_guard_gap_keeps_owners_apart(self):
+        import numpy as np
+
+        # Owner 0 ends at the domain edge, owner 1 starts at the domain
+        # start: on a gapless axis these would wrongly merge.
+        domain_start, domain_end = 0, 9
+        stride = domain_end - domain_start + 2
+        owner = np.array([0, 1], dtype=np.int64)
+        start = np.array([8, 0], dtype=np.int64)
+        end = np.array([9, 1], dtype=np.int64)
+        o, s, e = columnar._coalesce(stride, domain_start, owner, start, end)
+        assert o.tolist() == [0, 1]
+        assert s.tolist() == [8, 0] and e.tolist() == [9, 1]
+
+    def test_intersect_global_reports_source_indices(self):
+        import numpy as np
+
+        a_gs = np.array([0, 10], dtype=np.int64)
+        a_ge = np.array([5, 20], dtype=np.int64)
+        b_gs = np.array([3, 12, 30], dtype=np.int64)
+        b_ge = np.array([4, 40, 50], dtype=np.int64)
+        gs, ge, a_idx = columnar._intersect_global(a_gs, a_ge, b_gs, b_ge)
+        assert gs.tolist() == [3, 12]
+        assert ge.tolist() == [4, 20]
+        assert a_idx.tolist() == [0, 1]
+
+    def test_group_rows_first_occurrence_order(self):
+        import numpy as np
+
+        keys = [np.array([2, 1, 2, 1, 3], dtype=np.int64)]
+        group_of, reps = columnar._group_rows(keys, 5)
+        assert group_of.tolist() == [0, 1, 0, 1, 2]
+        assert reps.tolist() == [0, 1, 4]
+
+    def test_group_rows_no_keys(self):
+        group_of, reps = columnar._group_rows([], 3)
+        assert group_of.tolist() == [0, 0, 0]
+        assert reps.tolist() == [0]
+
+
+@requires_numpy
+class TestStoreFastPath:
+    def test_attached_store_matches_in_memory(self, tmp_path):
+        from repro.store import attach, compile_graph
+
+        graph = contact_tracing_example()
+        path = str(tmp_path / "graph.rix")
+        compile_graph(graph, path)
+        attachment = attach(path)
+        try:
+            assert attachment.core.columnar_sections() is not None
+            engine = DataflowEngine(attachment.graph, kernel="columnar")
+            oracle = DataflowEngine(graph)
+            for name, query in PAPER_QUERIES.items():
+                assert engine.match(query.text).as_set() == (
+                    oracle.match(query.text).as_set()
+                ), f"{name} diverged on the attached store"
+        finally:
+            # Decoding must copy: close() raises BufferError if any
+            # numpy view still pins the mmap.
+            attachment.close()
+
+    def test_sharded_store_skips_fast_path_but_agrees(self, tmp_path):
+        from repro.store import attach, compile_graph
+
+        graph = random_itpg(4, num_nodes=8, num_edges=12)
+        query = random_match_query(4 * 31 + 7)
+        path = str(tmp_path / "store.json")
+        compile_graph(graph, path, shards=3)
+        attachment = attach(path)
+        try:
+            engine = DataflowEngine(attachment.graph, kernel="columnar")
+            oracle = DataflowEngine(graph)
+            assert engine.match(query).as_set() == oracle.match(query).as_set()
+        finally:
+            attachment.close()
+
+
+class TestCliKernelFlag:
+    def test_query_accepts_columnar(self, capsys):
+        from repro.cli import main
+
+        assert main(["query", "Q9", "--kernel", "columnar"]) == 0
+        assert "n3" in capsys.readouterr().out
+
+    def test_explain_prints_kernel_line(self, capsys):
+        from repro.cli import main
+
+        assert main(["query", "Q1", "--kernel", "columnar", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel=columnar" in out
+
+    def test_kernel_requires_dataflow_engine(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["query", "Q6", "--engine", "reference", "--kernel", "columnar"]
+        )
+        assert code == 2
+        assert "dataflow engine only" in capsys.readouterr().err
+
+    def test_unknown_kernel_rejected_by_argparse(self, capsys):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "Q1", "--kernel", "simd"])
+        assert "invalid choice" in capsys.readouterr().err

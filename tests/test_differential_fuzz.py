@@ -115,6 +115,7 @@ def run_match_case(seed: int) -> None:
         "dataflow-coalesced": DataflowEngine(graph),
         "dataflow-legacy-rows": DataflowEngine(graph, use_coalesced=False),
         "dataflow-coalesced-noindex": DataflowEngine(graph, use_index=False),
+        "dataflow-columnar": DataflowEngine(graph, kernel="columnar"),
         "reference-point": ReferenceEngine(graph),
         "reference-intervals": ReferenceEngine(graph, use_intervals=True),
     }
@@ -154,6 +155,9 @@ def run_match_case(seed: int) -> None:
     assert defined["dataflow-coalesced"] == defined["dataflow-coalesced-noindex"], (
         f"index on/off disagree on match_intervals definedness ({context})"
     )
+    assert defined["dataflow-columnar"] == defined["dataflow-coalesced"], (
+        f"columnar kernel disagrees on match_intervals definedness ({context})"
+    )
     if defined["dataflow-coalesced"]:
         assert defined["reference-point"] and defined["reference-intervals"], (
             f"reference engines rejected coalesced output the dataflow "
@@ -167,7 +171,7 @@ def run_match_case(seed: int) -> None:
 
 
 class TestMatchLevelDifferential:
-    """All five engine configurations agree on random MATCH queries."""
+    """All engine configurations (columnar included) agree on random MATCH queries."""
 
     @pytest.mark.parametrize("batch", range(BATCHES))
     def test_random_graphs_random_queries(self, batch):
@@ -193,6 +197,7 @@ class TestMatchLevelDifferential:
             engines = {
                 "coalesced": DataflowEngine(graph),
                 "legacy": DataflowEngine(graph, use_coalesced=False),
+                "columnar": DataflowEngine(graph, kernel="columnar"),
                 "reference": ReferenceEngine(graph),
                 "reference-intervals": ReferenceEngine(graph, use_intervals=True),
             }

@@ -47,7 +47,7 @@ from repro.eval.bindings import expand_match_families
 from repro.model.io import from_json_dict, to_json_dict
 
 #: Sweep size: ``BATCHES x BATCH_SIZE`` cases (each with 3 delta batches
-#: and 3 incremental configurations).
+#: and 4 incremental configurations).
 BATCH_SIZE = 25
 BATCHES = 8  # 200 cases, the floor required by the acceptance criteria
 #: Every Nth case also cross-checks the reference engines on the cold side.
@@ -68,6 +68,9 @@ def incremental_engines(payload: dict) -> dict[str, DataflowEngine]:
         ),
         "stream-legacy-rows": DataflowEngine(
             from_json_dict(payload), use_coalesced=False, incremental=True
+        ),
+        "stream-columnar": DataflowEngine(
+            from_json_dict(payload), kernel="columnar", incremental=True
         ),
     }
 

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Intra-repo markdown link checker (the CI docs job).
+
+Scans the repository's markdown documentation for inline links
+(``[text](target)``) and verifies that every *relative* target
+resolves: the file exists, and — when the link carries a
+``#fragment`` — the target file contains a heading whose GitHub-style
+anchor slug matches. External links (``http(s)://``, ``mailto:``) are
+ignored: CI must not fail on somebody else's outage.
+
+Usage::
+
+    python tools/check_links.py                  # default doc set
+    python tools/check_links.py README.md docs   # explicit files/dirs
+
+Exits non-zero listing every broken link as ``file:line: message``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The documentation surface the docs CI job guards.
+DEFAULT_TARGETS = (
+    "README.md",
+    "docs",
+    "PERFORMANCE.md",
+    "RELIABILITY.md",
+    "ROADMAP.md",
+)
+
+#: Inline markdown links; images share the syntax behind a ``!``.
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor algorithm: lowercase, drop punctuation, dash spaces."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code keeps its text
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links keep the label
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def display(path: Path) -> str:
+    """Repo-relative when possible, absolute otherwise."""
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        return str(path)
+
+
+def anchors_of(path: Path) -> set[str]:
+    """All heading anchors of one markdown file (fenced code excluded)."""
+    anchors: set[str] = set()
+    seen: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = slugify(match.group(1))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
+def collect_files(arguments: list[str]) -> list[Path]:
+    targets = arguments or list(DEFAULT_TARGETS)
+    files: list[Path] = []
+    for target in targets:
+        path = (REPO_ROOT / target).resolve()
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            files.append(path)
+        else:
+            print(f"WARNING: {target} does not exist; skipping", file=sys.stderr)
+    return files
+
+
+def check_file(path: Path) -> list[str]:
+    errors: list[str] = []
+    in_fence = False
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            where = f"{display(path)}:{number}"
+            file_part, _, fragment = target.partition("#")
+            resolved = (
+                path if not file_part else (path.parent / file_part).resolve()
+            )
+            if not resolved.exists():
+                errors.append(f"{where}: broken link {target!r} ({file_part} missing)")
+                continue
+            if fragment and resolved.suffix == ".md":
+                if fragment not in anchors_of(resolved):
+                    errors.append(
+                        f"{where}: anchor #{fragment} not found in "
+                        f"{display(resolved)}"
+                    )
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    files = collect_files(list(sys.argv[1:] if argv is None else argv))
+    if not files:
+        print("ERROR: no markdown files to check", file=sys.stderr)
+        return 1
+    errors: list[str] = []
+    for path in files:
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} markdown file(s): {len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
